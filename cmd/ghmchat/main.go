@@ -1,0 +1,146 @@
+// Command ghmchat is a tiny full-duplex chat over UDP, demonstrating the
+// protocol on a real network: every line you type is delivered to the
+// peer exactly once, in order, even though UDP may drop, duplicate or
+// reorder the datagrams (and you can simulate a crash mid-session).
+//
+// On one machine (or terminal):
+//
+//	ghmchat -listen 127.0.0.1:9000 -peer 127.0.0.1:9001 -role a
+//
+// On the other:
+//
+//	ghmchat -listen 127.0.0.1:9001 -peer 127.0.0.1:9000 -role b
+//
+// Type lines to send them; "/crash" erases this station's protocol
+// memory (the session survives); "/quit" exits. With -seal both sides
+// additionally encrypt every packet under the shared key.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"ghm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ghmchat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("ghmchat", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "", "local UDP address (host:port)")
+		peer    = fs.String("peer", "", "remote UDP address (host:port)")
+		role    = fs.String("role", "", `this end's role: "a" or "b" (ends must differ)`)
+		sealKey = fs.String("seal", "", "optional shared key; packets are AES-GCM sealed (16/24/32 bytes)")
+		eps     = fs.Float64("eps", 0, "error probability per message (0 = default 2^-20)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listen == "" || *peer == "" {
+		return fmt.Errorf("both -listen and -peer are required")
+	}
+	var r ghm.Role
+	switch strings.ToLower(*role) {
+	case "a":
+		r = ghm.RoleA
+	case "b":
+		r = ghm.RoleB
+	default:
+		return fmt.Errorf(`-role must be "a" or "b"`)
+	}
+
+	conn, err := ghm.DialUDP(*listen, *peer)
+	if err != nil {
+		return err
+	}
+	if *sealKey != "" {
+		conn, err = ghm.Seal(conn, []byte(*sealKey))
+		if err != nil {
+			return err
+		}
+	}
+
+	var opts []ghm.Option
+	if *eps > 0 {
+		opts = append(opts, ghm.WithEpsilon(*eps))
+	}
+	p, err := ghm.NewPeer(conn, r, opts...)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	fmt.Fprintf(out, "connected: %s <-> %s (role %s). /crash simulates a host crash, /quit exits.\n",
+		*listen, *peer, *role)
+	return chat(p, in, out)
+}
+
+// syncWriter serializes the two chat goroutines' writes; an io.Writer has
+// no concurrency contract (os.Stdout happens to cope, a test buffer does
+// not).
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// chat pumps stdin lines to the peer and peer messages to stdout until
+// the input ends or /quit.
+func chat(p *ghm.Peer, in io.Reader, rawOut io.Writer) error {
+	out := &syncWriter{w: rawOut}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for {
+			msg, err := p.Recv(ctx)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(out, "<< %s\n", msg)
+		}
+	}()
+
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		switch strings.TrimSpace(line) {
+		case "":
+			continue
+		case "/quit":
+			cancel()
+			<-recvDone
+			return nil
+		case "/crash":
+			p.Crash()
+			fmt.Fprintln(out, "-- station memory erased; the protocol recovers on its own")
+			continue
+		}
+		if err := p.Send(ctx, []byte(line)); err != nil {
+			return fmt.Errorf("send: %w", err)
+		}
+		fmt.Fprintln(out, "-- delivered")
+	}
+	cancel()
+	<-recvDone
+	return sc.Err()
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGHMCertificate(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-depth", "4", "-seeds", "2", "-messages", "3"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Count(out.String(), "CLEAN") != 2 {
+		t.Errorf("expected 2 CLEAN seeds:\n%s", out.String())
+	}
+}
+
+func TestRunABPCounterexample(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-protocol", "abp", "-depth", "5", "-messages", "3"}, &out)
+	if err == nil {
+		t.Fatalf("abp reported clean:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "VIOLATED") || !strings.Contains(s, "counterexample") {
+		t.Errorf("missing counterexample output:\n%s", s)
+	}
+	// Deterministic protocol: only one seed explored.
+	if strings.Count(s, "seed") != 1 {
+		t.Errorf("deterministic protocol explored multiple seeds:\n%s", s)
+	}
+}
+
+func TestRunTruncated(t *testing.T) {
+	var out strings.Builder
+	// Tiny path budget forces truncation on a clean protocol.
+	err := run([]string{"-depth", "8", "-seeds", "1", "-max-paths", "50"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "truncated") {
+		t.Errorf("expected truncation notice:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-protocol", "bogus"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestStationFactories(t *testing.T) {
+	for _, proto := range []string{"ghm", "naive", "abp", "nvabp", "stenning"} {
+		mk, _, err := stationFactory(proto, 0.001)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		tx, rx := mk(1)()
+		if tx == nil || rx == nil {
+			t.Fatalf("%s: nil stations", proto)
+		}
+		if tx.Busy() {
+			t.Fatalf("%s: fresh transmitter busy", proto)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Command ghmsoak stress-tests the protocol for a wall-clock budget:
+// it keeps generating randomized adversary mixes (loss, duplication,
+// reordering, latency, replay floods, crash schedules, forgery), runs a
+// simulation under each, verifies every execution against the Section 2.6
+// conditions, and reports. Any safety violation fails the run.
+//
+//	ghmsoak -duration 30s
+//	ghmsoak -duration 5m -eps 0.000001 -seed 42
+//
+// Liveness note: completion is demanded only of mixes where Theorem 9
+// actually promises it — fair channels without recurring crashes or
+// forgery. Recurring crash^R resets the retry counter the transmitter's
+// reply throttle tracks, and forged packets poison it outright; both are
+// outside the theorem's premises, so such runs count toward safety
+// checking only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"ghm/internal/adversary"
+	"ghm/internal/core"
+	"ghm/internal/sim"
+	"ghm/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ghmsoak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ghmsoak", flag.ContinueOnError)
+	var (
+		duration = fs.Duration("duration", 30*time.Second, "wall-clock soak budget")
+		eps      = fs.Float64("eps", core.DefaultEpsilon, "error probability per message")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		report   = fs.Duration("report", 5*time.Second, "progress report interval")
+		verbose  = fs.Bool("v", false, "log every run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	deadline := time.Now().Add(*duration)
+	nextReport := time.Now().Add(*report)
+
+	var (
+		runs, messages, violations int
+		completed, livenessRuns    int
+		crashes                    int
+	)
+	for time.Now().Before(deadline) {
+		mix := randomMix(rng, *eps)
+		runStart := time.Now()
+		res, err := sim.RunGHM(sim.Config{
+			Messages:   mix.messages,
+			MaxSteps:   mix.maxSteps,
+			RetryEvery: mix.retryEvery,
+			Adversary:  mix.adv,
+		}, core.Params{Epsilon: *eps}, rng.Int63())
+		if err != nil {
+			return err
+		}
+		runs++
+		messages += res.Attempted
+		violations += res.Report.Violations()
+		crashes += res.Report.CrashT + res.Report.CrashR
+		if mix.livenessExpected {
+			livenessRuns++
+			if res.Done {
+				completed++
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(out, "run %d: %s — %d msgs, %d steps, done=%v in %v\n",
+				runs, mix.desc, res.Attempted, res.Steps, res.Done,
+				time.Since(runStart).Round(time.Millisecond))
+		}
+		if res.Report.Violations() > 0 {
+			fmt.Fprintf(out, "VIOLATION in run %d (%s): %s\n", runs, mix.desc, res.Report)
+		}
+		if time.Now().After(nextReport) {
+			fmt.Fprintf(out, "soak: %d runs, %d messages, %d crashes, %d violations\n",
+				runs, messages, crashes, violations)
+			nextReport = time.Now().Add(*report)
+		}
+	}
+
+	fmt.Fprintf(out, "done: %d runs, %d messages, %d crashes injected\n",
+		runs, messages, crashes)
+	fmt.Fprintf(out, "safety:   %d violations\n", violations)
+	if livenessRuns > 0 {
+		fmt.Fprintf(out, "liveness: %d/%d liveness-eligible runs completed\n", completed, livenessRuns)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d safety violations across %d messages", violations, messages)
+	}
+	if livenessRuns > 0 && completed < livenessRuns {
+		return fmt.Errorf("%d liveness-eligible runs did not complete", livenessRuns-completed)
+	}
+	return nil
+}
+
+// mix is one randomized soak configuration.
+type mix struct {
+	adv        adversary.Adversary
+	desc       string
+	messages   int
+	maxSteps   int
+	retryEvery int
+	// livenessExpected marks mixes whose completion within the step
+	// budget is predictable: plain fair/network channels. Attack layers
+	// (floods, recurring crashes, forgery) either void Theorem 9's
+	// premises or make progress arbitrarily slow though still certain;
+	// those runs are checked for safety only.
+	livenessExpected bool
+}
+
+// randomMix draws a hostile configuration: a random base channel plus a
+// random subset of attack layers.
+func randomMix(rng *rand.Rand, eps float64) mix {
+	m := mix{
+		messages:         20 + rng.Intn(120),
+		maxSteps:         400_000,
+		retryEvery:       1 + rng.Intn(8),
+		livenessExpected: true,
+	}
+	var parts []adversary.Adversary
+	if rng.Intn(2) == 0 {
+		loss := rng.Float64() * 0.6
+		dup := rng.Float64() * 0.5
+		parts = append(parts, adversary.NewFair(rand.New(rand.NewSource(rng.Int63())),
+			adversary.FairConfig{Loss: loss, DupProb: dup, DeliverProb: 0.2 + rng.Float64()*0.8}))
+		m.desc = fmt.Sprintf("fair(loss=%.2f,dup=%.2f)", loss, dup)
+	} else {
+		lat := 1 + rng.Intn(6)
+		parts = append(parts, adversary.NewNetLike(rand.New(rand.NewSource(rng.Int63())),
+			adversary.NetLikeConfig{
+				Latency: lat, Jitter: rng.Intn(8),
+				Loss: rng.Float64() * 0.5, DupProb: rng.Float64() * 0.4,
+				Bandwidth: rng.Intn(6), // 0 = unlimited
+			}))
+		m.desc = fmt.Sprintf("netlike(lat=%d)", lat)
+		m.retryEvery = 2*lat + 8 // pace retries past the RTT
+	}
+	if rng.Intn(2) == 0 {
+		parts = append(parts,
+			adversary.NewGuessFlood(rand.New(rand.NewSource(rng.Int63())), trace.DirTR, 1+rng.Intn(4)),
+			adversary.NewGuessFlood(rand.New(rand.NewSource(rng.Int63())), trace.DirRT, 1+rng.Intn(4)))
+		m.desc += "+guessflood"
+		m.livenessExpected = false // progress certain but unboundedly slow
+	}
+	if rng.Intn(3) == 0 {
+		parts = append(parts,
+			adversary.NewReplay(rand.New(rand.NewSource(rng.Int63())), trace.DirTR, 1+rng.Intn(4)))
+		m.desc += "+replay"
+		m.livenessExpected = false // progress certain but unboundedly slow
+	}
+	if rng.Intn(2) == 0 {
+		// Crashes: crash^T included so replay-poisoned i^T always unwedges.
+		parts = append(parts, &adversary.CrashLoop{
+			EveryT: 200 + rng.Intn(2000),
+			EveryR: 100 + rng.Intn(1000),
+			Offset: rng.Intn(100),
+		})
+		m.desc += "+crashes"
+		m.livenessExpected = false // Theorem 9 assumes crashes stop
+	}
+	if rng.Intn(6) == 0 {
+		// Forgery (causality dropped): safety must hold; liveness may not.
+		parts = append(parts, adversary.NewForger(rand.New(rand.NewSource(rng.Int63())),
+			rng.Intn(2) == 0, true, 1+rng.Intn(2), core.DefaultSize(1, eps)))
+		m.desc += "+forgery"
+		m.livenessExpected = false // the paper gives up liveness here
+		m.maxSteps = 150_000       // forged CTL stalls by design; bound the burn
+	}
+	m.adv = adversary.Compose(parts...)
+	return m
+}

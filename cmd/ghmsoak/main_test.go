@@ -1,0 +1,78 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSoakShortRun(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-duration", "400ms", "-report", "150ms", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "done:") || !strings.Contains(s, "safety:   0 violations") {
+		t.Errorf("summary missing:\n%s", s)
+	}
+}
+
+func TestSoakBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRandomMixShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sawForged, sawCrashes, sawNetlike, sawFair := false, false, false, false
+	for i := 0; i < 200; i++ {
+		m := randomMix(rng, 1.0/(1<<20))
+		if m.adv == nil || m.messages < 20 || m.retryEvery < 1 {
+			t.Fatalf("malformed mix: %+v", m)
+		}
+		if strings.Contains(m.desc, "forgery") {
+			sawForged = true
+			if m.livenessExpected {
+				t.Fatal("forged mix expects liveness")
+			}
+			if m.maxSteps > 150_000 {
+				t.Fatal("forged mix without a bounded budget")
+			}
+		}
+		if strings.Contains(m.desc, "crashes") {
+			sawCrashes = true
+			if m.livenessExpected {
+				t.Fatal("crash mix expects liveness")
+			}
+		}
+		if strings.HasPrefix(m.desc, "netlike") {
+			sawNetlike = true
+		}
+		if strings.HasPrefix(m.desc, "fair") {
+			sawFair = true
+		}
+	}
+	if !sawForged || !sawCrashes || !sawNetlike || !sawFair {
+		t.Errorf("mix space not covered: forged=%v crashes=%v netlike=%v fair=%v",
+			sawForged, sawCrashes, sawNetlike, sawFair)
+	}
+}
+
+func TestSoakDeterministicSeed(t *testing.T) {
+	// Same seed, same wall budget: the run counts may differ (timing),
+	// but the mix sequence must be deterministic; verify by drawing mixes
+	// directly.
+	a := rand.New(rand.NewSource(11))
+	b := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		ma, mb := randomMix(a, 0.001), randomMix(b, 0.001)
+		if ma.desc != mb.desc || ma.messages != mb.messages {
+			t.Fatalf("mix %d diverged: %q vs %q", i, ma.desc, mb.desc)
+		}
+	}
+	_ = time.Now
+}

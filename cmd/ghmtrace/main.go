@@ -1,0 +1,121 @@
+// Command ghmtrace inspects a recorded execution trace (the JSONL format
+// written by ghmsim -trace-out): it verifies the Section 2.6 correctness
+// conditions, summarizes the action counts, and optionally pretty-prints
+// a window of events.
+//
+//	ghmsim -messages 50 -loss 0.4 -trace-out run.jsonl
+//	ghmtrace run.jsonl
+//	ghmtrace -tail 40 run.jsonl
+//	cat run.jsonl | ghmtrace -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ghm/internal/trace"
+	"ghm/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ghmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ghmtrace", flag.ContinueOnError)
+	var (
+		tail = fs.Int("tail", 0, "pretty-print the last N events")
+		head = fs.Int("head", 0, "pretty-print the first N events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ghmtrace [-head N] [-tail N] <file.jsonl | ->")
+	}
+
+	var r io.Reader
+	if name := fs.Arg(0); name == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	events, err := trace.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+
+	counts := make(map[trace.Kind]int)
+	maxStep := 0
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.Step > maxStep {
+			maxStep = e.Step
+		}
+	}
+	fmt.Fprintf(out, "events     %d over %d steps\n", len(events), maxStep+1)
+	fmt.Fprintf(out, "actions    send_msg=%d receive_msg=%d ok=%d crash^T=%d crash^R=%d\n",
+		counts[trace.KindSendMsg], counts[trace.KindReceiveMsg], counts[trace.KindOK],
+		counts[trace.KindCrashT], counts[trace.KindCrashR])
+	fmt.Fprintf(out, "packets    sent=%d delivered=%d retries=%d\n",
+		counts[trace.KindSendPkt], counts[trace.KindDeliverPkt], counts[trace.KindRetry])
+
+	report := verify.Check(events)
+	fmt.Fprintf(out, "verify     %s\n", report)
+	if !report.Clean() {
+		printExamples(out, "causality", report.CausalityExamples)
+		printExamples(out, "order", report.OrderExamples)
+		printExamples(out, "duplication", report.DuplicationExamples)
+		printExamples(out, "replay", report.ReplayExamples)
+	}
+
+	if *head > 0 {
+		fmt.Fprintln(out, "head:")
+		for _, e := range events[:min(*head, len(events))] {
+			fmt.Fprintf(out, "  %s\n", e)
+		}
+	}
+	if *tail > 0 {
+		fmt.Fprintln(out, "tail:")
+		start := len(events) - *tail
+		if start < 0 {
+			start = 0
+		}
+		for _, e := range events[start:] {
+			fmt.Fprintf(out, "  %s\n", e)
+		}
+	}
+	if !report.Clean() {
+		return fmt.Errorf("trace violates the correctness conditions")
+	}
+	return nil
+}
+
+func printExamples(out io.Writer, label string, msgs []string) {
+	if len(msgs) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "  %s violations on:", label)
+	for _, m := range msgs {
+		fmt.Fprintf(out, " %q", m)
+	}
+	fmt.Fprintln(out)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

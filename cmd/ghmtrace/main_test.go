@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ghm/internal/trace"
+)
+
+func writeTrace(t *testing.T, events []trace.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func cleanEvents() []trace.Event {
+	return []trace.Event{
+		{Step: 0, Kind: trace.KindSendMsg, Msg: "a"},
+		{Step: 1, Kind: trace.KindSendPkt, Dir: trace.DirTR, PktID: 0, PktLen: 30},
+		{Step: 2, Kind: trace.KindDeliverPkt, Dir: trace.DirTR, PktID: 0, PktLen: 30},
+		{Step: 2, Kind: trace.KindReceiveMsg, Msg: "a"},
+		{Step: 3, Kind: trace.KindOK},
+	}
+}
+
+func TestCleanTrace(t *testing.T) {
+	path := writeTrace(t, cleanEvents())
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"events     5", "send_msg=1", "ok=1", "clean"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestViolatingTrace(t *testing.T) {
+	path := writeTrace(t, []trace.Event{
+		{Step: 0, Kind: trace.KindSendMsg, Msg: "a"},
+		{Step: 1, Kind: trace.KindOK}, // OK without delivery: order violation
+	})
+	var out strings.Builder
+	if err := run([]string{path}, &out); err == nil {
+		t.Fatalf("violating trace reported clean:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "order violations on:") {
+		t.Errorf("missing violation examples:\n%s", out.String())
+	}
+}
+
+func TestHeadTail(t *testing.T) {
+	path := writeTrace(t, cleanEvents())
+	var out strings.Builder
+	if err := run([]string{"-head", "2", "-tail", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "head:") || !strings.Contains(out.String(), "tail:") {
+		t.Errorf("head/tail sections missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "send_msg(a)") {
+		t.Errorf("pretty-printed event missing:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"/does/not/exist.jsonl"}, &out); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	if err := run([]string{"-bogus", "x"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Crash recovery: both stations lose their entire memory mid-stream and
+// the protocol keeps its guarantees — this is the property that is
+// impossible for deterministic protocols (Lynch-Mansour-Fekete 1988) and
+// the reason the paper's protocol is randomized.
+//
+// The demo transfers a numbered stream, crashing the sender and the
+// receiver at chosen points, and shows that (a) progress always resumes,
+// (b) the delivered stream never replays a message completed before a
+// crash, and (c) a pending message wiped by a sender crash is reported to
+// the caller rather than silently lost.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"ghm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	left, right := ghm.Pipe(ghm.PipeFaults{Loss: 0.2, DupProb: 0.2, Seed: 7})
+	sender, err := ghm.NewSender(left)
+	if err != nil {
+		return err
+	}
+	defer sender.Close()
+	receiver, err := ghm.NewReceiver(right)
+	if err != nil {
+		return err
+	}
+	defer receiver.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	delivered := make(chan string, 64)
+	go func() {
+		for {
+			m, err := receiver.Recv(ctx)
+			if err != nil {
+				close(delivered)
+				return
+			}
+			delivered <- string(m)
+		}
+	}()
+
+	send := func(msg string) error {
+		err := sender.Send(ctx, []byte(msg))
+		switch {
+		case err == nil:
+			fmt.Printf("  sent %q (confirmed)\n", msg)
+		case errors.Is(err, ghm.ErrCrashed):
+			fmt.Printf("  sent %q -> station crashed mid-transfer; higher layer must decide whether to resend\n", msg)
+		default:
+			return err
+		}
+		return nil
+	}
+
+	fmt.Println("phase 1: normal operation")
+	for i := 1; i <= 3; i++ {
+		if err := send(fmt.Sprintf("msg-%d", i)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("phase 2: receiver crashes (its memory is erased)")
+	receiver.Crash()
+	for i := 4; i <= 6; i++ {
+		if err := send(fmt.Sprintf("msg-%d", i)); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("phase 3: sender crashes while msg-7 is in flight")
+	go func() {
+		// Crash the sender shortly after the transfer starts.
+		time.Sleep(2 * time.Millisecond)
+		sender.Crash()
+	}()
+	if err := send("msg-7"); err != nil {
+		return err
+	}
+	fmt.Println("phase 4: the stream continues after the crash")
+	for i := 8; i <= 9; i++ {
+		if err := send(fmt.Sprintf("msg-%d", i)); err != nil {
+			return err
+		}
+	}
+
+	// Give late deliveries a moment, then inspect what the receiver's
+	// higher layer saw.
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println("\ndelivered stream:")
+	seen := make(map[string]int)
+	for {
+		select {
+		case m := <-delivered:
+			seen[m]++
+			fmt.Printf("  %s (copy %d)\n", m, seen[m])
+			continue
+		default:
+		}
+		break
+	}
+
+	fmt.Println("\nwhat to notice:")
+	fmt.Println("  - every confirmed message was delivered;")
+	fmt.Println("  - messages confirmed before a crash never reappear (no replay);")
+	fmt.Println("  - only a message in flight across the receiver crash may show two copies,")
+	fmt.Println("    which the paper proves unavoidable;")
+	fmt.Println("  - msg-7, wiped by the sender crash, surfaced as an error, not silence.")
+	return nil
+}

@@ -1,0 +1,98 @@
+// File transfer: the downstream-user composition — a chunked byte stream
+// (io.Writer/io.Reader adapters) over an encrypted session over a hostile
+// link.
+//
+// The sealing layer realizes the paper's Section 2.5 remark: the
+// oblivious-adversary assumption "could be achieved by encryption",
+// provided two encryptions of the same packet are unidentifiable. The
+// stream layer shows that the data-link protocol, which confirms one
+// message at a time, composes into arbitrarily large transfers.
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"time"
+
+	"ghm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 256 KiB pseudo-random "file".
+	file := make([]byte, 256*1024)
+	rand.New(rand.NewSource(99)).Read(file)
+	wantSum := sha256.Sum256(file)
+
+	// A hostile link, then AES-GCM sealing on both ends.
+	key := bytes.Repeat([]byte{0x5A}, 32)
+	left, right := ghm.Pipe(ghm.PipeFaults{Loss: 0.25, DupProb: 0.2, ReorderProb: 0.2, Seed: 5})
+	sealedLeft, err := ghm.Seal(left, key)
+	if err != nil {
+		return err
+	}
+	sealedRight, err := ghm.Seal(right, key)
+	if err != nil {
+		return err
+	}
+
+	sender, err := ghm.NewSender(sealedLeft)
+	if err != nil {
+		return err
+	}
+	defer sender.Close()
+	receiver, err := ghm.NewReceiver(sealedRight)
+	if err != nil {
+		return err
+	}
+	defer receiver.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		w := ghm.NewStreamWriter(ctx, sender)
+		w.ChunkSize = 8 * 1024
+		if _, err := w.Write(file); err != nil {
+			errc <- err
+			return
+		}
+		errc <- w.Close()
+	}()
+
+	got, err := io.ReadAll(ghm.NewStreamReader(ctx, receiver))
+	if err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	gotSum := sha256.Sum256(got)
+	fmt.Printf("transferred %d KiB in %v over a link dropping 25%% of packets\n",
+		len(got)/1024, elapsed.Round(time.Millisecond))
+	fmt.Printf("sha256 sent     %x\n", wantSum)
+	fmt.Printf("sha256 received %x\n", gotSum)
+	if gotSum != wantSum {
+		return fmt.Errorf("checksums differ")
+	}
+	s := sender.Stats()
+	fmt.Printf("\n%d confirmed chunks, %d DATA packets on the wire (every byte encrypted,\n",
+		s.Completed, s.PacketsSent)
+	fmt.Println("every chunk delivered exactly once, in order — over a link that made")
+	fmt.Println("no such promises).")
+	return nil
+}

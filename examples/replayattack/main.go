@@ -1,0 +1,97 @@
+// Replay attack: reproduces the narrative of the paper's Section 3.
+//
+// A strawman protocol — the same challenge/response handshake but with a
+// fixed-size nonce and no extension mechanism — is broken by an oblivious
+// adversary that merely records old packets and replays them against a
+// freshly crashed receiver: once history holds more distinct nonces than
+// 2^l0, some old packet matches the fresh challenge and an old message is
+// delivered again. The full protocol under the same attack extends its
+// challenge after the very first suspicious packet, and the attack dies.
+//
+// This example drives the model-level machinery (internal packages), the
+// same stack the experiment suite uses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghm/internal/baseline"
+	"ghm/internal/core"
+	"ghm/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		historySize = 100 // clean exchanges recorded by the adversary
+		rounds      = 40  // crash^R + replay-everything rounds
+		naiveBits   = 7   // strawman nonce size: 2^7 = 128 possible values
+	)
+
+	fmt.Printf("recording %d clean exchanges of each protocol...\n\n", historySize)
+
+	naiveHits, naiveExt := attack(baseline.NaiveNonceParams(naiveBits), historySize, rounds)
+	fmt.Printf("strawman (fixed %d-bit nonce, no extensions):\n", naiveBits)
+	fmt.Printf("  replayed deliveries: %d in %d rounds  <- the Section 3 attack works\n\n",
+		naiveHits, rounds)
+
+	ghmHits, ghmExt := attack(core.Params{Epsilon: 1.0 / (1 << 16)}, historySize, rounds)
+	fmt.Printf("full protocol (eps = 2^-16, bound/size extensions):\n")
+	fmt.Printf("  replayed deliveries: %d in %d rounds\n", ghmHits, rounds)
+	fmt.Printf("  challenge extensions forced by the flood: %d  <- the defence at work\n\n", ghmExt)
+
+	fmt.Println("why: the strawman receiver keeps one fixed challenge, so the whole")
+	fmt.Println("recorded history gets tested against it after every crash; the full")
+	fmt.Println("protocol counts the first same-length mismatch, extends its challenge,")
+	fmt.Println("and instantly invalidates every packet the adversary ever recorded.")
+	_ = naiveExt
+	return nil
+}
+
+// attack builds a clean history for the protocol and mounts the
+// record-crash-replay attack, returning replayed deliveries and the
+// challenge extensions the flood provoked.
+func attack(p core.Params, history, rounds int) (hits, extensions int) {
+	gtx, grx, err := sim.NewGHMPair(p, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Record every DATA packet of `history` clean exchanges.
+	var recorded [][]byte
+	for i := 0; i < history; i++ {
+		if _, err := gtx.SendMsg([]byte(fmt.Sprintf("secret-%03d", i))); err != nil {
+			log.Fatal(err)
+		}
+		for gtx.Busy() {
+			for _, c := range grx.Retry() {
+				pkts, _ := gtx.ReceivePacket(c)
+				for _, dp := range pkts {
+					recorded = append(recorded, dp)
+					_, acks := grx.ReceivePacket(dp)
+					for _, a := range acks {
+						gtx.ReceivePacket(a)
+					}
+				}
+			}
+		}
+	}
+
+	// The attack: crash the receiver, replay everything, repeat.
+	gtx.Crash()
+	for r := 0; r < rounds; r++ {
+		grx.Crash()
+		for _, pkt := range recorded {
+			delivered, _ := grx.ReceivePacket(pkt)
+			hits += len(delivered)
+		}
+		extensions += grx.R.Stats().Extensions
+	}
+	return hits, extensions
+}

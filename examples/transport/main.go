@@ -1,0 +1,120 @@
+// Transport layer: the paper's Section 1 deployment — the GHM protocol
+// running end to end across a multi-hop network, on top of a semi-reliable
+// relay layer that only promises "packets sometimes arrive, possibly
+// duplicated and reordered".
+//
+// A 3x3 grid of relay nodes connects a source (corner 0) to a destination
+// (corner 8). Packets follow a shortest path recomputed over the links
+// currently up ([HK89]-style path switching). Mid-run, the demo cuts the
+// links around the active path; the relay reroutes and the GHM sessions
+// carry the stream through without the application noticing anything but
+// latency.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ghm"
+	"ghm/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Build the relay network: a 3x3 grid with mildly lossy links.
+	//
+	//   0 - 1 - 2
+	//   |   |   |
+	//   3 - 4 - 5
+	//   |   |   |
+	//   6 - 7 - 8
+	net, err := transport.New(transport.Config{
+		Nodes: 9,
+		Edges: transport.Grid(3, 3),
+		Loss:  0.05,
+		Seed:  11,
+	})
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+
+	srcConn, err := net.Endpoint(0, 8, transport.PathRouting)
+	if err != nil {
+		return err
+	}
+	dstConn, err := net.Endpoint(8, 0, transport.PathRouting)
+	if err != nil {
+		return err
+	}
+
+	// The network endpoints satisfy ghm.PacketConn, so the public API
+	// runs on top unchanged.
+	sender, err := ghm.NewSender(srcConn)
+	if err != nil {
+		return err
+	}
+	defer sender.Close()
+	receiver, err := ghm.NewReceiver(dstConn)
+	if err != nil {
+		return err
+	}
+	defer receiver.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const n = 12
+	sendDone := make(chan error, 1)
+	go func() {
+		defer close(sendDone)
+		for i := 1; i <= n; i++ {
+			if i == 5 {
+				// Sever the straight route: 0-1, 1-2 and 2-5 go down.
+				// The relay must detour through the bottom of the grid.
+				fmt.Println("  !! cutting links 0-1, 1-2, 2-5 (top route dead)")
+				net.SetLink(0, 1, false)
+				net.SetLink(1, 2, false)
+				net.SetLink(2, 5, false)
+			}
+			if i == 9 {
+				fmt.Println("  !! links repaired")
+				net.SetLink(0, 1, true)
+				net.SetLink(1, 2, true)
+				net.SetLink(2, 5, true)
+			}
+			if err := sender.Send(ctx, []byte(fmt.Sprintf("report-%02d", i))); err != nil {
+				sendDone <- fmt.Errorf("send: %w", err)
+				return
+			}
+		}
+	}()
+
+	for i := 1; i <= n; i++ {
+		msg, err := receiver.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("recv: %w", err)
+		}
+		fmt.Printf("node 8 delivered %q\n", msg)
+	}
+	if err := <-sendDone; err != nil {
+		return err
+	}
+
+	st := net.Stats()
+	fmt.Printf("\nnetwork totals: %d end-to-end packets injected, %d delivered,\n",
+		st.Injected, st.DeliveredE)
+	fmt.Printf("%d link traversals (%d lost), %d dropped with no route\n",
+		st.Traversals, st.Lost, st.NoRoute)
+	fmt.Println("\nthe stream stayed ordered and exactly-once across the outage:")
+	fmt.Println("packets on the dead links were lost, the relay switched paths, and")
+	fmt.Println("the GHM layer retried until every report was confirmed.")
+	return nil
+}

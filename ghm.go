@@ -1,0 +1,196 @@
+// Package ghm is a Go implementation of the randomized, crash-resilient
+// data-link protocol of Goldreich, Herzberg and Mansour, "Source to
+// Destination Communication in the Presence of Faults" (PODC 1989).
+//
+// The protocol turns any unreliable packet link — one that may lose,
+// duplicate and reorder packets, under schedulers as hostile as an
+// oblivious adversary — into a reliable message stream: messages arrive in
+// order, without omission, duplication or replay, with a caller-chosen
+// error probability epsilon per message, and both stations tolerate
+// crashes that erase their entire memory.
+//
+// # Quick start
+//
+//	left, right := ghm.Pipe(ghm.PipeFaults{Loss: 0.3})
+//	s, _ := ghm.NewSender(left)
+//	r, _ := ghm.NewReceiver(right)
+//	defer s.Close()
+//	defer r.Close()
+//
+//	go s.Send(ctx, []byte("hello"))   // blocks until confirmed delivered
+//	msg, _ := r.Recv(ctx)             // "hello", exactly once, in order
+//
+// Any transport satisfying PacketConn works; DialUDP adapts a UDP socket,
+// and Pipe builds an in-process link with configurable fault injection.
+//
+// The model-level implementation (pure state machines, the paper's channel
+// and adversary automata, a discrete-event simulator and checkers for the
+// paper's correctness conditions) lives under internal/; the cmd/ghmsim
+// and cmd/ghmbench tools expose it for experimentation.
+package ghm
+
+import (
+	"context"
+	"fmt"
+
+	"ghm/internal/netlink"
+)
+
+// PacketConn is one endpoint of an unreliable datagram link: Send may
+// silently lose, duplicate or reorder packets; Recv blocks; Close unblocks
+// pending Recvs. Packet contents must arrive uncorrupted (use a
+// checksumming transport; UDP qualifies).
+type PacketConn interface {
+	// Send places one packet on the link; it must not retain p.
+	Send(p []byte) error
+	// Recv blocks for the next packet.
+	Recv() ([]byte, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// PipeFaults configures the in-process test link returned by Pipe. The
+// zero value is a perfect link.
+type PipeFaults struct {
+	// Loss is the probability a packet is silently dropped.
+	Loss float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a packet is delayed past later ones.
+	ReorderProb float64
+	// Seed fixes the fault schedule for reproducibility (0 = from clock).
+	Seed int64
+}
+
+// Pipe returns two connected in-process endpoints with the given fault
+// behaviour in each direction. Closing either endpoint closes the pipe.
+func Pipe(f PipeFaults) (PacketConn, PacketConn) {
+	return netlink.Pipe(netlink.PipeConfig{
+		Loss:        f.Loss,
+		DupProb:     f.DupProb,
+		ReorderProb: f.ReorderProb,
+		Seed:        f.Seed,
+	})
+}
+
+// DialUDP binds laddr and exchanges protocol packets with raddr. UDP is
+// exactly the link the protocol was designed for: datagrams may vanish,
+// duplicate and reorder, and the UDP checksum turns corruption into loss.
+func DialUDP(laddr, raddr string) (PacketConn, error) {
+	return netlink.DialUDP(laddr, raddr)
+}
+
+// Sender is the transmitting station: it accepts one message at a time and
+// confirms delivery. Create with NewSender; always Close.
+type Sender struct {
+	s *netlink.Sender
+}
+
+// NewSender starts a transmitting station on conn.
+func NewSender(conn PacketConn, opts ...Option) (*Sender, error) {
+	o := applyOptions(opts)
+	s, err := netlink.NewSender(conn, o.params())
+	if err != nil {
+		return nil, fmt.Errorf("ghm: %w", err)
+	}
+	return &Sender{s: s}, nil
+}
+
+// Send transfers msg to the receiving station and blocks until the
+// protocol confirms delivery, ctx ends, or the sender is closed or
+// crashed. A nil return means the message reached the receiver's higher
+// layer (with probability at least 1-epsilon). Cancelling ctx mid-send
+// crashes the station (the protocol has no cancel action), after which the
+// next Send starts fresh.
+func (s *Sender) Send(ctx context.Context, msg []byte) error {
+	return s.s.Send(ctx, msg)
+}
+
+// Crash simulates a host crash: all protocol memory is erased and a
+// pending Send fails with ErrCrashed. The protocol is built to survive
+// this; it exists as API for fault-injection tests and demos.
+func (s *Sender) Crash() { s.s.Crash() }
+
+// Stats returns protocol counters since start or the last crash.
+func (s *Sender) Stats() SenderStats {
+	st := s.s.Stats()
+	return SenderStats{
+		PacketsSent:   st.PacketsSent,
+		Completed:     st.OKs,
+		ErrorsCounted: st.ErrorsCounted,
+		Extensions:    st.Extensions,
+		Ignored:       st.Ignored,
+	}
+}
+
+// Close stops the station's background loop and waits for it.
+func (s *Sender) Close() error { return s.s.Close() }
+
+// Receiver is the receiving station: it hands over delivered messages in
+// order, exactly once. Create with NewReceiver; always Close.
+type Receiver struct {
+	r *netlink.Receiver
+}
+
+// NewReceiver starts a receiving station on conn.
+func NewReceiver(conn PacketConn, opts ...Option) (*Receiver, error) {
+	o := applyOptions(opts)
+	r, err := netlink.NewReceiver(conn, netlink.ReceiverConfig{
+		Params:        o.params(),
+		RetryInterval: o.retryInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ghm: %w", err)
+	}
+	return &Receiver{r: r}, nil
+}
+
+// Recv blocks for the next delivered message.
+func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
+	return r.r.Recv(ctx)
+}
+
+// Crash simulates a host crash: all protocol memory is erased. In-flight
+// transfers may be delivered twice across a receiver crash — the paper
+// proves that unavoidable — but already-completed messages stay safe from
+// replay.
+func (r *Receiver) Crash() { r.r.Crash() }
+
+// Stats returns protocol counters since start or the last crash.
+func (r *Receiver) Stats() ReceiverStats {
+	st := r.r.Stats()
+	return ReceiverStats{
+		PacketsSent:   st.PacketsSent,
+		Delivered:     st.Delivered,
+		ErrorsCounted: st.ErrorsCounted,
+		Extensions:    st.Extensions,
+		Ignored:       st.Ignored,
+	}
+}
+
+// Close stops the station's background loops and waits for them.
+func (r *Receiver) Close() error { return r.r.Close() }
+
+// SenderStats are transmitting-station counters.
+type SenderStats struct {
+	PacketsSent   int // DATA packets emitted
+	Completed     int // messages confirmed (OK)
+	ErrorsCounted int // suspicious same-length tag mismatches
+	Extensions    int // random-tag extensions triggered
+	Ignored       int // malformed or irrelevant packets dropped
+}
+
+// ReceiverStats are receiving-station counters.
+type ReceiverStats struct {
+	PacketsSent   int // control packets emitted
+	Delivered     int // messages handed to Recv
+	ErrorsCounted int // suspicious same-length challenge mismatches
+	Extensions    int // challenge extensions triggered
+	Ignored       int // malformed or stale packets dropped
+}
+
+// ErrClosed reports use of a closed Sender, Receiver or PacketConn.
+var ErrClosed = netlink.ErrClosed
+
+// ErrCrashed reports that a pending Send was wiped by a station crash.
+var ErrCrashed = netlink.ErrCrashed

@@ -1,0 +1,3 @@
+module ghm
+
+go 1.22

@@ -1,0 +1,106 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/trace"
+	"ghm/internal/wire"
+)
+
+// Forgery is a packet the adversary fabricates, for channels that do not
+// guarantee causality (the paper's Conclusions relax exactly this axiom).
+type Forgery struct {
+	Dir    trace.Dir
+	Packet []byte
+}
+
+// PacketForger is optionally implemented by adversaries that fabricate
+// packets. The simulator injects each forgery into the channel and
+// delivers it immediately.
+type PacketForger interface {
+	Adversary
+	// Forge returns the packets to fabricate at this step.
+	Forge(step int) []Forgery
+}
+
+// Forger fabricates protocol-shaped packets without ever reading real
+// packet contents: it knows the public wire format and the observed
+// lengths of the stations' random strings (everything an oblivious
+// adversary legitimately has), and fills the string fields with its own
+// randomness.
+//
+// Forged CTL packets carry an ever-growing retry counter, poisoning the
+// transmitter's i^T reply throttle so real retries are never answered;
+// forged DATA packets burn the receiver's error bounds, forcing endless
+// challenge extensions. Either stream destroys liveness — while safety
+// (including causality-as-delivered-messages) should survive with
+// probability 1-epsilon, since forging a delivery still requires guessing
+// the current challenge. Experiment E9 measures both halves.
+type Forger struct {
+	rng     *rand.Rand
+	src     bitstr.Source
+	ctl     bool // forge CTL packets (attack the transmitter)
+	data    bool // forge DATA packets (attack the receiver)
+	rate    int
+	bigI    uint64
+	rhoBits int // receiver-string length to imitate (tracked from sizes seen)
+	tauBits int
+}
+
+// NewForger returns a forger fabricating `rate` packets per step on the
+// selected attack surfaces. stringBits is the initial random-string length
+// to imitate (the protocol's size(1, eps), which is public).
+func NewForger(rng *rand.Rand, forgeCtl, forgeData bool, rate, stringBits int) *Forger {
+	if rate <= 0 {
+		rate = 1
+	}
+	if stringBits <= 0 {
+		stringBits = 25
+	}
+	return &Forger{
+		rng:     rng,
+		src:     bitstr.NewMathSource(rng),
+		ctl:     forgeCtl,
+		data:    forgeData,
+		rate:    rate,
+		bigI:    1 << 20,
+		rhoBits: stringBits,
+		tauBits: stringBits,
+	}
+}
+
+// OnNewPacket implements Adversary: the forger only watches traffic
+// volume, not contents.
+func (f *Forger) OnNewPacket(dir trace.Dir, id int64, length int) {}
+
+// Next implements Adversary: the forger delivers nothing by itself
+// (compose it with Fair for the legitimate traffic).
+func (f *Forger) Next(step int) []Action { return nil }
+
+// Forge implements PacketForger.
+func (f *Forger) Forge(step int) []Forgery {
+	var out []Forgery
+	for i := 0; i < f.rate; i++ {
+		if f.ctl {
+			f.bigI++
+			pkt := wire.Ctl{
+				Rho: f.src.Draw(f.rhoBits),
+				Tau: f.src.Draw(f.tauBits),
+				I:   f.bigI,
+			}.Encode()
+			out = append(out, Forgery{Dir: trace.DirRT, Packet: pkt})
+		}
+		if f.data {
+			pkt := wire.Data{
+				Msg: []byte("forged"),
+				Rho: f.src.Draw(f.rhoBits),
+				Tau: f.src.Draw(f.tauBits),
+			}.Encode()
+			out = append(out, Forgery{Dir: trace.DirTR, Packet: pkt})
+		}
+	}
+	return out
+}
+
+var _ PacketForger = (*Forger)(nil)

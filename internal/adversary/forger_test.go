@@ -1,0 +1,109 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghm/internal/trace"
+	"ghm/internal/wire"
+)
+
+func TestForgerCraftsValidPackets(t *testing.T) {
+	f := NewForger(rand.New(rand.NewSource(1)), true, true, 3, 25)
+	forged := f.Forge(0)
+	if len(forged) != 6 { // 3 CTL + 3 DATA
+		t.Fatalf("forged %d packets, want 6", len(forged))
+	}
+	var ctl, data int
+	for _, fg := range forged {
+		switch fg.Dir {
+		case trace.DirRT:
+			c, err := wire.DecodeCtl(fg.Packet)
+			if err != nil {
+				t.Fatalf("forged CTL does not decode: %v", err)
+			}
+			if c.I <= 1<<20 {
+				t.Errorf("forged CTL retry counter %d not poisonous", c.I)
+			}
+			if c.Rho.Len() != 25 || c.Tau.Len() != 25 {
+				t.Errorf("forged CTL string lengths %d/%d", c.Rho.Len(), c.Tau.Len())
+			}
+			ctl++
+		case trace.DirTR:
+			d, err := wire.DecodeData(fg.Packet)
+			if err != nil {
+				t.Fatalf("forged DATA does not decode: %v", err)
+			}
+			if d.Rho.Len() != 25 {
+				t.Errorf("forged DATA rho length %d", d.Rho.Len())
+			}
+			data++
+		}
+	}
+	if ctl != 3 || data != 3 {
+		t.Fatalf("ctl=%d data=%d", ctl, data)
+	}
+}
+
+func TestForgerSurfaceSelection(t *testing.T) {
+	onlyCtl := NewForger(rand.New(rand.NewSource(2)), true, false, 1, 25)
+	for _, fg := range onlyCtl.Forge(0) {
+		if fg.Dir != trace.DirRT {
+			t.Fatalf("ctl-only forger forged on %v", fg.Dir)
+		}
+	}
+	onlyData := NewForger(rand.New(rand.NewSource(3)), false, true, 1, 25)
+	for _, fg := range onlyData.Forge(0) {
+		if fg.Dir != trace.DirTR {
+			t.Fatalf("data-only forger forged on %v", fg.Dir)
+		}
+	}
+}
+
+func TestForgerCountersGrow(t *testing.T) {
+	f := NewForger(rand.New(rand.NewSource(4)), true, false, 1, 25)
+	first, err := wire.DecodeCtl(f.Forge(0)[0].Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := wire.DecodeCtl(f.Forge(1)[0].Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.I <= first.I {
+		t.Fatalf("forged counters not increasing: %d then %d", first.I, second.I)
+	}
+}
+
+func TestForgerDefaults(t *testing.T) {
+	f := NewForger(rand.New(rand.NewSource(5)), true, false, 0, 0)
+	forged := f.Forge(0)
+	if len(forged) != 1 {
+		t.Fatalf("default rate forged %d", len(forged))
+	}
+	c, err := wire.DecodeCtl(forged[0].Packet)
+	if err != nil || c.Rho.Len() != 25 {
+		t.Fatalf("default string bits: %v len=%d", err, c.Rho.Len())
+	}
+}
+
+func TestComposePreservesForging(t *testing.T) {
+	fair := NewFair(rand.New(rand.NewSource(6)), FairConfig{})
+	forger := NewForger(rand.New(rand.NewSource(7)), true, false, 2, 25)
+	c := Compose(fair, forger)
+	pf, ok := c.(PacketForger)
+	if !ok {
+		t.Fatal("composite lost the PacketForger capability")
+	}
+	if got := len(pf.Forge(0)); got != 2 {
+		t.Fatalf("composite forged %d packets, want 2", got)
+	}
+	// A forger-free composite forges nothing.
+	plain, ok := Compose(fair).(PacketForger)
+	if !ok {
+		t.Fatal("composite should still satisfy PacketForger")
+	}
+	if got := len(plain.Forge(0)); got != 0 {
+		t.Fatalf("forger-free composite forged %d packets", got)
+	}
+}

@@ -1,0 +1,142 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"ghm/internal/trace"
+)
+
+// NetLike schedules deliveries the way a real network path does: every
+// packet takes Latency steps plus up to Jitter extra, is lost with
+// probability Loss, duplicated with probability DupProb (the copy gets
+// its own jitter, so duplicates reorder), and at most Bandwidth packets
+// per direction are released per step, with the excess queued.
+//
+// With Jitter = 0 and DupProb = 0 the model is FIFO — equal delays
+// preserve order — which makes NetLike double as the clean FIFO channel
+// for baseline experiments. With Loss < 1 it satisfies Axiom 3 almost
+// surely.
+type NetLike struct {
+	rng *rand.Rand
+	cfg NetLikeConfig
+
+	due     map[int][]Action     // step -> deliveries scheduled for it
+	backlog map[trace.Dir]*fifoQ // deliveries deferred by the bandwidth cap
+	now     int
+}
+
+// fifoQ is a FIFO with an amortized-O(1) pop (head index plus periodic
+// compaction); a naive slice-shift here turns a saturated bandwidth cap
+// into quadratic time.
+type fifoQ struct {
+	items []Action
+	head  int
+}
+
+func (q *fifoQ) push(a Action) { q.items = append(q.items, a) }
+
+func (q *fifoQ) pop() (Action, bool) {
+	if q.head >= len(q.items) {
+		return Action{}, false
+	}
+	a := q.items[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return a, true
+}
+
+func (q *fifoQ) len() int { return len(q.items) - q.head }
+
+// NetLikeConfig parameterizes NetLike. Zero values: 1 step latency, no
+// jitter, no loss, no duplication, unlimited bandwidth, 4096-packet queue.
+type NetLikeConfig struct {
+	// Latency is the base delivery delay in steps (minimum 1).
+	Latency int
+	// Jitter adds uniform extra delay in [0, Jitter] steps.
+	Jitter int
+	// Loss is the probability a packet never arrives.
+	Loss float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// Bandwidth caps deliveries per direction per step (0 = unlimited).
+	Bandwidth int
+	// MaxQueue caps the per-direction backlog behind the bandwidth cap;
+	// overflow is dropped like a full router queue (0 = 4096).
+	MaxQueue int
+}
+
+// NewNetLike returns a network-shaped adversary driven by rng.
+func NewNetLike(rng *rand.Rand, cfg NetLikeConfig) *NetLike {
+	if cfg.Latency < 1 {
+		cfg.Latency = 1
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4096
+	}
+	return &NetLike{
+		rng: rng,
+		cfg: cfg,
+		due: make(map[int][]Action),
+		backlog: map[trace.Dir]*fifoQ{
+			trace.DirTR: {},
+			trace.DirRT: {},
+		},
+	}
+}
+
+// OnNewPacket implements Adversary.
+func (n *NetLike) OnNewPacket(dir trace.Dir, id int64, length int) {
+	if n.rng.Float64() < n.cfg.Loss {
+		return
+	}
+	n.schedule(dir, id)
+	if n.rng.Float64() < n.cfg.DupProb {
+		n.schedule(dir, id)
+	}
+}
+
+func (n *NetLike) schedule(dir trace.Dir, id int64) {
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += n.rng.Intn(n.cfg.Jitter + 1)
+	}
+	at := n.now + delay
+	n.due[at] = append(n.due[at], Action{Kind: ActDeliver, Dir: dir, ID: id})
+}
+
+// Next implements Adversary.
+func (n *NetLike) Next(step int) []Action {
+	n.now = step
+	dueNow := n.due[step]
+	delete(n.due, step)
+	if n.cfg.Bandwidth <= 0 {
+		return dueNow
+	}
+
+	// Enqueue what just came due (dropping overflow like a full router),
+	// then release up to Bandwidth per direction from the queue fronts.
+	for _, a := range dueNow {
+		q := n.backlog[a.Dir]
+		if q.len() >= n.cfg.MaxQueue {
+			continue // drop-tail: the protocol treats it as loss
+		}
+		q.push(a)
+	}
+	var out []Action
+	for _, dir := range []trace.Dir{trace.DirTR, trace.DirRT} {
+		q := n.backlog[dir]
+		for k := 0; k < n.cfg.Bandwidth; k++ {
+			a, ok := q.pop()
+			if !ok {
+				break
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+var _ Adversary = (*NetLike)(nil)

@@ -1,0 +1,34 @@
+package adversary_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghm/internal/adversary"
+	"ghm/internal/core"
+	"ghm/internal/sim"
+)
+
+// TestGHMOverNetLike runs the protocol over the network-shaped model with
+// latency, jitter, loss, duplication and a bandwidth cap all at once.
+// (External test package: the simulator imports adversary, so this test
+// cannot live inside it.)
+func TestGHMOverNetLike(t *testing.T) {
+	res, err := sim.RunGHM(sim.Config{
+		Messages:   40,
+		MaxSteps:   500_000,
+		RetryEvery: 12, // pace retries past the ~8-step RTT
+		Adversary: adversary.NewNetLike(rand.New(rand.NewSource(7)), adversary.NetLikeConfig{
+			Latency: 4, Jitter: 6, Loss: 0.2, DupProb: 0.2, Bandwidth: 4,
+		}),
+	}, core.Params{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("did not complete: %+v", res.Report)
+	}
+	if !res.Report.Clean() {
+		t.Fatalf("violations over NetLike: %v", res.Report)
+	}
+}

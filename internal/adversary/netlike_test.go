@@ -1,0 +1,97 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghm/internal/trace"
+)
+
+func TestNetLikeRespectsLatency(t *testing.T) {
+	n := NewNetLike(rand.New(rand.NewSource(1)), NetLikeConfig{Latency: 5})
+	n.Next(10) // establish "now"
+	n.OnNewPacket(trace.DirTR, 7, 30)
+	for step := 11; step < 15; step++ {
+		if acts := n.Next(step); len(acts) != 0 {
+			t.Fatalf("delivered at step %d, before the 5-step latency", step)
+		}
+	}
+	acts := n.Next(15)
+	if len(acts) != 1 || acts[0].ID != 7 {
+		t.Fatalf("step 15 actions = %+v", acts)
+	}
+}
+
+func TestNetLikeZeroJitterIsFIFO(t *testing.T) {
+	n := NewNetLike(rand.New(rand.NewSource(2)), NetLikeConfig{Latency: 3})
+	n.Next(0)
+	for i := int64(0); i < 10; i++ {
+		n.OnNewPacket(trace.DirTR, i, 10)
+	}
+	acts := n.Next(3)
+	if len(acts) != 10 {
+		t.Fatalf("delivered %d", len(acts))
+	}
+	for i, a := range acts {
+		if a.ID != int64(i) {
+			t.Fatalf("order broken: %+v", acts)
+		}
+	}
+}
+
+func TestNetLikeBandwidthCap(t *testing.T) {
+	n := NewNetLike(rand.New(rand.NewSource(3)), NetLikeConfig{Latency: 1, Bandwidth: 3})
+	n.Next(0)
+	for i := int64(0); i < 8; i++ {
+		n.OnNewPacket(trace.DirTR, i, 10)
+	}
+	if got := len(n.Next(1)); got != 3 {
+		t.Fatalf("step 1 delivered %d, want 3", got)
+	}
+	if got := len(n.Next(2)); got != 3 {
+		t.Fatalf("step 2 delivered %d, want 3", got)
+	}
+	if got := len(n.Next(3)); got != 2 {
+		t.Fatalf("step 3 delivered %d, want 2", got)
+	}
+}
+
+func TestNetLikeBandwidthPerDirection(t *testing.T) {
+	n := NewNetLike(rand.New(rand.NewSource(4)), NetLikeConfig{Latency: 1, Bandwidth: 2})
+	n.Next(0)
+	for i := int64(0); i < 3; i++ {
+		n.OnNewPacket(trace.DirTR, i, 10)
+		n.OnNewPacket(trace.DirRT, i, 10)
+	}
+	acts := n.Next(1)
+	counts := map[trace.Dir]int{}
+	for _, a := range acts {
+		counts[a.Dir]++
+	}
+	if counts[trace.DirTR] != 2 || counts[trace.DirRT] != 2 {
+		t.Fatalf("per-direction delivery = %v", counts)
+	}
+}
+
+func TestNetLikeTotalLoss(t *testing.T) {
+	n := NewNetLike(rand.New(rand.NewSource(5)), NetLikeConfig{Loss: 1})
+	n.OnNewPacket(trace.DirTR, 1, 10)
+	for step := 0; step < 50; step++ {
+		if len(n.Next(step)) != 0 {
+			t.Fatal("lost packet delivered")
+		}
+	}
+}
+
+func TestNetLikeDuplication(t *testing.T) {
+	n := NewNetLike(rand.New(rand.NewSource(6)), NetLikeConfig{Latency: 1, Jitter: 4, DupProb: 1})
+	n.Next(0)
+	n.OnNewPacket(trace.DirTR, 9, 10)
+	total := 0
+	for step := 1; step < 10; step++ {
+		total += len(n.Next(step))
+	}
+	if total != 2 {
+		t.Fatalf("duplicated packet delivered %d times, want 2", total)
+	}
+}

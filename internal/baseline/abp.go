@@ -1,0 +1,95 @@
+package baseline
+
+// ABPTx is the Alternating Bit Protocol transmitter: stop-and-wait with a
+// one-bit sequence number, retransmitting on every tick. Its entire
+// nonvolatile-free state is the bit, so a crash resets it to 0 — the
+// failure [BS88] works around with a single nonvolatile bit.
+type ABPTx struct {
+	bit  uint64
+	busy bool
+	msg  []byte
+}
+
+// NewABPTx returns a transmitter in its initial (post-crash) state.
+func NewABPTx() *ABPTx { return &ABPTx{} }
+
+// SendMsg implements the simulator's TxMachine.
+func (t *ABPTx) SendMsg(m []byte) ([][]byte, error) {
+	if t.busy {
+		return nil, ErrBusy
+	}
+	t.busy = true
+	t.msg = append([]byte(nil), m...)
+	return [][]byte{encodePkt(kindABPData, t.bit, t.msg)}, nil
+}
+
+// ReceivePacket implements TxMachine: an ack carrying the current bit
+// completes the message and flips the bit.
+func (t *ABPTx) ReceivePacket(p []byte) ([][]byte, bool) {
+	num, _, err := decodePkt(p, kindABPAck)
+	if err != nil || !t.busy || num != t.bit {
+		return nil, false
+	}
+	t.busy = false
+	t.msg = nil
+	t.bit ^= 1
+	return nil, true
+}
+
+// Tick implements TxTicker: retransmit the in-flight packet.
+func (t *ABPTx) Tick() [][]byte {
+	if !t.busy {
+		return nil
+	}
+	return [][]byte{encodePkt(kindABPData, t.bit, t.msg)}
+}
+
+// Crash implements TxMachine.
+func (t *ABPTx) Crash() { *t = ABPTx{} }
+
+// Busy implements TxMachine.
+func (t *ABPTx) Busy() bool { return t.busy }
+
+// StorageBits implements the simulator's StorageMeter: one bit.
+func (t *ABPTx) StorageBits() int { return 1 }
+
+// ABPRx is the Alternating Bit Protocol receiver.
+type ABPRx struct {
+	expect  uint64
+	lastAck []byte
+}
+
+// NewABPRx returns a receiver in its initial (post-crash) state.
+func NewABPRx() *ABPRx { return &ABPRx{} }
+
+// ReceivePacket implements RxMachine: deliver on the expected bit and ack
+// the packet's bit either way (re-acking duplicates keeps the transmitter
+// from deadlocking on a lost ack).
+func (r *ABPRx) ReceivePacket(p []byte) ([][]byte, [][]byte) {
+	num, body, err := decodePkt(p, kindABPData)
+	if err != nil {
+		return nil, nil
+	}
+	ack := encodePkt(kindABPAck, num, nil)
+	r.lastAck = ack
+	if num != r.expect {
+		return nil, [][]byte{ack}
+	}
+	r.expect ^= 1
+	msg := append([]byte(nil), body...)
+	return [][]byte{msg}, [][]byte{ack}
+}
+
+// Retry implements RxMachine: re-send the last ack, if any.
+func (r *ABPRx) Retry() [][]byte {
+	if r.lastAck == nil {
+		return nil
+	}
+	return [][]byte{r.lastAck}
+}
+
+// Crash implements RxMachine.
+func (r *ABPRx) Crash() { *r = ABPRx{} }
+
+// StorageBits implements StorageMeter: one bit.
+func (r *ABPRx) StorageBits() int { return 1 }

@@ -1,0 +1,96 @@
+// Package baseline implements the comparison protocols the paper's
+// introduction positions itself against. They plug into the same simulator
+// interfaces as the paper's protocol, so the experiment harness can run
+// all of them under identical adversaries and check the same Section 2.6
+// conditions:
+//
+//   - ABP: the classic Alternating Bit Protocol. Correct on FIFO,
+//     non-duplicating channels without crashes; duplicates and replays
+//     appear as soon as the channel reorders or duplicates, or a station
+//     crashes ([BS88]'s observation).
+//   - Stenning: the unbounded sequence-number protocol. Correct on
+//     non-FIFO, duplicating, lossy channels — but a crash resets its
+//     counters, producing replays (after crash^R) and false OKs (after
+//     crash^T), which is exactly the [LMF88] impossibility made concrete.
+//   - NaiveNonce: the strawman of the paper's Section 3 — the randomized
+//     handshake with a fixed-size nonce and no extension mechanism. A
+//     replay flood against it succeeds once the history contains more
+//     distinct nonces than 2^l0; it is built from ghm/internal/core by
+//     disabling the bound/size schedule, which isolates the contribution
+//     of the extension mechanism.
+//
+// ABP and Stenning retransmit from the transmitter on a timer; they
+// implement the simulator's TxTicker hook.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ghm/internal/core"
+)
+
+// ErrBusy is returned by SendMsg when the previous message has not
+// completed; the simulator respects Axiom 1 and never triggers it.
+var ErrBusy = errors.New("baseline: transmitter busy")
+
+// Packet kinds for the deterministic baselines. The values are disjoint
+// from ghm/internal/wire's so a misrouted packet is rejected, not
+// misparsed.
+const (
+	kindABPData    byte = 0x10
+	kindABPAck     byte = 0x11
+	kindABPSync    byte = 0x12
+	kindABPSyncAck byte = 0x13
+	kindSeqData    byte = 0x20
+	kindSeqAck     byte = 0x21
+	maxPacketLen        = 1 << 26
+)
+
+// encodePkt serializes [kind][uvarint num][body].
+func encodePkt(kind byte, num uint64, body []byte) []byte {
+	buf := make([]byte, 0, 1+10+len(body))
+	buf = append(buf, kind)
+	for num >= 0x80 {
+		buf = append(buf, byte(num)|0x80)
+		num >>= 7
+	}
+	buf = append(buf, byte(num))
+	return append(buf, body...)
+}
+
+// decodePkt parses a packet produced by encodePkt, requiring kind = want.
+func decodePkt(p []byte, want byte) (num uint64, body []byte, err error) {
+	if len(p) == 0 || p[0] != want || len(p) > maxPacketLen {
+		return 0, nil, fmt.Errorf("baseline: not a 0x%02x packet", want)
+	}
+	p = p[1:]
+	var shift uint
+	for i, b := range p {
+		if i > 9 {
+			return 0, nil, errors.New("baseline: varint overflow")
+		}
+		num |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return num, p[i+1:], nil
+		}
+		shift += 7
+	}
+	return 0, nil, errors.New("baseline: truncated packet")
+}
+
+// NaiveNonceParams returns core.Params configured as the Section 3
+// strawman: a fixed l0-bit nonce that is never extended. Bound is
+// effectively infinite so the error counters never trigger, and Size
+// ignores the level.
+func NaiveNonceParams(l0 int) core.Params {
+	if l0 < 2 {
+		l0 = 2
+	}
+	return core.Params{
+		Epsilon: 0.5, // unused by the fixed schedule; must merely validate
+		Size:    func(int) int { return l0 },
+		Bound:   func(int) int { return math.MaxInt32 },
+	}
+}

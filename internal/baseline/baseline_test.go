@@ -1,0 +1,308 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ghm/internal/adversary"
+	"ghm/internal/core"
+	"ghm/internal/sim"
+)
+
+var (
+	_ sim.TxMachine    = (*ABPTx)(nil)
+	_ sim.RxMachine    = (*ABPRx)(nil)
+	_ sim.TxTicker     = (*ABPTx)(nil)
+	_ sim.TxMachine    = (*SeqTx)(nil)
+	_ sim.RxMachine    = (*SeqRx)(nil)
+	_ sim.TxTicker     = (*SeqTx)(nil)
+	_ sim.StorageMeter = (*ABPTx)(nil)
+	_ sim.StorageMeter = (*SeqRx)(nil)
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tests := []struct {
+		kind byte
+		num  uint64
+		body []byte
+	}{
+		{kindABPData, 0, []byte("m")},
+		{kindABPAck, 1, nil},
+		{kindSeqData, 1 << 40, bytes.Repeat([]byte{7}, 100)},
+		{kindSeqAck, 127, nil},
+		{kindSeqAck, 128, nil},
+	}
+	for _, tt := range tests {
+		enc := encodePkt(tt.kind, tt.num, tt.body)
+		num, body, err := decodePkt(enc, tt.kind)
+		if err != nil {
+			t.Fatalf("decode(%x): %v", enc, err)
+		}
+		if num != tt.num || !bytes.Equal(body, tt.body) {
+			t.Errorf("round trip: got %d/%q want %d/%q", num, body, tt.num, tt.body)
+		}
+		if _, _, err := decodePkt(enc, tt.kind^0xFF); err == nil {
+			t.Error("wrong kind accepted")
+		}
+	}
+	if _, _, err := decodePkt(nil, kindABPData); err == nil {
+		t.Error("empty packet accepted")
+	}
+	if _, _, err := decodePkt([]byte{kindABPData, 0x80}, kindABPData); err == nil {
+		t.Error("truncated varint accepted")
+	}
+}
+
+func fair(seed int64, cfg adversary.FairConfig) adversary.Adversary {
+	return adversary.NewFair(rand.New(rand.NewSource(seed)), cfg)
+}
+
+func TestABPCleanOnFIFOLikeChannel(t *testing.T) {
+	// DeliverProb 1 releases packets in arrival order with no loss or
+	// duplication: effectively a FIFO channel, ABP's home turf.
+	res := sim.Run(sim.Config{
+		Messages:  50,
+		Adversary: fair(1, adversary.FairConfig{DeliverProb: 1}),
+	}, NewABPTx(), NewABPRx())
+	if !res.Done || !res.Report.Clean() {
+		t.Fatalf("ABP failed its home turf: done=%v %v", res.Done, res.Report)
+	}
+}
+
+func TestABPViolatesUnderDuplication(t *testing.T) {
+	// Duplicating + reordering channel: stale data packets with the
+	// expected bit re-deliver old messages.
+	violations := 0
+	for seed := int64(0); seed < 10; seed++ {
+		res := sim.Run(sim.Config{
+			Messages:  50,
+			MaxSteps:  200_000,
+			Adversary: fair(seed, adversary.FairConfig{DupProb: 0.6, DeliverProb: 0.3}),
+		}, NewABPTx(), NewABPRx())
+		violations += res.Report.Duplication + res.Report.Replay
+	}
+	if violations == 0 {
+		t.Error("ABP survived a duplicating channel across 10 seeds; expected violations")
+	}
+}
+
+func TestStenningCleanWithoutCrashes(t *testing.T) {
+	// Loss, duplication and reordering: Stenning handles all of it.
+	res := sim.Run(sim.Config{
+		Messages:  50,
+		MaxSteps:  400_000,
+		Adversary: fair(3, adversary.FairConfig{Loss: 0.3, DupProb: 0.5, DeliverProb: 0.3}),
+	}, NewSeqTx(), NewSeqRx())
+	if !res.Done || !res.Report.Clean() {
+		t.Fatalf("Stenning failed without crashes: done=%v %v", res.Done, res.Report)
+	}
+}
+
+func TestStenningFalseOKAfterCrashT(t *testing.T) {
+	tx, rx := NewSeqTx(), NewSeqRx()
+	// Complete three messages.
+	for i := 0; i < 3; i++ {
+		pkts, err := tx.SendMsg([]byte(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered, acks := rx.ReceivePacket(pkts[0])
+		if len(delivered) != 1 {
+			t.Fatalf("message %d not delivered", i)
+		}
+		if _, ok := tx.ReceivePacket(acks[0]); !ok {
+			t.Fatalf("message %d not OK'd", i)
+		}
+	}
+	// Crash the transmitter: its counter restarts at 0.
+	tx.Crash()
+	pkts, err := tx.SendMsg([]byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver expects 3, sees 0 < 3, and politely re-acks 0...
+	delivered, acks := rx.ReceivePacket(pkts[0])
+	if len(delivered) != 0 {
+		t.Fatal("receiver delivered a stale-sequence message")
+	}
+	if len(acks) != 1 {
+		t.Fatal("receiver did not re-ack")
+	}
+	// ...which the reborn transmitter takes as completion: a false OK.
+	if _, ok := tx.ReceivePacket(acks[0]); !ok {
+		t.Fatal("expected the false OK that makes Stenning crash-unsafe")
+	}
+}
+
+func TestStenningReplayAfterCrashR(t *testing.T) {
+	tx, rx := NewSeqTx(), NewSeqRx()
+	pkts, err := tx.SendMsg([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := pkts[0]
+	delivered, acks := rx.ReceivePacket(old)
+	if len(delivered) != 1 {
+		t.Fatal("not delivered")
+	}
+	tx.ReceivePacket(acks[0])
+
+	// Crash the receiver: it expects 0 again, and the adversary replays.
+	rx.Crash()
+	delivered, _ = rx.ReceivePacket(old)
+	if len(delivered) != 1 || !bytes.Equal(delivered[0], []byte("secret")) {
+		t.Fatal("expected the replay that makes Stenning crash-unsafe")
+	}
+}
+
+func TestABPCrashLoopViolates(t *testing.T) {
+	adv := adversary.Compose(
+		fair(4, adversary.FairConfig{}),
+		&adversary.CrashLoop{EveryT: 31, EveryR: 53},
+	)
+	res := sim.Run(sim.Config{
+		Messages:  60,
+		MaxSteps:  200_000,
+		Adversary: adv,
+	}, NewABPTx(), NewABPRx())
+	if res.Report.Clean() && res.Done {
+		t.Error("ABP under crash loop reported a clean completed run")
+	}
+}
+
+func TestNaiveNonceCleanWithoutAdversary(t *testing.T) {
+	res, err := sim.RunGHM(sim.Config{
+		Messages:  50,
+		Adversary: fair(5, adversary.FairConfig{Loss: 0.3}),
+	}, NaiveNonceParams(16), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || !res.Report.Clean() {
+		t.Fatalf("NaiveNonce failed benign run: done=%v %v", res.Done, res.Report)
+	}
+}
+
+// TestNaiveNonceReplayAttackSucceeds reproduces Section 3's attack: with a
+// fixed small nonce and a history of more than 2^l0 exchanges, replaying
+// old DATA packets against a freshly crashed receiver eventually matches
+// its challenge and re-delivers an old message. The extension mechanism is
+// the only thing GHM adds over this strawman, and the companion test shows
+// it closes the hole.
+func TestNaiveNonceReplayAttackSucceeds(t *testing.T) {
+	history, rx := buildHistoryAndCrash(t, NaiveNonceParams(6), 60)
+	hits, _ := replayRounds(rx, history, 50)
+	if hits == 0 {
+		t.Fatal("replay attack never succeeded against the 6-bit strawman")
+	}
+}
+
+func TestGHMResistsSameReplayAttack(t *testing.T) {
+	// Same history size and attack budget, against the real protocol at a
+	// realistic epsilon: extensions after every miss plus a 21-bit
+	// level-1 challenge push the attack's success odds below ~50*2^-21.
+	params := core.Params{Epsilon: 1.0 / (1 << 16)} // size(1) = 21 bits
+	history, rx := buildHistoryAndCrash(t, params, 60)
+	hits, extensions := replayRounds(rx, history, 50)
+	if hits != 0 {
+		t.Fatalf("GHM delivered %d replayed messages", hits)
+	}
+	if extensions == 0 {
+		t.Error("GHM never extended under the flood")
+	}
+}
+
+// buildHistoryAndCrash pushes n messages through a perfect channel,
+// recording every DATA packet, then crashes both stations.
+func buildHistoryAndCrash(t *testing.T, p core.Params, n int) ([][]byte, *core.Receiver) {
+	t.Helper()
+	gtx, grx, err := sim.NewGHMPair(p, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history [][]byte
+	for i := 0; i < n; i++ {
+		if _, err := gtx.SendMsg([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; gtx.Busy(); round++ {
+			if round > 100 {
+				t.Fatal("handshake stuck")
+			}
+			for _, c := range grx.Retry() {
+				pkts, _ := gtx.ReceivePacket(c)
+				for _, dp := range pkts {
+					history = append(history, dp)
+					_, acks := grx.ReceivePacket(dp)
+					for _, a := range acks {
+						gtx.ReceivePacket(a)
+					}
+				}
+			}
+		}
+	}
+	gtx.Crash()
+	grx.Crash()
+	return history, grx.R
+}
+
+// replayRounds floods the receiver with the full history, crashing it
+// between rounds so each round faces a fresh challenge; it returns the
+// number of (replayed) deliveries achieved and the challenge extensions
+// the flood provoked (sampled before each crash erases the counters).
+func replayRounds(rx *core.Receiver, history [][]byte, rounds int) (hits, extensions int) {
+	for r := 0; r < rounds; r++ {
+		for _, p := range history {
+			out := rx.ReceivePacket(p)
+			hits += len(out.Delivered)
+		}
+		extensions += rx.Stats().Extensions
+		rx.Crash()
+	}
+	return hits, extensions
+}
+
+func TestStorageBits(t *testing.T) {
+	if got := NewABPTx().StorageBits(); got != 1 {
+		t.Errorf("ABP tx storage = %d", got)
+	}
+	tx := NewSeqTx()
+	if got := tx.StorageBits(); got != 1 {
+		t.Errorf("fresh Stenning storage = %d", got)
+	}
+	tx.seq = 1 << 20
+	if got := tx.StorageBits(); got != 21 {
+		t.Errorf("Stenning storage at 2^20 = %d, want 21", got)
+	}
+}
+
+func TestBusyAndCrashSemantics(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		tx   sim.TxMachine
+	}{
+		{name: "abp", tx: NewABPTx()},
+		{name: "stenning", tx: NewSeqTx()},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.tx.Busy() {
+				t.Fatal("fresh transmitter busy")
+			}
+			if _, err := tt.tx.SendMsg([]byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			if !tt.tx.Busy() {
+				t.Fatal("not busy after SendMsg")
+			}
+			if _, err := tt.tx.SendMsg([]byte("b")); err == nil {
+				t.Fatal("double SendMsg accepted")
+			}
+			tt.tx.Crash()
+			if tt.tx.Busy() {
+				t.Fatal("busy after crash")
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package baseline
+
+// NVABP is the Alternating Bit Protocol hardened for crashes on FIFO
+// channels in the spirit of [BS88]: each station keeps one nonvolatile
+// bit, and a recovering transmitter runs a resynchronization handshake
+// before resuming data transfer.
+//
+//   - The transmitter's nonvolatile state is (bit, epoch). A crash flips
+//     the epoch and forces a SYNC(epoch) exchange: the receiver answers
+//     SYNCACK(epoch, expect) with its current expected bit, and the
+//     transmitter adopts it. On a FIFO channel the SYNC round flushes the
+//     data channel (any pre-crash DATA precedes the SYNC, so the answer
+//     already accounts for it), which closes ABP's crash window: no ack
+//     from the previous incarnation can complete a new message.
+//   - The receiver's expected bit is nonvolatile, so crash^R cannot make
+//     it re-accept old packets.
+//
+// On non-FIFO, duplicating channels NVABP fails exactly like plain ABP —
+// the separation the paper's randomization closes (experiment E6).
+
+// nvSyncEpochBit packs SYNC/SYNCACK fields into the codec's num field.
+func packSync(epoch, expect uint64) uint64 { return epoch<<1 | expect }
+
+// NVABPTx is the crash-resynchronizing ABP transmitter.
+type NVABPTx struct {
+	// nonvolatile
+	bit   uint64
+	epoch uint64
+
+	// volatile
+	busy     bool
+	needSync bool
+	msg      []byte
+}
+
+// NewNVABPTx returns a transmitter in its initial state.
+func NewNVABPTx() *NVABPTx { return &NVABPTx{} }
+
+// SendMsg implements TxMachine. During resynchronization the message is
+// buffered and the SYNC goes out first.
+func (t *NVABPTx) SendMsg(m []byte) ([][]byte, error) {
+	if t.busy {
+		return nil, ErrBusy
+	}
+	t.busy = true
+	t.msg = append([]byte(nil), m...)
+	if t.needSync {
+		return [][]byte{encodePkt(kindABPSync, packSync(t.epoch, 0), nil)}, nil
+	}
+	return [][]byte{encodePkt(kindABPData, t.bit, t.msg)}, nil
+}
+
+// ReceivePacket implements TxMachine.
+func (t *NVABPTx) ReceivePacket(p []byte) ([][]byte, bool) {
+	if num, _, err := decodePkt(p, kindABPSyncAck); err == nil {
+		if !t.needSync || num>>1 != t.epoch {
+			return nil, false // stale incarnation's answer
+		}
+		t.bit = num & 1
+		t.needSync = false
+		if t.busy {
+			return [][]byte{encodePkt(kindABPData, t.bit, t.msg)}, false
+		}
+		return nil, false
+	}
+	num, _, err := decodePkt(p, kindABPAck)
+	if err != nil || t.needSync || !t.busy || num != t.bit {
+		return nil, false
+	}
+	t.busy = false
+	t.msg = nil
+	t.bit ^= 1
+	return nil, true
+}
+
+// Tick implements TxTicker: retransmit the SYNC or the in-flight packet.
+func (t *NVABPTx) Tick() [][]byte {
+	switch {
+	case t.needSync && t.busy:
+		return [][]byte{encodePkt(kindABPSync, packSync(t.epoch, 0), nil)}
+	case t.busy:
+		return [][]byte{encodePkt(kindABPData, t.bit, t.msg)}
+	default:
+		return nil
+	}
+}
+
+// Crash implements TxMachine: (bit, epoch) are nonvolatile; the epoch
+// flips and the next message must be preceded by a SYNC exchange.
+func (t *NVABPTx) Crash() {
+	t.busy = false
+	t.msg = nil
+	t.needSync = true
+	t.epoch ^= 1
+}
+
+// Busy implements TxMachine.
+func (t *NVABPTx) Busy() bool { return t.busy }
+
+// StorageBits implements StorageMeter: two nonvolatile bits.
+func (t *NVABPTx) StorageBits() int { return 2 }
+
+// NVABPRx is the receiver with a nonvolatile expected bit.
+type NVABPRx struct {
+	// nonvolatile
+	expect uint64
+
+	// volatile
+	lastAck []byte
+}
+
+// NewNVABPRx returns a receiver in its initial state.
+func NewNVABPRx() *NVABPRx { return &NVABPRx{} }
+
+// ReceivePacket implements RxMachine.
+func (r *NVABPRx) ReceivePacket(p []byte) ([][]byte, [][]byte) {
+	if num, _, err := decodePkt(p, kindABPSync); err == nil {
+		ack := encodePkt(kindABPSyncAck, packSync(num>>1, r.expect), nil)
+		return nil, [][]byte{ack}
+	}
+	num, body, err := decodePkt(p, kindABPData)
+	if err != nil {
+		return nil, nil
+	}
+	ack := encodePkt(kindABPAck, num, nil)
+	r.lastAck = ack
+	if num != r.expect {
+		return nil, [][]byte{ack}
+	}
+	r.expect ^= 1
+	msg := append([]byte(nil), body...)
+	return [][]byte{msg}, [][]byte{ack}
+}
+
+// Retry implements RxMachine.
+func (r *NVABPRx) Retry() [][]byte {
+	if r.lastAck == nil {
+		return nil
+	}
+	return [][]byte{r.lastAck}
+}
+
+// Crash implements RxMachine: expect is nonvolatile; the cached ack is
+// volatile and lost.
+func (r *NVABPRx) Crash() { r.lastAck = nil }
+
+// StorageBits implements StorageMeter.
+func (r *NVABPRx) StorageBits() int { return 1 }

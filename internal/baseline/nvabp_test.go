@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"testing"
+
+	"ghm/internal/adversary"
+	"ghm/internal/sim"
+)
+
+var (
+	_ sim.TxMachine = (*NVABPTx)(nil)
+	_ sim.RxMachine = (*NVABPRx)(nil)
+	_ sim.TxTicker  = (*NVABPTx)(nil)
+)
+
+func TestNVABPCleanUnderCrashesOnFIFOChannel(t *testing.T) {
+	// FIFO-like channel (in-order, no loss, no dup) + aggressive crashes:
+	// the nonvolatile bit keeps NVABP clean where plain ABP and Stenning
+	// break.
+	adv := adversary.Compose(
+		fair(10, adversary.FairConfig{DeliverProb: 1}),
+		&adversary.CrashLoop{EveryT: 7, EveryR: 11},
+	)
+	res := sim.Run(sim.Config{
+		Messages:  60,
+		MaxSteps:  200_000,
+		Adversary: adv,
+	}, NewNVABPTx(), NewNVABPRx())
+	if !res.Report.Clean() {
+		t.Fatalf("NVABP violated on FIFO channel with crashes: %v", res.Report)
+	}
+	if res.Report.CrashT == 0 || res.Report.CrashR == 0 {
+		t.Fatal("crash loop never fired")
+	}
+}
+
+func TestPlainABPDirtyUnderSameCrashes(t *testing.T) {
+	// Control: identical schedule breaks the volatile-bit version.
+	adv := adversary.Compose(
+		fair(10, adversary.FairConfig{DeliverProb: 1}),
+		&adversary.CrashLoop{EveryT: 7, EveryR: 11},
+	)
+	res := sim.Run(sim.Config{
+		Messages:  60,
+		MaxSteps:  200_000,
+		Adversary: adv,
+	}, NewABPTx(), NewABPRx())
+	if res.Report.Clean() {
+		t.Fatal("plain ABP survived the crash schedule that motivates [BS88]")
+	}
+}
+
+func TestNVABPStillFailsUnderDuplication(t *testing.T) {
+	// The nonvolatile bit does not help against non-FIFO duplication —
+	// the gap the paper's randomization closes.
+	violations := 0
+	for seed := int64(0); seed < 10; seed++ {
+		res := sim.Run(sim.Config{
+			Messages:  50,
+			MaxSteps:  200_000,
+			Adversary: fair(seed+100, adversary.FairConfig{DupProb: 0.6, DeliverProb: 0.3}),
+		}, NewNVABPTx(), NewNVABPRx())
+		violations += res.Report.Violations()
+	}
+	if violations == 0 {
+		t.Fatal("NVABP survived duplicating channels across 10 seeds")
+	}
+}
+
+func TestNVABPSyncHandshakeAfterCrash(t *testing.T) {
+	tx, rx := NewNVABPTx(), NewNVABPRx()
+
+	// Complete one message so the bits flip to 1.
+	pkts, err := tx.SendMsg([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, acks := rx.ReceivePacket(pkts[0])
+	if len(delivered) != 1 {
+		t.Fatal("no delivery")
+	}
+	if _, ok := tx.ReceivePacket(acks[0]); !ok {
+		t.Fatal("no OK")
+	}
+
+	tx.Crash()
+	if tx.Busy() {
+		t.Fatal("busy after crash")
+	}
+
+	// The next message must be preceded by a SYNC exchange, after which
+	// the transmitter adopts the receiver's expected bit and the message
+	// goes through exactly once.
+	pkts, err = tx.SendMsg([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodePkt(pkts[0], kindABPSync); err != nil {
+		t.Fatalf("first post-crash packet is not SYNC: %x", pkts[0])
+	}
+	_, syncAcks := rx.ReceivePacket(pkts[0])
+	data, ok := tx.ReceivePacket(syncAcks[0])
+	if ok || len(data) != 1 {
+		t.Fatalf("syncack handling: ok=%v pkts=%d", ok, len(data))
+	}
+	delivered, acks = rx.ReceivePacket(data[0])
+	if len(delivered) != 1 || string(delivered[0]) != "b" {
+		t.Fatalf("post-sync delivery = %q", delivered)
+	}
+	if _, ok := tx.ReceivePacket(acks[0]); !ok {
+		t.Fatal("post-sync OK missing")
+	}
+}
+
+func TestNVABPStaleSyncAckIgnored(t *testing.T) {
+	tx, rx := NewNVABPTx(), NewNVABPRx()
+	tx.Crash() // epoch 1
+	pkts, err := tx.SendMsg([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, syncAcks := rx.ReceivePacket(pkts[0])
+	tx.Crash() // epoch 0 again; the old syncack is from epoch 1
+	if _, err := tx.SendMsg([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := tx.ReceivePacket(syncAcks[0]); ok || len(out) != 0 {
+		t.Fatalf("stale syncack accepted: ok=%v pkts=%d", ok, len(out))
+	}
+}

@@ -1,0 +1,102 @@
+package baseline
+
+import "math/bits"
+
+// SeqTx is the transmitter of Stenning's protocol: stop-and-wait with an
+// unbounded sequence number. On a non-FIFO, duplicating, lossy channel it
+// is correct as long as nobody crashes; a crash resets the counter, after
+// which acks for low sequence numbers produce false OKs (order
+// violations).
+type SeqTx struct {
+	seq  uint64
+	busy bool
+	msg  []byte
+}
+
+// NewSeqTx returns a transmitter in its initial (post-crash) state.
+func NewSeqTx() *SeqTx { return &SeqTx{} }
+
+// SendMsg implements TxMachine.
+func (t *SeqTx) SendMsg(m []byte) ([][]byte, error) {
+	if t.busy {
+		return nil, ErrBusy
+	}
+	t.busy = true
+	t.msg = append([]byte(nil), m...)
+	return [][]byte{encodePkt(kindSeqData, t.seq, t.msg)}, nil
+}
+
+// ReceivePacket implements TxMachine: an ack for the current sequence
+// number completes the message.
+func (t *SeqTx) ReceivePacket(p []byte) ([][]byte, bool) {
+	num, _, err := decodePkt(p, kindSeqAck)
+	if err != nil || !t.busy || num != t.seq {
+		return nil, false
+	}
+	t.busy = false
+	t.msg = nil
+	t.seq++
+	return nil, true
+}
+
+// Tick implements TxTicker: retransmit the in-flight packet.
+func (t *SeqTx) Tick() [][]byte {
+	if !t.busy {
+		return nil
+	}
+	return [][]byte{encodePkt(kindSeqData, t.seq, t.msg)}
+}
+
+// Crash implements TxMachine: the unbounded counter is volatile, which is
+// precisely why the protocol is not crash-resilient.
+func (t *SeqTx) Crash() { *t = SeqTx{} }
+
+// Busy implements TxMachine.
+func (t *SeqTx) Busy() bool { return t.busy }
+
+// StorageBits implements StorageMeter: the bits of the counter.
+func (t *SeqTx) StorageBits() int { return counterBits(t.seq) }
+
+// SeqRx is the receiver of Stenning's protocol.
+type SeqRx struct {
+	expect uint64
+}
+
+// NewSeqRx returns a receiver in its initial (post-crash) state.
+func NewSeqRx() *SeqRx { return &SeqRx{} }
+
+// ReceivePacket implements RxMachine: deliver the expected sequence
+// number; re-ack anything older (the transmitter may have missed the ack);
+// ignore anything newer (cannot occur without a crash).
+func (r *SeqRx) ReceivePacket(p []byte) ([][]byte, [][]byte) {
+	num, body, err := decodePkt(p, kindSeqData)
+	if err != nil {
+		return nil, nil
+	}
+	switch {
+	case num == r.expect:
+		r.expect++
+		msg := append([]byte(nil), body...)
+		return [][]byte{msg}, [][]byte{encodePkt(kindSeqAck, num, nil)}
+	case num < r.expect:
+		return nil, [][]byte{encodePkt(kindSeqAck, num, nil)}
+	default:
+		return nil, nil
+	}
+}
+
+// Retry implements RxMachine: the receiver is passive.
+func (r *SeqRx) Retry() [][]byte { return nil }
+
+// Crash implements RxMachine.
+func (r *SeqRx) Crash() { *r = SeqRx{} }
+
+// StorageBits implements StorageMeter.
+func (r *SeqRx) StorageBits() int { return counterBits(r.expect) }
+
+func counterBits(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return bits.Len64(v)
+}

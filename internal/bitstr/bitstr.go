@@ -1,0 +1,363 @@
+// Package bitstr implements the variable-length bit strings used as the
+// random challenges (rho) and tags (tau) of the Goldreich-Herzberg-Mansour
+// protocol.
+//
+// The protocol compares strings with three predicates — equality, prefix and
+// extension — and grows them by concatenating fresh random bits. Strings are
+// conceptually unbounded but in practice stay short: they are reset after
+// every successful transfer and after every crash, so their length depends
+// only on the number of errors observed while transferring the current
+// message.
+//
+// A Str is an immutable value; all operations return new values. Bits are
+// packed MSB-first and unused trailing bits of the last byte are always
+// zero, which lets Equal and Prefix compare whole bytes.
+package bitstr
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mathrand "math/rand"
+	"strings"
+)
+
+// Str is an immutable string of bits.
+//
+// The zero value is the empty string and is ready to use.
+type Str struct {
+	bits []byte // packed MSB-first; trailing slack bits are zero
+	n    int    // number of valid bits
+}
+
+// ErrMalformed reports that a byte slice does not contain a validly encoded
+// bit string.
+var ErrMalformed = errors.New("bitstr: malformed encoding")
+
+// Empty returns the empty bit string.
+func Empty() Str { return Str{} }
+
+// Zero returns a string of n zero bits.
+func Zero(n int) Str {
+	if n <= 0 {
+		return Str{}
+	}
+	return Str{bits: make([]byte, byteLen(n)), n: n}
+}
+
+// One returns the single-bit string "1".
+func One() Str { return Str{bits: []byte{0x80}, n: 1} }
+
+// FromBinary parses a string of '0' and '1' characters ("10110").
+// It is intended for tests and examples.
+func FromBinary(s string) (Str, error) {
+	out := Str{bits: make([]byte, byteLen(len(s))), n: len(s)}
+	for i, c := range s {
+		switch c {
+		case '0':
+		case '1':
+			out.bits[i/8] |= 1 << (7 - uint(i)%8)
+		default:
+			return Str{}, fmt.Errorf("bitstr: invalid character %q in binary literal", c)
+		}
+	}
+	return out, nil
+}
+
+// MustBinary is FromBinary that panics on error, for constant test fixtures.
+func MustBinary(s string) Str {
+	v, err := FromBinary(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// fromRaw builds a Str from packed bytes, copying and masking slack bits.
+func fromRaw(raw []byte, n int) Str {
+	if n <= 0 {
+		return Str{}
+	}
+	nb := byteLen(n)
+	bits := make([]byte, nb)
+	copy(bits, raw[:nb])
+	maskSlack(bits, n)
+	return Str{bits: bits, n: n}
+}
+
+// Len returns the number of bits in s.
+func (s Str) Len() int { return s.n }
+
+// IsEmpty reports whether s has no bits.
+func (s Str) IsEmpty() bool { return s.n == 0 }
+
+// Bit returns bit i (0-indexed from the most significant end).
+func (s Str) Bit(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.bits[i/8]&(1<<(7-uint(i)%8)) != 0
+}
+
+// Equal reports whether s and r contain exactly the same bits.
+func (s Str) Equal(r Str) bool {
+	if s.n != r.n {
+		return false
+	}
+	for i := range s.bits {
+		if s.bits[i] != r.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether p is a prefix of s. Every string has the empty
+// string as a prefix, and every string is a prefix of itself; this mirrors
+// the paper's prefix(s, r) predicate with the argument order swapped to
+// read naturally at call sites.
+func (s Str) HasPrefix(p Str) bool {
+	if p.n > s.n {
+		return false
+	}
+	full := p.n / 8
+	for i := 0; i < full; i++ {
+		if s.bits[i] != p.bits[i] {
+			return false
+		}
+	}
+	rem := p.n % 8
+	if rem == 0 {
+		return true
+	}
+	mask := byte(0xff) << (8 - uint(rem))
+	return s.bits[full]&mask == p.bits[full]&mask
+}
+
+// IsPrefixOf reports whether s is a prefix of r: the paper's prefix(s, r).
+func (s Str) IsPrefixOf(r Str) bool { return r.HasPrefix(s) }
+
+// Related reports whether one of s, r is a prefix of the other (including
+// equality). The receiver delivers a message exactly when the incoming tag
+// is NOT related to the stored tag.
+func (s Str) Related(r Str) bool { return s.IsPrefixOf(r) || r.IsPrefixOf(s) }
+
+// Concat returns the concatenation s followed by r.
+func (s Str) Concat(r Str) Str {
+	if r.n == 0 {
+		return s
+	}
+	if s.n == 0 {
+		return r
+	}
+	out := Str{bits: make([]byte, byteLen(s.n+r.n)), n: s.n + r.n}
+	copy(out.bits, s.bits)
+	off := s.n % 8
+	if off == 0 {
+		copy(out.bits[s.n/8:], r.bits)
+		return out
+	}
+	// Shift r's bits right by off and OR them in across byte boundaries.
+	idx := s.n / 8
+	for i := 0; i < len(r.bits); i++ {
+		out.bits[idx+i] |= r.bits[i] >> uint(off)
+		if idx+i+1 < len(out.bits) {
+			out.bits[idx+i+1] |= r.bits[i] << (8 - uint(off))
+		}
+	}
+	maskSlack(out.bits, out.n)
+	return out
+}
+
+// Suffix returns the last n bits of s. If n >= s.Len() it returns s.
+func (s Str) Suffix(n int) Str {
+	if n >= s.n {
+		return s
+	}
+	if n <= 0 {
+		return Str{}
+	}
+	out := Str{bits: make([]byte, byteLen(n)), n: n}
+	start := s.n - n
+	for i := 0; i < n; i++ {
+		if s.Bit(start + i) {
+			out.bits[i/8] |= 1 << (7 - uint(i)%8)
+		}
+	}
+	return out
+}
+
+// Prefix returns the first n bits of s. If n >= s.Len() it returns s.
+func (s Str) Prefix(n int) Str {
+	if n >= s.n {
+		return s
+	}
+	if n <= 0 {
+		return Str{}
+	}
+	return fromRaw(s.bits, n)
+}
+
+// String renders s as a binary literal, truncated for readability.
+func (s Str) String() string {
+	const maxShown = 64
+	var b strings.Builder
+	shown := s.n
+	if shown > maxShown {
+		shown = maxShown
+	}
+	b.Grow(shown + 16)
+	for i := 0; i < shown; i++ {
+		if s.Bit(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	if s.n > maxShown {
+		fmt.Fprintf(&b, "...(%d bits)", s.n)
+	}
+	return b.String()
+}
+
+// AppendWire appends a self-delimiting encoding of s to dst and returns the
+// extended slice. The encoding is a uvarint bit count followed by the packed
+// bytes.
+func (s Str) AppendWire(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(s.n))
+	return append(dst, s.bits...)
+}
+
+// WireSize returns the number of bytes AppendWire will add.
+func (s Str) WireSize() int {
+	return uvarintLen(uint64(s.n)) + len(s.bits)
+}
+
+// ParseWire decodes a bit string produced by AppendWire from the front of
+// buf, returning the string and the remaining bytes.
+func ParseWire(buf []byte) (Str, []byte, error) {
+	n, k := parseUvarint(buf)
+	if k <= 0 {
+		return Str{}, nil, ErrMalformed
+	}
+	buf = buf[k:]
+	const maxBits = 1 << 24 // defensive cap: 2 MiB of bits is far beyond protocol use
+	if n > maxBits {
+		return Str{}, nil, ErrMalformed
+	}
+	nb := byteLen(int(n))
+	if len(buf) < nb {
+		return Str{}, nil, ErrMalformed
+	}
+	s := fromRaw(buf[:nb], int(n))
+	// Reject encodings with nonzero slack bits so each value has exactly one
+	// encoding (defensive: a forged packet cannot alias two strings).
+	if nb > 0 && !bytesEqual(s.bits, buf[:nb]) {
+		return Str{}, nil, ErrMalformed
+	}
+	return s, buf[nb:], nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func byteLen(bits int) int { return (bits + 7) / 8 }
+
+func maskSlack(bits []byte, n int) {
+	if rem := n % 8; rem != 0 && len(bits) > 0 {
+		bits[len(bits)-1] &= 0xff << (8 - uint(rem))
+	}
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func parseUvarint(buf []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range buf {
+		if i > 9 {
+			return 0, -1
+		}
+		if b < 0x80 {
+			if b == 0 && i > 0 {
+				// Non-minimal encoding (trailing zero chunk): reject so
+				// every value has exactly one wire form.
+				return 0, -1
+			}
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, -1
+}
+
+// Source draws fresh uniformly random bit strings. The protocol's security
+// analysis assumes the adversary is oblivious to these bits; in simulations
+// a seeded math/rand source keeps runs reproducible, while production links
+// should use the crypto source.
+type Source interface {
+	// Draw returns n uniformly random bits.
+	Draw(n int) Str
+}
+
+type mathSource struct{ r *mathrand.Rand }
+
+// NewMathSource returns a deterministic Source backed by r. It is intended
+// for simulations and tests.
+func NewMathSource(r *mathrand.Rand) Source { return &mathSource{r: r} }
+
+func (s *mathSource) Draw(n int) Str {
+	if n <= 0 {
+		return Str{}
+	}
+	raw := make([]byte, byteLen(n))
+	for i := range raw {
+		raw[i] = byte(s.r.Intn(256))
+	}
+	return fromRaw(raw, n)
+}
+
+type cryptoSource struct{}
+
+// NewCryptoSource returns a Source backed by crypto/rand, suitable for
+// production links where the adversary may be genuinely malicious.
+func NewCryptoSource() Source { return cryptoSource{} }
+
+func (cryptoSource) Draw(n int) Str {
+	if n <= 0 {
+		return Str{}
+	}
+	raw := make([]byte, byteLen(n))
+	if _, err := rand.Read(raw); err != nil {
+		// crypto/rand.Read never fails on supported platforms; if the
+		// kernel's entropy device is truly broken there is nothing safe
+		// the protocol can do.
+		panic(fmt.Sprintf("bitstr: crypto source failed: %v", err))
+	}
+	return fromRaw(raw, n)
+}

@@ -1,0 +1,377 @@
+package bitstr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBinary(t *testing.T) {
+	tests := []struct {
+		give    string
+		wantLen int
+		wantErr bool
+	}{
+		{give: "", wantLen: 0},
+		{give: "0", wantLen: 1},
+		{give: "1", wantLen: 1},
+		{give: "10110", wantLen: 5},
+		{give: "11111111", wantLen: 8},
+		{give: "101101001", wantLen: 9},
+		{give: "10x1", wantErr: true},
+		{give: "2", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			s, err := FromBinary(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("FromBinary(%q) = %v, want error", tt.give, s)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("FromBinary(%q) error: %v", tt.give, err)
+			}
+			if s.Len() != tt.wantLen {
+				t.Errorf("Len() = %d, want %d", s.Len(), tt.wantLen)
+			}
+			if got := s.String(); got != tt.give {
+				t.Errorf("String() = %q, want %q", got, tt.give)
+			}
+		})
+	}
+}
+
+func TestBit(t *testing.T) {
+	s := MustBinary("10110100")
+	want := []bool{true, false, true, true, false, true, false, false}
+	for i, w := range want {
+		if got := s.Bit(i); got != w {
+			t.Errorf("Bit(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if s.Bit(-1) || s.Bit(8) || s.Bit(100) {
+		t.Error("out-of-range Bit should be false")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"", "", true},
+		{"1", "1", true},
+		{"1", "0", false},
+		{"1", "10", false},
+		{"10110", "10110", true},
+		{"10110", "10111", false},
+		{"101101111", "101101111", true},
+		{"101101111", "101101110", false},
+	}
+	for _, tt := range tests {
+		a, b := MustBinary(tt.a), MustBinary(tt.b)
+		if got := a.Equal(b); got != tt.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := b.Equal(a); got != tt.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v (symmetry)", tt.b, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	tests := []struct {
+		p, s string
+		want bool
+	}{
+		{"", "", true},
+		{"", "10110", true},
+		{"1", "10110", true},
+		{"10", "10110", true},
+		{"10110", "10110", true},
+		{"101101", "10110", false},
+		{"11", "10110", false},
+		{"10111", "10110", false},
+		{"101101001", "1011010011", true},
+		{"101101000", "1011010011", false},
+	}
+	for _, tt := range tests {
+		p, s := MustBinary(tt.p), MustBinary(tt.s)
+		if got := s.HasPrefix(p); got != tt.want {
+			t.Errorf("HasPrefix(%q, %q) = %v, want %v", tt.s, tt.p, got, tt.want)
+		}
+		if got := p.IsPrefixOf(s); got != tt.want {
+			t.Errorf("IsPrefixOf(%q, %q) = %v, want %v", tt.p, tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestRelated(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"", "1", true},
+		{"10", "10110", true},
+		{"10110", "10", true},
+		{"10110", "10110", true},
+		{"11", "10110", false},
+		{"10111", "10110", false},
+	}
+	for _, tt := range tests {
+		a, b := MustBinary(tt.a), MustBinary(tt.b)
+		if got := a.Related(b); got != tt.want {
+			t.Errorf("Related(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	tests := []struct {
+		a, b string
+	}{
+		{"", ""},
+		{"", "1"},
+		{"1", ""},
+		{"1", "0"},
+		{"101", "10110"},
+		{"10110100", "11"},
+		{"1011010", "110010101"},
+		{"101101001011010010110100", "1"},
+	}
+	for _, tt := range tests {
+		a, b := MustBinary(tt.a), MustBinary(tt.b)
+		got := a.Concat(b)
+		want := tt.a + tt.b
+		if got.String() != want {
+			t.Errorf("Concat(%q, %q) = %q, want %q", tt.a, tt.b, got.String(), want)
+		}
+	}
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	s := MustBinary("101101001")
+	tests := []struct {
+		n          int
+		wantPrefix string
+		wantSuffix string
+	}{
+		{n: 0, wantPrefix: "", wantSuffix: ""},
+		{n: 1, wantPrefix: "1", wantSuffix: "1"},
+		{n: 4, wantPrefix: "1011", wantSuffix: "1001"},
+		{n: 9, wantPrefix: "101101001", wantSuffix: "101101001"},
+		{n: 20, wantPrefix: "101101001", wantSuffix: "101101001"},
+	}
+	for _, tt := range tests {
+		if got := s.Prefix(tt.n).String(); got != tt.wantPrefix {
+			t.Errorf("Prefix(%d) = %q, want %q", tt.n, got, tt.wantPrefix)
+		}
+		if got := s.Suffix(tt.n).String(); got != tt.wantSuffix {
+			t.Errorf("Suffix(%d) = %q, want %q", tt.n, got, tt.wantSuffix)
+		}
+	}
+}
+
+func TestZeroOne(t *testing.T) {
+	if got := Zero(5).String(); got != "00000" {
+		t.Errorf("Zero(5) = %q", got)
+	}
+	if got := One().String(); got != "1" {
+		t.Errorf("One() = %q", got)
+	}
+	if !Empty().IsEmpty() {
+		t.Error("Empty() should be empty")
+	}
+	if Zero(0).Len() != 0 || Zero(-3).Len() != 0 {
+		t.Error("Zero of non-positive length should be empty")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	tests := []string{"", "1", "0", "10110", "11111111", "101101001", strings.Repeat("10", 100)}
+	for _, tt := range tests {
+		s := MustBinary(tt)
+		buf := s.AppendWire([]byte{0xAA}) // leading garbage the codec must not touch
+		if len(buf)-1 != s.WireSize() {
+			t.Errorf("WireSize(%q) = %d, want %d", tt, s.WireSize(), len(buf)-1)
+		}
+		got, rest, err := ParseWire(buf[1:])
+		if err != nil {
+			t.Fatalf("ParseWire(%q) error: %v", tt, err)
+		}
+		if !got.Equal(s) {
+			t.Errorf("round trip of %q gave %q", tt, got.String())
+		}
+		if len(rest) != 0 {
+			t.Errorf("round trip of %q left %d bytes", tt, len(rest))
+		}
+	}
+}
+
+func TestParseWireTrailing(t *testing.T) {
+	s := MustBinary("10110")
+	buf := s.AppendWire(nil)
+	buf = append(buf, 0xDE, 0xAD)
+	got, rest, err := ParseWire(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) || len(rest) != 2 {
+		t.Errorf("got %q with %d trailing bytes, want %q with 2", got, len(rest), s)
+	}
+}
+
+func TestParseWireMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "truncated varint", give: []byte{0x80}},
+		{name: "missing payload", give: []byte{8}},
+		{name: "short payload", give: []byte{16, 0xFF}},
+		{name: "nonzero slack bits", give: []byte{3, 0xFF}}, // 3 bits but low 5 bits set
+		{name: "absurd length", give: []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := ParseWire(tt.give); err == nil {
+				t.Errorf("ParseWire(%x) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestMathSourceDeterministic(t *testing.T) {
+	a := NewMathSource(rand.New(rand.NewSource(7)))
+	b := NewMathSource(rand.New(rand.NewSource(7)))
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 129} {
+		x, y := a.Draw(n), b.Draw(n)
+		if !x.Equal(y) {
+			t.Errorf("same-seed draws differ for n=%d: %q vs %q", n, x, y)
+		}
+		if x.Len() != max(n, 0) {
+			t.Errorf("Draw(%d).Len() = %d", n, x.Len())
+		}
+	}
+}
+
+func TestCryptoSourceLength(t *testing.T) {
+	src := NewCryptoSource()
+	for _, n := range []int{1, 8, 13, 256} {
+		if got := src.Draw(n).Len(); got != n {
+			t.Errorf("crypto Draw(%d).Len() = %d", n, got)
+		}
+	}
+}
+
+func TestSourceDrawsDiffer(t *testing.T) {
+	// Two 64-bit draws colliding is a 2^-64 event; treat as failure.
+	src := NewMathSource(rand.New(rand.NewSource(1)))
+	if src.Draw(64).Equal(src.Draw(64)) {
+		t.Error("consecutive 64-bit draws are equal")
+	}
+}
+
+// quickStr adapts random generation for testing/quick.
+func quickStr(r *rand.Rand) Str {
+	n := r.Intn(40)
+	return NewMathSource(r).Draw(n)
+}
+
+func TestQuickPrefixReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		s := quickStr(rand.New(rand.NewSource(seed)))
+		return s.HasPrefix(s) && s.HasPrefix(Empty()) && s.Related(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatPrefixLaw(t *testing.T) {
+	// For all a, b: a is a prefix of a||b, and len(a||b) = len(a)+len(b).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickStr(r), quickStr(r)
+		c := a.Concat(b)
+		return c.HasPrefix(a) && c.Len() == a.Len()+b.Len() &&
+			c.Suffix(b.Len()).Equal(b) && c.Prefix(a.Len()).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := quickStr(r), quickStr(r), quickStr(r)
+		return a.Concat(b).Concat(c).Equal(a.Concat(b.Concat(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := quickStr(rand.New(rand.NewSource(seed)))
+		got, rest, err := ParseWire(s.AppendWire(nil))
+		return err == nil && got.Equal(s) && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrefixAntisymmetric(t *testing.T) {
+	// If a prefixes b and b prefixes a then a == b.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickStr(r), quickStr(r)
+		if a.IsPrefixOf(b) && b.IsPrefixOf(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRelatedViaConcat(t *testing.T) {
+	// a and a||b are always related; two strings differing in their first
+	// bit never are (when both non-empty).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := quickStr(r), quickStr(r)
+		if !a.Related(a.Concat(b)) {
+			return false
+		}
+		x := One().Concat(a)
+		y := Zero(1).Concat(b)
+		return !x.Related(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringTruncation(t *testing.T) {
+	long := Zero(200)
+	s := long.String()
+	if !strings.Contains(s, "(200 bits)") {
+		t.Errorf("long String() missing bit count: %q", s)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

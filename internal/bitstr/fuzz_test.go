@@ -1,0 +1,25 @@
+package bitstr
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParseWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(MustBinary("10110").AppendWire(nil))
+	f.Add([]byte{0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		s, rest, err := ParseWire(in)
+		if err != nil {
+			return
+		}
+		// Accepted prefixes must round-trip byte-exactly (canonical
+		// encoding) and consume exactly the bytes they claim.
+		enc := s.AppendWire(nil)
+		if !bytes.Equal(enc, in[:len(in)-len(rest)]) {
+			t.Fatalf("non-canonical accept:\n in=%x\nenc=%x", in[:len(in)-len(rest)], enc)
+		}
+	})
+}

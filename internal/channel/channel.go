@@ -1,0 +1,70 @@
+// Package channel implements the communication channel of the paper's
+// Section 2.3.
+//
+// A Channel is completely passive: Send assigns the packet a unique
+// identifier and keeps it forever; Deliver releases a copy of any packet
+// ever sent, any number of times, in any order. All scheduling decisions —
+// which packets get delivered, when, how often — belong to the adversary
+// (ghm/internal/adversary). Loss is simply "never delivered"; duplication
+// is "delivered more than once"; reordering is "delivered in a different
+// order". The channel never modifies packet contents (the causality
+// assumption).
+package channel
+
+import "ghm/internal/trace"
+
+// Channel is one unidirectional channel. It is not safe for concurrent
+// use; the simulator is single-threaded by design.
+type Channel struct {
+	dir     trace.Dir
+	packets [][]byte // packet i has identifier int64(i)
+}
+
+// New returns an empty channel for the given direction.
+func New(dir trace.Dir) *Channel {
+	return &Channel{dir: dir}
+}
+
+// Dir returns the channel's direction.
+func (c *Channel) Dir() trace.Dir { return c.dir }
+
+// Send models send_pkt(p): the packet is stored and assigned the next
+// identifier, which is returned together with the packet length (the only
+// two facts the adversary learns, per the oblivious-adversary assumption).
+func (c *Channel) Send(p []byte) (id int64, length int) {
+	cp := append([]byte(nil), p...)
+	c.packets = append(c.packets, cp)
+	return int64(len(c.packets) - 1), len(cp)
+}
+
+// Inject models the relaxed channel of the paper's Conclusions: a channel
+// that may deliver packets that were never sent (the causality axiom
+// dropped). The forged packet is stored like a sent one — the adversary
+// may replay it too — and its identifier is returned. The paper
+// conjectures (and experiment E9 measures) that safety survives forgery
+// while liveness does not.
+func (c *Channel) Inject(p []byte) (id int64, length int) {
+	return c.Send(p)
+}
+
+// Deliver models deliver_pkt(id) followed by receive_pkt(p): it returns a
+// copy of the identified packet. The same identifier may be delivered any
+// number of times. It returns false for identifiers never assigned.
+func (c *Channel) Deliver(id int64) ([]byte, bool) {
+	if id < 0 || id >= int64(len(c.packets)) {
+		return nil, false
+	}
+	return append([]byte(nil), c.packets[id]...), true
+}
+
+// Len returns the packet's length without delivering it (adversary-visible
+// information). It returns -1 for unknown identifiers.
+func (c *Channel) Len(id int64) int {
+	if id < 0 || id >= int64(len(c.packets)) {
+		return -1
+	}
+	return len(c.packets[id])
+}
+
+// Count returns the number of packets ever sent on the channel.
+func (c *Channel) Count() int { return len(c.packets) }

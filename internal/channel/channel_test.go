@@ -1,0 +1,76 @@
+package channel
+
+import (
+	"bytes"
+	"testing"
+
+	"ghm/internal/trace"
+)
+
+func TestSendAssignsSequentialIDs(t *testing.T) {
+	c := New(trace.DirTR)
+	if c.Dir() != trace.DirTR {
+		t.Fatalf("Dir = %v", c.Dir())
+	}
+	for i := 0; i < 10; i++ {
+		id, l := c.Send([]byte{byte(i), byte(i)})
+		if id != int64(i) {
+			t.Errorf("Send #%d id = %d", i, id)
+		}
+		if l != 2 {
+			t.Errorf("Send #%d len = %d", i, l)
+		}
+	}
+	if c.Count() != 10 {
+		t.Errorf("Count = %d", c.Count())
+	}
+}
+
+func TestDeliverAnyNumberOfTimes(t *testing.T) {
+	c := New(trace.DirRT)
+	id, _ := c.Send([]byte("pkt"))
+	for i := 0; i < 5; i++ {
+		p, ok := c.Deliver(id)
+		if !ok || !bytes.Equal(p, []byte("pkt")) {
+			t.Fatalf("delivery %d: %q, %v", i, p, ok)
+		}
+	}
+}
+
+func TestDeliverUnknownID(t *testing.T) {
+	c := New(trace.DirTR)
+	c.Send([]byte("x"))
+	for _, id := range []int64{-1, 1, 100} {
+		if _, ok := c.Deliver(id); ok {
+			t.Errorf("Deliver(%d) succeeded", id)
+		}
+	}
+}
+
+func TestDeliverReturnsCopy(t *testing.T) {
+	c := New(trace.DirTR)
+	orig := []byte("immutable")
+	id, _ := c.Send(orig)
+	orig[0] = 'X' // sender reuses its buffer
+
+	p1, _ := c.Deliver(id)
+	if !bytes.Equal(p1, []byte("immutable")) {
+		t.Fatalf("channel stored aliased bytes: %q", p1)
+	}
+	p1[0] = 'Y' // receiver scribbles on its copy
+	p2, _ := c.Deliver(id)
+	if !bytes.Equal(p2, []byte("immutable")) {
+		t.Fatalf("delivery aliased channel storage: %q", p2)
+	}
+}
+
+func TestLen(t *testing.T) {
+	c := New(trace.DirTR)
+	id, _ := c.Send([]byte("four"))
+	if got := c.Len(id); got != 4 {
+		t.Errorf("Len(%d) = %d", id, got)
+	}
+	if got := c.Len(99); got != -1 {
+		t.Errorf("Len(unknown) = %d, want -1", got)
+	}
+}

@@ -1,0 +1,590 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/wire"
+)
+
+// testParams returns deterministic params for tests.
+func testParams(seed int64) Params {
+	return Params{
+		Epsilon: 1.0 / (1 << 16),
+		Source:  bitstr.NewMathSource(rand.New(rand.NewSource(seed))),
+	}
+}
+
+func newPair(t *testing.T, seed int64) (*Transmitter, *Receiver) {
+	t.Helper()
+	tx, err := NewTransmitter(testParams(seed))
+	if err != nil {
+		t.Fatalf("NewTransmitter: %v", err)
+	}
+	rx, err := NewReceiver(testParams(seed + 1000))
+	if err != nil {
+		t.Fatalf("NewReceiver: %v", err)
+	}
+	return tx, rx
+}
+
+// handshake pushes one message through a perfect channel and returns the
+// delivered copies. It drives: RETRY -> T, DATA -> R, ack -> T.
+func handshake(t *testing.T, tx *Transmitter, rx *Receiver, msg []byte) [][]byte {
+	t.Helper()
+	if _, err := tx.SendMsg(msg); err != nil {
+		t.Fatalf("SendMsg: %v", err)
+	}
+	var delivered [][]byte
+	// A couple of retry rounds is more than enough on a perfect channel.
+	for round := 0; round < 4 && tx.Busy(); round++ {
+		for _, p := range rx.Retry().Packets {
+			out := tx.ReceivePacket(p)
+			for _, dp := range out.Packets {
+				rout := rx.ReceivePacket(dp)
+				delivered = append(delivered, rout.Delivered...)
+				for _, cp := range rout.Packets {
+					if tx.ReceivePacket(cp).OK {
+						return delivered
+					}
+				}
+			}
+		}
+	}
+	t.Fatalf("handshake did not complete; tx busy=%v", tx.Busy())
+	return nil
+}
+
+func TestFaultFreeSingleMessage(t *testing.T) {
+	tx, rx := newPair(t, 1)
+	got := handshake(t, tx, rx, []byte("hello"))
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("hello")) {
+		t.Fatalf("delivered %q, want exactly [hello]", got)
+	}
+	if tx.Busy() {
+		t.Error("transmitter still busy after OK")
+	}
+	if tx.Completed() != 1 || rx.Delivered() != 1 {
+		t.Errorf("Completed=%d Delivered=%d, want 1/1", tx.Completed(), rx.Delivered())
+	}
+}
+
+func TestFaultFreeSequence(t *testing.T) {
+	tx, rx := newPair(t, 2)
+	for i := 0; i < 50; i++ {
+		msg := []byte(fmt.Sprintf("msg-%03d", i))
+		got := handshake(t, tx, rx, msg)
+		if len(got) != 1 || !bytes.Equal(got[0], msg) {
+			t.Fatalf("message %d: delivered %q", i, got)
+		}
+	}
+	if tx.Completed() != 50 || rx.Delivered() != 50 {
+		t.Errorf("Completed=%d Delivered=%d", tx.Completed(), rx.Delivered())
+	}
+	// After the first exchange the transmitter knows the challenge and
+	// sends eagerly: exactly one DATA packet per message on a clean link.
+	if s := tx.Stats(); s.ErrorsCounted != 0 || s.Extensions != 0 {
+		t.Errorf("clean run counted errors: %+v", s)
+	}
+	if s := rx.Stats(); s.ErrorsCounted != 0 || s.Extensions != 0 {
+		t.Errorf("clean run counted receiver errors: %+v", s)
+	}
+}
+
+func TestSendMsgWhileBusy(t *testing.T) {
+	tx, _ := newPair(t, 3)
+	if _, err := tx.SendMsg([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.SendMsg([]byte("b")); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second SendMsg err = %v, want ErrBusy", err)
+	}
+	// A crash frees the transmitter (Axiom 1 allows send after crash^T).
+	tx.Crash()
+	if _, err := tx.SendMsg([]byte("b")); err != nil {
+		t.Fatalf("SendMsg after crash: %v", err)
+	}
+}
+
+func TestEagerSendAfterFirstExchange(t *testing.T) {
+	tx, rx := newPair(t, 4)
+	handshake(t, tx, rx, []byte("m1"))
+	out, err := tx.SendMsg([]byte("m2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Packets) != 1 {
+		t.Fatalf("eager send emitted %d packets, want 1", len(out.Packets))
+	}
+	rout := rx.ReceivePacket(out.Packets[0])
+	if len(rout.Delivered) != 1 || !bytes.Equal(rout.Delivered[0], []byte("m2")) {
+		t.Fatalf("eager DATA not delivered: %+v", rout)
+	}
+}
+
+func TestDuplicateDataNoDoubleDelivery(t *testing.T) {
+	tx, rx := newPair(t, 5)
+	if _, err := tx.SendMsg([]byte("dup")); err != nil {
+		t.Fatal(err)
+	}
+	ctl := rx.Retry().Packets[0]
+	data := tx.ReceivePacket(ctl).Packets[0]
+
+	first := rx.ReceivePacket(data)
+	if len(first.Delivered) != 1 {
+		t.Fatalf("first copy delivered %d messages", len(first.Delivered))
+	}
+	for i := 0; i < 100; i++ {
+		if out := rx.ReceivePacket(data); len(out.Delivered) != 0 {
+			t.Fatalf("duplicate %d redelivered the message", i)
+		}
+	}
+	if rx.Delivered() != 1 {
+		t.Errorf("Delivered = %d, want 1", rx.Delivered())
+	}
+}
+
+func TestDuplicateAckSingleOK(t *testing.T) {
+	tx, rx := newPair(t, 6)
+	if _, err := tx.SendMsg([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ctl := rx.Retry().Packets[0]
+	data := tx.ReceivePacket(ctl).Packets[0]
+	ack := rx.ReceivePacket(data).Packets[0]
+
+	if !tx.ReceivePacket(ack).OK {
+		t.Fatal("ack did not produce OK")
+	}
+	for i := 0; i < 50; i++ {
+		if out := tx.ReceivePacket(ack); out.OK || len(out.Packets) != 0 {
+			t.Fatalf("duplicate ack %d produced output %+v", i, out)
+		}
+	}
+	if tx.Completed() != 1 {
+		t.Errorf("Completed = %d, want 1", tx.Completed())
+	}
+}
+
+func TestRetryThrottle(t *testing.T) {
+	// Replaying the same CTL packet must produce at most one DATA reply;
+	// only a fresher retry counter earns another (Theorem 9's throttle).
+	tx, rx := newPair(t, 7)
+	if _, err := tx.SendMsg([]byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	ctl := rx.Retry().Packets[0]
+	if got := len(tx.ReceivePacket(ctl).Packets); got != 1 {
+		t.Fatalf("first ctl: %d replies, want 1", got)
+	}
+	for i := 0; i < 20; i++ {
+		if got := len(tx.ReceivePacket(ctl).Packets); got != 0 {
+			t.Fatalf("replayed ctl earned %d replies", got)
+		}
+	}
+	fresh := rx.Retry().Packets[0]
+	if got := len(tx.ReceivePacket(fresh).Packets); got != 1 {
+		t.Fatalf("fresh ctl: %d replies, want 1", got)
+	}
+}
+
+func TestReceiverCrashMidExchange(t *testing.T) {
+	tx, rx := newPair(t, 8)
+	if _, err := tx.SendMsg([]byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver crashes before seeing anything.
+	rx.Crash()
+	got := pump(t, tx, rx, 100)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("survivor")) {
+		t.Fatalf("delivered %q after receiver crash", got)
+	}
+}
+
+func TestReceiverCrashAfterDeliveryRedeliversButCompletes(t *testing.T) {
+	// crash^R after receive_msg but before the ack reaches the
+	// transmitter: the message may be delivered twice (allowed: the
+	// no-duplication condition excludes crash^R) but OK must still occur.
+	tx, rx := newPair(t, 9)
+	if _, err := tx.SendMsg([]byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	ctl := rx.Retry().Packets[0]
+	data := tx.ReceivePacket(ctl).Packets[0]
+	out := rx.ReceivePacket(data)
+	if len(out.Delivered) != 1 {
+		t.Fatal("no first delivery")
+	}
+	rx.Crash() // ack lost with the crash
+
+	got := pump(t, tx, rx, 200)
+	if len(got) != 1 {
+		t.Fatalf("redelivery count = %d, want 1", len(got))
+	}
+	if tx.Busy() {
+		t.Error("transmitter never reached OK after receiver crash")
+	}
+}
+
+func TestTransmitterCrashRecovery(t *testing.T) {
+	tx, rx := newPair(t, 10)
+	handshake(t, tx, rx, []byte("m1"))
+	if _, err := tx.SendMsg([]byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Crash()
+	// Higher layer resubmits a new message after the crash.
+	if _, err := tx.SendMsg([]byte("m3")); err != nil {
+		t.Fatal(err)
+	}
+	got := pump(t, tx, rx, 200)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("m3")) {
+		t.Fatalf("delivered %q after transmitter crash, want [m3]", got)
+	}
+}
+
+func TestBothCrashRecovery(t *testing.T) {
+	tx, rx := newPair(t, 11)
+	handshake(t, tx, rx, []byte("m1"))
+	tx.Crash()
+	rx.Crash()
+	if _, err := tx.SendMsg([]byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	got := pump(t, tx, rx, 200)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("m2")) {
+		t.Fatalf("delivered %q after double crash, want [m2]", got)
+	}
+}
+
+// pump drives retries and forwards every packet until the transmitter
+// reaches OK or the round budget runs out; it returns delivered messages.
+func pump(t *testing.T, tx *Transmitter, rx *Receiver, rounds int) [][]byte {
+	t.Helper()
+	var delivered [][]byte
+	for r := 0; r < rounds && tx.Busy(); r++ {
+		for _, p := range rx.Retry().Packets {
+			out := tx.ReceivePacket(p)
+			for _, dp := range out.Packets {
+				rout := rx.ReceivePacket(dp)
+				delivered = append(delivered, rout.Delivered...)
+				for _, cp := range rout.Packets {
+					tx.ReceivePacket(cp)
+				}
+			}
+		}
+	}
+	if tx.Busy() {
+		t.Fatal("pump budget exhausted before OK")
+	}
+	return delivered
+}
+
+func TestReplayFloodForcesExtensionNotDelivery(t *testing.T) {
+	// Record DATA packets from past exchanges, then crash both stations
+	// and replay history at the fresh receiver: nothing may be delivered,
+	// and the challenge must grow (Section 3's attack, defeated).
+	tx, rx := newPair(t, 12)
+	var history [][]byte
+	for i := 0; i < 30; i++ {
+		msg := []byte(fmt.Sprintf("old-%d", i))
+		if _, err := tx.SendMsg(msg); err != nil {
+			t.Fatal(err)
+		}
+		for tx.Busy() {
+			for _, p := range rx.Retry().Packets {
+				out := tx.ReceivePacket(p)
+				for _, dp := range out.Packets {
+					history = append(history, dp)
+					rout := rx.ReceivePacket(dp)
+					for _, cp := range rout.Packets {
+						tx.ReceivePacket(cp)
+					}
+				}
+			}
+		}
+	}
+	tx.Crash()
+	rx.Crash()
+	lenBefore := rx.RhoLen()
+
+	for round := 0; round < 20; round++ {
+		for _, p := range history {
+			if out := rx.ReceivePacket(p); len(out.Delivered) != 0 {
+				t.Fatal("replayed packet was delivered after crash")
+			}
+		}
+	}
+	if rx.Stats().Extensions == 0 {
+		t.Error("replay flood caused no challenge extensions")
+	}
+	if rx.RhoLen() <= lenBefore {
+		t.Errorf("challenge did not grow under replay flood: %d -> %d", lenBefore, rx.RhoLen())
+	}
+}
+
+func TestStaleRhoNotCountedAsError(t *testing.T) {
+	// Late answers to the previous challenge (rho = rhoPrev) are expected
+	// traffic, not adversarial errors (Figure 5's exclusion).
+	tx, rx := newPair(t, 13)
+	if _, err := tx.SendMsg([]byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	ctl := rx.Retry().Packets[0]
+	data := tx.ReceivePacket(ctl).Packets[0]
+	ack := rx.ReceivePacket(data).Packets[0]
+	tx.ReceivePacket(ack)
+
+	before := rx.Stats().ErrorsCounted
+	for i := 0; i < 10; i++ {
+		rx.ReceivePacket(data) // rho field equals rhoPrev now
+	}
+	if got := rx.Stats().ErrorsCounted; got != before {
+		t.Errorf("stale-rho packets counted as errors: %d -> %d", before, got)
+	}
+}
+
+func TestPrevTauNotCountedAtTransmitter(t *testing.T) {
+	// While busy with message k+1, CTL packets still carrying the previous
+	// tag (late retries) must not increment the transmitter's error count.
+	tx, rx := newPair(t, 14)
+	handshake(t, tx, rx, []byte("m1"))
+	if _, err := tx.SendMsg([]byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	before := tx.Stats().ErrorsCounted
+	for i := 0; i < 10; i++ {
+		for _, p := range rx.Retry().Packets { // tau field = tau of m1 = tauPrev
+			tx.ReceivePacket(p)
+		}
+	}
+	if got := tx.Stats().ErrorsCounted; got != before {
+		t.Errorf("legit retries counted as transmitter errors: %d -> %d", before, got)
+	}
+}
+
+func TestTauAvoidsCrashTag(t *testing.T) {
+	// Every transmitter tag must start with 1 so tau_crash ("0") is never
+	// a prefix (Figure 3's side condition).
+	for seed := int64(0); seed < 20; seed++ {
+		tx, err := NewTransmitter(testParams(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.SendMsg([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if tauCrash().IsPrefixOf(tx.tau) {
+			t.Fatalf("seed %d: tau %v extends tau_crash", seed, tx.tau)
+		}
+	}
+}
+
+func TestDeliveryAfterReceiverCrashUsesCrashTag(t *testing.T) {
+	// A fresh receiver holds tau_crash; the first matching DATA packet
+	// must be delivered because transmitter tags never relate to it.
+	tx, rx := newPair(t, 15)
+	if _, err := tx.SendMsg([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	ctl := rx.Retry().Packets[0]
+	data := tx.ReceivePacket(ctl).Packets[0]
+	if out := rx.ReceivePacket(data); len(out.Delivered) != 1 {
+		t.Fatal("first message not delivered to fresh receiver")
+	}
+}
+
+func TestMalformedPacketsIgnored(t *testing.T) {
+	tx, rx := newPair(t, 16)
+	if _, err := tx.SendMsg([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	junk := [][]byte{nil, {0xFF}, {0x01, 0x02}, bytes.Repeat([]byte{7}, 100)}
+	for _, p := range junk {
+		if out := tx.ReceivePacket(p); out.OK || len(out.Packets) != 0 {
+			t.Errorf("transmitter reacted to junk %x", p)
+		}
+		if out := rx.ReceivePacket(p); len(out.Delivered)+len(out.Packets) != 0 {
+			t.Errorf("receiver reacted to junk %x", p)
+		}
+	}
+	if tx.Stats().Ignored == 0 || rx.Stats().Ignored == 0 {
+		t.Error("Ignored counters not incremented")
+	}
+}
+
+func TestWrongKindPacketsIgnored(t *testing.T) {
+	// A DATA packet handed to the transmitter (or CTL to the receiver)
+	// must be ignored, not crash or confuse state.
+	tx, rx := newPair(t, 17)
+	if _, err := tx.SendMsg([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ctl := rx.Retry().Packets[0]
+	data := tx.ReceivePacket(ctl).Packets[0]
+	if out := tx.ReceivePacket(data); out.OK || len(out.Packets) != 0 {
+		t.Error("transmitter processed a DATA packet")
+	}
+	if out := rx.ReceivePacket(ctl); len(out.Delivered)+len(out.Packets) != 0 {
+		t.Error("receiver processed a CTL packet")
+	}
+}
+
+func TestBoundScheduleExtension(t *testing.T) {
+	// Inject wrong same-length challenges and check rho extends after the
+	// configured bound at each level.
+	calls := 0
+	p := testParams(18)
+	p.Bound = func(t int) int { calls++; return 2 } // extend every 2 errors
+	rx, err := NewReceiver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bitstr.NewMathSource(rand.New(rand.NewSource(99)))
+	level := rx.Level()
+	for i := 0; i < 6; i++ {
+		bogus := wire.Data{Msg: []byte("z"), Rho: src.Draw(rx.RhoLen()), Tau: src.Draw(8)}.Encode()
+		rx.ReceivePacket(bogus)
+	}
+	if rx.Level() != level+3 {
+		t.Errorf("Level = %d after 6 errors with bound 2, want %d", rx.Level(), level+3)
+	}
+	if calls == 0 {
+		t.Error("custom Bound never consulted")
+	}
+}
+
+func TestDefaultScheduleFunctions(t *testing.T) {
+	tests := []struct {
+		t    int
+		eps  float64
+		size int
+	}{
+		{t: 1, eps: 0.5, size: 6},
+		{t: 1, eps: 1.0 / (1 << 10), size: 15},
+		{t: 3, eps: 1.0 / (1 << 20), size: 27},
+	}
+	for _, tt := range tests {
+		if got := DefaultSize(tt.t, tt.eps); got != tt.size {
+			t.Errorf("DefaultSize(%d, %v) = %d, want %d", tt.t, tt.eps, got, tt.size)
+		}
+	}
+	bounds := []struct{ t, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 4}, {10, 256}}
+	for _, tt := range bounds {
+		if got := DefaultBound(tt.t); got != tt.want {
+			t.Errorf("DefaultBound(%d) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+	if got := DefaultBound(40); got <= 0 {
+		t.Errorf("DefaultBound(40) overflowed: %d", got)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	for _, eps := range []float64{-0.5, 1, 1.5} {
+		if _, err := NewTransmitter(Params{Epsilon: eps}); err == nil {
+			t.Errorf("NewTransmitter accepted Epsilon=%v", eps)
+		}
+		if _, err := NewReceiver(Params{Epsilon: eps}); err == nil {
+			t.Errorf("NewReceiver accepted Epsilon=%v", eps)
+		}
+	}
+	if _, err := NewTransmitter(Params{}); err != nil {
+		t.Errorf("zero Params rejected: %v", err)
+	}
+}
+
+func TestMessageCopiedAtBoundary(t *testing.T) {
+	tx, rx := newPair(t, 19)
+	msg := []byte("mutate-me")
+	if _, err := tx.SendMsg(msg); err != nil {
+		t.Fatal(err)
+	}
+	msg[0] = 'X' // caller mutates its buffer after the call
+	got := pump(t, tx, rx, 50)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("mutate-me")) {
+		t.Fatalf("delivered %q, want original bytes", got)
+	}
+}
+
+func TestLossyRandomScheduleEventuallyDelivers(t *testing.T) {
+	// Randomized loss/duplication/reordering on both directions; every
+	// message must still complete exactly once (no crashes involved).
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			tx, rx := newPair(t, seed*2+100)
+			var toTx, toRx [][]byte
+			deliveredTotal := 0
+
+			push := func(q *[][]byte, ps [][]byte) {
+				for _, p := range ps {
+					if r.Float64() < 0.4 {
+						continue // lose
+					}
+					n := 1 + r.Intn(2) // maybe duplicate
+					for j := 0; j < n; j++ {
+						*q = append(*q, p)
+					}
+				}
+			}
+
+			for m := 0; m < 10; m++ {
+				msg := []byte(fmt.Sprintf("s%d-m%d", seed, m))
+				if _, err := tx.SendMsg(msg); err != nil {
+					t.Fatal(err)
+				}
+				deliveredThis := 0
+				for step := 0; step < 20000 && tx.Busy(); step++ {
+					switch {
+					case len(toTx) > 0 && r.Intn(2) == 0:
+						i := r.Intn(len(toTx)) // reorder: random pick
+						p := toTx[i]
+						toTx = append(toTx[:i], toTx[i+1:]...)
+						push(&toRx, tx.ReceivePacket(p).Packets)
+					case len(toRx) > 0 && r.Intn(2) == 0:
+						i := r.Intn(len(toRx))
+						p := toRx[i]
+						toRx = append(toRx[:i], toRx[i+1:]...)
+						out := rx.ReceivePacket(p)
+						deliveredThis += len(out.Delivered)
+						push(&toTx, out.Packets)
+					default:
+						push(&toTx, rx.Retry().Packets)
+					}
+				}
+				if tx.Busy() {
+					t.Fatalf("message %d never completed", m)
+				}
+				if deliveredThis != 1 {
+					t.Fatalf("message %d delivered %d times", m, deliveredThis)
+				}
+				deliveredTotal += deliveredThis
+			}
+			if deliveredTotal != 10 {
+				t.Fatalf("total deliveries = %d", deliveredTotal)
+			}
+		})
+	}
+}
+
+func TestStatsResetOnCrash(t *testing.T) {
+	tx, rx := newPair(t, 20)
+	handshake(t, tx, rx, []byte("m"))
+	tx.Crash()
+	rx.Crash()
+	if s := tx.Stats(); s != (TxStats{}) {
+		t.Errorf("tx stats after crash: %+v", s)
+	}
+	if s := rx.Stats(); s != (RxStats{}) {
+		t.Errorf("rx stats after crash: %+v", s)
+	}
+	if tx.Completed() != 0 || rx.Delivered() != 0 {
+		t.Error("analysis counters survived crash")
+	}
+}

@@ -1,0 +1,53 @@
+// Package core implements the randomized data-link protocol of Goldreich,
+// Herzberg and Mansour (PODC 1989): reliable, crash-resilient source to
+// destination communication over a channel that may lose, duplicate and
+// reorder packets.
+//
+// The package contains two pure, single-threaded state machines:
+//
+//   - Transmitter: the paper's transmitting module (TM). It accepts one
+//     message at a time from the higher layer, answers the receiver's
+//     challenges with DATA packets and raises OK when its tag is echoed.
+//   - Receiver: the paper's receiving module (RM). It issues random
+//     challenges, delivers messages whose packets match the current
+//     challenge, and extends its challenge whenever too many same-length
+//     mismatches suggest an adversary is replaying old traffic.
+//
+// Neither machine starts goroutines or performs I/O: every input event
+// (packet receipt, higher-layer send, retry timer, crash) is a method call
+// that returns the resulting output actions. This makes the machines
+// directly usable both under the deterministic simulator
+// (ghm/internal/sim) and under the concurrent runtime
+// (ghm/internal/netlink), and keeps them trivially testable.
+//
+// # Protocol walk-through
+//
+// In the fault-free case a transfer is a three-packet exchange:
+//
+//	R -> T:  CTL(rho, tauLast, i)     "challenge rho; last tag I hold is tauLast"
+//	T -> R:  DATA(m, rho, tau)        "message m answering rho, tagged tau"
+//	R -> T:  CTL(rho', tau, i')       "delivered; new challenge rho'; I hold tau"
+//
+// The receiver delivers m when the DATA packet's rho equals its current
+// challenge and its tau is unrelated (neither prefix nor extension) to the
+// tag of the previously delivered message. The transmitter raises OK when
+// a CTL packet echoes its current tag exactly.
+//
+// Faults are handled by two mechanisms. First, every station counts
+// incoming packets whose random string has the right length but the wrong
+// value; after bound(t) such errors the station extends its string with
+// size(t, epsilon) fresh bits, so replayed history loses its chance of
+// matching. Second, a crashed station restarts from a canonical state: the
+// receiver holds the reserved tag tauCrash, which the transmitter never
+// uses as a prefix of its tags, so post-crash deliveries remain possible
+// while old traffic stays improbable.
+//
+// # Faithfulness
+//
+// Receiver behaviour follows Figure 5 of the technical report verbatim.
+// The transmitter's figure is not legible in the surviving text; its
+// reconstruction from Section 3 and the proofs of Lemmas 5-6 and Theorem 9
+// is documented in DESIGN.md. The size/bound schedule of Figure 3 is the
+// default and can be overridden through Params (the paper's conclusions
+// pose tuning them as an open problem; experiment E8 explores it).
+package core

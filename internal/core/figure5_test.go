@@ -1,0 +1,351 @@
+package core
+
+// Branch-conformance tests: one test per branch of the paper's pseudocode
+// (Figure 5 for the receiver, the reconstructed Figure 2 for the
+// transmitter), each constructing the exact packet that exercises the
+// branch and asserting the state transition the figure prescribes.
+// PROTOCOL.md maps these tests back to the figures.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/wire"
+)
+
+// deliveredReceiver returns a receiver that has accepted one message with
+// a known tag, plus the tag it stored and the transmitter used.
+func deliveredReceiver(t *testing.T, seed int64) (*Receiver, bitstr.Str) {
+	t.Helper()
+	rx, err := NewReceiver(testParams(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := bitstr.One().Concat(bitstr.NewMathSource(rand.New(rand.NewSource(seed + 500))).Draw(20))
+	pkt := wire.Data{Msg: []byte("m1"), Rho: rx.rho, Tau: tau}.Encode()
+	out := rx.ReceivePacket(pkt)
+	if len(out.Delivered) != 1 {
+		t.Fatal("setup delivery failed")
+	}
+	return rx, tau
+}
+
+// Figure 5, branch 1a: rho matches and tau extends tauLast — adopt the
+// extension, do not deliver.
+func TestFig5_RhoMatch_TauExtension_Updates(t *testing.T) {
+	rx, tau := deliveredReceiver(t, 101)
+	ext := tau.Concat(bitstr.MustBinary("1011"))
+	pkt := wire.Data{Msg: []byte("m1"), Rho: rx.rho, Tau: ext}.Encode()
+	out := rx.ReceivePacket(pkt)
+	if len(out.Delivered) != 0 {
+		t.Fatal("extension branch delivered")
+	}
+	if !rx.tauLast.Equal(ext) {
+		t.Fatalf("tauLast not updated: %v, want %v", rx.tauLast, ext)
+	}
+	if len(out.Packets) == 0 {
+		t.Fatal("extension branch sent no re-ack")
+	}
+	if rx.Delivered() != 1 {
+		t.Fatal("delivery count changed")
+	}
+}
+
+// Figure 5, branch 1b: rho matches and tau is unrelated to tauLast —
+// deliver, store tau, reset counters, draw a fresh challenge.
+func TestFig5_RhoMatch_TauUnrelated_Delivers(t *testing.T) {
+	rx, _ := deliveredReceiver(t, 102)
+	oldRho := rx.rho
+	fresh := bitstr.One().Concat(bitstr.MustBinary("0101010101010101"))
+	pkt := wire.Data{Msg: []byte("m2"), Rho: rx.rho, Tau: fresh}.Encode()
+	out := rx.ReceivePacket(pkt)
+	if len(out.Delivered) != 1 || string(out.Delivered[0]) != "m2" {
+		t.Fatalf("delivery branch: %v", out.Delivered)
+	}
+	if !rx.tauLast.Equal(fresh) {
+		t.Fatal("tau not stored")
+	}
+	if rx.rho.Equal(oldRho) {
+		t.Fatal("challenge not redrawn after delivery")
+	}
+	if !rx.rhoPrev.Equal(oldRho) {
+		t.Fatal("previous challenge not remembered for the exclusion rule")
+	}
+	// i^R resets to 1 and the eager ack (documented deviation: the §3
+	// prose reply, emitted immediately rather than at the next RETRY)
+	// consumes it, leaving 2.
+	if rx.t != 1 || rx.num != 0 || rx.iR != 2 {
+		t.Fatalf("counters not reset: t=%d num=%d i=%d", rx.t, rx.num, rx.iR)
+	}
+}
+
+// Figure 5, branch 1c: rho matches but tau is a proper prefix of tauLast
+// — a stale duplicate; ignore entirely.
+func TestFig5_RhoMatch_TauStalePrefix_Ignored(t *testing.T) {
+	rx, tau := deliveredReceiver(t, 103)
+	// Extend first so tauLast is longer than the original tau.
+	ext := tau.Concat(bitstr.MustBinary("11"))
+	rx.ReceivePacket(wire.Data{Msg: []byte("m1"), Rho: rx.rho, Tau: ext}.Encode())
+
+	before := rx.Stats()
+	pkt := wire.Data{Msg: []byte("m1"), Rho: rx.rho, Tau: tau}.Encode() // stale prefix
+	out := rx.ReceivePacket(pkt)
+	if len(out.Delivered) != 0 || len(out.Packets) != 0 {
+		t.Fatal("stale prefix was not ignored")
+	}
+	if rx.Stats().Ignored != before.Ignored+1 {
+		t.Fatal("stale prefix not counted as ignored")
+	}
+	if !rx.tauLast.Equal(ext) {
+		t.Fatal("tauLast regressed")
+	}
+}
+
+// Figure 5, branch 2 (error counting): same-length wrong rho that is not
+// an answer to the previous challenge — count it, extend at bound(t).
+func TestFig5_RhoMismatch_SameLength_Counted(t *testing.T) {
+	rx, tau := deliveredReceiver(t, 104)
+	wrong := flipFirstBit(rx.rho)
+	pkt := wire.Data{Msg: []byte("z"), Rho: wrong, Tau: tau}.Encode()
+	before := rx.Stats().ErrorsCounted
+	rx.ReceivePacket(pkt)
+	if rx.Stats().ErrorsCounted != before+1 {
+		t.Fatal("same-length mismatch not counted")
+	}
+	// bound(1) = 0 in the paper's schedule: the first error already
+	// extends the challenge.
+	if rx.Level() != 2 {
+		t.Fatalf("level = %d, want 2 after first error", rx.Level())
+	}
+}
+
+// Figure 5, branch 2 exclusion: rho equals the PREVIOUS challenge — a
+// late answer, explicitly excluded from error counting.
+func TestFig5_RhoMismatch_PrevChallenge_Excluded(t *testing.T) {
+	rx, tau := deliveredReceiver(t, 105)
+	prev := rx.rhoPrev
+	if prev.IsEmpty() {
+		t.Fatal("setup: no previous challenge")
+	}
+	// The previous challenge has the same length as the fresh one (both
+	// level 1), so only the exclusion keeps it out of the counter.
+	if prev.Len() != rx.rho.Len() {
+		t.Fatalf("setup: lengths differ %d vs %d", prev.Len(), rx.rho.Len())
+	}
+	before := rx.Stats().ErrorsCounted
+	rx.ReceivePacket(wire.Data{Msg: []byte("m1"), Rho: prev, Tau: tau}.Encode())
+	if rx.Stats().ErrorsCounted != before {
+		t.Fatal("late answer to the previous challenge was counted as an error")
+	}
+}
+
+// Figure 5, implicit branch: wrong-length rho — neither accepted nor
+// counted.
+func TestFig5_RhoMismatch_WrongLength_Ignored(t *testing.T) {
+	rx, tau := deliveredReceiver(t, 106)
+	short := rx.rho.Prefix(rx.rho.Len() - 3)
+	before := rx.Stats()
+	out := rx.ReceivePacket(wire.Data{Msg: []byte("z"), Rho: short, Tau: tau}.Encode())
+	if len(out.Delivered)+len(out.Packets) != 0 {
+		t.Fatal("wrong-length rho produced output")
+	}
+	if rx.Stats().ErrorsCounted != before.ErrorsCounted {
+		t.Fatal("wrong-length rho counted as error")
+	}
+}
+
+// Figure 5 crash handler: k=1, t=1, num=0, tauLast=tau_crash, fresh rho,
+// i=1.
+func TestFig5_CrashHandler(t *testing.T) {
+	rx, _ := deliveredReceiver(t, 107)
+	oldRho := rx.rho
+	rx.Crash()
+	if !rx.tauLast.Equal(tauCrash()) {
+		t.Fatal("tauLast != tau_crash after crash")
+	}
+	if rx.rho.Equal(oldRho) {
+		t.Fatal("challenge survived the crash")
+	}
+	if rx.t != 1 || rx.num != 0 || rx.iR != 1 || rx.k != 0 {
+		t.Fatalf("state after crash: t=%d num=%d i=%d k=%d", rx.t, rx.num, rx.iR, rx.k)
+	}
+	if !rx.rhoPrev.IsEmpty() {
+		t.Fatal("previous challenge survived the crash")
+	}
+}
+
+// Figure 5 RETRY: emit (rho, tauLast, i) and increment i.
+func TestFig5_Retry(t *testing.T) {
+	rx, tau := deliveredReceiver(t, 108)
+	out := rx.Retry()
+	ctl, err := wire.DecodeCtl(out.Packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The eager delivery ack consumed i=1, so the first RETRY carries 2.
+	if !ctl.Rho.Equal(rx.rho) || !ctl.Tau.Equal(tau) || ctl.I != 2 {
+		t.Fatalf("RETRY packet = (%v, %v, %d)", ctl.Rho, ctl.Tau, ctl.I)
+	}
+	out = rx.Retry()
+	ctl, _ = wire.DecodeCtl(out.Packets[0])
+	if ctl.I != 3 {
+		t.Fatalf("i did not increment: %d", ctl.I)
+	}
+}
+
+// --- the reconstructed Figure 2 (transmitter) branches ---
+
+// busyTransmitter returns a transmitter mid-message plus its current tag.
+func busyTransmitter(t *testing.T, seed int64) *Transmitter {
+	t.Helper()
+	tx, err := NewTransmitter(testParams(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.SendMsg([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// Figure 2: a CTL echoing the exact current tag completes the message.
+func TestFig2_ExactTagEcho_OK(t *testing.T) {
+	tx := busyTransmitter(t, 201)
+	nextRho := bitstr.MustBinary("110011001100")
+	ack := wire.Ctl{Rho: nextRho, Tau: tx.tau, I: 1}.Encode()
+	out := tx.ReceivePacket(ack)
+	if !out.OK {
+		t.Fatal("exact echo did not OK")
+	}
+	if tx.Busy() {
+		t.Fatal("still busy after OK")
+	}
+	if !tx.rho.Equal(nextRho) || !tx.hasRho {
+		t.Fatal("next challenge not remembered from the ack")
+	}
+	if !tx.tauPrev.Equal(tx.tau) || !tx.hasPrev {
+		t.Fatal("completed tag not remembered")
+	}
+}
+
+// Figure 2: a prefix of the current (extended) tag does NOT complete —
+// the transmitter instead re-answers so the receiver can adopt the
+// extension (Theorem 9's stabilization dance).
+func TestFig2_TagPrefixEcho_NoOK(t *testing.T) {
+	tx := busyTransmitter(t, 202)
+	prefix := tx.tau
+	// Force a tag extension via same-length garbage.
+	garbage := flipFirstBit(tx.tau)
+	tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: garbage, I: 1}.Encode())
+	if tx.Level() == 1 {
+		t.Fatal("setup: no extension happened")
+	}
+	out := tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: prefix, I: 2}.Encode())
+	if out.OK {
+		t.Fatal("stale prefix echo produced OK")
+	}
+	if len(out.Packets) != 1 {
+		t.Fatal("fresh challenge with stale tag not re-answered")
+	}
+	d, err := wire.DecodeData(out.Packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Tau.Equal(tx.tau) {
+		t.Fatal("re-answer does not carry the extended tag")
+	}
+}
+
+// Figure 2: the i > i^T reply throttle — stale retry counters earn no
+// reply but fresh ones do.
+func TestFig2_ReplyThrottle(t *testing.T) {
+	tx := busyTransmitter(t, 203)
+	tauLast := bitstr.MustBinary("0") // receiver's crash tag, wrong length: not counted
+	if out := tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: tauLast, I: 5}.Encode()); len(out.Packets) != 1 {
+		t.Fatal("fresh i earned no reply")
+	}
+	if out := tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: tauLast, I: 5}.Encode()); len(out.Packets) != 0 {
+		t.Fatal("replayed i earned a reply")
+	}
+	if out := tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: tauLast, I: 6}.Encode()); len(out.Packets) != 1 {
+		t.Fatal("next fresh i earned no reply")
+	}
+}
+
+// Figure 2: error counting duals — same-length wrong tag counts, the
+// previous completed tag is excluded, wrong lengths are not counted.
+func TestFig2_ErrorCountingDuals(t *testing.T) {
+	tx, rx := newPair(t, 204)
+	handshake(t, tx, rx, []byte("m1"))
+	if _, err := tx.SendMsg([]byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+
+	before := tx.Stats().ErrorsCounted
+	// Same length, wrong value: counted.
+	tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: flipFirstBit(tx.tau), I: 100}.Encode())
+	if tx.Stats().ErrorsCounted != before+1 {
+		t.Fatal("same-length wrong tag not counted")
+	}
+	// The previous completed tag: excluded even at matching length.
+	if tx.tauPrev.Len() == tx.tau.Len() {
+		c := tx.Stats().ErrorsCounted
+		tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: tx.tauPrev, I: 101}.Encode())
+		if tx.Stats().ErrorsCounted != c {
+			t.Fatal("previous tag counted as error")
+		}
+	}
+	// Wrong length: ignored by the counter.
+	c := tx.Stats().ErrorsCounted
+	tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: bitstr.MustBinary("101"), I: 102}.Encode())
+	if tx.Stats().ErrorsCounted != c {
+		t.Fatal("wrong-length tag counted as error")
+	}
+}
+
+// Figure 2: idle transmitter adopts extended challenges from duplicate
+// acks of the completed transfer, and ignores everything else.
+func TestFig2_IdleChallengeAdoption(t *testing.T) {
+	tx, rx := newPair(t, 205)
+	handshake(t, tx, rx, []byte("m1"))
+
+	longer := tx.rho.Concat(bitstr.MustBinary("1110"))
+	tx.ReceivePacket(wire.Ctl{Rho: longer, Tau: tx.tauPrev, I: 50}.Encode())
+	if !tx.rho.Equal(longer) {
+		t.Fatal("idle transmitter did not adopt the extended challenge")
+	}
+	// Unrelated tag while idle: ignored.
+	before := tx.Stats().Ignored
+	tx.ReceivePacket(wire.Ctl{Rho: bitstr.One(), Tau: flipFirstBit(tx.tauPrev), I: 51}.Encode())
+	if tx.Stats().Ignored != before+1 {
+		t.Fatal("idle garbage not ignored")
+	}
+}
+
+// Figure 2 crash: all memory erased, next transfer needs a fresh
+// challenge from the receiver.
+func TestFig2_CrashHandler(t *testing.T) {
+	tx, rx := newPair(t, 206)
+	handshake(t, tx, rx, []byte("m1"))
+	tx.Crash()
+	if tx.hasRho || tx.hasPrev || tx.Busy() {
+		t.Fatal("memory survived the crash")
+	}
+	out, err := tx.SendMsg([]byte("m2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Packets) != 0 {
+		t.Fatal("post-crash SendMsg emitted without knowing a challenge")
+	}
+}
+
+// flipFirstBit returns s with its first bit inverted (same length).
+func flipFirstBit(s bitstr.Str) bitstr.Str {
+	rest := s.Suffix(s.Len() - 1)
+	if s.Bit(0) {
+		return bitstr.Zero(1).Concat(rest)
+	}
+	return bitstr.One().Concat(rest)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/wire"
+)
+
+// FuzzReceiverPacket throws arbitrary bytes at a live receiver: it must
+// never panic, never deliver from garbage, and keep its challenge well
+// formed.
+func FuzzReceiverPacket(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(wire.Data{Msg: []byte("m"), Rho: bitstr.MustBinary("10110"), Tau: bitstr.One()}.Encode())
+	f.Add(wire.Ctl{Rho: bitstr.One(), Tau: bitstr.One(), I: 1}.Encode())
+	f.Fuzz(func(t *testing.T, in []byte) {
+		p := Params{
+			Epsilon: 1.0 / (1 << 8),
+			Source:  bitstr.NewMathSource(rand.New(rand.NewSource(1))),
+		}
+		rx, err := NewReceiver(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := rx.ReceivePacket(in)
+		// Garbage cannot know the fresh 13-bit challenge: with one packet
+		// the delivery probability is 2^-13 per fuzz case, and the fuzz
+		// input would have to be a validly encoded DATA packet guessing
+		// the seeded challenge — impossible here because the challenge is
+		// drawn from a fixed seed the corpus does not encode... except by
+		// matching it, which the assertion below would surface as a
+		// (deterministic, reproducible) corpus find worth inspecting.
+		if len(out.Delivered) > 0 {
+			d, err := wire.DecodeData(in)
+			if err != nil {
+				t.Fatal("delivered from undecodable packet")
+			}
+			if d.Rho.Len() != 13 {
+				t.Fatalf("delivered with wrong-length challenge %d", d.Rho.Len())
+			}
+		}
+		if rx.RhoLen() < 13 {
+			t.Fatalf("challenge shrank to %d bits", rx.RhoLen())
+		}
+	})
+}
+
+// FuzzTransmitterPacket is the transmitter dual.
+func FuzzTransmitterPacket(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(wire.Ctl{Rho: bitstr.One(), Tau: bitstr.MustBinary("101"), I: 9}.Encode())
+	f.Fuzz(func(t *testing.T, in []byte) {
+		p := Params{
+			Epsilon: 1.0 / (1 << 8),
+			Source:  bitstr.NewMathSource(rand.New(rand.NewSource(2))),
+		}
+		tx, err := NewTransmitter(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.SendMsg([]byte("fuzz")); err != nil {
+			t.Fatal(err)
+		}
+		out := tx.ReceivePacket(in)
+		if out.OK {
+			// An OK requires echoing the fresh 13-bit tag exactly; a
+			// corpus input achieving that against a seeded draw would be
+			// a real finding.
+			t.Fatal("fuzz input produced OK")
+		}
+		if tx.Busy() != true {
+			t.Fatal("fuzz input unstuck the transmitter without OK")
+		}
+	})
+}

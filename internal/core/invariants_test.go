@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/wire"
+)
+
+// TestInvariantRhoLengthTracksSchedule checks that the receiver's
+// challenge length is always exactly the sum of the configured size(i)
+// draws for the levels reached — i.e. extension is the only way the
+// string grows and reset the only way it shrinks.
+func TestInvariantRhoLengthTracksSchedule(t *testing.T) {
+	sizes := map[int]int{}
+	p := testParams(31)
+	p.Size = func(lvl int) int {
+		s := 10 + 3*lvl
+		sizes[lvl] = s
+		return s
+	}
+	p.Bound = func(int) int { return 2 }
+	rx, err := NewReceiver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantLen := func() int {
+		total := 0
+		for lvl := 1; lvl <= rx.Level(); lvl++ {
+			total += sizes[lvl]
+		}
+		return total
+	}
+	if rx.RhoLen() != wantLen() {
+		t.Fatalf("initial RhoLen %d, want %d", rx.RhoLen(), wantLen())
+	}
+
+	src := bitstr.NewMathSource(rand.New(rand.NewSource(32)))
+	for i := 0; i < 40; i++ {
+		bogus := wire.Data{Msg: []byte("x"), Rho: src.Draw(rx.RhoLen()), Tau: src.Draw(6)}.Encode()
+		rx.ReceivePacket(bogus)
+		if rx.RhoLen() != wantLen() {
+			t.Fatalf("after %d errors: RhoLen %d, want %d (level %d)",
+				i+1, rx.RhoLen(), wantLen(), rx.Level())
+		}
+	}
+	if rx.Level() < 10 {
+		t.Fatalf("bound=2 over 40 errors only reached level %d", rx.Level())
+	}
+}
+
+// TestInvariantLevelResetsOnDelivery checks the storage claim at the state
+// machine level: a successful delivery resets level and challenge length.
+func TestInvariantLevelResetsOnDelivery(t *testing.T) {
+	tx, rx := newPair(t, 33)
+	if _, err := tx.SendMsg([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	// Force receiver extensions with garbage, then deliver legitimately.
+	src := bitstr.NewMathSource(rand.New(rand.NewSource(34)))
+	for i := 0; i < 10; i++ {
+		rx.ReceivePacket(wire.Data{Msg: []byte("z"), Rho: src.Draw(rx.RhoLen()), Tau: src.Draw(6)}.Encode())
+	}
+	if rx.Level() == 1 {
+		t.Fatal("setup failed: no extensions happened")
+	}
+	baseLen := rx.p.Size(1)
+
+	// Complete the exchange: the challenge regrew, so the handshake needs
+	// fresh CTL/DATA round trips.
+	for round := 0; round < 100 && tx.Busy(); round++ {
+		for _, c := range rx.Retry().Packets {
+			out := tx.ReceivePacket(c)
+			for _, dp := range out.Packets {
+				rout := rx.ReceivePacket(dp)
+				for _, a := range rout.Packets {
+					tx.ReceivePacket(a)
+				}
+			}
+		}
+	}
+	if tx.Busy() {
+		t.Fatal("exchange did not complete")
+	}
+	if rx.Level() != 1 {
+		t.Fatalf("level after delivery = %d, want 1", rx.Level())
+	}
+	if rx.RhoLen() != baseLen {
+		t.Fatalf("RhoLen after delivery = %d, want %d", rx.RhoLen(), baseLen)
+	}
+}
+
+// TestInvariantTauMonotoneWithinMessage checks that the transmitter's tag
+// only ever grows while a message is in flight and is replaced wholesale
+// at the next SendMsg.
+func TestInvariantTauMonotoneWithinMessage(t *testing.T) {
+	tx, _ := newPair(t, 35)
+	if _, err := tx.SendMsg([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	src := bitstr.NewMathSource(rand.New(rand.NewSource(36)))
+	prev := tx.tau
+	for i := 0; i < 30; i++ {
+		bogus := wire.Ctl{Rho: src.Draw(8), Tau: src.Draw(tx.TauLen()), I: uint64(i + 1)}.Encode()
+		tx.ReceivePacket(bogus)
+		if !tx.tau.HasPrefix(prev) {
+			t.Fatalf("tau lost its prefix at step %d", i)
+		}
+		prev = tx.tau
+	}
+	if tx.Level() == 1 {
+		t.Fatal("setup failed: no transmitter extensions happened")
+	}
+}
+
+// TestInvariantRetryCounterMonotone checks i^R strictly increases between
+// resets.
+func TestInvariantRetryCounterMonotone(t *testing.T) {
+	_, rx := newPair(t, 37)
+	var last uint64
+	for i := 0; i < 20; i++ {
+		ctl, err := wire.DecodeCtl(rx.Retry().Packets[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctl.I <= last && i > 0 {
+			t.Fatalf("retry counter not increasing: %d after %d", ctl.I, last)
+		}
+		last = ctl.I
+	}
+	rx.Crash()
+	ctl, err := wire.DecodeCtl(rx.Retry().Packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.I != 1 {
+		t.Fatalf("retry counter after crash = %d, want 1", ctl.I)
+	}
+}
+
+// TestQuickRandomInterleavingsExactlyOnce drives the machines through
+// random packet interleavings (loss, duplication, reordering — no
+// crashes) and checks exactly-once delivery for every quick-generated
+// schedule.
+func TestQuickRandomInterleavingsExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tx, err := NewTransmitter(testParams(seed * 3))
+		if err != nil {
+			return false
+		}
+		rx, err := NewReceiver(testParams(seed*3 + 1))
+		if err != nil {
+			return false
+		}
+		var toTx, toRx [][]byte
+		deliveries := make(map[string]int)
+
+		route := func(q *[][]byte, pkts [][]byte) {
+			for _, p := range pkts {
+				if r.Float64() < 0.3 {
+					continue // lose
+				}
+				*q = append(*q, p)
+				if r.Float64() < 0.3 {
+					*q = append(*q, p) // duplicate
+				}
+			}
+		}
+
+		for m := 0; m < 4; m++ {
+			msg := fmt.Sprintf("q-%d-%d", seed, m)
+			out, err := tx.SendMsg([]byte(msg))
+			if err != nil {
+				return false
+			}
+			route(&toRx, out.Packets)
+			for step := 0; step < 50_000 && tx.Busy(); step++ {
+				switch {
+				case len(toRx) > 0 && r.Intn(2) == 0:
+					i := r.Intn(len(toRx))
+					p := toRx[i]
+					toRx = append(toRx[:i], toRx[i+1:]...)
+					rout := rx.ReceivePacket(p)
+					for _, d := range rout.Delivered {
+						deliveries[string(d)]++
+					}
+					route(&toTx, rout.Packets)
+				case len(toTx) > 0 && r.Intn(2) == 0:
+					i := r.Intn(len(toTx))
+					p := toTx[i]
+					toTx = append(toTx[:i], toTx[i+1:]...)
+					route(&toRx, tx.ReceivePacket(p).Packets)
+				default:
+					route(&toTx, rx.Retry().Packets)
+				}
+			}
+			if tx.Busy() || deliveries[msg] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

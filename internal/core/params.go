@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ghm/internal/bitstr"
+)
+
+// DefaultEpsilon is the per-message error probability used when Params
+// leaves Epsilon unset. 2^-20 keeps strings short (about 25 bits) while
+// making spurious deliveries vanishingly rare.
+const DefaultEpsilon = 1.0 / (1 << 20)
+
+// Params configures a Transmitter or Receiver. The zero value selects the
+// paper's schedule with DefaultEpsilon and a crypto-quality random source.
+type Params struct {
+	// Epsilon is the permitted probability of error per message
+	// (0 < Epsilon < 1). Smaller values mean longer random strings.
+	Epsilon float64
+
+	// Size returns the number of fresh random bits drawn when a string is
+	// created (t = 1) or extended to level t. Defaults to the paper's
+	// size(t, eps) = t + 4 - floor(log2 eps).
+	Size func(t int) int
+
+	// Bound returns how many same-length mismatches are tolerated at level
+	// t before the string is extended. Defaults to the paper's
+	// bound(t) = floor(2^t / 4).
+	Bound func(t int) int
+
+	// Source supplies random bits. Defaults to bitstr.NewCryptoSource().
+	// Simulations inject a seeded math source for reproducibility.
+	Source bitstr.Source
+}
+
+// errInvalidEpsilon is returned by validate for out-of-range Epsilon.
+var errInvalidEpsilon = errors.New("core: Epsilon must be in (0, 1)")
+
+// withDefaults returns a copy of p with unset fields filled in.
+func (p Params) withDefaults() (Params, error) {
+	if p.Epsilon == 0 {
+		p.Epsilon = DefaultEpsilon
+	}
+	if p.Epsilon <= 0 || p.Epsilon >= 1 {
+		return Params{}, fmt.Errorf("%w (got %v)", errInvalidEpsilon, p.Epsilon)
+	}
+	if p.Size == nil {
+		eps := p.Epsilon
+		p.Size = func(t int) int { return DefaultSize(t, eps) }
+	}
+	if p.Bound == nil {
+		p.Bound = DefaultBound
+	}
+	if p.Source == nil {
+		p.Source = bitstr.NewCryptoSource()
+	}
+	return p, nil
+}
+
+// DefaultSize is the paper's size(t, eps) = t + 4 - floor(log2 eps)
+// (Figure 3). For eps = 2^-k this is t + 4 + k.
+func DefaultSize(t int, eps float64) int {
+	return t + 4 - int(math.Floor(math.Log2(eps)))
+}
+
+// DefaultBound is the paper's bound(t) = floor(2^t / 4) (Figure 3). Note
+// bound(1) = 0: at the lowest level a single mismatch already triggers an
+// extension, which is what defeats post-crash replay floods. The value is
+// capped to avoid overflow at absurd levels.
+func DefaultBound(t int) int {
+	if t >= 31 {
+		return 1 << 29
+	}
+	return (1 << uint(t)) / 4
+}
+
+// tauCrash is the reserved tag the receiver adopts after a crash
+// (Figure 3's tau_crash). The transmitter never emits a tag that extends
+// it, so a freshly crashed receiver always treats the in-flight message as
+// new and can deliver it.
+func tauCrash() bitstr.Str { return bitstr.Zero(1) }
+
+// newTau draws a level-1 transmitter tag of p.Size(1) bits whose first bit
+// is forced to 1, implementing Figure 3's side condition that tau_crash
+// ("0") is never a prefix of a transmitter tag.
+func newTau(p Params) bitstr.Str {
+	n := p.Size(1)
+	if n < 1 {
+		n = 1
+	}
+	return bitstr.One().Concat(p.Source.Draw(n - 1))
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/wire"
+)
+
+// ErrBusy is returned by Transmitter.SendMsg when the previous message has
+// neither been acknowledged (OK) nor wiped by a crash. The model's Axiom 1
+// makes the higher layer responsible for this serialization.
+var ErrBusy = errors.New("core: transmitter busy with previous message")
+
+// TxOutput collects the output actions of one transmitter input event.
+type TxOutput struct {
+	// Packets are encoded DATA packets to place on the T->R channel.
+	Packets [][]byte
+	// OK reports that the current message completed (the paper's OK
+	// action); the transmitter is ready for the next SendMsg.
+	OK bool
+}
+
+// TxStats counts transmitter-side events since construction or the last
+// crash. They feed the experiment harness; the protocol does not read them.
+type TxStats struct {
+	PacketsSent   int // DATA packets emitted
+	OKs           int // completed messages
+	ErrorsCounted int // same-length tag mismatches (num^T increments)
+	Extensions    int // tag extensions (t^T increments)
+	Ignored       int // packets dropped: malformed, stale, or idle-irrelevant
+}
+
+// Transmitter is the transmitting module (TM) of the protocol. Methods
+// must be called from one goroutine at a time; the type performs no
+// locking or I/O of its own.
+type Transmitter struct {
+	p Params
+
+	busy bool   // a message is in flight
+	msg  []byte // the in-flight message
+
+	tau     bitstr.Str // tau^T: current tag (empty when never sent)
+	tauPrev bitstr.Str // tag of the last completed transfer
+	hasPrev bool       // tauPrev is known (false right after a crash)
+
+	t   int    // t^T: extension level of tau
+	num int    // num^T: same-length mismatches at the current level
+	iT  uint64 // i^T: highest retry counter answered (Theorem 9's throttle)
+
+	rho    bitstr.Str // receiver challenge to answer eagerly on SendMsg
+	hasRho bool
+
+	k     int // completed transfers (analysis only)
+	stats TxStats
+}
+
+// NewTransmitter returns a transmitter in its post-crash initial state.
+func NewTransmitter(p Params) (*Transmitter, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tx := &Transmitter{p: p}
+	tx.reset()
+	return tx, nil
+}
+
+// reset erases all protocol state; it implements both construction and the
+// crash^T action.
+func (tx *Transmitter) reset() {
+	tx.busy = false
+	tx.msg = nil
+	tx.tau = bitstr.Empty()
+	tx.tauPrev = bitstr.Empty()
+	tx.hasPrev = false
+	tx.t = 1
+	tx.num = 0
+	tx.iT = 0
+	tx.rho = bitstr.Empty()
+	tx.hasRho = false
+}
+
+// Crash models crash^T: the entire memory of the station is erased.
+// Counters and statistics restart from the initial state.
+func (tx *Transmitter) Crash() {
+	tx.reset()
+	tx.k = 0
+	tx.stats = TxStats{}
+}
+
+// Busy reports whether a message is in flight (no OK or crash since the
+// last SendMsg).
+func (tx *Transmitter) Busy() bool { return tx.busy }
+
+// Completed returns the number of OK events since construction or the last
+// crash.
+func (tx *Transmitter) Completed() int { return tx.k }
+
+// TauLen returns the current tag length in bits (0 when idle and never
+// sent). It feeds the storage experiments (E5).
+func (tx *Transmitter) TauLen() int { return tx.tau.Len() }
+
+// Level returns the current extension level t^T.
+func (tx *Transmitter) Level() int { return tx.t }
+
+// Stats returns a copy of the transmitter's event counters.
+func (tx *Transmitter) Stats() TxStats { return tx.stats }
+
+// SendMsg models the higher layer's send_msg(m) action. It draws a fresh
+// tag for the transfer and, if a receiver challenge is already known,
+// immediately emits the first DATA packet. It returns ErrBusy if called
+// before the previous message's OK (Axiom 1).
+func (tx *Transmitter) SendMsg(m []byte) (TxOutput, error) {
+	if tx.busy {
+		return TxOutput{}, ErrBusy
+	}
+	tx.busy = true
+	tx.msg = append([]byte(nil), m...) // copy at the API boundary
+	tx.t = 1
+	tx.num = 0
+	tx.tau = newTau(tx.p)
+
+	var out TxOutput
+	if tx.hasRho {
+		out.Packets = append(out.Packets, tx.dataPacket(tx.rho))
+	}
+	return out, nil
+}
+
+// ReceivePacket models receive_pkt^{R->T}(p). Malformed packets are
+// ignored: the channel model never corrupts packets, but the runtime
+// substrate may hand us anything.
+func (tx *Transmitter) ReceivePacket(p []byte) TxOutput {
+	ctl, err := wire.DecodeCtl(p)
+	if err != nil {
+		tx.stats.Ignored++
+		return TxOutput{}
+	}
+	return tx.receiveCtl(ctl)
+}
+
+func (tx *Transmitter) receiveCtl(ctl wire.Ctl) TxOutput {
+	// Acknowledgement: the receiver echoes our current tag exactly. This
+	// is checked before the freshness throttle - a duplicated ack is still
+	// an ack, and tau is fresh randomness so old packets cannot carry it
+	// (except with the probability the analysis budgets for).
+	if tx.busy && ctl.Tau.Equal(tx.tau) {
+		tx.busy = false
+		tx.msg = nil
+		tx.tauPrev = tx.tau
+		tx.hasPrev = true
+		tx.rho = ctl.Rho
+		tx.hasRho = true
+		tx.iT = ctl.I
+		tx.k++
+		tx.stats.OKs++
+		return TxOutput{OK: true}
+	}
+
+	if !tx.busy {
+		// Idle: the only packets of interest are duplicate acks of the
+		// completed transfer; they may carry an extended challenge, which
+		// we adopt so the next SendMsg answers the receiver's latest rho.
+		if tx.hasPrev && ctl.Tau.Equal(tx.tauPrev) {
+			tx.rho = ctl.Rho
+			tx.hasRho = true
+			if ctl.I > tx.iT {
+				tx.iT = ctl.I
+			}
+		} else {
+			tx.stats.Ignored++
+		}
+		return TxOutput{}
+	}
+
+	// Busy, not an ack: count adversarial-looking tags. A tag counts as an
+	// error when it has exactly the current tag's length but a different
+	// value, and is not the expected stale echo of the previous transfer
+	// (the dual of Figure 5's "NOT prefix(rho, rho^R_{k-1})" exclusion).
+	if ctl.Tau.Len() == tx.tau.Len() && !ctl.Tau.Equal(tx.tau) &&
+		!(tx.hasPrev && ctl.Tau.IsPrefixOf(tx.tauPrev)) {
+		tx.num++
+		tx.stats.ErrorsCounted++
+		if tx.num >= tx.p.Bound(tx.t) {
+			tx.t++
+			tx.num = 0
+			tx.tau = tx.tau.Concat(tx.p.Source.Draw(tx.p.Size(tx.t)))
+			tx.stats.Extensions++
+		}
+	}
+
+	// Theorem 9's reply throttle: answer only challenges fresher than any
+	// answered so far, so replayed CTL packets cannot trigger packet
+	// storms and the stable phase sends a single packet value.
+	var out TxOutput
+	if ctl.I > tx.iT {
+		tx.iT = ctl.I
+		tx.rho = ctl.Rho
+		tx.hasRho = true
+		out.Packets = append(out.Packets, tx.dataPacket(ctl.Rho))
+	}
+	return out
+}
+
+func (tx *Transmitter) dataPacket(rho bitstr.Str) []byte {
+	tx.stats.PacketsSent++
+	return wire.Data{Msg: tx.msg, Rho: rho, Tau: tx.tau}.Encode()
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ghm/internal/core"
+	"ghm/internal/netlink"
+	"ghm/internal/stats"
+	"ghm/internal/transport"
+)
+
+// E7Row is one relay mode of the transport experiment.
+type E7Row struct {
+	Mode            transport.Mode
+	Messages        int
+	Completed       int
+	TraversalsPer   float64 // link traversals per completed message
+	LostTraversals  int
+	NoRouteDrops    int
+	ElapsedPerMsgMs float64
+}
+
+// E7Result holds the transport-layer comparison.
+type E7Result struct {
+	Rows []E7Row
+}
+
+// E7 runs GHM end to end over a 3x3 grid network with lossy, failing
+// links, comparing the trivial flooding relay with the [HK89]-style
+// path-routing relay. The paper's Section 1 claim is the cost contrast:
+// flooding pays O(|E|) traversals per packet, path routing pays O(path),
+// and both compose with GHM into a reliable transport.
+func E7(o Options) E7Result {
+	o = o.norm()
+	messages := o.scaled(25, 5)
+
+	var res E7Result
+	for i, mode := range []transport.Mode{transport.Flooding, transport.PathRouting} {
+		row := runE7Mode(o, int64(i), mode, messages)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func runE7Mode(o Options, salt int64, mode transport.Mode, messages int) E7Row {
+	net, err := transport.New(transport.Config{
+		Nodes: 9, Edges: transport.Grid(3, 3),
+		Loss: 0.05, FailProb: 0.001, RepairProb: 0.1,
+		Seed:      o.Seed*59 + salt + 1,
+		TickEvery: 20 * time.Microsecond,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("E7: %v", err))
+	}
+	defer net.Close()
+
+	srcConn, err := net.Endpoint(0, 8, mode)
+	if err != nil {
+		panic(fmt.Sprintf("E7: %v", err))
+	}
+	dstConn, err := net.Endpoint(8, 0, mode)
+	if err != nil {
+		panic(fmt.Sprintf("E7: %v", err))
+	}
+	s, err := netlink.NewSender(srcConn, core.Params{})
+	if err != nil {
+		panic(fmt.Sprintf("E7: %v", err))
+	}
+	defer s.Close()
+	r, err := netlink.NewReceiver(dstConn, netlink.ReceiverConfig{
+		RetryInterval: 300 * time.Microsecond,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("E7: %v", err))
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	completed := 0
+	recvErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < messages; i++ {
+			if _, err := r.Recv(ctx); err != nil {
+				recvErr <- err
+				return
+			}
+		}
+		recvErr <- nil
+	}()
+	for i := 0; i < messages; i++ {
+		if err := s.Send(ctx, []byte(fmt.Sprintf("e7-%s-%d", mode, i))); err != nil {
+			break
+		}
+		completed++
+	}
+	<-recvErr
+	elapsed := time.Since(start)
+
+	st := net.Stats()
+	row := E7Row{
+		Mode:           mode,
+		Messages:       messages,
+		Completed:      completed,
+		LostTraversals: st.Lost,
+		NoRouteDrops:   st.NoRoute,
+	}
+	if completed > 0 {
+		row.TraversalsPer = float64(st.Traversals) / float64(completed)
+		row.ElapsedPerMsgMs = float64(elapsed.Milliseconds()) / float64(completed)
+	}
+	return row
+}
+
+// FloodingCostlier reports the claim's shape: flooding spends more link
+// traversals per message than path routing.
+func (r E7Result) FloodingCostlier() bool {
+	var flood, path *E7Row
+	for i := range r.Rows {
+		switch r.Rows[i].Mode {
+		case transport.Flooding:
+			flood = &r.Rows[i]
+		case transport.PathRouting:
+			path = &r.Rows[i]
+		}
+	}
+	return flood != nil && path != nil && flood.TraversalsPer > path.TraversalsPer
+}
+
+// Table renders the result.
+func (r E7Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   "E7: GHM over a 3x3 relay grid — flooding vs path routing (Section 1, [HK89])",
+		Note:    "5% per-link loss, links fail and recover; source corner to opposite corner",
+		Headers: []string{"relay mode", "messages", "completed", "traversals/msg", "lost traversals", "no-route drops", "ms/msg"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode.String(), itoa(row.Messages), itoa(row.Completed),
+			stats.F1(row.TraversalsPer), itoa(row.LostTraversals),
+			itoa(row.NoRouteDrops), stats.F1(row.ElapsedPerMsgMs))
+	}
+	return t
+}

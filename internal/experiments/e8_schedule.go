@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ghm/internal/adversary"
+	"ghm/internal/core"
+	"ghm/internal/sim"
+	"ghm/internal/stats"
+	"ghm/internal/trace"
+)
+
+// E8Row is one size/bound schedule variant.
+type E8Row struct {
+	Variant     string
+	Messages    int
+	Violations  int
+	DataPerMsg  float64
+	CtlPerMsg   float64
+	MeanRhoBits float64 // mean per-message peak challenge length
+	MaxRhoBits  int
+	Done        bool
+}
+
+// E8Result holds the schedule ablation.
+type E8Result struct {
+	Rows []E8Row
+}
+
+// E8 ablates the size/bound schedule of Figure 3 — the paper's conclusions
+// explicitly leave choosing these functions well as an open problem. Each
+// variant faces the same replay-flood-plus-crashes adversary; the table
+// shows the storage/traffic tradeoff: extending eagerly (small bound)
+// keeps floods cheap to deflect but grows strings faster under noise,
+// extending lazily (large bound) caps storage but tolerates longer floods,
+// and smaller size increments save bits at the cost of more extension
+// rounds.
+func E8(o Options) E8Result {
+	o = o.norm()
+	messages := o.scaled(150, 20)
+	eps := 1.0 / (1 << 12)
+
+	variants := []struct {
+		name string
+		p    core.Params
+	}{
+		{name: "paper (Fig. 3)", p: core.Params{Epsilon: eps}},
+		{name: "eager (bound=1)", p: core.Params{
+			Epsilon: eps,
+			Bound:   func(int) int { return 1 },
+		}},
+		{name: "lazy (bound=64)", p: core.Params{
+			Epsilon: eps,
+			Bound:   func(int) int { return 64 },
+		}},
+		{name: "thin (size=8)", p: core.Params{
+			Epsilon: eps,
+			Size: func(t int) int {
+				if t == 1 {
+					return core.DefaultSize(1, eps)
+				}
+				return 8
+			},
+		}},
+		{name: "fat (size=2t+base)", p: core.Params{
+			Epsilon: eps,
+			Size:    func(t int) int { return 2*t + 4 - int(math.Floor(math.Log2(eps))) },
+		}},
+	}
+
+	var res E8Result
+	for vi, v := range variants {
+		salt := int64(8000 + vi*10)
+		// crash^T accompanies crash^R for the same reason as in E1: it
+		// resets the i^T watermark that replayed CTL packets inflate.
+		adv := adversary.Compose(
+			fair(o, salt, adversary.FairConfig{Loss: 0.15}),
+			adversary.NewGuessFlood(o.rng(salt+1), trace.DirTR, 4),
+			adversary.NewGuessFlood(o.rng(salt+2), trace.DirRT, 4),
+			&adversary.CrashLoop{EveryT: 1733, EveryR: 301},
+		)
+		r, err := sim.RunGHM(sim.Config{
+			Messages:  messages,
+			MaxSteps:  6_000_000,
+			Adversary: adv,
+		}, v.p, o.Seed*61+salt)
+		if err != nil {
+			panic(fmt.Sprintf("E8: %v", err))
+		}
+		row := E8Row{
+			Variant:    v.name,
+			Messages:   r.Attempted,
+			Violations: r.Report.Violations(),
+			Done:       r.Done,
+		}
+		if r.Completed > 0 {
+			row.DataPerMsg = ratio(r.PacketsTR, r.Completed)
+			row.CtlPerMsg = ratio(r.PacketsRT, r.Completed)
+		}
+		var rho stats.Acc
+		for _, pm := range r.PerMessage {
+			if pm.OK {
+				rho.AddInt(pm.MaxRxBits)
+			}
+		}
+		row.MeanRhoBits = rho.Mean()
+		row.MaxRhoBits = int(rho.Max())
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// AllSafe reports whether every variant stayed violation-free (the
+// schedule trades cost, not correctness, at these sample sizes).
+func (r E8Result) AllSafe() bool {
+	for _, row := range r.Rows {
+		if row.Violations > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the result.
+func (r E8Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   "E8: size/bound schedule ablation under replay floods (Conclusions open problem)",
+		Note:    "15% loss + same-length floods both ways + crash^R every 301 steps; eps=2^-12",
+		Headers: []string{"variant", "messages", "violations", "DATA/msg", "CTL/msg", "mean peak rho", "max rho", "completed"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant, itoa(row.Messages), itoa(row.Violations),
+			stats.F1(row.DataPerMsg), stats.F1(row.CtlPerMsg),
+			stats.F1(row.MeanRhoBits), itoa(row.MaxRhoBits), boolMark(row.Done))
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+// Package experiments implements the reproduction suite indexed in
+// DESIGN.md: one experiment per claim of the paper (its theorems and
+// complexity statements stand in for the evaluation tables a systems paper
+// would have). Each experiment returns a typed result plus a rendered
+// table; cmd/ghmbench regenerates all of them and EXPERIMENTS.md records
+// the measured outputs next to the paper's claims.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ghm/internal/adversary"
+	"ghm/internal/stats"
+)
+
+// Options scales the suite. The zero value is replaced by Default.
+type Options struct {
+	// Scale multiplies workload sizes; 1.0 is the full EXPERIMENTS.md
+	// configuration, benchmarks and tests use smaller values.
+	Scale float64
+	// Seed shifts every derived RNG, for independent repetitions.
+	Seed int64
+}
+
+// Default is the full-size configuration.
+var Default = Options{Scale: 1.0}
+
+func (o Options) norm() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// scaled returns n scaled down, at least lo.
+func (o Options) scaled(n, lo int) int {
+	v := int(float64(n) * o.Scale)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// rng derives a deterministic RNG for a sub-experiment.
+func (o Options) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(o.Seed*1_000_003 + salt))
+}
+
+func fair(o Options, salt int64, cfg adversary.FairConfig) adversary.Adversary {
+	return adversary.NewFair(o.rng(salt), cfg)
+}
+
+// Experiment couples an identifier with a runner for the CLI registry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *stats.Table
+}
+
+// All returns the registry of experiments in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Order condition: violation rate vs epsilon (Theorem 3)",
+			Run: func(o Options) *stats.Table { return E1(o).Table() }},
+		{ID: "E2", Title: "No-replay: the Section 3 attack across protocols (Theorem 7)",
+			Run: func(o Options) *stats.Table { return E2(o).Table() }},
+		{ID: "E3", Title: "No-duplication under duplicating channels (Theorem 8)",
+			Run: func(o Options) *stats.Table { return E3(o).Table() }},
+		{ID: "E4", Title: "Liveness cost: packets per message vs loss (Theorem 9, Section 1)",
+			Run: func(o Options) *stats.Table { return E4(o).Table() }},
+		{ID: "E5", Title: "Storage resets per message (Section 1 storage claim)",
+			Run: func(o Options) *stats.Table { return E5(o).Table() }},
+		{ID: "E6", Title: "Crash resilience vs deterministic baselines ([LMF88]/[BS88])",
+			Run: func(o Options) *stats.Table { return E6(o).Table() }},
+		{ID: "E7", Title: "Transport layer: flooding vs path routing (Section 1, [HK89])",
+			Run: func(o Options) *stats.Table { return E7(o).Table() }},
+		{ID: "E8", Title: "size/bound schedule ablation (Conclusions open problem)",
+			Run: func(o Options) *stats.Table { return E8(o).Table() }},
+		{ID: "E9", Title: "Forging channels: safety without liveness (Conclusions open problem)",
+			Run: func(o Options) *stats.Table { return E9(o).Table() }},
+	}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func boolMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

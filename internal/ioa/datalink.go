@@ -1,0 +1,155 @@
+package ioa
+
+import (
+	"fmt"
+
+	"ghm/internal/trace"
+)
+
+// Action names of the Section 2 components. These are the exact actions
+// of the paper with the channel direction folded into the name (the paper
+// writes them as superscripts).
+const (
+	ActSendMsg    = "send_msg"
+	ActOK         = "OK"
+	ActReceiveMsg = "receive_msg"
+	ActCrashT     = "crash^T"
+	ActCrashR     = "crash^R"
+	ActRetry      = "RETRY"
+
+	ActSendPktTR    = "send_pkt^{T->R}"
+	ActReceivePktTR = "receive_pkt^{T->R}"
+	ActNewPktTR     = "new_pkt^{T->R}"
+	ActDeliverPktTR = "deliver_pkt^{T->R}"
+
+	ActSendPktRT    = "send_pkt^{R->T}"
+	ActReceivePktRT = "receive_pkt^{R->T}"
+	ActNewPktRT     = "new_pkt^{R->T}"
+	ActDeliverPktRT = "deliver_pkt^{R->T}"
+)
+
+// TMSignature is the transmitting module of Section 2.1.
+func TMSignature() Signature {
+	return MustSignature("TM",
+		[]string{ActSendMsg, ActReceivePktRT, ActCrashT},
+		[]string{ActOK, ActSendPktTR},
+		nil,
+	)
+}
+
+// RMSignature is the receiving module of Section 2.2, including the
+// internal RETRY action introduced in Section 3.
+func RMSignature() Signature {
+	return MustSignature("RM",
+		[]string{ActReceivePktTR, ActCrashR},
+		[]string{ActSendPktRT, ActReceiveMsg},
+		[]string{ActRetry},
+	)
+}
+
+// ChannelTRSignature is the T->R communication channel of Section 2.3.
+func ChannelTRSignature() Signature {
+	return MustSignature("C^{T->R}",
+		[]string{ActSendPktTR, ActDeliverPktTR},
+		[]string{ActReceivePktTR, ActNewPktTR},
+		nil,
+	)
+}
+
+// ChannelRTSignature is the R->T communication channel.
+func ChannelRTSignature() Signature {
+	return MustSignature("C^{R->T}",
+		[]string{ActSendPktRT, ActDeliverPktRT},
+		[]string{ActReceivePktRT, ActNewPktRT},
+		nil,
+	)
+}
+
+// ADVSignature is the adversary of Section 2.4.
+func ADVSignature() Signature {
+	return MustSignature("ADV",
+		[]string{ActNewPktTR, ActNewPktRT},
+		[]string{ActCrashT, ActCrashR, ActDeliverPktTR, ActDeliverPktRT},
+		nil,
+	)
+}
+
+// DataLinkSystem composes the five Section 2 components into the system
+// of Figure 1. The composition succeeding at all is itself a check that
+// the paper's signatures are compatible in the [LT87] sense.
+func DataLinkSystem() (Signature, error) {
+	return Compose("D(A,ADV)",
+		TMSignature(), RMSignature(),
+		ChannelTRSignature(), ChannelRTSignature(),
+		ADVSignature(),
+	)
+}
+
+// FromTrace maps a simulator execution onto model actions. One simulator
+// packet event expands to the action pairs the model prescribes: a
+// send_pkt is immediately followed by the channel's new_pkt notification
+// to the adversary, and an adversary delivery is the deliver_pkt followed
+// by the channel's receive_pkt at the destination.
+func FromTrace(events []trace.Event) ([]Event, error) {
+	var out []Event
+	for i, e := range events {
+		switch e.Kind {
+		case trace.KindSendMsg:
+			out = append(out, Event{Action: ActSendMsg, Msg: e.Msg})
+		case trace.KindOK:
+			out = append(out, Event{Action: ActOK})
+		case trace.KindReceiveMsg:
+			out = append(out, Event{Action: ActReceiveMsg, Msg: e.Msg})
+		case trace.KindCrashT:
+			out = append(out, Event{Action: ActCrashT})
+		case trace.KindCrashR:
+			out = append(out, Event{Action: ActCrashR})
+		case trace.KindRetry:
+			out = append(out, Event{Action: ActRetry})
+		case trace.KindSendPkt:
+			switch e.Dir {
+			case trace.DirTR:
+				out = append(out, Event{Action: ActSendPktTR}, Event{Action: ActNewPktTR})
+			case trace.DirRT:
+				out = append(out, Event{Action: ActSendPktRT}, Event{Action: ActNewPktRT})
+			default:
+				return nil, fmt.Errorf("ioa: event %d: send_pkt with direction %v", i, e.Dir)
+			}
+		case trace.KindDeliverPkt:
+			switch e.Dir {
+			case trace.DirTR:
+				out = append(out, Event{Action: ActDeliverPktTR}, Event{Action: ActReceivePktTR})
+			case trace.DirRT:
+				out = append(out, Event{Action: ActDeliverPktRT}, Event{Action: ActReceivePktRT})
+			default:
+				return nil, fmt.Errorf("ioa: event %d: deliver_pkt with direction %v", i, e.Dir)
+			}
+		default:
+			return nil, fmt.Errorf("ioa: event %d: unknown kind %v", i, e.Kind)
+		}
+	}
+	return out, nil
+}
+
+// Conformance validates a simulator execution against the composed
+// Section 2 model: every action belongs to the composition's signature,
+// and Axioms 1 and 2 hold. It mechanizes the sentence "let alpha be an
+// execution of D(A, ADV) satisfying the axioms" that every theorem of the
+// paper opens with.
+func Conformance(events []trace.Event) error {
+	sys, err := DataLinkSystem()
+	if err != nil {
+		return err
+	}
+	mapped, err := FromTrace(events)
+	if err != nil {
+		return err
+	}
+	if err := ValidateExecution(sys, mapped); err != nil {
+		return err
+	}
+	if err := CheckAxiom1(mapped); err != nil {
+		return err
+	}
+	return CheckAxiom2(mapped)
+}

@@ -1,0 +1,238 @@
+// Package ioa implements the slice of the I/O automata model ([LT87], as
+// used by [LMF88]) that the paper's Section 2 is written in: action
+// signatures, compatibility-checked composition, and validation of
+// executions against a signature and the paper's axioms.
+//
+// The paper defines its components (TM, RM, the two channels, ADV) by
+// their action signatures and its correctness conditions over executions
+// of the composition. This package mechanizes that scaffolding:
+// DataLinkSystem builds the five Section 2 signatures and composes them,
+// and Conformance checks that an execution recorded by the simulator is a
+// well-formed execution of that composition satisfying Axioms 1 and 2.
+// (Axiom 3, fairness, quantifies over infinite executions and is
+// exercised empirically by the liveness experiments instead.)
+package ioa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class classifies an action within a signature.
+type Class int
+
+const (
+	// Input actions are controlled by the environment.
+	Input Class = iota + 1
+	// Output actions are controlled by the automaton.
+	Output
+	// Internal actions are invisible to other automata.
+	Internal
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case Internal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Signature is an automaton's action signature: a named, disjoint
+// classification of action names.
+type Signature struct {
+	name    string
+	classes map[string]Class
+}
+
+// NewSignature builds a signature, rejecting actions listed in more than
+// one class.
+func NewSignature(name string, in, out, internal []string) (Signature, error) {
+	s := Signature{name: name, classes: make(map[string]Class)}
+	add := func(names []string, c Class) error {
+		for _, a := range names {
+			if prev, ok := s.classes[a]; ok {
+				return fmt.Errorf("ioa: %s: action %q is both %v and %v", name, a, prev, c)
+			}
+			s.classes[a] = c
+		}
+		return nil
+	}
+	if err := add(in, Input); err != nil {
+		return Signature{}, err
+	}
+	if err := add(out, Output); err != nil {
+		return Signature{}, err
+	}
+	if err := add(internal, Internal); err != nil {
+		return Signature{}, err
+	}
+	return s, nil
+}
+
+// MustSignature is NewSignature that panics on error, for the fixed model
+// definitions below.
+func MustSignature(name string, in, out, internal []string) Signature {
+	s, err := NewSignature(name, in, out, internal)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the signature's name.
+func (s Signature) Name() string { return s.name }
+
+// ClassOf returns the class of an action and whether it belongs to the
+// signature.
+func (s Signature) ClassOf(action string) (Class, bool) {
+	c, ok := s.classes[action]
+	return c, ok
+}
+
+// Actions returns the sorted action names of the given class.
+func (s Signature) Actions(c Class) []string {
+	var out []string
+	for a, cls := range s.classes {
+		if cls == c {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// External returns the sorted input and output action names.
+func (s Signature) External() []string {
+	out := append(s.Actions(Input), s.Actions(Output)...)
+	sort.Strings(out)
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s Signature) String() string {
+	return fmt.Sprintf("%s{in: %s; out: %s; int: %s}", s.name,
+		strings.Join(s.Actions(Input), ","),
+		strings.Join(s.Actions(Output), ","),
+		strings.Join(s.Actions(Internal), ","))
+}
+
+// Compose builds the composition of compatible signatures per [LT87]:
+//
+//   - output action sets must be pairwise disjoint (at most one automaton
+//     controls each action);
+//   - internal actions of one automaton must not appear in any other's
+//     signature (internals are private).
+//
+// In the composition, an action that is an output of any component is an
+// output; an action that is only ever an input stays an input; internal
+// actions stay internal.
+func Compose(name string, sigs ...Signature) (Signature, error) {
+	out := Signature{name: name, classes: make(map[string]Class)}
+	for i, s := range sigs {
+		for a, c := range s.classes {
+			// Compatibility checks against all previously merged components.
+			if c == Internal {
+				for j, other := range sigs {
+					if i == j {
+						continue
+					}
+					if _, ok := other.classes[a]; ok {
+						return Signature{}, fmt.Errorf(
+							"ioa: compose %s: internal action %q of %s appears in %s",
+							name, a, s.name, other.name)
+					}
+				}
+			}
+			if c == Output {
+				if prev, ok := out.classes[a]; ok && prev == Output {
+					return Signature{}, fmt.Errorf(
+						"ioa: compose %s: action %q is an output of two components", name, a)
+				}
+			}
+			switch prev, ok := out.classes[a]; {
+			case !ok:
+				out.classes[a] = c
+			case c == Output:
+				out.classes[a] = Output // output wins over input
+			case c == Internal:
+				out.classes[a] = Internal
+			case prev == Input && c == Input:
+				// stays input
+			}
+		}
+	}
+	return out, nil
+}
+
+// Event is one action occurrence in an execution.
+type Event struct {
+	Action string
+	// Msg carries the message payload for send_msg/receive_msg actions;
+	// it exists for the axiom checks.
+	Msg string
+}
+
+// ValidateExecution checks that every event names an action of the
+// signature, returning the index and name of the first stray action.
+func ValidateExecution(sig Signature, events []Event) error {
+	for i, e := range events {
+		if _, ok := sig.ClassOf(e.Action); !ok {
+			return fmt.Errorf("ioa: event %d: action %q not in signature %s", i, e.Action, sig.Name())
+		}
+	}
+	return nil
+}
+
+// CheckAxiom1 verifies the paper's Axiom 1 over an execution: between
+// every two consecutive send_msg actions there is an OK or crash^T.
+func CheckAxiom1(events []Event) error {
+	pending := false
+	for i, e := range events {
+		switch e.Action {
+		case ActSendMsg:
+			if pending {
+				return fmt.Errorf("ioa: axiom 1 violated at event %d: send_msg with a transfer pending", i)
+			}
+			pending = true
+		case ActOK, ActCrashT:
+			pending = false
+		}
+	}
+	return nil
+}
+
+// CheckAxiom2 verifies the paper's Axiom 2: every send_msg carries a
+// distinct message.
+func CheckAxiom2(events []Event) error {
+	seen := make(map[string]int)
+	for i, e := range events {
+		if e.Action != ActSendMsg {
+			continue
+		}
+		if j, dup := seen[e.Msg]; dup {
+			return fmt.Errorf("ioa: axiom 2 violated: message %q sent at events %d and %d", e.Msg, j, i)
+		}
+		seen[e.Msg] = i
+	}
+	return nil
+}
+
+// Project keeps only the events whose actions are external in sig —
+// the "external behavior" of the execution.
+func Project(sig Signature, events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if c, ok := sig.ClassOf(e.Action); ok && c != Internal {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package ioa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ghm/internal/adversary"
+	"ghm/internal/core"
+	"ghm/internal/sim"
+	"ghm/internal/trace"
+)
+
+func TestNewSignatureRejectsOverlap(t *testing.T) {
+	if _, err := NewSignature("x", []string{"a"}, []string{"a"}, nil); err == nil {
+		t.Error("input/output overlap accepted")
+	}
+	if _, err := NewSignature("x", []string{"a"}, nil, []string{"a"}); err == nil {
+		t.Error("input/internal overlap accepted")
+	}
+	s, err := NewSignature("x", []string{"a"}, []string{"b"}, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]Class{"a": Input, "b": Output, "c": Internal} {
+		if got, ok := s.ClassOf(name); !ok || got != want {
+			t.Errorf("ClassOf(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := s.ClassOf("z"); ok {
+		t.Error("unknown action classified")
+	}
+}
+
+func TestSignatureAccessors(t *testing.T) {
+	s := MustSignature("x", []string{"b", "a"}, []string{"c"}, []string{"d"})
+	if got := s.Actions(Input); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Actions(Input) = %v", got)
+	}
+	if got := s.External(); len(got) != 3 {
+		t.Errorf("External() = %v", got)
+	}
+	if str := s.String(); !strings.Contains(str, "x{") || !strings.Contains(str, "d") {
+		t.Errorf("String() = %q", str)
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class string empty")
+	}
+}
+
+func TestComposeRejectsSharedOutputs(t *testing.T) {
+	a := MustSignature("a", nil, []string{"o"}, nil)
+	b := MustSignature("b", nil, []string{"o"}, nil)
+	if _, err := Compose("ab", a, b); err == nil {
+		t.Error("two owners of one output accepted")
+	}
+}
+
+func TestComposeRejectsLeakedInternals(t *testing.T) {
+	a := MustSignature("a", nil, nil, []string{"priv"})
+	b := MustSignature("b", []string{"priv"}, nil, nil)
+	if _, err := Compose("ab", a, b); err == nil {
+		t.Error("internal action visible to peer accepted")
+	}
+}
+
+func TestComposeClassResolution(t *testing.T) {
+	producer := MustSignature("p", nil, []string{"x"}, nil)
+	consumer := MustSignature("c", []string{"x", "y"}, nil, nil)
+	sys, err := Compose("pc", producer, consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := sys.ClassOf("x"); c != Output {
+		t.Errorf("shared action class = %v, want Output", c)
+	}
+	if c, _ := sys.ClassOf("y"); c != Input {
+		t.Errorf("unmatched input class = %v, want Input", c)
+	}
+}
+
+func TestDataLinkSystemComposes(t *testing.T) {
+	sys, err := DataLinkSystem()
+	if err != nil {
+		t.Fatalf("the paper's Figure 1 composition is incompatible: %v", err)
+	}
+	// Every packet action is matched producer/consumer, so the system's
+	// outputs include all deliver/new/receive/send packet actions.
+	for _, a := range []string{
+		ActSendMsg, ActOK, ActReceiveMsg, ActCrashT, ActCrashR,
+		ActSendPktTR, ActReceivePktTR, ActNewPktTR, ActDeliverPktTR,
+		ActSendPktRT, ActReceivePktRT, ActNewPktRT, ActDeliverPktRT,
+	} {
+		if _, ok := sys.ClassOf(a); !ok {
+			t.Errorf("composed system missing action %q", a)
+		}
+	}
+	// send_msg has no producing component: it stays an environment input.
+	if c, _ := sys.ClassOf(ActSendMsg); c != Input {
+		t.Errorf("send_msg class = %v, want Input", c)
+	}
+	// RETRY is internal to RM and must remain internal.
+	if c, _ := sys.ClassOf(ActRetry); c != Internal {
+		t.Errorf("RETRY class = %v, want Internal", c)
+	}
+	// deliver_pkt is the adversary's output consumed by the channel.
+	if c, _ := sys.ClassOf(ActDeliverPktTR); c != Output {
+		t.Errorf("deliver_pkt class = %v, want Output", c)
+	}
+}
+
+func TestValidateExecution(t *testing.T) {
+	sys, err := DataLinkSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []Event{{Action: ActSendMsg, Msg: "a"}, {Action: ActOK}}
+	if err := ValidateExecution(sys, good); err != nil {
+		t.Errorf("valid execution rejected: %v", err)
+	}
+	bad := []Event{{Action: "teleport"}}
+	if err := ValidateExecution(sys, bad); err == nil {
+		t.Error("stray action accepted")
+	}
+}
+
+func TestAxiom1(t *testing.T) {
+	ok := []Event{
+		{Action: ActSendMsg, Msg: "a"}, {Action: ActOK},
+		{Action: ActSendMsg, Msg: "b"}, {Action: ActCrashT},
+		{Action: ActSendMsg, Msg: "c"},
+	}
+	if err := CheckAxiom1(ok); err != nil {
+		t.Errorf("legal send pattern rejected: %v", err)
+	}
+	bad := []Event{{Action: ActSendMsg, Msg: "a"}, {Action: ActSendMsg, Msg: "b"}}
+	if err := CheckAxiom1(bad); err == nil {
+		t.Error("back-to-back send_msg accepted")
+	}
+}
+
+func TestAxiom2(t *testing.T) {
+	ok := []Event{{Action: ActSendMsg, Msg: "a"}, {Action: ActOK}, {Action: ActSendMsg, Msg: "b"}}
+	if err := CheckAxiom2(ok); err != nil {
+		t.Errorf("unique messages rejected: %v", err)
+	}
+	bad := []Event{{Action: ActSendMsg, Msg: "a"}, {Action: ActOK}, {Action: ActSendMsg, Msg: "a"}}
+	if err := CheckAxiom2(bad); err == nil {
+		t.Error("duplicate message accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	sys, err := DataLinkSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Action: ActSendMsg, Msg: "a"},
+		{Action: ActRetry}, // internal: projected away
+		{Action: ActOK},
+	}
+	got := Project(sys, events)
+	if len(got) != 2 || got[0].Action != ActSendMsg || got[1].Action != ActOK {
+		t.Errorf("Project = %v", got)
+	}
+}
+
+func TestFromTraceExpandsPacketActions(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindSendPkt, Dir: trace.DirTR},
+		{Kind: trace.KindDeliverPkt, Dir: trace.DirRT},
+	}
+	got, err := FromTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{ActSendPktTR, ActNewPktTR, ActDeliverPktRT, ActReceivePktRT}
+	if len(got) != len(want) {
+		t.Fatalf("expanded to %d actions, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Action != w {
+			t.Errorf("action %d = %q, want %q", i, got[i].Action, w)
+		}
+	}
+}
+
+func TestFromTraceRejectsMalformed(t *testing.T) {
+	if _, err := FromTrace([]trace.Event{{Kind: trace.Kind(99)}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := FromTrace([]trace.Event{{Kind: trace.KindSendPkt}}); err == nil {
+		t.Error("directionless packet accepted")
+	}
+}
+
+// TestSimulatorConformance is the headline check: executions produced by
+// the simulator are valid executions of the paper's composed model and
+// satisfy its axioms, under benign and hostile adversaries alike.
+func TestSimulatorConformance(t *testing.T) {
+	adversaries := map[string]adversary.Adversary{
+		"fair": adversary.NewFair(rand.New(rand.NewSource(1)),
+			adversary.FairConfig{Loss: 0.3, DupProb: 0.3}),
+		"hostile": adversary.Compose(
+			adversary.NewFair(rand.New(rand.NewSource(2)), adversary.FairConfig{}),
+			adversary.NewReplay(rand.New(rand.NewSource(3)), trace.DirTR, 3),
+			&adversary.CrashLoop{EveryT: 41, EveryR: 67},
+		),
+	}
+	for name, adv := range adversaries {
+		name, adv := name, adv
+		t.Run(name, func(t *testing.T) {
+			res, err := sim.RunGHM(sim.Config{
+				Messages:  30,
+				MaxSteps:  200_000,
+				Adversary: adv,
+				KeepTrace: true,
+			}, core.Params{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Conformance(res.Events); err != nil {
+				t.Fatalf("simulator execution does not conform to the model: %v", err)
+			}
+		})
+	}
+}

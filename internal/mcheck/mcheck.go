@@ -1,0 +1,428 @@
+// Package mcheck is a bounded model checker for data-link protocols under
+// the paper's fault model.
+//
+// Where the simulator (ghm/internal/sim) samples one adversary behaviour
+// per run, the checker explores EVERY adversary behaviour expressible over
+// a curated action alphabet, up to a bounded number of decisions, and
+// verifies the Section 2.6 safety conditions on every path. The alphabet
+// covers the fault model's whole repertoire: in-order delivery, reordered
+// delivery, replay of arbitrarily old packets, and crashes of either
+// station.
+//
+// Station randomness is pinned by a seed and replayed identically along
+// every path (the machines draw the same strings at the same decision
+// points), so a full exploration certifies: "for these coin tosses, no
+// adversary schedule of depth <= D violates safety". That is exactly the
+// quantifier structure of the paper's theorems — probability over coins,
+// worst case over adversaries — sampled over seeds. The checker also
+// doubles as a bug-finder: pointed at the deterministic baselines it
+// produces minimal counterexample schedules for their crash and
+// duplication failures in a handful of decisions.
+//
+// Exploration is replay-based: machines are reconstructed from their seed
+// for every path rather than cloned, which keeps the station interfaces
+// free of checkpoint/restore requirements.
+package mcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ghm/internal/channel"
+	"ghm/internal/sim"
+	"ghm/internal/trace"
+	"ghm/internal/verify"
+)
+
+// Choice is one adversary decision in a schedule.
+type Choice uint8
+
+const (
+	// ChoiceRetry fires the receiver's RETRY action (and the baselines'
+	// transmitter tick).
+	ChoiceRetry Choice = iota + 1
+	// ChoiceDeliverOldestTR delivers the oldest still-pending T->R packet.
+	ChoiceDeliverOldestTR
+	// ChoiceDeliverNewestTR delivers the newest pending T->R packet
+	// (reordering).
+	ChoiceDeliverNewestTR
+	// ChoiceReplayFirstTR re-delivers the first T->R packet ever sent
+	// (replay of arbitrarily old traffic).
+	ChoiceReplayFirstTR
+	// ChoiceDeliverOldestRT, ChoiceDeliverNewestRT, ChoiceReplayFirstRT
+	// are the R->T duals.
+	ChoiceDeliverOldestRT
+	ChoiceDeliverNewestRT
+	ChoiceReplayFirstRT
+	// ChoiceCrashT and ChoiceCrashR crash a station.
+	ChoiceCrashT
+	ChoiceCrashR
+
+	numChoices = int(ChoiceCrashR)
+)
+
+var choiceNames = map[Choice]string{
+	ChoiceRetry:           "retry",
+	ChoiceDeliverOldestTR: "deliver-oldest(T->R)",
+	ChoiceDeliverNewestTR: "deliver-newest(T->R)",
+	ChoiceReplayFirstTR:   "replay-first(T->R)",
+	ChoiceDeliverOldestRT: "deliver-oldest(R->T)",
+	ChoiceDeliverNewestRT: "deliver-newest(R->T)",
+	ChoiceReplayFirstRT:   "replay-first(R->T)",
+	ChoiceCrashT:          "crash^T",
+	ChoiceCrashR:          "crash^R",
+}
+
+// String implements fmt.Stringer.
+func (c Choice) String() string {
+	if s, ok := choiceNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Choice(%d)", uint8(c))
+}
+
+// Schedule is a sequence of adversary decisions.
+type Schedule []Choice
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Config parameterizes an exploration.
+type Config struct {
+	// Depth is the number of adversary decisions per schedule.
+	Depth int
+	// Messages caps how many higher-layer messages are submitted
+	// (submission is automatic whenever the transmitter is idle).
+	Messages int
+	// NewStations builds a fresh, deterministically seeded station pair.
+	// It is called once per explored path; identical construction is what
+	// pins the coin tosses across paths.
+	NewStations func() (sim.TxMachine, sim.RxMachine)
+	// MaxPaths aborts runaway explorations (default 5,000,000).
+	MaxPaths int64
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Paths is the number of complete schedules explored.
+	Paths int64
+	// Violations counts schedules whose execution violated a Section 2.6
+	// condition.
+	Violations int64
+	// Counterexample is the first violating schedule (nil if none).
+	Counterexample Schedule
+	// CounterReport is the verification report of the counterexample.
+	CounterReport verify.Report
+	// Truncated reports that MaxPaths was hit before the space was
+	// exhausted.
+	Truncated bool
+}
+
+// Clean reports whether no schedule violated safety.
+func (r Result) Clean() bool { return r.Violations == 0 }
+
+// Explore enumerates every schedule of cfg.Depth decisions (over the
+// choices available at each point) and returns the aggregate result.
+func Explore(cfg Config) Result {
+	if cfg.MaxPaths <= 0 {
+		cfg.MaxPaths = 5_000_000
+	}
+	var res Result
+	prefix := make(Schedule, 0, cfg.Depth)
+	explore(cfg, prefix, &res)
+	return res
+}
+
+// ExploreParallel is Explore with the subtrees under each first-level
+// choice explored concurrently. Path replays are independent, so the
+// speedup is near-linear in cores; it makes depth-7 certificates
+// practical. The MaxPaths budget becomes per-subtree.
+func ExploreParallel(cfg Config) Result {
+	if cfg.MaxPaths <= 0 {
+		cfg.MaxPaths = 5_000_000
+	}
+	if cfg.Depth == 0 {
+		return Explore(cfg)
+	}
+	e := newExec(cfg)
+	var firsts []Choice
+	for c := Choice(1); int(c) <= numChoices; c++ {
+		if e.available(c) {
+			firsts = append(firsts, c)
+		}
+	}
+
+	results := make([]Result, len(firsts))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	var truncated atomic.Bool
+	for i, first := range firsts {
+		i, first := i, first
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			prefix := make(Schedule, 0, cfg.Depth)
+			prefix = append(prefix, first)
+			explore(cfg, prefix, &results[i])
+			if results[i].Truncated {
+				truncated.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var res Result
+	res.Truncated = truncated.Load()
+	for _, r := range results {
+		res.Paths += r.Paths
+		res.Violations += r.Violations
+		if res.Counterexample == nil && r.Counterexample != nil {
+			res.Counterexample = r.Counterexample
+			res.CounterReport = r.CounterReport
+		}
+	}
+	return res
+}
+
+// explore extends prefix by every available choice; complete prefixes are
+// executed and verified.
+func explore(cfg Config, prefix Schedule, res *Result) {
+	if res.Truncated {
+		return
+	}
+	if len(prefix) == cfg.Depth {
+		res.Paths++
+		if res.Paths > cfg.MaxPaths {
+			res.Truncated = true
+			return
+		}
+		report := runSchedule(cfg, prefix)
+		if report.Violations() > 0 {
+			res.Violations++
+			if res.Counterexample == nil {
+				res.Counterexample = append(Schedule(nil), prefix...)
+				res.CounterReport = report
+			}
+		}
+		return
+	}
+	// Replay the prefix once to learn which choices are available next.
+	e := newExec(cfg)
+	for _, c := range prefix {
+		e.apply(c)
+	}
+	for c := Choice(1); int(c) <= numChoices; c++ {
+		if !e.available(c) {
+			continue
+		}
+		explore(cfg, append(prefix, c), res)
+		if res.Truncated {
+			return
+		}
+	}
+}
+
+// RandomWalks samples `walks` uniformly random schedules of cfg.Depth
+// decisions. It reaches depths exhaustive exploration cannot, trading
+// certainty for coverage; a violation found is just as real (the
+// counterexample is recorded), absence of violations is only evidence.
+func RandomWalks(cfg Config, walks int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+	for w := 0; w < walks; w++ {
+		e := newExec(cfg)
+		schedule := make(Schedule, 0, cfg.Depth)
+		for len(schedule) < cfg.Depth {
+			var avail []Choice
+			for c := Choice(1); int(c) <= numChoices; c++ {
+				if e.available(c) {
+					avail = append(avail, c)
+				}
+			}
+			c := avail[rng.Intn(len(avail))]
+			schedule = append(schedule, c)
+			e.apply(c)
+		}
+		res.Paths++
+		if report := e.checker.Report(); report.Violations() > 0 {
+			res.Violations++
+			if res.Counterexample == nil {
+				res.Counterexample = schedule
+				res.CounterReport = report
+			}
+		}
+	}
+	return res
+}
+
+// runSchedule executes one complete schedule and returns its report.
+func runSchedule(cfg Config, s Schedule) verify.Report {
+	e := newExec(cfg)
+	for _, c := range s {
+		e.apply(c)
+	}
+	return e.checker.Report()
+}
+
+// exec is one in-progress execution.
+type exec struct {
+	cfg     Config
+	tx      sim.TxMachine
+	rx      sim.RxMachine
+	chTR    *channel.Channel
+	chRT    *channel.Channel
+	pendTR  []int64
+	pendRT  []int64
+	checker verify.Checker
+	sent    int
+	step    int
+}
+
+func newExec(cfg Config) *exec {
+	tx, rx := cfg.NewStations()
+	e := &exec{
+		cfg:  cfg,
+		tx:   tx,
+		rx:   rx,
+		chTR: channel.New(trace.DirTR),
+		chRT: channel.New(trace.DirRT),
+	}
+	e.submit()
+	return e
+}
+
+// available reports whether choice c is applicable in the current state.
+func (e *exec) available(c Choice) bool {
+	switch c {
+	case ChoiceRetry, ChoiceCrashT, ChoiceCrashR:
+		return true
+	case ChoiceDeliverOldestTR:
+		return len(e.pendTR) > 0
+	case ChoiceDeliverNewestTR:
+		return len(e.pendTR) > 1 // oldest covers the single-packet case
+	case ChoiceReplayFirstTR:
+		return e.chTR.Count() > 0
+	case ChoiceDeliverOldestRT:
+		return len(e.pendRT) > 0
+	case ChoiceDeliverNewestRT:
+		return len(e.pendRT) > 1
+	case ChoiceReplayFirstRT:
+		return e.chRT.Count() > 0
+	default:
+		return false
+	}
+}
+
+// apply executes one decision.
+func (e *exec) apply(c Choice) {
+	e.step++
+	switch c {
+	case ChoiceRetry:
+		e.routeRT(e.rx.Retry())
+		if tk, ok := e.tx.(sim.TxTicker); ok {
+			e.routeTR(tk.Tick())
+		}
+	case ChoiceDeliverOldestTR:
+		if len(e.pendTR) > 0 {
+			id := e.pendTR[0]
+			e.pendTR = e.pendTR[1:]
+			e.deliverTR(id)
+		}
+	case ChoiceDeliverNewestTR:
+		if len(e.pendTR) > 0 {
+			id := e.pendTR[len(e.pendTR)-1]
+			e.pendTR = e.pendTR[:len(e.pendTR)-1]
+			e.deliverTR(id)
+		}
+	case ChoiceReplayFirstTR:
+		e.deliverTR(0)
+	case ChoiceDeliverOldestRT:
+		if len(e.pendRT) > 0 {
+			id := e.pendRT[0]
+			e.pendRT = e.pendRT[1:]
+			e.deliverRT(id)
+		}
+	case ChoiceDeliverNewestRT:
+		if len(e.pendRT) > 0 {
+			id := e.pendRT[len(e.pendRT)-1]
+			e.pendRT = e.pendRT[:len(e.pendRT)-1]
+			e.deliverRT(id)
+		}
+	case ChoiceReplayFirstRT:
+		e.deliverRT(0)
+	case ChoiceCrashT:
+		e.tx.Crash()
+		e.checker.Observe(trace.Event{Step: e.step, Kind: trace.KindCrashT})
+		e.submit()
+	case ChoiceCrashR:
+		e.rx.Crash()
+		e.checker.Observe(trace.Event{Step: e.step, Kind: trace.KindCrashR})
+	}
+}
+
+func (e *exec) deliverTR(id int64) {
+	p, ok := e.chTR.Deliver(id)
+	if !ok {
+		return
+	}
+	delivered, pkts := e.rx.ReceivePacket(p)
+	for _, m := range delivered {
+		e.checker.Observe(trace.Event{Step: e.step, Kind: trace.KindReceiveMsg, Msg: string(m)})
+	}
+	e.routeRT(pkts)
+}
+
+func (e *exec) deliverRT(id int64) {
+	p, ok := e.chRT.Deliver(id)
+	if !ok {
+		return
+	}
+	pkts, okAction := e.tx.ReceivePacket(p)
+	if okAction {
+		e.checker.Observe(trace.Event{Step: e.step, Kind: trace.KindOK})
+		e.submit()
+	}
+	e.routeTR(pkts)
+}
+
+// submit feeds the next message whenever the transmitter is idle,
+// mirroring a higher layer that always has traffic (Axiom 1 respected).
+func (e *exec) submit() {
+	if e.tx.Busy() || e.sent >= e.cfg.Messages {
+		return
+	}
+	m := []byte(fmt.Sprintf("m-%03d", e.sent))
+	pkts, err := e.tx.SendMsg(m)
+	if err != nil {
+		return
+	}
+	e.sent++
+	e.checker.Observe(trace.Event{Step: e.step, Kind: trace.KindSendMsg, Msg: string(m)})
+	e.routeTR(pkts)
+}
+
+func (e *exec) routeTR(pkts [][]byte) {
+	for _, p := range pkts {
+		id, _ := e.chTR.Send(p)
+		e.pendTR = append(e.pendTR, id)
+	}
+}
+
+func (e *exec) routeRT(pkts [][]byte) {
+	for _, p := range pkts {
+		id, _ := e.chRT.Send(p)
+		e.pendRT = append(e.pendRT, id)
+	}
+}

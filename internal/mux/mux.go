@@ -1,0 +1,266 @@
+// Package mux multiplexes several independent protocol sessions ("lanes")
+// over one packet link and restores a single, globally ordered message
+// stream at the far side.
+//
+// The paper's protocol is stop-and-wait at message granularity: one
+// message per three-packet handshake, so throughput is bounded by the
+// link round trip. Its conclusions list "modify the protocol for better
+// efficiency" as further work; lane multiplexing is the conservative
+// answer — rather than touching the verified state machines, it runs N of
+// them side by side. Each message carries a sequence number; lanes
+// confirm messages independently (N transfers in flight), and the
+// receiving side's resequencer releases messages in sequence order.
+//
+// Guarantees: every delivered message is delivered exactly once, in
+// global send order, each with the single-lane protocol's 1-epsilon
+// confidence. Limitation: the guarantees are per message, so if a Send
+// ultimately fails (station crash wipes an in-flight message and the
+// caller does not resubmit), the stream has a hole and Recv will wait at
+// it — treat a failed Send as fatal to the stream, exactly as a failed
+// write is fatal to a TCP connection.
+package mux
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ghm/internal/core"
+	"ghm/internal/netlink"
+)
+
+// MaxLanes bounds the lane count (the lane id is one byte on the wire).
+const MaxLanes = 64
+
+var (
+	// ErrClosed reports use of a closed mux session.
+	ErrClosed = errors.New("mux: closed")
+	errLanes  = errors.New("mux: lane count must be in [1, MaxLanes]")
+)
+
+// Sender pipelines messages across several transmitter lanes. Up to
+// `lanes` Send calls proceed concurrently; each blocks until its own
+// message is confirmed.
+type Sender struct {
+	subs  []netlink.PacketConn
+	lanes []*netlink.Sender
+
+	mu   sync.Mutex
+	seq  uint64
+	free chan int // indices of idle lanes
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewSender starts `lanes` transmitter sessions over conn.
+func NewSender(conn netlink.PacketConn, lanes int, p core.Params) (*Sender, error) {
+	if lanes < 1 || lanes > MaxLanes {
+		return nil, errLanes
+	}
+	subs, err := netlink.Split(conn, lanes)
+	if err != nil {
+		return nil, fmt.Errorf("mux: %w", err)
+	}
+	s := &Sender{
+		subs:   subs,
+		free:   make(chan int, lanes),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < lanes; i++ {
+		ls, err := netlink.NewSender(subs[i], p)
+		if err != nil {
+			subs[0].Close()
+			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
+		}
+		s.lanes = append(s.lanes, ls)
+		s.free <- i
+	}
+	return s, nil
+}
+
+// Send assigns msg the next global sequence number, transfers it on an
+// idle lane and blocks until that lane confirms delivery. Run up to
+// `lanes` Sends concurrently for pipelining.
+func (s *Sender) Send(ctx context.Context, msg []byte) error {
+	var lane int
+	select {
+	case lane = <-s.free:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.closed:
+		return ErrClosed
+	}
+	s.mu.Lock()
+	seq := s.seq
+	s.seq++
+	s.mu.Unlock()
+
+	framed := binary.AppendUvarint(nil, seq)
+	framed = append(framed, msg...)
+	err := s.lanes[lane].Send(ctx, framed)
+
+	select {
+	case s.free <- lane:
+	default:
+	}
+	if err != nil {
+		return fmt.Errorf("mux: seq %d: %w", seq, err)
+	}
+	return nil
+}
+
+// Close stops every lane and the shared link pump.
+func (s *Sender) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.subs[0].Close() // closes the shared pump and every sub-conn
+		for _, l := range s.lanes {
+			l.Close()
+		}
+	})
+	return nil
+}
+
+// Receiver merges lane deliveries back into one ordered stream.
+type Receiver struct {
+	subs  []netlink.PacketConn
+	lanes []*netlink.Receiver
+
+	out  chan []byte
+	stop chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+}
+
+// NewReceiver starts `lanes` receiver sessions over conn. The lane count
+// must match the sender's.
+func NewReceiver(conn netlink.PacketConn, lanes int, cfg netlink.ReceiverConfig) (*Receiver, error) {
+	if lanes < 1 || lanes > MaxLanes {
+		return nil, errLanes
+	}
+	subs, err := netlink.Split(conn, lanes)
+	if err != nil {
+		return nil, fmt.Errorf("mux: %w", err)
+	}
+	r := &Receiver{
+		subs: subs,
+		out:  make(chan []byte, lanes),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < lanes; i++ {
+		lr, err := netlink.NewReceiver(subs[i], cfg)
+		if err != nil {
+			subs[0].Close()
+			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
+		}
+		r.lanes = append(r.lanes, lr)
+	}
+	go r.resequence()
+	return r, nil
+}
+
+// Recv blocks for the next message in global sequence order.
+func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case m := <-r.out:
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.done:
+		select {
+		case m := <-r.out:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close stops every lane and the resequencer.
+func (r *Receiver) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		r.subs[0].Close() // closes the shared pump and every sub-conn
+		for _, l := range r.lanes {
+			l.Close()
+		}
+		<-r.done
+	})
+	return nil
+}
+
+// resequence collects framed messages from all lanes and emits them in
+// sequence order.
+func (r *Receiver) resequence() {
+	defer close(r.done)
+	type item struct {
+		seq uint64
+		msg []byte
+	}
+	merged := make(chan item, len(r.lanes))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for _, lane := range r.lanes {
+		lane := lane
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				framed, err := lane.Recv(ctx)
+				if err != nil {
+					return
+				}
+				seq, n := binary.Uvarint(framed)
+				if n <= 0 {
+					continue // malformed frame: drop like a lost packet
+				}
+				select {
+				case merged <- item{seq: seq, msg: framed[n:]}:
+				case <-r.stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(merged)
+	}()
+
+	pending := make(map[uint64][]byte)
+	var next uint64
+	for {
+		select {
+		case it, ok := <-merged:
+			if !ok {
+				return
+			}
+			if it.seq < next {
+				continue // impossible under lane exactly-once; defensive
+			}
+			pending[it.seq] = it.msg
+			for {
+				msg, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case r.out <- msg:
+					next++
+				case <-r.stop:
+					return
+				}
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package netlink runs the protocol of ghm/internal/core over real,
+// concurrent, unreliable packet transports.
+//
+// The package provides three things:
+//
+//   - PacketConn, the minimal unreliable datagram abstraction the protocol
+//     needs (send may silently lose, duplicate or reorder; receive blocks).
+//   - Pipe, an in-process PacketConn pair with configurable loss,
+//     duplication and reordering — the runtime twin of the model
+//     adversaries, useful for tests, examples and benchmarks.
+//   - Sender and Receiver, session loops that own a core.Transmitter or
+//     core.Receiver, a retry timer and the goroutines pumping packets, and
+//     expose blocking Send/Recv with the protocol's exactly-once
+//     semantics.
+//
+// Every object with background goroutines has a Close method that stops
+// and joins them.
+package netlink
+
+import "errors"
+
+var (
+	// ErrClosed reports use of a closed connection or session.
+	ErrClosed = errors.New("netlink: closed")
+	// ErrCrashed reports that a pending Send was wiped by a simulated
+	// station crash.
+	ErrCrashed = errors.New("netlink: station crashed")
+)
+
+// PacketConn is one endpoint of an unreliable datagram link. The link may
+// lose, duplicate and reorder packets but never corrupts them (the model's
+// causality assumption; over real networks a checksumming layer below
+// provides it).
+//
+// Implementations must allow Send and Recv from different goroutines and
+// must unblock Recv with ErrClosed after Close.
+type PacketConn interface {
+	// Send places one packet on the link. It must not retain p.
+	Send(p []byte) error
+	// Recv blocks for the next packet.
+	Recv() ([]byte, error)
+	// Close releases the endpoint and unblocks pending Recv calls.
+	Close() error
+}

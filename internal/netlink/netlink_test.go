@@ -1,0 +1,318 @@
+package netlink
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"ghm/internal/core"
+)
+
+const testRetry = 300 * time.Microsecond
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func newSession(t *testing.T, cfg PipeConfig) (*Sender, *Receiver) {
+	t.Helper()
+	a, b := Pipe(cfg)
+	s, err := NewSender(a, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(b, ReceiverConfig{RetryInterval: testRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		r.Close()
+	})
+	return s, r
+}
+
+func TestPipePerfectRoundTrip(t *testing.T) {
+	a, b := Pipe(PipeConfig{Seed: 1})
+	defer a.Close()
+	if err := a.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Recv()
+	if err != nil || !bytes.Equal(p, []byte("ping")) {
+		t.Fatalf("Recv = %q, %v", p, err)
+	}
+	if err := b.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	p, err = a.Recv()
+	if err != nil || !bytes.Equal(p, []byte("pong")) {
+		t.Fatalf("Recv = %q, %v", p, err)
+	}
+}
+
+func TestPipeDoesNotAliasBuffers(t *testing.T) {
+	a, b := Pipe(PipeConfig{Seed: 2})
+	defer a.Close()
+	buf := []byte("orig")
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	p, err := b.Recv()
+	if err != nil || !bytes.Equal(p, []byte("orig")) {
+		t.Fatalf("pipe aliased the sender's buffer: %q, %v", p, err)
+	}
+}
+
+func TestPipeTotalLoss(t *testing.T) {
+	a, b := Pipe(PipeConfig{Loss: 1, Seed: 3})
+	defer a.Close()
+	for i := 0; i < 20; i++ {
+		if err := a.Send([]byte("gone")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		b.Recv()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("packet crossed a total-loss pipe")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Close() // unblock the goroutine
+	<-done
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, _ := Pipe(PipeConfig{Seed: 4})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	if err := a.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSessionPerfectLink(t *testing.T) {
+	s, r := newSession(t, PipeConfig{Seed: 5})
+	ctx := testCtx(t)
+	for i := 0; i < 20; i++ {
+		msg := []byte(fmt.Sprintf("msg-%d", i))
+		if err := s.Send(ctx, msg); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		got, err := r.Recv(ctx)
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("Recv %d = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestSessionFaultyLink(t *testing.T) {
+	s, r := newSession(t, PipeConfig{
+		Loss: 0.3, DupProb: 0.3, ReorderProb: 0.3, Seed: 6,
+		ReleaseEvery: 50 * time.Microsecond,
+	})
+	ctx := testCtx(t)
+	const n = 30
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := s.Send(ctx, []byte(fmt.Sprintf("msg-%d", i))); err != nil {
+				errc <- fmt.Errorf("send %d: %w", i, err)
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < n; i++ {
+		got, err := r.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		want := fmt.Sprintf("msg-%d", i)
+		if string(got) != want {
+			t.Fatalf("Recv %d = %q, want %q (order violated)", i, got, want)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenderCrashFailsPendingSend(t *testing.T) {
+	// A silent link (total loss) guarantees the Send is still pending
+	// when the crash hits.
+	s, _ := newSession(t, PipeConfig{Loss: 1, Seed: 7})
+	ctx := testCtx(t)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Send(ctx, []byte("doomed")) }()
+	time.Sleep(5 * time.Millisecond)
+	s.Crash()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("Send after crash = %v, want ErrCrashed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Send did not fail on crash")
+	}
+}
+
+func TestSenderRecoversAfterCrash(t *testing.T) {
+	s, r := newSession(t, PipeConfig{Seed: 8})
+	ctx := testCtx(t)
+	if err := s.Send(ctx, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if err := s.Send(ctx, []byte("after")); err != nil {
+		t.Fatalf("Send after crash: %v", err)
+	}
+	got, err := r.Recv(ctx)
+	if err != nil || !bytes.Equal(got, []byte("after")) {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestReceiverCrashRecovery(t *testing.T) {
+	s, r := newSession(t, PipeConfig{Seed: 9})
+	ctx := testCtx(t)
+	if err := s.Send(ctx, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.Crash()
+	if err := s.Send(ctx, []byte("two")); err != nil {
+		t.Fatalf("Send after receiver crash: %v", err)
+	}
+	got, err := r.Recv(ctx)
+	if err != nil || !bytes.Equal(got, []byte("two")) {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestSendContextCancelCrashesStation(t *testing.T) {
+	s, r := newSession(t, PipeConfig{Loss: 1, Seed: 10})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Send(ctx, []byte("stuck")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Send = %v, want deadline exceeded", err)
+	}
+	// The station crashed itself, so the next Send must not see ErrBusy.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	if err := s.Send(ctx2, []byte("next")); errors.Is(err, core.ErrBusy) {
+		t.Fatalf("Send after cancel = %v; station did not reset", err)
+	}
+	_ = r
+}
+
+func TestCloseSemantics(t *testing.T) {
+	s, r := newSession(t, PipeConfig{Seed: 11})
+	s.Close()
+	r.Close()
+	// Close is idempotent.
+	s.Close()
+	r.Close()
+	ctx := testCtx(t)
+	if err := s.Send(ctx, []byte("x")); err == nil {
+		t.Fatal("Send on closed sender succeeded")
+	}
+	if _, err := r.Recv(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv on closed receiver = %v, want ErrClosed", err)
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	s, r := newSession(t, PipeConfig{Seed: 12})
+	ctx := testCtx(t)
+	if err := s.Send(ctx, []byte("counted")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().OKs != 1 {
+		t.Errorf("sender OKs = %d", s.Stats().OKs)
+	}
+	if r.Stats().Delivered != 1 {
+		t.Errorf("receiver Delivered = %d", r.Stats().Delivered)
+	}
+}
+
+func TestUDPSession(t *testing.T) {
+	la, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	lb, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		la.Close()
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	aAddr := la.LocalAddr().(*net.UDPAddr)
+	bAddr := lb.LocalAddr().(*net.UDPAddr)
+	ca := NewUDPConn(la, bAddr)
+	cb := NewUDPConn(lb, aAddr)
+
+	s, err := NewSender(ca, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := NewReceiver(cb, ReceiverConfig{RetryInterval: testRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx := testCtx(t)
+	for i := 0; i < 5; i++ {
+		msg := []byte(fmt.Sprintf("udp-%d", i))
+		if err := s.Send(ctx, msg); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		got, err := r.Recv(ctx)
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("Recv %d = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestDialUDPErrors(t *testing.T) {
+	if _, err := DialUDP("not an addr", "127.0.0.1:9"); err == nil {
+		t.Error("bad local address accepted")
+	}
+	if _, err := DialUDP("127.0.0.1:0", "not an addr"); err == nil {
+		t.Error("bad remote address accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package netlink
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"ghm/internal/core"
+)
+
+// PeerRole distinguishes the two ends of a full-duplex link; the ends
+// must choose different roles.
+type PeerRole int
+
+const (
+	// RoleA is one end of the link.
+	RoleA PeerRole = iota
+	// RoleB is the other.
+	RoleB
+)
+
+var errPeerRole = errors.New("netlink: peer role must be RoleA or RoleB")
+
+// Peer runs the protocol in both directions over one PacketConn: a
+// transmitter session on one tagged sub-link and a receiver session on
+// the other. Each direction independently carries the full per-message
+// guarantees (ordered, exactly-once, crash-resilient), which is how the
+// paper's unidirectional data link composes into the bidirectional links
+// real layers need.
+type Peer struct {
+	role PeerRole
+	subs []PacketConn
+	s    *Sender
+	r    *Receiver
+
+	closeOnce sync.Once
+}
+
+// NewPeer starts a full-duplex session on conn with the given role. The
+// receiver configuration's Params field is overwritten with p so both
+// directions share one parameterization.
+func NewPeer(conn PacketConn, role PeerRole, p core.Params, rcfg ReceiverConfig) (*Peer, error) {
+	if role != RoleA && role != RoleB {
+		return nil, errPeerRole
+	}
+	subs, err := Split(conn, 2)
+	if err != nil {
+		return nil, err
+	}
+	// Role A transmits on sub-link 0 and receives on 1; role B mirrors.
+	sendSub := subs[int(role)]
+	recvSub := subs[1-int(role)]
+
+	s, err := NewSender(sendSub, p)
+	if err != nil {
+		subs[0].Close()
+		return nil, err
+	}
+	rcfg.Params = p
+	r, err := NewReceiver(recvSub, rcfg)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return &Peer{role: role, subs: subs, s: s, r: r}, nil
+}
+
+// Role returns this end's role.
+func (p *Peer) Role() PeerRole { return p.role }
+
+// Send transfers msg to the other end, blocking until confirmed.
+func (p *Peer) Send(ctx context.Context, msg []byte) error {
+	return p.s.Send(ctx, msg)
+}
+
+// Recv blocks for the next message from the other end.
+func (p *Peer) Recv(ctx context.Context) ([]byte, error) {
+	return p.r.Recv(ctx)
+}
+
+// Crash erases both stations' memory (a host crash takes out the whole
+// peer, not one direction).
+func (p *Peer) Crash() {
+	p.s.Crash()
+	p.r.Crash()
+}
+
+// SendStats and RecvStats return the per-direction protocol counters.
+func (p *Peer) SendStats() core.TxStats { return p.s.Stats() }
+
+// RecvStats returns the receiving direction's counters.
+func (p *Peer) RecvStats() core.RxStats { return p.r.Stats() }
+
+// Close stops both directions and the shared pump.
+func (p *Peer) Close() error {
+	p.closeOnce.Do(func() {
+		p.subs[0].Close()
+		p.s.Close()
+		p.r.Close()
+	})
+	return nil
+}

@@ -1,0 +1,184 @@
+package netlink
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PipeConfig sets the fault behaviour of an in-process pipe. The zero
+// value is a perfect link.
+type PipeConfig struct {
+	// Loss is the probability a packet is silently dropped.
+	Loss float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a packet is held back and released
+	// later, out of order.
+	ReorderProb float64
+	// Seed makes the fault schedule reproducible; 0 derives a seed from
+	// the clock.
+	Seed int64
+	// ReleaseEvery is how often held-back packets are released (default
+	// 200 microseconds).
+	ReleaseEvery time.Duration
+}
+
+// Pipe returns two connected PacketConn endpoints with cfg's fault
+// behaviour applied independently in each direction. Closing either
+// endpoint shuts down the whole pipe.
+func Pipe(cfg PipeConfig) (PacketConn, PacketConn) {
+	if cfg.ReleaseEvery <= 0 {
+		cfg.ReleaseEvery = 200 * time.Microsecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	p := &pipe{stop: make(chan struct{})}
+	ab := newPipeDir(cfg, rand.New(rand.NewSource(seed)), p.stop)
+	ba := newPipeDir(cfg, rand.New(rand.NewSource(seed+1)), p.stop)
+	p.dirs = []*pipeDir{ab, ba}
+	a := &pipeEnd{p: p, send: ab, recv: ba}
+	b := &pipeEnd{p: p, send: ba, recv: ab}
+	return a, b
+}
+
+// pipe owns the shared shutdown state of both directions.
+type pipe struct {
+	stop chan struct{}
+	once sync.Once
+	dirs []*pipeDir
+}
+
+func (p *pipe) close() {
+	p.once.Do(func() {
+		close(p.stop)
+		for _, d := range p.dirs {
+			<-d.done
+		}
+	})
+}
+
+// pipeDir is one direction of the pipe: a goroutine applying the fault
+// schedule between an ingress and an egress queue.
+type pipeDir struct {
+	in   chan []byte
+	out  chan []byte
+	done chan struct{}
+}
+
+func newPipeDir(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) *pipeDir {
+	d := &pipeDir{
+		// Buffers absorb bursts so a busy fault goroutine does not make
+		// Send block in the common case; size is a latency/memory
+		// tradeoff, not a correctness one (the protocol tolerates loss).
+		in:   make(chan []byte, 256),
+		out:  make(chan []byte, 256),
+		done: make(chan struct{}),
+	}
+	go d.run(cfg, rng, stop)
+	return d
+}
+
+func (d *pipeDir) run(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) {
+	defer close(d.done)
+	var held [][]byte
+	ticker := time.NewTicker(cfg.ReleaseEvery)
+	defer ticker.Stop()
+
+	deliver := func(p []byte) {
+		select {
+		case d.out <- p:
+		case <-stop:
+		default:
+			// Egress full: the link drops the packet, which the protocol
+			// is built to tolerate.
+		}
+	}
+
+	for {
+		select {
+		case p := <-d.in:
+			if rng.Float64() < cfg.Loss {
+				continue
+			}
+			copies := 1
+			if rng.Float64() < cfg.DupProb {
+				copies = 2
+			}
+			for i := 0; i < copies; i++ {
+				if rng.Float64() < cfg.ReorderProb {
+					held = append(held, p)
+				} else {
+					deliver(p)
+				}
+			}
+		case <-ticker.C:
+			// Release half the held packets (at least one) in random
+			// order: the queue stays bounded even when retries arrive
+			// faster than the release tick, while late packets still
+			// overtake earlier ones.
+			n := (len(held) + 1) / 2
+			for ; n > 0 && len(held) > 0; n-- {
+				i := rng.Intn(len(held))
+				p := held[i]
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+				deliver(p)
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// pipeEnd is one endpoint handed to a user.
+type pipeEnd struct {
+	p    *pipe
+	send *pipeDir
+	recv *pipeDir
+}
+
+var _ PacketConn = (*pipeEnd)(nil)
+
+// Send implements PacketConn.
+func (e *pipeEnd) Send(p []byte) error {
+	// Check closure on its own: in a combined select a ready ingress
+	// buffer could win the race against the closed stop channel.
+	select {
+	case <-e.p.stop:
+		return ErrClosed
+	default:
+	}
+	cp := append([]byte(nil), p...)
+	select {
+	case e.send.in <- cp:
+		return nil
+	default:
+		// Ingress full: drop, as a congested link would.
+		return nil
+	}
+}
+
+// Recv implements PacketConn.
+func (e *pipeEnd) Recv() ([]byte, error) {
+	select {
+	case p := <-e.recv.out:
+		return p, nil
+	case <-e.p.stop:
+		// Drain anything already queued before reporting closure.
+		select {
+		case p := <-e.recv.out:
+			return p, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements PacketConn; it shuts down both directions.
+func (e *pipeEnd) Close() error {
+	e.p.close()
+	return nil
+}

@@ -1,0 +1,159 @@
+package netlink
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ghm/internal/core"
+)
+
+// defaultRetryInterval paces the receiver's RETRY action. The protocol
+// needs RETRY to fire "infinitely often"; a couple of milliseconds keeps
+// idle links quiet while bounding recovery latency.
+const defaultRetryInterval = 2 * time.Millisecond
+
+// deliveryBuffer is how many delivered messages Recv callers may lag
+// behind before the protocol loop applies backpressure (stops processing
+// packets, which stalls the transmitter — natural flow control).
+const deliveryBuffer = 16
+
+// ReceiverConfig parameterizes a Receiver session.
+type ReceiverConfig struct {
+	// Params configures the protocol receiver.
+	Params core.Params
+	// RetryInterval paces the RETRY action (default 2ms).
+	RetryInterval time.Duration
+}
+
+// Receiver runs a protocol receiver over a PacketConn and hands delivered
+// messages to Recv in order, exactly once (up to the protocol's epsilon
+// and station crashes).
+type Receiver struct {
+	conn PacketConn
+
+	mu sync.Mutex // guards rx
+	rx *core.Receiver
+
+	out chan []byte
+
+	stop      chan struct{}
+	readDone  chan struct{}
+	retryDone chan struct{}
+	closeOnce sync.Once
+}
+
+// NewReceiver builds the receiver and starts its packet and retry loops.
+func NewReceiver(conn PacketConn, cfg ReceiverConfig) (*Receiver, error) {
+	rx, err := core.NewReceiver(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("netlink: receiver: %w", err)
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = defaultRetryInterval
+	}
+	r := &Receiver{
+		conn:      conn,
+		rx:        rx,
+		out:       make(chan []byte, deliveryBuffer),
+		stop:      make(chan struct{}),
+		readDone:  make(chan struct{}),
+		retryDone: make(chan struct{}),
+	}
+	go r.readLoop()
+	go r.retryLoop(cfg.RetryInterval)
+	return r, nil
+}
+
+// Recv blocks for the next delivered message.
+func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case m := <-r.out:
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.stop:
+		// Drain deliveries that raced with Close.
+		select {
+		case m := <-r.out:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Crash simulates crash^R: the station's memory is erased. Messages
+// already delivered to the session buffer were already handed to the
+// higher layer in the model's sense and remain readable.
+func (r *Receiver) Crash() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rx.Crash()
+}
+
+// Stats returns the receiver's protocol counters.
+func (r *Receiver) Stats() core.RxStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rx.Stats()
+}
+
+// Close stops both loops and waits for them.
+func (r *Receiver) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		r.conn.Close()
+		<-r.readDone
+		<-r.retryDone
+	})
+	return nil
+}
+
+func (r *Receiver) readLoop() {
+	defer close(r.readDone)
+	for {
+		p, err := r.conn.Recv()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		out := r.rx.ReceivePacket(p)
+		r.mu.Unlock()
+
+		for _, cp := range out.Packets {
+			if r.conn.Send(cp) != nil {
+				return
+			}
+		}
+		for _, m := range out.Delivered {
+			select {
+			case r.out <- m:
+			case <-r.stop:
+				return
+			}
+		}
+	}
+}
+
+func (r *Receiver) retryLoop(interval time.Duration) {
+	defer close(r.retryDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.mu.Lock()
+			out := r.rx.Retry()
+			r.mu.Unlock()
+			for _, p := range out.Packets {
+				if r.conn.Send(p) != nil {
+					return
+				}
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}

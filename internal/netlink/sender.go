@@ -1,0 +1,143 @@
+package netlink
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ghm/internal/core"
+)
+
+// Sender runs a protocol transmitter over a PacketConn and offers blocking
+// exactly-once sends: Send returns nil only after the protocol's OK, i.e.
+// after the message was delivered (with probability at least 1-epsilon)
+// to the receiving station's higher layer.
+type Sender struct {
+	conn PacketConn
+
+	mu     sync.Mutex // guards tx and waiter
+	tx     *core.Transmitter
+	waiter chan error // non-nil while a Send awaits its OK
+
+	sendMu sync.Mutex // serializes Send callers (Axiom 1)
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewSender builds the transmitter with params p and starts its receive
+// loop on conn.
+func NewSender(conn PacketConn, p core.Params) (*Sender, error) {
+	tx, err := core.NewTransmitter(p)
+	if err != nil {
+		return nil, fmt.Errorf("netlink: sender: %w", err)
+	}
+	s := &Sender{
+		conn: conn,
+		tx:   tx,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.recvLoop()
+	return s, nil
+}
+
+// Send transfers msg and blocks until the protocol confirms delivery (OK),
+// the context ends, or the sender is closed or crashed. On context
+// cancellation the in-flight transfer cannot be plainly abandoned — the
+// model offers no "cancel" action — so the station crashes itself (memory
+// erased), exactly as a real host would be power-cycled.
+func (s *Sender) Send(ctx context.Context, msg []byte) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+
+	s.mu.Lock()
+	out, err := s.tx.SendMsg(msg)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("netlink: send: %w", err)
+	}
+	w := make(chan error, 1)
+	s.waiter = w
+	s.mu.Unlock()
+
+	s.transmit(out.Packets)
+
+	select {
+	case err := <-w:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		if s.waiter == w {
+			s.waiter = nil
+			s.tx.Crash()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	case <-s.stop:
+		return ErrClosed
+	}
+}
+
+// Crash simulates crash^T: the station's memory is erased and any pending
+// Send fails with ErrCrashed.
+func (s *Sender) Crash() {
+	s.mu.Lock()
+	s.tx.Crash()
+	w := s.waiter
+	s.waiter = nil
+	s.mu.Unlock()
+	if w != nil {
+		w <- ErrCrashed
+	}
+}
+
+// Stats returns the transmitter's protocol counters.
+func (s *Sender) Stats() core.TxStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tx.Stats()
+}
+
+// Close stops the receive loop and waits for it to exit. Pending Sends
+// fail with ErrClosed.
+func (s *Sender) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.conn.Close()
+		<-s.done
+	})
+	return nil
+}
+
+func (s *Sender) recvLoop() {
+	defer close(s.done)
+	for {
+		p, err := s.conn.Recv()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		out := s.tx.ReceivePacket(p)
+		var w chan error
+		if out.OK {
+			w = s.waiter
+			s.waiter = nil
+		}
+		s.mu.Unlock()
+
+		s.transmit(out.Packets)
+		if w != nil {
+			w <- nil
+		}
+	}
+}
+
+func (s *Sender) transmit(pkts [][]byte) {
+	for _, p := range pkts {
+		if err := s.conn.Send(p); err != nil {
+			return // closed; the loop will notice
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package netlink
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSplitValidation(t *testing.T) {
+	a, _ := Pipe(PipeConfig{Seed: 61})
+	defer a.Close()
+	for _, n := range []int{0, -1, MaxSplit + 1} {
+		if _, err := Split(a, n); err == nil {
+			t.Errorf("Split(%d) accepted", n)
+		}
+	}
+}
+
+func TestSplitRoutesByTag(t *testing.T) {
+	a, b := Pipe(PipeConfig{Seed: 62})
+	subsA, err := Split(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsB, err := Split(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subsA[0].Close()
+	defer subsB[0].Close()
+
+	for i := 0; i < 3; i++ {
+		msg := []byte(fmt.Sprintf("lane-%d", i))
+		if err := subsA[i].Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := subsB[i].Recv()
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("lane %d: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestSplitCrossLaneIsolation(t *testing.T) {
+	a, b := Pipe(PipeConfig{Seed: 63})
+	subsA, _ := Split(a, 2)
+	subsB, _ := Split(b, 2)
+	defer subsA[0].Close()
+	defer subsB[0].Close()
+
+	if err := subsA[0].Send([]byte("for-lane-0")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		subsB[1].Recv() // wrong lane: must not see the packet
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("packet leaked across lanes")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got, err := subsB[0].Recv(); err != nil || !bytes.Equal(got, []byte("for-lane-0")) {
+		t.Fatalf("right lane: %q, %v", got, err)
+	}
+	subsB[0].Close()
+	<-done
+}
+
+func TestSplitDropsUnknownTags(t *testing.T) {
+	a, b := Pipe(PipeConfig{Seed: 64})
+	subsB, _ := Split(b, 2)
+	defer a.Close()
+	defer subsB[0].Close()
+
+	// Raw garbage with an out-of-range tag, then a valid packet.
+	if err := a.Send([]byte{9, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send([]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(append([]byte{1}, []byte("good")...)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := subsB[1].Recv()
+	if err != nil || !bytes.Equal(got, []byte("good")) {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestSplitCloseCascades(t *testing.T) {
+	a, _ := Pipe(PipeConfig{Seed: 65})
+	subs, _ := Split(a, 2)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := subs[1].Recv()
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	subs[0].Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv after sibling close = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("sibling Recv did not unblock")
+	}
+}

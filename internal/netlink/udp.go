@@ -1,0 +1,85 @@
+package netlink
+
+import (
+	"errors"
+	"fmt"
+	"net"
+)
+
+// maxUDPPacket bounds received datagrams. Protocol packets are a few
+// hundred bytes plus the message body; 64 KiB is UDP's own ceiling.
+const maxUDPPacket = 64 * 1024
+
+// UDPConn adapts a UDP socket to PacketConn. UDP is exactly the channel
+// the paper models: datagrams may be lost, duplicated and reordered, but
+// the checksum makes corruption appear as loss, preserving causality.
+type UDPConn struct {
+	conn *net.UDPConn
+	peer *net.UDPAddr
+}
+
+var _ PacketConn = (*UDPConn)(nil)
+
+// DialUDP binds laddr and sends to raddr. Either station of a link can be
+// brought up first; packets sent before the peer listens are simply lost,
+// which the protocol tolerates.
+func DialUDP(laddr, raddr string) (*UDPConn, error) {
+	local, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netlink: resolve local %q: %w", laddr, err)
+	}
+	remote, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, fmt.Errorf("netlink: resolve remote %q: %w", raddr, err)
+	}
+	conn, err := net.ListenUDP("udp", local)
+	if err != nil {
+		return nil, fmt.Errorf("netlink: listen %q: %w", laddr, err)
+	}
+	return &UDPConn{conn: conn, peer: remote}, nil
+}
+
+// NewUDPConn wraps an already-bound socket talking to peer. It exists for
+// callers that need to bind both stations before either knows the other's
+// ephemeral port.
+func NewUDPConn(conn *net.UDPConn, peer *net.UDPAddr) *UDPConn {
+	return &UDPConn{conn: conn, peer: peer}
+}
+
+// LocalAddr returns the bound address (useful when laddr used port 0).
+func (u *UDPConn) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// Send implements PacketConn.
+func (u *UDPConn) Send(p []byte) error {
+	if _, err := u.conn.WriteToUDP(p, u.peer); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		// Transient network errors are indistinguishable from loss; the
+		// protocol retries anyway.
+		return nil
+	}
+	return nil
+}
+
+// Recv implements PacketConn. Datagrams from addresses other than the
+// peer are dropped: the data link is a two-station system.
+func (u *UDPConn) Recv() ([]byte, error) {
+	buf := make([]byte, maxUDPPacket)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil, ErrClosed
+			}
+			return nil, fmt.Errorf("netlink: udp read: %w", err)
+		}
+		if from == nil || !from.IP.Equal(u.peer.IP) && !u.peer.IP.IsUnspecified() {
+			continue
+		}
+		return append([]byte(nil), buf[:n]...), nil
+	}
+}
+
+// Close implements PacketConn.
+func (u *UDPConn) Close() error { return u.conn.Close() }

@@ -1,0 +1,346 @@
+package outbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is a SendFunc that records messages, with scriptable failures.
+type collector struct {
+	mu   sync.Mutex
+	got  [][]byte
+	fail func(attempt int, msg []byte) error
+	n    int
+}
+
+func (c *collector) send(ctx context.Context, msg []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	if c.fail != nil {
+		if err := c.fail(c.n, msg); err != nil {
+			return err
+		}
+	}
+	c.got = append(c.got, append([]byte(nil), msg...))
+	return nil
+}
+
+func (c *collector) messages() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.got))
+	for i, m := range c.got {
+		out[i] = string(m)
+	}
+	return out
+}
+
+var errCrash = errors.New("station crashed")
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestOrderedDelivery(t *testing.T) {
+	var c collector
+	q, err := New(Config{Send: c.send})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := q.Enqueue([]byte(fmt.Sprintf("m-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	got := c.messages()
+	if len(got) != 10 {
+		t.Fatalf("sent %d messages", len(got))
+	}
+	for i, m := range got {
+		if want := fmt.Sprintf("m-%d", i); m != want {
+			t.Errorf("position %d = %q, want %q", i, m, want)
+		}
+	}
+	st := q.Stats()
+	if st.Sent != 10 || st.Pending != 0 || st.Resubmits != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestResubmitOnRetryableError(t *testing.T) {
+	c := collector{fail: func(attempt int, msg []byte) error {
+		if attempt <= 2 { // first two attempts crash
+			return errCrash
+		}
+		return nil
+	}}
+	q, err := New(Config{
+		Send:      c.send,
+		Retryable: func(err error) bool { return errors.Is(err, errCrash) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Enqueue([]byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.messages(); len(got) != 1 || got[0] != "survivor" {
+		t.Fatalf("messages = %v", got)
+	}
+	if st := q.Stats(); st.Resubmits != 2 {
+		t.Errorf("Resubmits = %d, want 2", st.Resubmits)
+	}
+}
+
+func TestFatalErrorSticks(t *testing.T) {
+	boom := errors.New("boom")
+	c := collector{fail: func(int, []byte) error { return boom }}
+	q, err := New(Config{Send: c.send}) // no Retryable: any error is fatal
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Enqueue([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Flush(testCtx(t)); !errors.Is(err, boom) {
+		t.Fatalf("Flush = %v, want boom", err)
+	}
+	if err := q.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v", err)
+	}
+	if _, err := q.Enqueue([]byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("Enqueue after failure = %v", err)
+	}
+}
+
+func TestMaxAttempts(t *testing.T) {
+	c := collector{fail: func(int, []byte) error { return errCrash }}
+	q, err := New(Config{
+		Send:        c.send,
+		Retryable:   func(err error) bool { return errors.Is(err, errCrash) },
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Enqueue([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Flush(testCtx(t)); !errors.Is(err, errCrash) {
+		t.Fatalf("Flush = %v", err)
+	}
+	if st := q.Stats(); st.Resubmits != 2 { // attempts 1..3, two resubmits
+		t.Errorf("Resubmits = %d, want 2", st.Resubmits)
+	}
+}
+
+func TestWALPersistsBacklogAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.wal")
+
+	// First life: enqueue 3, deliver 1; the second send never completes
+	// (it dies with the context when the "process" goes down), so
+	// messages 1 and 2 stay in the WAL.
+	inFlight := make(chan struct{})
+	var calls int
+	var mu sync.Mutex
+	firstSend := func(ctx context.Context, msg []byte) error {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n >= 2 {
+			if n == 2 {
+				close(inFlight)
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}
+	q1, err := New(Config{Send: firstSend, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q1.Enqueue([]byte(fmt.Sprintf("wal-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-inFlight // message 0 delivered, message 1 in flight
+	q1.Close()
+
+	// Second life: the backlog must contain messages 1 and 2 (0 was
+	// confirmed; 1 was in flight and unconfirmed, so it reappears —
+	// at-least-once across crashes, as documented).
+	var second collector
+	q2, err := New(Config{Send: second.send, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if err := q2.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	got := second.messages()
+	if len(got) < 2 {
+		t.Fatalf("second life sent %v", got)
+	}
+	if got[len(got)-1] != "wal-2" {
+		t.Errorf("last message = %q, want wal-2", got[len(got)-1])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("order broken: %v", got)
+		}
+	}
+}
+
+func TestWALSurvivesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.wal")
+	var c collector
+	q, err := New(Config{Send: c.send, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	// Corrupt the tail: append garbage mimicking a crash mid-write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{recEnqueue, 0xFF}) // truncated varint
+	f.Close()
+
+	var c2 collector
+	q2, err := New(Config{Send: c2.send, WALPath: path})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer q2.Close()
+	if err := q2.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.messages(); len(got) != 1 || got[0] != "keep-me" {
+		t.Fatalf("messages = %v", got)
+	}
+}
+
+func TestWALCompactionDropsDone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.wal")
+	var c collector
+	q, err := New(Config{Send: c.send, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := q.Enqueue([]byte(fmt.Sprintf("m-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	// Reopen compacts: everything was confirmed, so the file shrinks to
+	// (near) empty.
+	var c2 collector
+	q2, err := New(Config{Send: c2.send, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2.Close()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Errorf("compacted WAL is %d bytes, want 0", info.Size())
+	}
+}
+
+func TestIDsAreUniqueAcrossLives(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.wal")
+	var c collector
+	q, err := New(Config{Send: c.send, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := q.Enqueue([]byte("a"))
+	q.Flush(testCtx(t))
+	q.Close()
+
+	q2, err := New(Config{Send: c.send, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	id2, _ := q2.Enqueue([]byte("b"))
+	if id2 <= id1 {
+		t.Errorf("id reuse across lives: %d then %d", id1, id2)
+	}
+}
+
+func TestCloseIdempotentAndUnblocks(t *testing.T) {
+	blocked := make(chan struct{})
+	q, err := New(Config{Send: func(ctx context.Context, msg []byte) error {
+		close(blocked)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue([]byte("stuck")); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	done := make(chan struct{})
+	go func() {
+		q.Close()
+		q.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the in-flight send")
+	}
+	if _, err := q.Enqueue([]byte("late")); err == nil {
+		t.Error("Enqueue after Close succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing Send accepted")
+	}
+	if _, err := New(Config{Send: func(context.Context, []byte) error { return nil },
+		WALPath: filepath.Join(t.TempDir(), "sub", "nope", "x.wal")}); err == nil {
+		t.Error("unwritable WAL path accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package outbox
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// SendFunc transfers one message, blocking until it is confirmed
+// delivered. ghm.Sender.Send and ghm.Peer.Send have this shape.
+type SendFunc func(ctx context.Context, msg []byte) error
+
+// Config parameterizes a Queue.
+type Config struct {
+	// Send transfers messages. Required.
+	Send SendFunc
+	// Retryable reports whether a Send error means "resubmit" (a station
+	// crash wiped the in-flight message) rather than "give up". Nil means
+	// never resubmit.
+	Retryable func(error) bool
+	// WALPath persists the backlog; empty means memory-only.
+	WALPath string
+	// MaxAttempts bounds resubmissions per message (0 = unlimited).
+	MaxAttempts int
+}
+
+// Stats counts queue activity.
+type Stats struct {
+	Enqueued  int // messages accepted
+	Sent      int // messages confirmed
+	Resubmits int // crash-triggered retries
+	Pending   int // messages not yet confirmed
+}
+
+// Queue is the buffering higher layer: enqueue at will, messages go out
+// one at a time in order, crashes cause resubmission.
+type Queue struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []walEntry
+	nextID  uint64
+	log     *wal
+	stats   Stats
+	err     error // sticky fatal error from Send
+	closed  bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New opens the queue (replaying the WAL backlog if configured) and
+// starts its worker.
+func New(cfg Config) (*Queue, error) {
+	if cfg.Send == nil {
+		return nil, fmt.Errorf("outbox: Send is required")
+	}
+	q := &Queue{cfg: cfg, done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	q.ctx, q.cancel = context.WithCancel(context.Background())
+
+	if cfg.WALPath != "" {
+		log, backlog, nextID, err := openWAL(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		q.log = log
+		q.backlog = backlog
+		q.nextID = nextID
+		q.stats.Pending = len(backlog)
+	}
+	go q.worker()
+	return q, nil
+}
+
+// Enqueue accepts a message for ordered, confirmed delivery and returns
+// its queue id. With a WAL, the message is durable before Enqueue
+// returns.
+func (q *Queue) Enqueue(msg []byte) (uint64, error) {
+	cp := append([]byte(nil), msg...)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, errClosed
+	}
+	if q.err != nil {
+		return 0, q.err
+	}
+	id := q.nextID
+	q.nextID++
+	if q.log != nil {
+		if err := q.log.appendEnqueue(id, cp); err != nil {
+			return 0, err
+		}
+	}
+	q.backlog = append(q.backlog, walEntry{id: id, msg: cp})
+	q.stats.Enqueued++
+	q.stats.Pending++
+	q.cond.Broadcast()
+	return id, nil
+}
+
+// Flush blocks until the backlog is empty, the queue fails, or ctx ends.
+func (q *Queue) Flush(ctx context.Context) error {
+	// Wake the waiter when ctx ends: Cond has no context support, so a
+	// helper goroutine broadcasts on cancellation.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			q.cond.Broadcast()
+		case <-stopWatch:
+		}
+	}()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.backlog) > 0 && q.err == nil && !q.closed {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		q.cond.Wait()
+	}
+	if q.err != nil {
+		return q.err
+	}
+	if q.closed && len(q.backlog) > 0 {
+		return errClosed
+	}
+	return ctx.Err()
+}
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Err returns the queue's sticky fatal error, if any.
+func (q *Queue) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Close stops the worker (abandoning any in-flight Send) and closes the
+// WAL; unsent messages stay in the log for the next open.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.done
+		return nil
+	}
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	q.cancel()
+	<-q.done
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.log.close()
+}
+
+// worker drains the backlog in order.
+func (q *Queue) worker() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.backlog) == 0 && !q.closed && q.err == nil {
+			q.cond.Wait()
+		}
+		if q.closed || q.err != nil {
+			q.mu.Unlock()
+			return
+		}
+		head := q.backlog[0]
+		q.mu.Unlock()
+
+		attempts := 0
+		for {
+			err := q.cfg.Send(q.ctx, head.msg)
+			if err == nil {
+				break
+			}
+			if q.ctx.Err() != nil {
+				return // closing
+			}
+			attempts++
+			if q.cfg.Retryable != nil && q.cfg.Retryable(err) &&
+				(q.cfg.MaxAttempts == 0 || attempts < q.cfg.MaxAttempts) {
+				q.mu.Lock()
+				q.stats.Resubmits++
+				q.mu.Unlock()
+				continue
+			}
+			q.mu.Lock()
+			q.err = fmt.Errorf("outbox: message %d: %w", head.id, err)
+			q.cond.Broadcast()
+			q.mu.Unlock()
+			return
+		}
+
+		q.mu.Lock()
+		// The head cannot have moved: this worker is the only consumer.
+		q.backlog = q.backlog[1:]
+		q.stats.Sent++
+		q.stats.Pending--
+		if q.log != nil {
+			if err := q.log.appendDone(head.id); err != nil && q.err == nil {
+				q.err = err
+			}
+		}
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ghm/internal/adversary"
+	"ghm/internal/baseline"
+	"ghm/internal/core"
+	"ghm/internal/trace"
+)
+
+// TestDifferentialGHMvsStenning is a differential oracle: on crash-free
+// channels, Stenning's unbounded-sequence-number protocol is a known-good
+// reference (deterministically correct under loss, duplication and
+// reordering), so GHM must produce exactly the same external behaviour —
+// every message delivered exactly once, in order — under the same family
+// of adversary schedules. Divergence in either direction would expose a
+// bug in the protocol or in the harness.
+func TestDifferentialGHMvsStenning(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mkAdv := func(salt int64) adversary.Adversary {
+				r := rand.New(rand.NewSource(seed*31 + salt))
+				return adversary.NewFair(r, adversary.FairConfig{
+					Loss:        r.Float64() * 0.5,
+					DupProb:     r.Float64() * 0.5,
+					DeliverProb: 0.2 + r.Float64()*0.8,
+				})
+			}
+			const messages = 60
+
+			gtx, grx, err := NewGHMPair(core.Params{}, seed*7+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ghmRes := Run(Config{
+				Messages:  messages,
+				MaxSteps:  2_000_000,
+				Adversary: mkAdv(1),
+				KeepTrace: true,
+			}, gtx, grx)
+
+			stenRes := Run(Config{
+				Messages:  messages,
+				MaxSteps:  2_000_000,
+				Adversary: mkAdv(1), // identical adversary distribution
+				KeepTrace: true,
+			}, baseline.NewSeqTx(), baseline.NewSeqRx())
+
+			for name, res := range map[string]Result{"ghm": ghmRes, "stenning": stenRes} {
+				if !res.Done {
+					t.Fatalf("%s did not complete", name)
+				}
+				if !res.Report.Clean() {
+					t.Fatalf("%s violated: %v", name, res.Report)
+				}
+			}
+
+			// The external behaviours must be identical: same delivered
+			// sequence, exactly the submitted order.
+			ghmSeq := deliveredSequence(t, ghmRes)
+			stenSeq := deliveredSequence(t, stenRes)
+			if len(ghmSeq) != messages || len(stenSeq) != messages {
+				t.Fatalf("delivery counts: ghm=%d stenning=%d", len(ghmSeq), len(stenSeq))
+			}
+			for i := range ghmSeq {
+				want := fmt.Sprintf("m-%06d", i)
+				if ghmSeq[i] != want || stenSeq[i] != want {
+					t.Fatalf("position %d: ghm=%q stenning=%q want %q",
+						i, ghmSeq[i], stenSeq[i], want)
+				}
+			}
+		})
+	}
+}
+
+// deliveredSequence extracts the receive_msg payloads in order.
+func deliveredSequence(t *testing.T, res Result) []string {
+	t.Helper()
+	var seq []string
+	for _, e := range res.Events {
+		if e.Kind == trace.KindReceiveMsg && e.Msg != "" {
+			seq = append(seq, e.Msg)
+		}
+	}
+	return seq
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/core"
+)
+
+// GHMTx adapts core.Transmitter to the TxMachine interface.
+type GHMTx struct {
+	T *core.Transmitter
+}
+
+var (
+	_ TxMachine    = GHMTx{}
+	_ StorageMeter = GHMTx{}
+)
+
+// SendMsg implements TxMachine.
+func (g GHMTx) SendMsg(m []byte) ([][]byte, error) {
+	out, err := g.T.SendMsg(m)
+	if err != nil {
+		return nil, err
+	}
+	return out.Packets, nil
+}
+
+// ReceivePacket implements TxMachine.
+func (g GHMTx) ReceivePacket(p []byte) ([][]byte, bool) {
+	out := g.T.ReceivePacket(p)
+	return out.Packets, out.OK
+}
+
+// Crash implements TxMachine.
+func (g GHMTx) Crash() { g.T.Crash() }
+
+// Busy implements TxMachine.
+func (g GHMTx) Busy() bool { return g.T.Busy() }
+
+// StorageBits implements StorageMeter: the current tag length.
+func (g GHMTx) StorageBits() int { return g.T.TauLen() }
+
+// GHMRx adapts core.Receiver to the RxMachine interface.
+type GHMRx struct {
+	R *core.Receiver
+}
+
+var (
+	_ RxMachine    = GHMRx{}
+	_ StorageMeter = GHMRx{}
+)
+
+// ReceivePacket implements RxMachine.
+func (g GHMRx) ReceivePacket(p []byte) ([][]byte, [][]byte) {
+	out := g.R.ReceivePacket(p)
+	return out.Delivered, out.Packets
+}
+
+// Retry implements RxMachine.
+func (g GHMRx) Retry() [][]byte { return g.R.Retry().Packets }
+
+// Crash implements RxMachine.
+func (g GHMRx) Crash() { g.R.Crash() }
+
+// StorageBits implements StorageMeter: the current challenge length.
+func (g GHMRx) StorageBits() int { return g.R.RhoLen() }
+
+// NewGHMPair builds a transmitter/receiver pair with deterministic
+// randomness derived from seed. Zero fields of p take core defaults except
+// Source, which is always replaced by seeded math sources (one per
+// station) for reproducibility.
+func NewGHMPair(p core.Params, seed int64) (GHMTx, GHMRx, error) {
+	pt := p
+	pt.Source = bitstr.NewMathSource(rand.New(rand.NewSource(seed)))
+	pr := p
+	pr.Source = bitstr.NewMathSource(rand.New(rand.NewSource(seed + 0x9e3779b9)))
+	tx, err := core.NewTransmitter(pt)
+	if err != nil {
+		return GHMTx{}, GHMRx{}, err
+	}
+	rx, err := core.NewReceiver(pr)
+	if err != nil {
+		return GHMTx{}, GHMRx{}, err
+	}
+	return GHMTx{T: tx}, GHMRx{R: rx}, nil
+}
+
+// RunGHM is a convenience wrapper: build a GHM pair seeded by seed and
+// simulate it under cfg.
+func RunGHM(cfg Config, p core.Params, seed int64) (Result, error) {
+	tx, rx, err := NewGHMPair(p, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(cfg, tx, rx), nil
+}

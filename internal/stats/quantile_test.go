@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	idx := int(p * float64(len(tmp)))
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+func TestQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q := NewQuantile(p)
+		var xs []float64
+		for i := 0; i < 20000; i++ {
+			x := rng.Float64() * 1000
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		got, want := q.Value(), exactQuantile(xs, p)
+		if math.Abs(got-want) > 25 { // 2.5% of range
+			t.Errorf("p=%v: estimate %v, exact %v", p, got, want)
+		}
+		if q.N() != 20000 {
+			t.Errorf("N = %d", q.N())
+		}
+	}
+}
+
+func TestQuantileExponentialTail(t *testing.T) {
+	// Latency-shaped distribution: exponential with a long tail.
+	rng := rand.New(rand.NewSource(2))
+	q := NewQuantile(0.95)
+	var xs []float64
+	for i := 0; i < 30000; i++ {
+		x := rng.ExpFloat64() * 10
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	got, want := q.Value(), exactQuantile(xs, 0.95)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("p95: estimate %v, exact %v", got, want)
+	}
+}
+
+func TestQuantileSmallSamples(t *testing.T) {
+	q := NewQuantile(0.5)
+	if q.Value() != 0 {
+		t.Error("empty estimator nonzero")
+	}
+	q.Add(5)
+	q.Add(1)
+	q.Add(3)
+	v := q.Value()
+	if v < 1 || v > 5 {
+		t.Errorf("small-sample median %v outside range", v)
+	}
+}
+
+func TestQuantileClampedP(t *testing.T) {
+	for _, p := range []float64{-1, 0, 1, 2} {
+		q := NewQuantile(p)
+		for i := 0; i < 100; i++ {
+			q.Add(float64(i))
+		}
+		v := q.Value()
+		if v < 0 || v > 99 {
+			t.Errorf("p=%v: value %v outside observed range", p, v)
+		}
+	}
+}
+
+func TestQuantileMonotoneAcrossP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q50, q90, q99 := NewQuantile(0.5), NewQuantile(0.9), NewQuantile(0.99)
+	for i := 0; i < 10000; i++ {
+		x := rng.NormFloat64()*10 + 100
+		q50.Add(x)
+		q90.Add(x)
+		q99.Add(x)
+	}
+	if !(q50.Value() < q90.Value() && q90.Value() < q99.Value()) {
+		t.Errorf("quantiles not ordered: %v %v %v", q50.Value(), q90.Value(), q99.Value())
+	}
+}

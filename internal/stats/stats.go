@@ -1,0 +1,170 @@
+// Package stats provides the small numeric and presentation helpers shared
+// by the experiment harness: streaming mean/deviation accumulators and
+// fixed-width text tables matching the layout used in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Acc accumulates a stream of float64 samples (Welford's algorithm) and
+// reports mean, standard deviation and extrema. The zero value is ready to
+// use.
+type Acc struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// AddInt records one integer sample.
+func (a *Acc) AddInt(x int) { a.Add(float64(x)) }
+
+// N returns the number of samples.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Std returns the sample standard deviation (0 with fewer than 2 samples).
+func (a *Acc) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Acc) Min() float64 {
+	return a.min
+}
+
+// Max returns the largest sample (0 with no samples).
+func (a *Acc) Max() float64 {
+	return a.max
+}
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title   string
+	Note    string // one-line caption under the title
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				io.WriteString(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		io.WriteString(w, "\n")
+	}
+	writeRow(t.Headers)
+	var rule []string
+	for _, width := range widths {
+		rule = append(rule, strings.Repeat("-", width))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// F formats a float compactly (trailing zeros trimmed).
+func F(x float64) string {
+	s := fmt.Sprintf("%.3f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// F1 formats a float with one decimal.
+func F1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// E formats a probability in scientific-ish style (e.g. "2^-16" inputs
+// stay readable as decimals).
+func E(x float64) string {
+	if x == 0 {
+		return "0"
+	}
+	if x >= 0.001 {
+		return F(x)
+	}
+	return fmt.Sprintf("%.2e", x)
+}

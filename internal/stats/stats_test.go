@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.Std() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("zero Acc not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(a.Std()-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", a.Std(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccAddInt(t *testing.T) {
+	var a Acc
+	a.AddInt(3)
+	a.AddInt(5)
+	if a.Mean() != 4 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+}
+
+func TestAccQuickMeanWithinBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Acc
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue // the harness feeds measurement-scale numbers
+			}
+			a.Add(x)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "E0 demo",
+		Note:    "a caption",
+		Headers: []string{"proto", "rate"},
+	}
+	tb.AddRow("ghm", "0.001")
+	tb.AddRow("abp")
+	out := tb.String()
+	for _, want := range []string{"E0 demo", "a caption", "proto", "ghm", "0.001", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	for _, want := range []string{"### T", "| a | b |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{F(1.5), "1.5"},
+		{F(2), "2"},
+		{F(0.125), "0.125"},
+		{F1(2.04), "2.0"},
+		{E(0), "0"},
+		{E(0.25), "0.25"},
+		{E(1.0 / (1 << 20)), "9.54e-07"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("format = %q, want %q", tt.got, tt.want)
+		}
+	}
+}

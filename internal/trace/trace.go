@@ -1,0 +1,122 @@
+// Package trace records executions of the composed system in the sense of
+// the paper's I/O-automata model: the sequence of externally visible
+// actions (send_msg, OK, receive_msg, crashes, packet sends and
+// deliveries). The correctness conditions of Section 2.6 are defined over
+// such executions; ghm/internal/verify checks them mechanically over a
+// recorded Log.
+package trace
+
+import "fmt"
+
+// Dir identifies one of the two unidirectional channels.
+type Dir int
+
+const (
+	// DirTR is the transmitter -> receiver channel (C^{T->R}).
+	DirTR Dir = iota + 1
+	// DirRT is the receiver -> transmitter channel (C^{R->T}).
+	DirRT
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	switch d {
+	case DirTR:
+		return "T->R"
+	case DirRT:
+		return "R->T"
+	default:
+		return fmt.Sprintf("Dir(%d)", int(d))
+	}
+}
+
+// Kind enumerates the externally visible actions of the composed system.
+type Kind int
+
+const (
+	// KindSendMsg is the higher layer handing a message to the transmitter.
+	KindSendMsg Kind = iota + 1
+	// KindOK is the transmitter's completion notification.
+	KindOK
+	// KindReceiveMsg is a delivery to the higher layer at the receiver.
+	KindReceiveMsg
+	// KindCrashT erases the transmitting station's memory.
+	KindCrashT
+	// KindCrashR erases the receiving station's memory.
+	KindCrashR
+	// KindSendPkt is a send_pkt action placing a packet on a channel.
+	KindSendPkt
+	// KindDeliverPkt is a deliver_pkt/receive_pkt pair: the adversary
+	// releasing a (possibly duplicated) packet to its destination.
+	KindDeliverPkt
+	// KindRetry is the receiver's internal RETRY action.
+	KindRetry
+)
+
+var kindNames = map[Kind]string{
+	KindSendMsg:    "send_msg",
+	KindOK:         "OK",
+	KindReceiveMsg: "receive_msg",
+	KindCrashT:     "crash^T",
+	KindCrashR:     "crash^R",
+	KindSendPkt:    "send_pkt",
+	KindDeliverPkt: "deliver_pkt",
+	KindRetry:      "retry",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one action of an execution.
+type Event struct {
+	Step   int    // logical time assigned by the scheduler
+	Kind   Kind   //
+	Dir    Dir    // set for packet events
+	PktID  int64  // set for packet events: the channel-assigned identifier
+	PktLen int    // set for packet events: length in bytes
+	Msg    string // set for send_msg / receive_msg: the unique message id
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindSendMsg, KindReceiveMsg:
+		return fmt.Sprintf("%6d %s(%s)", e.Step, e.Kind, e.Msg)
+	case KindSendPkt, KindDeliverPkt:
+		return fmt.Sprintf("%6d %s %s id=%d len=%d", e.Step, e.Kind, e.Dir, e.PktID, e.PktLen)
+	default:
+		return fmt.Sprintf("%6d %s", e.Step, e.Kind)
+	}
+}
+
+// Log accumulates the events of one execution. The zero value is an empty
+// log ready to use.
+type Log struct {
+	events []Event
+}
+
+// Append records e.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the recorded execution.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Last returns the most recent event and whether the log is non-empty.
+func (l *Log) Last() (Event, bool) {
+	if len(l.events) == 0 {
+		return Event{}, false
+	}
+	return l.events[len(l.events)-1], true
+}

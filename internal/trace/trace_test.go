@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		give Event
+		want []string // substrings that must appear
+	}{
+		{give: Event{Step: 3, Kind: KindSendMsg, Msg: "m-1"}, want: []string{"send_msg", "m-1"}},
+		{give: Event{Step: 4, Kind: KindReceiveMsg, Msg: "m-2"}, want: []string{"receive_msg", "m-2"}},
+		{give: Event{Step: 5, Kind: KindOK}, want: []string{"OK"}},
+		{give: Event{Step: 6, Kind: KindCrashT}, want: []string{"crash^T"}},
+		{give: Event{Step: 7, Kind: KindCrashR}, want: []string{"crash^R"}},
+		{give: Event{Step: 8, Kind: KindSendPkt, Dir: DirTR, PktID: 12, PktLen: 40},
+			want: []string{"send_pkt", "T->R", "id=12", "len=40"}},
+		{give: Event{Step: 9, Kind: KindDeliverPkt, Dir: DirRT, PktID: 7, PktLen: 9},
+			want: []string{"deliver_pkt", "R->T", "id=7"}},
+		{give: Event{Step: 10, Kind: KindRetry}, want: []string{"retry"}},
+	}
+	for _, tt := range tests {
+		got := tt.give.String()
+		for _, w := range tt.want {
+			if !strings.Contains(got, w) {
+				t.Errorf("Event %+v String() = %q, missing %q", tt.give, got, w)
+			}
+		}
+	}
+}
+
+func TestUnknownKindDirStrings(t *testing.T) {
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("Kind(99).String() = %q", got)
+	}
+	if got := Dir(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("Dir(99).String() = %q", got)
+	}
+}
+
+func TestLog(t *testing.T) {
+	var l Log
+	if l.Len() != 0 {
+		t.Fatal("zero Log not empty")
+	}
+	if _, ok := l.Last(); ok {
+		t.Fatal("Last on empty log reported ok")
+	}
+	l.Append(Event{Step: 1, Kind: KindSendMsg, Msg: "a"})
+	l.Append(Event{Step: 2, Kind: KindOK})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	last, ok := l.Last()
+	if !ok || last.Kind != KindOK {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+
+	// Events returns a copy: mutating it must not affect the log.
+	ev := l.Events()
+	ev[0].Msg = "tampered"
+	if got := l.Events()[0].Msg; got != "a" {
+		t.Errorf("log mutated through Events copy: %q", got)
+	}
+}

@@ -1,0 +1,488 @@
+// Package transport implements the semi-reliable lower layer the paper's
+// introduction describes for the data transport layer: a network of relay
+// nodes connected by unreliable, failing links, over which the two end
+// stations run the GHM protocol end to end.
+//
+// Two relay strategies are provided, matching the paper's discussion:
+//
+//   - Flooding: every packet is forwarded to every neighbour (with
+//     duplicate suppression). Trivially semi-reliable while the graph
+//     stays connected, at a cost of O(|E|) link traversals per packet —
+//     the paper's "trivial implementation".
+//   - PathRouting: packets follow a shortest path computed over the links
+//     currently up, and the path is recomputed when links fail — the
+//     [HK89]-style "find a reliable path and replace it only when an error
+//     is detected" scheme, with cost O(path length) per packet. Packets in
+//     flight on a failing link are lost; the GHM layer above recovers
+//     them.
+//
+// The network is a concurrent simulation: a single pump goroutine moves
+// packets hop by hop on a fixed tick, toggling link state (failures and
+// repairs) and applying per-link loss. Endpoints satisfy the same
+// PacketConn contract as ghm/internal/netlink, so the GHM sessions run on
+// top unchanged.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Mode selects the relay strategy for an endpoint's traffic.
+type Mode int
+
+const (
+	// Flooding forwards every packet on every link.
+	Flooding Mode = iota + 1
+	// PathRouting forwards along a shortest currently-up path.
+	PathRouting
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Flooding:
+		return "flooding"
+	case PathRouting:
+		return "path-routing"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes the network.
+type Config struct {
+	// Nodes is the number of relay nodes, identified 0..Nodes-1.
+	Nodes int
+	// Edges are undirected links between node pairs.
+	Edges [][2]int
+	// Loss is the per-traversal packet loss probability on an up link.
+	Loss float64
+	// FailProb is the per-tick probability an up link fails.
+	FailProb float64
+	// RepairProb is the per-tick probability a down link recovers.
+	RepairProb float64
+	// TickEvery is the pump interval (default 100 microseconds).
+	TickEvery time.Duration
+	// Seed fixes the fault schedule (0 = from clock).
+	Seed int64
+}
+
+// Stats counts network-wide activity.
+type Stats struct {
+	Injected   int // end-to-end packets handed to Send
+	DeliveredE int // end-to-end packets that reached their destination
+	Traversals int // individual link traversals attempted
+	Lost       int // traversals dropped by loss or a down link
+	NoRoute    int // path-mode injections dropped for lack of an up path
+}
+
+// Network is the relay network. Create with New, attach endpoints with
+// Endpoint, and Close when done.
+type Network struct {
+	cfg Config
+
+	mu       sync.Mutex
+	adj      map[int][]int
+	up       map[edge]bool
+	nodeDown map[int]bool
+	queues   map[edge][]*relayPkt
+	inbox    map[int]chan []byte
+	seen     map[int]*dedup
+	rng      *rand.Rand
+	nextID   uint64
+	stats    Stats
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+type edge struct{ from, to int }
+
+type relayPkt struct {
+	id      uint64
+	src     int
+	dst     int
+	mode    Mode
+	path    []int // remaining hops for PathRouting
+	payload []byte
+}
+
+// New validates cfg and starts the network pump.
+func New(cfg Config) (*Network, error) {
+	if cfg.Nodes < 2 {
+		return nil, errors.New("transport: need at least 2 nodes")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 100 * time.Microsecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	n := &Network{
+		cfg:      cfg,
+		adj:      make(map[int][]int),
+		up:       make(map[edge]bool),
+		nodeDown: make(map[int]bool),
+		queues:   make(map[edge][]*relayPkt),
+		inbox:    make(map[int]chan []byte),
+		seen:     make(map[int]*dedup),
+		rng:      rand.New(rand.NewSource(seed)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, e := range cfg.Edges {
+		a, b := e[0], e[1]
+		if a < 0 || b < 0 || a >= cfg.Nodes || b >= cfg.Nodes || a == b {
+			return nil, fmt.Errorf("transport: invalid edge %v", e)
+		}
+		n.adj[a] = append(n.adj[a], b)
+		n.adj[b] = append(n.adj[b], a)
+		n.up[edge{a, b}] = true
+		n.up[edge{b, a}] = true
+	}
+	go n.pump()
+	return n, nil
+}
+
+// Endpoint returns a PacketConn at node addressed to peer. The returned
+// endpoint satisfies ghm/internal/netlink.PacketConn (and the public
+// ghm.PacketConn), so GHM sessions run over it directly.
+func (n *Network) Endpoint(node, peer int, mode Mode) (*Endpoint, error) {
+	if node < 0 || node >= n.cfg.Nodes || peer < 0 || peer >= n.cfg.Nodes {
+		return nil, fmt.Errorf("transport: invalid endpoint %d->%d", node, peer)
+	}
+	if mode != Flooding && mode != PathRouting {
+		return nil, fmt.Errorf("transport: invalid mode %v", mode)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.inbox[node]; !ok {
+		// Buffered so the pump never blocks on a slow consumer; overflow
+		// is dropped like any congested link.
+		n.inbox[node] = make(chan []byte, 1024)
+	}
+	return &Endpoint{net: n, node: node, peer: peer, mode: mode, closed: make(chan struct{})}, nil
+}
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// SetLink forces a link up or down (both directions), for failure-injection
+// tests and demos.
+func (n *Network) SetLink(a, b int, isUp bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.up[edge{a, b}] = isUp
+	n.up[edge{b, a}] = isUp
+}
+
+// SetNode crashes or revives a relay node. A down node drops every packet
+// addressed through it; a revived node comes back with its memory erased
+// (its flooding dedup set is gone, exactly like a host crash in the
+// paper's model), so it may briefly re-forward duplicates — which the
+// layer above tolerates by design.
+func (n *Network) SetNode(i int, isUp bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if isUp {
+		if n.nodeDown[i] {
+			delete(n.nodeDown, i)
+			delete(n.seen, i) // memory erased across the crash
+		}
+		return
+	}
+	n.nodeDown[i] = true
+}
+
+// Close stops the pump and waits for it.
+func (n *Network) Close() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		<-n.done
+	})
+}
+
+// pump advances the network on a fixed tick.
+func (n *Network) pump() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.step()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// step toggles link states and moves every queued packet one hop.
+func (n *Network) step() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	if n.cfg.FailProb > 0 || n.cfg.RepairProb > 0 {
+		for e, isUp := range n.up {
+			if e.from > e.to {
+				continue // toggle each undirected link once
+			}
+			switch {
+			case isUp && n.rng.Float64() < n.cfg.FailProb:
+				n.up[e] = false
+				n.up[edge{e.to, e.from}] = false
+			case !isUp && n.rng.Float64() < n.cfg.RepairProb:
+				n.up[e] = true
+				n.up[edge{e.to, e.from}] = true
+			}
+		}
+	}
+
+	// Drain a snapshot of the queues; forwarding enqueues for next tick.
+	moving := make(map[edge][]*relayPkt, len(n.queues))
+	for e, q := range n.queues {
+		if len(q) > 0 {
+			moving[e] = q
+			n.queues[e] = nil
+		}
+	}
+	for e, q := range moving {
+		for _, p := range q {
+			n.stats.Traversals++
+			if !n.up[e] || n.nodeDown[e.to] || n.rng.Float64() < n.cfg.Loss {
+				n.stats.Lost++
+				continue
+			}
+			n.arrive(e.to, e.from, p)
+		}
+	}
+}
+
+// arrive handles packet p reaching node (from the given neighbour; -1 for
+// local injection). Caller holds n.mu.
+func (n *Network) arrive(node, from int, p *relayPkt) {
+	if node == p.dst {
+		if ch, ok := n.inbox[node]; ok {
+			select {
+			case ch <- p.payload:
+				n.stats.DeliveredE++
+			default:
+				// Destination congested: the packet is lost, which the
+				// layer above tolerates.
+				n.stats.Lost++
+			}
+		}
+		return
+	}
+	switch p.mode {
+	case Flooding:
+		d := n.seen[node]
+		if d == nil {
+			d = newDedup(8192)
+			n.seen[node] = d
+		}
+		if d.contains(p.id) {
+			return
+		}
+		d.add(p.id)
+		for _, nb := range n.adj[node] {
+			if nb == from {
+				continue
+			}
+			n.queues[edge{node, nb}] = append(n.queues[edge{node, nb}], p)
+		}
+	case PathRouting:
+		if len(p.path) == 0 {
+			return
+		}
+		next := p.path[0]
+		rest := p.path[1:]
+		fwd := &relayPkt{id: p.id, src: p.src, dst: p.dst, mode: p.mode, path: rest, payload: p.payload}
+		n.queues[edge{node, next}] = append(n.queues[edge{node, next}], fwd)
+	}
+}
+
+// inject places a freshly sent packet into the network. For PathRouting
+// the route is computed over currently-up links — recomputing per packet
+// is the "replace the path when an error is detected" scheme taken to its
+// simplest form (the route oracle stands in for [HK89]'s detection
+// machinery; the cost profile is the same).
+func (n *Network) inject(src, dst int, mode Mode, payload []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Injected++
+	if n.nodeDown[src] {
+		// A crashed host cannot place packets on the network.
+		n.stats.Lost++
+		return
+	}
+	n.nextID++
+	p := &relayPkt{
+		id:      n.nextID,
+		src:     src,
+		dst:     dst,
+		mode:    mode,
+		payload: append([]byte(nil), payload...),
+	}
+	if mode == PathRouting {
+		path := n.shortestUpPath(src, dst)
+		if path == nil {
+			n.stats.NoRoute++
+			return
+		}
+		p.path = path[1:] // exclude src itself
+	}
+	n.arrive(src, -1, p)
+	// A flooding source forwards to all neighbours via arrive; a
+	// path-routing source just queued to its first hop. If src IS dst
+	// (not allowed by Endpoint) arrive already delivered.
+}
+
+// shortestUpPath runs BFS over up links and up nodes. Caller holds n.mu.
+func (n *Network) shortestUpPath(src, dst int) []int {
+	if n.nodeDown[src] || n.nodeDown[dst] {
+		return nil
+	}
+	prev := map[int]int{src: src}
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			var path []int
+			for v := dst; ; v = prev[v] {
+				path = append([]int{v}, path...)
+				if v == src {
+					return path
+				}
+			}
+		}
+		for _, v := range n.adj[u] {
+			if _, seen := prev[v]; seen || !n.up[edge{u, v}] || n.nodeDown[v] {
+				continue
+			}
+			prev[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+// Endpoint is one station's attachment to the network.
+type Endpoint struct {
+	net  *Network
+	node int
+	peer int
+	mode Mode
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Send implements the PacketConn contract.
+func (e *Endpoint) Send(p []byte) error {
+	select {
+	case <-e.net.stop:
+		return errClosed
+	case <-e.closed:
+		return errClosed
+	default:
+	}
+	e.net.inject(e.node, e.peer, e.mode, p)
+	return nil
+}
+
+// Recv implements the PacketConn contract.
+func (e *Endpoint) Recv() ([]byte, error) {
+	e.net.mu.Lock()
+	ch := e.net.inbox[e.node]
+	e.net.mu.Unlock()
+	select {
+	case p := <-ch:
+		return p, nil
+	case <-e.net.stop:
+		return nil, errClosed
+	case <-e.closed:
+		return nil, errClosed
+	}
+}
+
+// Close detaches the endpoint (the network keeps running; use
+// Network.Close to stop everything).
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() { close(e.closed) })
+	return nil
+}
+
+var errClosed = errors.New("transport: closed")
+
+// dedup is a bounded set of packet ids with FIFO eviction.
+type dedup struct {
+	cap   int
+	set   map[uint64]struct{}
+	order []uint64
+}
+
+func newDedup(capacity int) *dedup {
+	return &dedup{cap: capacity, set: make(map[uint64]struct{}, capacity)}
+}
+
+func (d *dedup) contains(id uint64) bool {
+	_, ok := d.set[id]
+	return ok
+}
+
+func (d *dedup) add(id uint64) {
+	if len(d.order) >= d.cap {
+		old := d.order[0]
+		d.order = d.order[1:]
+		delete(d.set, old)
+	}
+	d.set[id] = struct{}{}
+	d.order = append(d.order, id)
+}
+
+// Line returns the edges of a line topology over n nodes.
+func Line(n int) [][2]int {
+	var edges [][2]int
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return edges
+}
+
+// Ring returns the edges of a ring topology over n nodes.
+func Ring(n int) [][2]int {
+	edges := Line(n)
+	if n > 2 {
+		edges = append(edges, [2]int{n - 1, 0})
+	}
+	return edges
+}
+
+// Grid returns the edges of a w x h grid (nodes numbered row-major).
+func Grid(w, h int) [][2]int {
+	var edges [][2]int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := y*w + x
+			if x+1 < w {
+				edges = append(edges, [2]int{id, id + 1})
+			}
+			if y+1 < h {
+				edges = append(edges, [2]int{id, id + w})
+			}
+		}
+	}
+	return edges
+}

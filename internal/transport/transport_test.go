@@ -1,0 +1,435 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ghm/internal/core"
+	"ghm/internal/netlink"
+)
+
+var _ netlink.PacketConn = (*Endpoint)(nil)
+
+func TestTopologyHelpers(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges [][2]int
+		want  int
+	}{
+		{name: "line5", edges: Line(5), want: 4},
+		{name: "ring5", edges: Ring(5), want: 5},
+		{name: "ring2", edges: Ring(2), want: 1},
+		{name: "grid3x3", edges: Grid(3, 3), want: 12},
+		{name: "grid1x4", edges: Grid(1, 4), want: 3},
+	}
+	for _, tt := range tests {
+		if got := len(tt.edges); got != tt.want {
+			t.Errorf("%s: %d edges, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1}); err == nil {
+		t.Error("1-node network accepted")
+	}
+	if _, err := New(Config{Nodes: 3, Edges: [][2]int{{0, 5}}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := New(Config{Nodes: 3, Edges: [][2]int{{1, 1}}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	n, err := New(Config{Nodes: 3, Edges: Line(3), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.Endpoint(0, 9, Flooding); err == nil {
+		t.Error("invalid peer accepted")
+	}
+	if _, err := n.Endpoint(0, 2, Mode(9)); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+func relayRoundTrip(t *testing.T, mode Mode) {
+	t.Helper()
+	n, err := New(Config{
+		Nodes: 5, Edges: Ring(5), Seed: 2,
+		TickEvery: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	src, err := n.Endpoint(0, 2, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := n.Endpoint(2, 0, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send([]byte("across")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Recv()
+	if err != nil || !bytes.Equal(got, []byte("across")) {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestFloodingDelivers(t *testing.T)    { relayRoundTrip(t, Flooding) }
+func TestPathRoutingDelivers(t *testing.T) { relayRoundTrip(t, PathRouting) }
+
+func TestFloodingCostExceedsPathCost(t *testing.T) {
+	run := func(mode Mode) Stats {
+		n, err := New(Config{
+			Nodes: 9, Edges: Grid(3, 3), Seed: 3,
+			TickEvery: 20 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		src, _ := n.Endpoint(0, 8, mode)
+		dst, _ := n.Endpoint(8, 0, mode)
+		for i := 0; i < 20; i++ {
+			if err := src.Send([]byte(fmt.Sprintf("p%d", i))); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dst.Recv(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n.Stats()
+	}
+	flood := run(Flooding)
+	path := run(PathRouting)
+	if flood.Traversals <= path.Traversals {
+		t.Errorf("flooding traversals %d not above path traversals %d",
+			flood.Traversals, path.Traversals)
+	}
+}
+
+func TestPathRoutingReroutesAroundDeadLink(t *testing.T) {
+	// Ring of 4: 0-1-2-3-0. Kill 0-1; the 0->2 path must go via 3.
+	n, err := New(Config{
+		Nodes: 4, Edges: Ring(4), Seed: 4,
+		TickEvery: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetLink(0, 1, false)
+	src, _ := n.Endpoint(0, 2, PathRouting)
+	dst, _ := n.Endpoint(2, 0, PathRouting)
+	if err := src.Send([]byte("detour")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Recv()
+	if err != nil || !bytes.Equal(got, []byte("detour")) {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestPathRoutingNoRouteCounted(t *testing.T) {
+	n, err := New(Config{
+		Nodes: 3, Edges: Line(3), Seed: 5,
+		TickEvery: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetLink(0, 1, false) // disconnect node 0 entirely
+	src, _ := n.Endpoint(0, 2, PathRouting)
+	if err := src.Send([]byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for n.Stats().NoRoute == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("NoRoute never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGHMSessionOverNetwork(t *testing.T) {
+	// The headline composition: GHM end-to-end over a lossy, failing
+	// multi-hop network, for both relay strategies.
+	for _, mode := range []Mode{Flooding, PathRouting} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			n, err := New(Config{
+				Nodes: 9, Edges: Grid(3, 3),
+				Loss: 0.05, FailProb: 0.002, RepairProb: 0.2,
+				Seed: 6, TickEvery: 20 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n.Close()
+			srcConn, _ := n.Endpoint(0, 8, mode)
+			dstConn, _ := n.Endpoint(8, 0, mode)
+
+			s, err := netlink.NewSender(srcConn, core.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			r, err := netlink.NewReceiver(dstConn, netlink.ReceiverConfig{
+				RetryInterval: 300 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			const msgs = 10
+			errc := make(chan error, 1)
+			go func() {
+				for i := 0; i < msgs; i++ {
+					if err := s.Send(ctx, []byte(fmt.Sprintf("net-%d", i))); err != nil {
+						errc <- fmt.Errorf("send %d: %w", i, err)
+						return
+					}
+				}
+				errc <- nil
+			}()
+			for i := 0; i < msgs; i++ {
+				got, err := r.Recv(ctx)
+				if err != nil {
+					t.Fatalf("Recv %d: %v", i, err)
+				}
+				if want := fmt.Sprintf("net-%d", i); string(got) != want {
+					t.Fatalf("Recv %d = %q, want %q", i, got, want)
+				}
+			}
+			if err := <-errc; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestNodeCrashReroutesAndRecovers(t *testing.T) {
+	// Ring of 6: the 0->3 shortest path goes through 1,2 or 5,4. Crash
+	// node 1: path routing must detour through the other side; revive it
+	// and traffic keeps flowing.
+	n, err := New(Config{
+		Nodes: 6, Edges: Ring(6), Seed: 9,
+		TickEvery: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	src, _ := n.Endpoint(0, 3, PathRouting)
+	dst, _ := n.Endpoint(3, 0, PathRouting)
+
+	n.SetNode(1, false)
+	if err := src.Send([]byte("around")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Recv()
+	if err != nil || !bytes.Equal(got, []byte("around")) {
+		t.Fatalf("Recv with node down = %q, %v", got, err)
+	}
+
+	n.SetNode(1, true)
+	if err := src.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = dst.Recv()
+	if err != nil || !bytes.Equal(got, []byte("after")) {
+		t.Fatalf("Recv after revive = %q, %v", got, err)
+	}
+}
+
+func TestNodeCrashDisconnectsFlooding(t *testing.T) {
+	// Line 0-1-2: node 1 down cuts flooding entirely; packets are lost,
+	// not queued forever.
+	n, err := New(Config{
+		Nodes: 3, Edges: Line(3), Seed: 10,
+		TickEvery: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	src, _ := n.Endpoint(0, 2, Flooding)
+	dst, _ := n.Endpoint(2, 0, Flooding)
+
+	n.SetNode(1, false)
+	if err := src.Send([]byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for n.Stats().Lost == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("packet neither delivered nor counted lost")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Revive and verify the network recovered (dedup memory was erased,
+	// which must not break forwarding of fresh packets).
+	n.SetNode(1, true)
+	if err := src.Send([]byte("through")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Recv()
+	if err != nil || !bytes.Equal(got, []byte("through")) {
+		t.Fatalf("Recv after revive = %q, %v", got, err)
+	}
+}
+
+func TestCrashedSourceCannotInject(t *testing.T) {
+	n, err := New(Config{Nodes: 2, Edges: Line(2), Seed: 11,
+		TickEvery: 20 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	src, _ := n.Endpoint(0, 1, Flooding)
+	n.SetNode(0, false)
+	if err := src.Send([]byte("ghost")); err != nil {
+		t.Fatal(err) // Send succeeds; the packet just goes nowhere
+	}
+	deadline := time.Now().Add(time.Second)
+	for n.Stats().Lost == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("injection from crashed node not counted lost")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n.Stats().DeliveredE != 0 {
+		t.Fatal("crashed node delivered traffic")
+	}
+}
+
+func TestGHMSurvivesRelayCrashes(t *testing.T) {
+	// End-to-end: GHM over the grid while interior relays crash and
+	// recover; the stream must stay ordered and complete.
+	n, err := New(Config{
+		Nodes: 9, Edges: Grid(3, 3), Loss: 0.05,
+		Seed: 12, TickEvery: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	srcConn, _ := n.Endpoint(0, 8, PathRouting)
+	dstConn, _ := n.Endpoint(8, 0, PathRouting)
+	s, err := netlink.NewSender(srcConn, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := netlink.NewReceiver(dstConn, netlink.ReceiverConfig{
+		RetryInterval: 300 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		relays := []int{1, 3, 4, 5, 7}
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+				node := relays[i%len(relays)]
+				n.SetNode(node, false)
+				time.Sleep(2 * time.Millisecond)
+				n.SetNode(node, true)
+				i++
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const msgs = 8
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if err := s.Send(ctx, []byte(fmt.Sprintf("relay-%d", i))); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < msgs; i++ {
+		got, err := r.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("relay-%d", i); string(got) != want {
+			t.Fatalf("recv %d = %q, want %q", i, got, want)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointCloseUnblocksRecv(t *testing.T) {
+	n, err := New(Config{Nodes: 2, Edges: Line(2), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ep, _ := n.Endpoint(0, 1, Flooding)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ep.Recv()
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	ep.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Recv returned nil after Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	if err := ep.Send([]byte("x")); err == nil {
+		t.Fatal("Send on closed endpoint succeeded")
+	}
+}
+
+func TestNetworkCloseIdempotentAndUnblocks(t *testing.T) {
+	n, err := New(Config{Nodes: 2, Edges: Line(2), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := n.Endpoint(1, 0, Flooding)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ep.Recv()
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	n.Close()
+	n.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("Recv survived network close")
+	}
+}

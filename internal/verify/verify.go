@@ -1,0 +1,200 @@
+// Package verify mechanically checks a recorded execution against the
+// correctness conditions of the paper's Section 2.6.
+//
+// The conditions are stated over executions of the composed system
+// (transmitter, receiver, channels, adversary); ghm/internal/sim records
+// such executions as ghm/internal/trace logs, and Check walks one log
+// counting violations of each condition:
+//
+//   - causality: every receive_msg(m) has a unique earlier send_msg(m).
+//   - order: every OK for message m has a receive_msg(m) between the
+//     send_msg(m) and the OK.
+//   - no duplication: m is not delivered twice without an intervening
+//     crash^R.
+//   - no replay: a delivery of m is a replay when m was already completed
+//     (OK'd, or abandoned by crash^T) before the receiver's most recent
+//     refresh point (its last receive_msg or crash^R), which is exactly
+//     the M_alpha formulation of Theorem 7.
+//
+// Liveness is a property of infinite executions; the simulator reports it
+// as "completed within the step budget" instead.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"ghm/internal/trace"
+)
+
+// maxExamples bounds how many violating message ids each list retains.
+const maxExamples = 8
+
+// Report summarizes the checks over one execution.
+type Report struct {
+	// Sent, Delivered, OKs, CrashT, CrashR count the respective actions.
+	Sent, Delivered, OKs, CrashT, CrashR int
+
+	// Causality counts deliveries of never-sent messages.
+	Causality int
+	// Order counts OK events whose message was not delivered between its
+	// send_msg and the OK.
+	Order int
+	// Duplication counts re-deliveries with no crash^R since the previous
+	// delivery of the same message.
+	Duplication int
+	// Replay counts deliveries of messages completed before the
+	// receiver's last refresh point.
+	Replay int
+
+	// CausalityExamples etc. retain up to maxExamples offending message ids.
+	CausalityExamples, OrderExamples, DuplicationExamples, ReplayExamples []string
+}
+
+// Violations returns the total number of condition violations.
+func (r Report) Violations() int {
+	return r.Causality + r.Order + r.Duplication + r.Replay
+}
+
+// Clean reports whether no condition was violated.
+func (r Report) Clean() bool { return r.Violations() == 0 }
+
+// String implements fmt.Stringer with a one-line summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent=%d delivered=%d ok=%d crashT=%d crashR=%d",
+		r.Sent, r.Delivered, r.OKs, r.CrashT, r.CrashR)
+	if r.Clean() {
+		b.WriteString(" clean")
+	} else {
+		fmt.Fprintf(&b, " VIOLATIONS causality=%d order=%d dup=%d replay=%d",
+			r.Causality, r.Order, r.Duplication, r.Replay)
+	}
+	return b.String()
+}
+
+// Checker verifies an execution incrementally: feed every event to
+// Observe and read the Report at any point. Streaming matters because
+// hostile-adversary executions run to tens of millions of packet events;
+// the checker's state stays proportional to the number of distinct
+// messages. The zero value is ready to use.
+type Checker struct {
+	r Report
+
+	idx         int
+	sentAt      map[string]int
+	deliveredAt map[string][]int
+	completedAt map[string]int
+	lastCrashR  int
+	lastRefresh int
+	inFlight    string
+	hasInFlight bool
+	init        bool
+}
+
+func (c *Checker) ensure() {
+	if c.init {
+		return
+	}
+	c.sentAt = make(map[string]int)
+	c.deliveredAt = make(map[string][]int)
+	c.completedAt = make(map[string]int)
+	c.lastCrashR = -1
+	c.lastRefresh = -1
+	c.init = true
+}
+
+// Observe feeds one event. Packet-level events are ignored; only the
+// higher-layer actions participate in the Section 2.6 conditions.
+func (c *Checker) Observe(e trace.Event) {
+	c.ensure()
+	i := c.idx
+	c.idx++
+	switch e.Kind {
+	case trace.KindSendMsg:
+		c.r.Sent++
+		c.sentAt[e.Msg] = i
+		c.inFlight, c.hasInFlight = e.Msg, true
+
+	case trace.KindReceiveMsg:
+		c.r.Delivered++
+		m := e.Msg
+
+		if _, ok := c.sentAt[m]; !ok {
+			c.r.Causality++
+			c.r.CausalityExamples = addExample(c.r.CausalityExamples, m)
+		}
+
+		if prev := c.deliveredAt[m]; len(prev) > 0 && c.lastCrashR < prev[len(prev)-1] {
+			// Re-delivered with no crash^R since the previous delivery.
+			c.r.Duplication++
+			c.r.DuplicationExamples = addExample(c.r.DuplicationExamples, m)
+		}
+
+		if done, ok := c.completedAt[m]; ok && done <= c.lastRefresh {
+			// m was completed before the receiver's last refresh: the
+			// receiver had drawn a fresh challenge since, so this is
+			// the replay Theorem 7 makes improbable.
+			c.r.Replay++
+			c.r.ReplayExamples = addExample(c.r.ReplayExamples, m)
+		}
+
+		c.deliveredAt[m] = append(c.deliveredAt[m], i)
+		c.lastRefresh = i
+
+	case trace.KindOK:
+		c.r.OKs++
+		if c.hasInFlight {
+			m := c.inFlight
+			ok := false
+			for _, d := range c.deliveredAt[m] {
+				if d > c.sentAt[m] && d < i {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				c.r.Order++
+				c.r.OrderExamples = addExample(c.r.OrderExamples, m)
+			}
+			if _, done := c.completedAt[m]; !done {
+				c.completedAt[m] = i
+			}
+			c.hasInFlight = false
+		}
+
+	case trace.KindCrashT:
+		c.r.CrashT++
+		if c.hasInFlight {
+			// send_msg followed by crash^T: the message joins M_alpha.
+			if _, done := c.completedAt[c.inFlight]; !done {
+				c.completedAt[c.inFlight] = i
+			}
+			c.hasInFlight = false
+		}
+
+	case trace.KindCrashR:
+		c.r.CrashR++
+		c.lastCrashR = i
+		c.lastRefresh = i
+	}
+}
+
+// Report returns the verification state so far.
+func (c *Checker) Report() Report { return c.r }
+
+// Check walks a complete execution and returns its Report.
+func Check(events []trace.Event) Report {
+	var c Checker
+	for _, e := range events {
+		c.Observe(e)
+	}
+	return c.Report()
+}
+
+func addExample(list []string, m string) []string {
+	if len(list) < maxExamples {
+		list = append(list, m)
+	}
+	return list
+}

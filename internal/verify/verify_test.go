@@ -1,0 +1,179 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"ghm/internal/trace"
+)
+
+// ev builds a minimal event list from a compact spec: "s:m1" send, "r:m1"
+// receive, "ok", "ct" crash^T, "cr" crash^R.
+func ev(specs ...string) []trace.Event {
+	var out []trace.Event
+	for i, s := range specs {
+		e := trace.Event{Step: i}
+		switch {
+		case strings.HasPrefix(s, "s:"):
+			e.Kind, e.Msg = trace.KindSendMsg, s[2:]
+		case strings.HasPrefix(s, "r:"):
+			e.Kind, e.Msg = trace.KindReceiveMsg, s[2:]
+		case s == "ok":
+			e.Kind = trace.KindOK
+		case s == "ct":
+			e.Kind = trace.KindCrashT
+		case s == "cr":
+			e.Kind = trace.KindCrashR
+		default:
+			panic("bad spec " + s)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestCleanExecution(t *testing.T) {
+	r := Check(ev("s:a", "r:a", "ok", "s:b", "r:b", "ok"))
+	if !r.Clean() {
+		t.Fatalf("clean run flagged: %v", r)
+	}
+	if r.Sent != 2 || r.Delivered != 2 || r.OKs != 2 {
+		t.Errorf("counts: %+v", r)
+	}
+}
+
+func TestCausalityViolation(t *testing.T) {
+	r := Check(ev("s:a", "r:ghost", "r:a", "ok"))
+	if r.Causality != 1 {
+		t.Fatalf("Causality = %d, want 1 (%v)", r.Causality, r)
+	}
+	if len(r.CausalityExamples) != 1 || r.CausalityExamples[0] != "ghost" {
+		t.Errorf("examples: %v", r.CausalityExamples)
+	}
+}
+
+func TestOrderViolation(t *testing.T) {
+	// OK with no delivery in between.
+	r := Check(ev("s:a", "ok"))
+	if r.Order != 1 {
+		t.Fatalf("Order = %d, want 1 (%v)", r.Order, r)
+	}
+	// Delivery before the send_msg window does not satisfy order.
+	r = Check(ev("r:a", "s:a", "ok"))
+	if r.Order != 1 {
+		t.Fatalf("early delivery satisfied order: %v", r)
+	}
+}
+
+func TestDuplicationViolation(t *testing.T) {
+	r := Check(ev("s:a", "r:a", "r:a", "ok"))
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+}
+
+func TestDuplicationAllowedAfterCrashR(t *testing.T) {
+	r := Check(ev("s:a", "r:a", "cr", "r:a", "ok"))
+	if r.Duplication != 0 {
+		t.Fatalf("crash^R redelivery flagged as duplication: %v", r)
+	}
+	if r.Replay != 0 {
+		// a was not completed before the crash (no OK/crash^T yet).
+		t.Fatalf("in-flight redelivery flagged as replay: %v", r)
+	}
+}
+
+func TestReplayViolation(t *testing.T) {
+	// a completes; receiver refreshes by delivering b; then a reappears.
+	r := Check(ev("s:a", "r:a", "ok", "s:b", "r:b", "ok", "r:a"))
+	if r.Replay != 1 {
+		t.Fatalf("Replay = %d, want 1 (%v)", r.Replay, r)
+	}
+	// The same redelivery also counts as a duplication (no crash^R).
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+}
+
+func TestReplayAfterCrashRViolation(t *testing.T) {
+	// Completed message redelivered after crash^R: allowed as duplication
+	// (crash exemption) but still a replay of a completed message.
+	r := Check(ev("s:a", "r:a", "ok", "cr", "r:a"))
+	if r.Duplication != 0 {
+		t.Fatalf("Duplication = %d, want 0 (%v)", r.Duplication, r)
+	}
+	if r.Replay != 1 {
+		t.Fatalf("Replay = %d, want 1 (%v)", r.Replay, r)
+	}
+}
+
+func TestAbandonedByCrashTIsCompleted(t *testing.T) {
+	// send a; crash^T (a joins M_alpha); receiver refreshes via crash^R;
+	// then a is delivered: replay.
+	r := Check(ev("s:a", "ct", "cr", "r:a"))
+	if r.Replay != 1 {
+		t.Fatalf("Replay = %d, want 1 (%v)", r.Replay, r)
+	}
+}
+
+func TestInFlightDeliveryAfterCrashTNotReplay(t *testing.T) {
+	// a is abandoned by crash^T but the receiver has NOT refreshed since
+	// the abandon: the pending challenge may legitimately complete. The
+	// M_alpha formulation only flags deliveries after a refresh point.
+	r := Check(ev("s:a", "ct", "r:a"))
+	if r.Replay != 0 {
+		t.Fatalf("Replay = %d, want 0 (%v)", r.Replay, r)
+	}
+}
+
+func TestLateDeliveryStraddlingOKNotReplay(t *testing.T) {
+	// Second delivery of a after its OK but with no refresh between the
+	// first delivery and the OK: per the paper's M_alpha definition this
+	// is not a replay, but it is a duplication.
+	r := Check(ev("s:a", "r:a", "ok", "r:a"))
+	if r.Replay != 0 {
+		t.Fatalf("Replay = %d, want 0 (%v)", r.Replay, r)
+	}
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+}
+
+func TestCrashCounts(t *testing.T) {
+	r := Check(ev("s:a", "ct", "cr", "cr"))
+	if r.CrashT != 1 || r.CrashR != 2 {
+		t.Fatalf("crash counts: %+v", r)
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	clean := Check(ev("s:a", "r:a", "ok"))
+	if s := clean.String(); !strings.Contains(s, "clean") {
+		t.Errorf("clean String() = %q", s)
+	}
+	dirty := Check(ev("s:a", "ok"))
+	if s := dirty.String(); !strings.Contains(s, "VIOLATIONS") {
+		t.Errorf("dirty String() = %q", s)
+	}
+}
+
+func TestExampleListCapped(t *testing.T) {
+	var specs []string
+	for i := 0; i < 20; i++ {
+		specs = append(specs, "r:ghost"+string(rune('a'+i)))
+	}
+	r := Check(ev(specs...))
+	if r.Causality != 20 {
+		t.Fatalf("Causality = %d", r.Causality)
+	}
+	if len(r.CausalityExamples) != maxExamples {
+		t.Fatalf("examples = %d, want %d", len(r.CausalityExamples), maxExamples)
+	}
+}
+
+func TestEmptyExecution(t *testing.T) {
+	r := Check(nil)
+	if !r.Clean() || r.Violations() != 0 {
+		t.Fatalf("empty execution: %v", r)
+	}
+}

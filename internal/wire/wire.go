@@ -1,0 +1,174 @@
+// Package wire defines the packet formats exchanged by the protocol
+// stations and their binary encoding.
+//
+// Two packet kinds exist, mirroring the paper's Appendix A:
+//
+//   - DATA, sent transmitter -> receiver: (m, rho, tau), where m is the
+//     message body, rho echoes the receiver's current challenge and tau is
+//     the transmitter's tag for this transfer.
+//   - CTL, sent receiver -> transmitter: (rho, tau, i), where rho is the
+//     receiver's current challenge, tau is the tag of the last delivered
+//     message and i is the retry counter used by the transmitter to
+//     discard stale duplicates (Theorem 9's i^R).
+//
+// The encoding is deliberately simple and self-delimiting: a one-byte kind
+// tag followed by length-prefixed fields. Decoding is defensive — any
+// malformed input yields ErrMalformed rather than a panic, because packets
+// arrive from an unreliable (and possibly adversarial) link.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ghm/internal/bitstr"
+)
+
+// Kind discriminates the two packet formats.
+type Kind byte
+
+const (
+	// KindData tags a transmitter -> receiver data packet.
+	KindData Kind = iota + 1
+	// KindCtl tags a receiver -> transmitter control packet.
+	KindCtl
+)
+
+// ErrMalformed reports that a byte slice is not a valid packet encoding.
+var ErrMalformed = errors.New("wire: malformed packet")
+
+// maxMessageLen bounds decoded message bodies; it protects the decoder
+// against absurd length prefixes in corrupted or hostile inputs.
+const maxMessageLen = 1 << 26 // 64 MiB
+
+// Data is the transmitter -> receiver packet (m, rho, tau).
+type Data struct {
+	Msg []byte     // application message body
+	Rho bitstr.Str // echoed receiver challenge
+	Tau bitstr.Str // transmitter tag
+}
+
+// Ctl is the receiver -> transmitter packet (rho, tau, i).
+type Ctl struct {
+	Rho bitstr.Str // receiver's current challenge
+	Tau bitstr.Str // tag of the last delivered message
+	I   uint64     // retry counter since the last delivery or crash
+}
+
+// Encode serializes d.
+func (d Data) Encode() []byte {
+	buf := make([]byte, 0, d.size())
+	buf = append(buf, byte(KindData))
+	buf = appendBytes(buf, d.Msg)
+	buf = d.Rho.AppendWire(buf)
+	buf = d.Tau.AppendWire(buf)
+	return buf
+}
+
+func (d Data) size() int {
+	return 1 + uvarintLen(uint64(len(d.Msg))) + len(d.Msg) + d.Rho.WireSize() + d.Tau.WireSize()
+}
+
+// Encode serializes c.
+func (c Ctl) Encode() []byte {
+	buf := make([]byte, 0, c.size())
+	buf = append(buf, byte(KindCtl))
+	buf = c.Rho.AppendWire(buf)
+	buf = c.Tau.AppendWire(buf)
+	buf = binary.AppendUvarint(buf, c.I)
+	return buf
+}
+
+func (c Ctl) size() int {
+	return 1 + c.Rho.WireSize() + c.Tau.WireSize() + uvarintLen(c.I)
+}
+
+// Sniff returns the kind of an encoded packet without decoding it fully.
+func Sniff(p []byte) (Kind, error) {
+	if len(p) == 0 {
+		return 0, ErrMalformed
+	}
+	k := Kind(p[0])
+	if k != KindData && k != KindCtl {
+		return 0, fmt.Errorf("%w: unknown kind %d", ErrMalformed, p[0])
+	}
+	return k, nil
+}
+
+// DecodeData parses a DATA packet. The returned Msg aliases p; callers that
+// retain it across reuses of p must copy it.
+func DecodeData(p []byte) (Data, error) {
+	if k, err := Sniff(p); err != nil || k != KindData {
+		return Data{}, ErrMalformed
+	}
+	rest := p[1:]
+	msg, rest, err := parseBytes(rest)
+	if err != nil {
+		return Data{}, err
+	}
+	rho, rest, err := bitstr.ParseWire(rest)
+	if err != nil {
+		return Data{}, fmt.Errorf("%w: rho: %v", ErrMalformed, err)
+	}
+	tau, rest, err := bitstr.ParseWire(rest)
+	if err != nil {
+		return Data{}, fmt.Errorf("%w: tau: %v", ErrMalformed, err)
+	}
+	if len(rest) != 0 {
+		return Data{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
+	}
+	return Data{Msg: msg, Rho: rho, Tau: tau}, nil
+}
+
+// DecodeCtl parses a CTL packet.
+func DecodeCtl(p []byte) (Ctl, error) {
+	if k, err := Sniff(p); err != nil || k != KindCtl {
+		return Ctl{}, ErrMalformed
+	}
+	rest := p[1:]
+	rho, rest, err := bitstr.ParseWire(rest)
+	if err != nil {
+		return Ctl{}, fmt.Errorf("%w: rho: %v", ErrMalformed, err)
+	}
+	tau, rest, err := bitstr.ParseWire(rest)
+	if err != nil {
+		return Ctl{}, fmt.Errorf("%w: tau: %v", ErrMalformed, err)
+	}
+	i, n := binary.Uvarint(rest)
+	if n <= 0 || n != uvarintLen(i) {
+		return Ctl{}, fmt.Errorf("%w: retry counter", ErrMalformed)
+	}
+	if len(rest) != n {
+		return Ctl{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest)-n)
+	}
+	return Ctl{Rho: rho, Tau: tau, I: i}, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func parseBytes(buf []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || k != uvarintLen(n) || n > maxMessageLen {
+		// Reject unparsable, non-minimal and oversized length prefixes so
+		// every packet value has exactly one encoding.
+		return nil, nil, fmt.Errorf("%w: byte field length", ErrMalformed)
+	}
+	buf = buf[k:]
+	if uint64(len(buf)) < n {
+		return nil, nil, fmt.Errorf("%w: short byte field", ErrMalformed)
+	}
+	return buf[:n], buf[n:], nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ghm/internal/bitstr"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		give Data
+	}{
+		{name: "empty", give: Data{}},
+		{name: "basic", give: Data{
+			Msg: []byte("hello"),
+			Rho: bitstr.MustBinary("10110"),
+			Tau: bitstr.MustBinary("111000111"),
+		}},
+		{name: "empty msg", give: Data{Rho: bitstr.MustBinary("1"), Tau: bitstr.MustBinary("0")}},
+		{name: "binary msg", give: Data{
+			Msg: []byte{0, 1, 2, 0xFF, 0x80},
+			Rho: bitstr.Zero(25),
+			Tau: bitstr.One(),
+		}},
+		{name: "large", give: Data{
+			Msg: bytes.Repeat([]byte{0xAB}, 4096),
+			Rho: bitstr.Zero(300),
+			Tau: bitstr.Zero(513),
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc := tt.give.Encode()
+			if k, err := Sniff(enc); err != nil || k != KindData {
+				t.Fatalf("Sniff = %v, %v; want KindData", k, err)
+			}
+			got, err := DecodeData(enc)
+			if err != nil {
+				t.Fatalf("DecodeData: %v", err)
+			}
+			if !bytes.Equal(got.Msg, tt.give.Msg) {
+				t.Errorf("Msg = %q, want %q", got.Msg, tt.give.Msg)
+			}
+			if !got.Rho.Equal(tt.give.Rho) || !got.Tau.Equal(tt.give.Tau) {
+				t.Errorf("Rho/Tau mismatch: %v/%v", got.Rho, got.Tau)
+			}
+		})
+	}
+}
+
+func TestCtlRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		give Ctl
+	}{
+		{name: "zero", give: Ctl{}},
+		{name: "basic", give: Ctl{
+			Rho: bitstr.MustBinary("101"),
+			Tau: bitstr.MustBinary("0110"),
+			I:   42,
+		}},
+		{name: "big counter", give: Ctl{Rho: bitstr.One(), Tau: bitstr.One(), I: 1 << 62}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc := tt.give.Encode()
+			if k, err := Sniff(enc); err != nil || k != KindCtl {
+				t.Fatalf("Sniff = %v, %v; want KindCtl", k, err)
+			}
+			got, err := DecodeCtl(enc)
+			if err != nil {
+				t.Fatalf("DecodeCtl: %v", err)
+			}
+			if !got.Rho.Equal(tt.give.Rho) || !got.Tau.Equal(tt.give.Tau) || got.I != tt.give.I {
+				t.Errorf("got %+v, want %+v", got, tt.give)
+			}
+		})
+	}
+}
+
+func TestCrossKindDecodeFails(t *testing.T) {
+	data := Data{Msg: []byte("m"), Rho: bitstr.One(), Tau: bitstr.One()}.Encode()
+	ctl := Ctl{Rho: bitstr.One(), Tau: bitstr.One(), I: 1}.Encode()
+	if _, err := DecodeCtl(data); err == nil {
+		t.Error("DecodeCtl accepted a DATA packet")
+	}
+	if _, err := DecodeData(ctl); err == nil {
+		t.Error("DecodeData accepted a CTL packet")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	valid := Data{Msg: []byte("hello"), Rho: bitstr.MustBinary("10110"), Tau: bitstr.One()}.Encode()
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "unknown kind", give: []byte{9, 1, 2, 3}},
+		{name: "kind only", give: []byte{byte(KindData)}},
+		{name: "truncated", give: valid[:len(valid)-1]},
+		{name: "trailing garbage", give: append(append([]byte{}, valid...), 0x00)},
+		{name: "huge msg length", give: []byte{byte(KindData), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeData(tt.give); !errors.Is(err, ErrMalformed) {
+				t.Errorf("DecodeData(%x) err = %v, want ErrMalformed", tt.give, err)
+			}
+		})
+	}
+}
+
+func TestCtlMalformed(t *testing.T) {
+	valid := Ctl{Rho: bitstr.MustBinary("101"), Tau: bitstr.One(), I: 7}.Encode()
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "kind only", give: []byte{byte(KindCtl)}},
+		{name: "truncated", give: valid[:len(valid)-1]},
+		{name: "trailing garbage", give: append(append([]byte{}, valid...), 0x01)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeCtl(tt.give); !errors.Is(err, ErrMalformed) {
+				t.Errorf("DecodeCtl(%x) err = %v, want ErrMalformed", tt.give, err)
+			}
+		})
+	}
+}
+
+// TestDecodeNeverPanics throws random bytes at both decoders.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, r.Intn(64))
+		for j := range buf {
+			buf[j] = byte(r.Intn(256))
+		}
+		if r.Intn(2) == 0 && len(buf) > 0 {
+			buf[0] = byte(KindData)
+		}
+		DecodeData(buf)
+		DecodeCtl(buf)
+		Sniff(buf)
+	}
+}
+
+func TestQuickDataRoundTrip(t *testing.T) {
+	f := func(msg []byte, seed int64, nRho, nTau uint8) bool {
+		src := bitstr.NewMathSource(rand.New(rand.NewSource(seed)))
+		d := Data{Msg: msg, Rho: src.Draw(int(nRho)), Tau: src.Draw(int(nTau))}
+		got, err := DecodeData(d.Encode())
+		return err == nil && bytes.Equal(got.Msg, msg) &&
+			got.Rho.Equal(d.Rho) && got.Tau.Equal(d.Tau)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCtlRoundTrip(t *testing.T) {
+	f := func(i uint64, seed int64, nRho, nTau uint8) bool {
+		src := bitstr.NewMathSource(rand.New(rand.NewSource(seed)))
+		c := Ctl{Rho: src.Draw(int(nRho)), Tau: src.Draw(int(nTau)), I: i}
+		got, err := DecodeCtl(c.Encode())
+		return err == nil && got.I == i && got.Rho.Equal(c.Rho) && got.Tau.Equal(c.Tau)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestObliviousLengths checks the property the security analysis relies on:
+// packets carrying same-shape fields have identical encoded length, so the
+// oblivious adversary cannot distinguish them.
+func TestObliviousLengths(t *testing.T) {
+	srcA := bitstr.NewMathSource(rand.New(rand.NewSource(1)))
+	srcB := bitstr.NewMathSource(rand.New(rand.NewSource(2)))
+	a := Data{Msg: []byte("xx"), Rho: srcA.Draw(25), Tau: srcA.Draw(25)}.Encode()
+	b := Data{Msg: []byte("yy"), Rho: srcB.Draw(25), Tau: srcB.Draw(25)}.Encode()
+	if len(a) != len(b) {
+		t.Errorf("same-shape DATA packets differ in length: %d vs %d", len(a), len(b))
+	}
+	ca := Ctl{Rho: srcA.Draw(30), Tau: srcA.Draw(25), I: 9}.Encode()
+	cb := Ctl{Rho: srcB.Draw(30), Tau: srcB.Draw(25), I: 5}.Encode()
+	if len(ca) != len(cb) {
+		t.Errorf("same-shape CTL packets differ in length: %d vs %d", len(ca), len(cb))
+	}
+}

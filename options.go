@@ -1,0 +1,99 @@
+package ghm
+
+import (
+	"math/rand"
+	"time"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/core"
+)
+
+// Option configures a Sender or Receiver.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	epsilon       float64
+	retryInterval time.Duration
+	seed          int64
+	hasSeed       bool
+	size          func(t int) int
+	bound         func(t int) int
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}
+
+func (o options) params() core.Params {
+	p := core.Params{
+		Epsilon: o.epsilon,
+		Size:    o.size,
+		Bound:   o.bound,
+	}
+	if o.hasSeed {
+		p.Source = bitstr.NewMathSource(rand.New(rand.NewSource(o.seed)))
+	}
+	return p
+}
+
+type epsilonOption float64
+
+func (e epsilonOption) apply(o *options) { o.epsilon = float64(e) }
+
+// WithEpsilon sets the permitted error probability per message
+// (0 < eps < 1). Smaller epsilon means longer random strings in every
+// packet; the default 2^-20 costs about 25 bits per string.
+func WithEpsilon(eps float64) Option { return epsilonOption(eps) }
+
+type retryOption time.Duration
+
+// WithRetryInterval paces the receiving station's retry timer (default
+// 2ms). Shorter intervals recover from loss faster at the cost of idle
+// control traffic. Senders ignore this option: the protocol's transmitter
+// is purely reactive.
+func WithRetryInterval(d time.Duration) Option { return retryOption(d) }
+
+func (r retryOption) apply(o *options) { o.retryInterval = time.Duration(r) }
+
+type seedOption int64
+
+// WithSeed makes the station's random strings deterministic, for tests and
+// reproducible experiments. Production stations should omit it and use the
+// default crypto-quality source: the protocol's guarantees against
+// malicious schedulers assume the adversary cannot predict the strings.
+func WithSeed(seed int64) Option { return seedOption(seed) }
+
+func (s seedOption) apply(o *options) {
+	o.seed = int64(s)
+	o.hasSeed = true
+}
+
+type scheduleOption struct {
+	size  func(t int) int
+	bound func(t int) int
+}
+
+// WithSchedule overrides the paper's size/bound schedule: size(t) is the
+// number of fresh bits drawn at extension level t, bound(t) the number of
+// same-length mismatches tolerated before extending. The paper's
+// conclusions pose choosing these well as an open problem; see experiment
+// E8 in EXPERIMENTS.md for measured tradeoffs. Either function may be nil
+// to keep its default.
+func WithSchedule(size, bound func(t int) int) Option {
+	return scheduleOption{size: size, bound: bound}
+}
+
+func (s scheduleOption) apply(o *options) {
+	if s.size != nil {
+		o.size = s.size
+	}
+	if s.bound != nil {
+		o.bound = s.bound
+	}
+}

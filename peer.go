@@ -1,0 +1,76 @@
+package ghm
+
+import (
+	"context"
+	"fmt"
+
+	"ghm/internal/netlink"
+)
+
+// Role distinguishes the two ends of a full-duplex Peer link. The two
+// ends must pick different roles (which end is which does not matter).
+type Role int
+
+const (
+	// RoleA is one end of the link.
+	RoleA Role = iota
+	// RoleB is the other end.
+	RoleB
+)
+
+// Peer is a full-duplex reliable session: both ends Send and Recv over a
+// single PacketConn, each direction independently carrying the protocol's
+// ordered, exactly-once, crash-resilient guarantees.
+type Peer struct {
+	p *netlink.Peer
+}
+
+// NewPeer starts a full-duplex session on conn. The remote end must call
+// NewPeer on its endpoint with the other Role.
+func NewPeer(conn PacketConn, role Role, opts ...Option) (*Peer, error) {
+	o := applyOptions(opts)
+	p, err := netlink.NewPeer(conn, netlink.PeerRole(role), o.params(), netlink.ReceiverConfig{
+		RetryInterval: o.retryInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ghm: %w", err)
+	}
+	return &Peer{p: p}, nil
+}
+
+// Send transfers msg to the other end and blocks until the protocol
+// confirms delivery.
+func (p *Peer) Send(ctx context.Context, msg []byte) error {
+	return p.p.Send(ctx, msg)
+}
+
+// Recv blocks for the next message from the other end.
+func (p *Peer) Recv(ctx context.Context) ([]byte, error) {
+	return p.p.Recv(ctx)
+}
+
+// Crash simulates a host crash of this end: both directions' protocol
+// memory is erased; a pending Send fails with ErrCrashed.
+func (p *Peer) Crash() { p.p.Crash() }
+
+// Stats returns both directions' protocol counters.
+func (p *Peer) Stats() (send SenderStats, recv ReceiverStats) {
+	st := p.p.SendStats()
+	sr := p.p.RecvStats()
+	return SenderStats{
+			PacketsSent:   st.PacketsSent,
+			Completed:     st.OKs,
+			ErrorsCounted: st.ErrorsCounted,
+			Extensions:    st.Extensions,
+			Ignored:       st.Ignored,
+		}, ReceiverStats{
+			PacketsSent:   sr.PacketsSent,
+			Delivered:     sr.Delivered,
+			ErrorsCounted: sr.ErrorsCounted,
+			Extensions:    sr.Extensions,
+			Ignored:       sr.Ignored,
+		}
+}
+
+// Close stops both directions and waits for their goroutines.
+func (p *Peer) Close() error { return p.p.Close() }

@@ -1,0 +1,179 @@
+package ghm_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ghm"
+)
+
+func TestQueueDrainsInOrder(t *testing.T) {
+	s, r := newPair(t, ghm.PipeFaults{Loss: 0.25, DupProb: 0.2, Seed: 71})
+	ctx := testCtx(t)
+	q, err := ghm.NewQueue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	const n = 15
+	for i := 0; i < n; i++ {
+		if _, err := q.Enqueue([]byte(fmt.Sprintf("q-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("q-%02d", i); string(got) != want {
+			t.Fatalf("recv %d = %q, want %q", i, got, want)
+		}
+	}
+	if err := q.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Sent != n || st.Pending != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestQueueResubmitsAcrossCrash(t *testing.T) {
+	// A crash-prone sender: we crash the station while a transfer is in
+	// flight on a silent link, then heal the link (swap is impossible, so
+	// instead: crash during normal operation — some message may be mid
+	// flight — and verify everything still arrives exactly in order).
+	s, r := newPair(t, ghm.PipeFaults{Loss: 0.3, Seed: 72})
+	ctx := testCtx(t)
+	q, err := ghm.NewQueue(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	const n = 20
+	// Consume concurrently: the session stack applies backpressure, so a
+	// consumer that waits for Flush would deadlock it once deliveries
+	// outrun the buffers. Across crashes delivery is at-least-once;
+	// verify order among first occurrences and that nothing is missing.
+	type recvResult struct {
+		order []string
+		err   error
+	}
+	resc := make(chan recvResult, 1)
+	go func() {
+		seen := make(map[string]bool)
+		var order []string
+		for len(seen) < n {
+			got, err := r.Recv(ctx)
+			if err != nil {
+				resc <- recvResult{err: err}
+				return
+			}
+			m := string(got)
+			if !seen[m] {
+				seen[m] = true
+				order = append(order, m)
+			}
+		}
+		resc <- recvResult{order: order}
+	}()
+
+	go func() {
+		for i := 0; i < 3; i++ {
+			time.Sleep(2 * time.Millisecond)
+			s.Crash()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := q.Enqueue([]byte(fmt.Sprintf("c-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res := <-resc
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	for i := 1; i < len(res.order); i++ {
+		if res.order[i] <= res.order[i-1] {
+			t.Fatalf("first-occurrence order broken: %v", res.order)
+		}
+	}
+	if st := q.Stats(); st.Resubmits == 0 {
+		t.Log("note: no crash landed mid-transfer this run")
+	}
+}
+
+func TestQueueWALSurvivesReopen(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "q.wal")
+
+	// First life: a silent link; nothing can be delivered. Enqueue and
+	// close — the messages must be in the WAL.
+	s1, _ := newPair(t, ghm.PipeFaults{Loss: 1, Seed: 73})
+	q1, err := ghm.NewQueue(s1, ghm.WithWAL(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := q1.Enqueue([]byte(fmt.Sprintf("w-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q1.Close()
+
+	// Second life: a working link drains the recovered backlog.
+	s2, r2 := newPair(t, ghm.PipeFaults{Seed: 74})
+	q2, err := ghm.NewQueue(s2, ghm.WithWAL(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	ctx := testCtx(t)
+	for i := 0; i < 5; i++ {
+		got, err := r2.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("w-%d", i); string(got) != want {
+			t.Fatalf("recovered message %d = %q, want %q", i, got, want)
+		}
+	}
+	if err := q2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueMaxAttempts(t *testing.T) {
+	// A permanently silent link plus a crash loop: Send keeps failing
+	// with ErrCrashed; WithMaxAttempts(2) must surface the failure.
+	s, _ := newPair(t, ghm.PipeFaults{Loss: 1, Seed: 75})
+	q, err := ghm.NewQueue(s, ghm.WithMaxAttempts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				s.Crash()
+			}
+		}
+	}()
+	if _, err := q.Enqueue([]byte("hopeless")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Flush(testCtx(t)); err == nil {
+		t.Fatal("Flush succeeded on a dead link with bounded attempts")
+	}
+}

@@ -1,0 +1,171 @@
+package ghm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"ghm/internal/netlink"
+)
+
+// Seal wraps a PacketConn with authenticated encryption (AES-GCM with a
+// fresh random nonce per packet, key of 16, 24 or 32 bytes; both endpoints
+// need the same key).
+//
+// The paper's guarantees against a malicious scheduler assume the
+// adversary cannot read packet contents and cannot tell two encryptions
+// of the same packet apart (Section 2.5); Seal provides exactly that, and
+// its authentication tag additionally turns any tampering or forgery into
+// packet loss, which the protocol tolerates by design.
+func Seal(conn PacketConn, key []byte) (PacketConn, error) {
+	sealed, err := netlink.Seal(conn, key)
+	if err != nil {
+		return nil, fmt.Errorf("ghm: %w", err)
+	}
+	return sealed, nil
+}
+
+// DefaultChunkSize is the stream chunk size when StreamWriter.ChunkSize is
+// left zero.
+const DefaultChunkSize = 32 * 1024
+
+// errStreamClosed reports writes to a closed StreamWriter.
+var errStreamClosed = errors.New("ghm: stream closed")
+
+// Stream framing: each protocol message is a one-byte kind followed by
+// payload bytes.
+const (
+	streamData byte = 1
+	streamEOF  byte = 2
+)
+
+// StreamWriter adapts a Sender into an io.WriteCloser: an arbitrary byte
+// stream is chunked into protocol messages, each confirmed end to end
+// before the next is sent. Close flushes buffered bytes and sends an
+// end-of-stream marker that surfaces as io.EOF at the reading side.
+//
+// A StreamWriter is for a single goroutine.
+type StreamWriter struct {
+	// ChunkSize caps the bytes per protocol message; set it before the
+	// first Write (0 means DefaultChunkSize).
+	ChunkSize int
+
+	ctx    context.Context
+	s      *Sender
+	buf    []byte
+	closed bool
+}
+
+var _ io.WriteCloser = (*StreamWriter)(nil)
+
+// NewStreamWriter returns a writer sending through s. The context bounds
+// every underlying Send.
+func NewStreamWriter(ctx context.Context, s *Sender) *StreamWriter {
+	return &StreamWriter{ctx: ctx, s: s}
+}
+
+// Write implements io.Writer. It blocks while full chunks are confirmed.
+func (w *StreamWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errStreamClosed
+	}
+	w.buf = append(w.buf, p...)
+	chunk := w.chunk()
+	for len(w.buf) >= chunk {
+		if err := w.sendChunk(w.buf[:chunk]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[chunk:]
+	}
+	return len(p), nil
+}
+
+// Flush sends any buffered bytes immediately.
+func (w *StreamWriter) Flush() error {
+	if w.closed {
+		return errStreamClosed
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if err := w.sendChunk(w.buf); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes and sends the end-of-stream marker. It does not close the
+// underlying Sender (streams can be followed by further messages).
+func (w *StreamWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w.closed = true
+	return w.s.Send(w.ctx, []byte{streamEOF})
+}
+
+func (w *StreamWriter) chunk() int {
+	if w.ChunkSize > 0 {
+		return w.ChunkSize
+	}
+	return DefaultChunkSize
+}
+
+func (w *StreamWriter) sendChunk(chunk []byte) error {
+	msg := make([]byte, 1+len(chunk))
+	msg[0] = streamData
+	copy(msg[1:], chunk)
+	return w.s.Send(w.ctx, msg)
+}
+
+// StreamReader adapts a Receiver into an io.Reader, the counterpart of
+// StreamWriter. It returns io.EOF after the writer's Close marker.
+//
+// A StreamReader is for a single goroutine.
+type StreamReader struct {
+	ctx context.Context
+	r   *Receiver
+	cur []byte
+	eof bool
+}
+
+var _ io.Reader = (*StreamReader)(nil)
+
+// NewStreamReader returns a reader receiving through r. The context bounds
+// every underlying Recv.
+func NewStreamReader(ctx context.Context, r *Receiver) *StreamReader {
+	return &StreamReader{ctx: ctx, r: r}
+}
+
+// Read implements io.Reader.
+func (r *StreamReader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.eof {
+			return 0, io.EOF
+		}
+		msg, err := r.r.Recv(r.ctx)
+		if err != nil {
+			return 0, err
+		}
+		if len(msg) == 0 {
+			return 0, fmt.Errorf("ghm: stream: empty frame")
+		}
+		switch msg[0] {
+		case streamData:
+			r.cur = msg[1:]
+		case streamEOF:
+			r.eof = true
+			return 0, io.EOF
+		default:
+			return 0, fmt.Errorf("ghm: stream: unknown frame kind %d", msg[0])
+		}
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}

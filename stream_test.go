@@ -1,0 +1,202 @@
+package ghm_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ghm"
+)
+
+func streamPair(t *testing.T, f ghm.PipeFaults) (*ghm.Sender, *ghm.Receiver) {
+	t.Helper()
+	return newPair(t, f)
+}
+
+func TestStreamRoundTripSmall(t *testing.T) {
+	s, r := streamPair(t, ghm.PipeFaults{Seed: 21})
+	ctx := testCtx(t)
+
+	w := ghm.NewStreamWriter(ctx, s)
+	rd := ghm.NewStreamReader(ctx, r)
+
+	go func() {
+		io.WriteString(w, "hello, ")
+		io.WriteString(w, "stream world")
+		w.Close()
+	}()
+	got, err := io.ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello, stream world" {
+		t.Fatalf("ReadAll = %q", got)
+	}
+	// Reads after EOF keep returning EOF.
+	if n, err := rd.Read(make([]byte, 4)); n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("post-EOF Read = %d, %v", n, err)
+	}
+}
+
+func TestStreamLargePayloadOverFaultyLink(t *testing.T) {
+	s, r := streamPair(t, ghm.PipeFaults{Loss: 0.25, DupProb: 0.25, ReorderProb: 0.25, Seed: 22})
+	ctx := testCtx(t)
+
+	payload := make([]byte, 64*1024)
+	rand.New(rand.NewSource(23)).Read(payload)
+	wantSum := sha256.Sum256(payload)
+
+	w := ghm.NewStreamWriter(ctx, s)
+	w.ChunkSize = 1024 // many chunks, each confirmed across the faults
+	rd := ghm.NewStreamReader(ctx, r)
+
+	errc := make(chan error, 1)
+	go func() {
+		if _, err := w.Write(payload); err != nil {
+			errc <- err
+			return
+		}
+		errc <- w.Close()
+	}()
+	got, err := io.ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if gotSum := sha256.Sum256(got); gotSum != wantSum {
+		t.Fatalf("stream corrupted: %d bytes in, %d out", len(payload), len(got))
+	}
+}
+
+func TestStreamEmptyClose(t *testing.T) {
+	s, r := streamPair(t, ghm.PipeFaults{Seed: 24})
+	ctx := testCtx(t)
+	w := ghm.NewStreamWriter(ctx, s)
+	go w.Close()
+	got, err := io.ReadAll(ghm.NewStreamReader(ctx, r))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream = %q, %v", got, err)
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	s, r := streamPair(t, ghm.PipeFaults{Seed: 25})
+	ctx := testCtx(t)
+	w := ghm.NewStreamWriter(ctx, s)
+	done := make(chan struct{})
+	go func() {
+		io.ReadAll(ghm.NewStreamReader(ctx, r))
+		close(done)
+	}()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush after Close succeeded")
+	}
+	<-done
+}
+
+func TestStreamFlush(t *testing.T) {
+	s, r := streamPair(t, ghm.PipeFaults{Seed: 26})
+	ctx := testCtx(t)
+	w := ghm.NewStreamWriter(ctx, s)
+	rd := ghm.NewStreamReader(ctx, r)
+
+	go func() {
+		io.WriteString(w, "partial")
+		w.Flush() // below ChunkSize, but must go out now
+	}()
+	buf := make([]byte, 16)
+	n, err := rd.Read(buf)
+	if err != nil || string(buf[:n]) != "partial" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestStreamThenMessages(t *testing.T) {
+	// A closed stream does not close the session: plain messages still
+	// work afterwards (framed reads just stop at the marker).
+	s, r := streamPair(t, ghm.PipeFaults{Seed: 27})
+	ctx := testCtx(t)
+	w := ghm.NewStreamWriter(ctx, s)
+	rd := ghm.NewStreamReader(ctx, r)
+
+	go func() {
+		io.WriteString(w, "streamed")
+		w.Close()
+		s.Send(ctx, []byte("plain message"))
+	}()
+	got, err := io.ReadAll(rd)
+	if err != nil || string(got) != "streamed" {
+		t.Fatalf("stream part = %q, %v", got, err)
+	}
+	msg, err := r.Recv(ctx)
+	if err != nil || string(msg) != "plain message" {
+		t.Fatalf("plain part = %q, %v", msg, err)
+	}
+}
+
+func TestSealedSessionPublicAPI(t *testing.T) {
+	key := bytes.Repeat([]byte{0xAB}, 32)
+	left, right := ghm.Pipe(ghm.PipeFaults{Loss: 0.2, Seed: 28})
+	sealedLeft, err := ghm.Seal(left, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealedRight, err := ghm.Seal(right, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ghm.NewSender(sealedLeft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := ghm.NewReceiver(sealedRight, ghm.WithRetryInterval(300*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx := testCtx(t)
+	if err := s.Send(ctx, []byte("sealed hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Recv(ctx)
+	if err != nil || string(got) != "sealed hello" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestSealBadKeyPublicAPI(t *testing.T) {
+	left, _ := ghm.Pipe(ghm.PipeFaults{Seed: 29})
+	defer left.Close()
+	if _, err := ghm.Seal(left, []byte("short")); err == nil {
+		t.Fatal("Seal accepted a bad key")
+	}
+}
+
+func TestStreamContextCancel(t *testing.T) {
+	// A reader blocked on a silent link must honour its context.
+	_, r := streamPair(t, ghm.PipeFaults{Loss: 1, Seed: 30})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rd := ghm.NewStreamReader(ctx, r)
+	if _, err := rd.Read(make([]byte, 1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Read = %v, want deadline exceeded", err)
+	}
+}
