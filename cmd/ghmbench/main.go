@@ -28,7 +28,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ghmbench", flag.ContinueOnError)
 	var (
-		runList  = fs.String("run", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+		runList  = fs.String("run", "all", "comma-separated experiment ids (E1..E10) or 'all'")
 		scale    = fs.Float64("scale", 1.0, "workload scale factor")
 		seed     = fs.Int64("seed", 1, "base random seed")
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
@@ -46,7 +46,7 @@ func run(args []string, out io.Writer) error {
 			id = strings.TrimSpace(id)
 			e, ok := experiments.Lookup(id)
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (have E1..E8)", id)
+				return fmt.Errorf("unknown experiment %q (have E1..E10)", id)
 			}
 			selected = append(selected, e)
 		}

@@ -7,6 +7,18 @@
 //	ghmsoak -duration 30s
 //	ghmsoak -duration 5m -eps 0.000001 -seed 42
 //
+// With -chaos the soak instead targets the live runtime stations: a
+// seeded chaos scenario (Gilbert–Elliott burst loss, latency, jitter,
+// scheduled station crashes, blackout windows, loss ramps) executes
+// against a real Sender/Receiver pair while messages flow, and the live
+// conformance checker verifies the execution against the same Section
+// 2.6 conditions. The scenario is a pure function of the seed and is
+// printed as JSON; -scenario replays a saved file, -scenario-out saves
+// the generated one.
+//
+//	ghmsoak -chaos -seed 42 -messages 500
+//	ghmsoak -chaos -scenario repro.json
+//
 // Liveness note: completion is demanded only of mixes where Theorem 9
 // actually promises it — fair channels without recurring crashes or
 // forgery. Recurring crash^R resets the retry counter the transmitter's
@@ -16,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +37,7 @@ import (
 	"time"
 
 	"ghm/internal/adversary"
+	"ghm/internal/chaos"
 	"ghm/internal/core"
 	"ghm/internal/sim"
 	"ghm/internal/trace"
@@ -44,9 +58,21 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "base random seed")
 		report   = fs.Duration("report", 5*time.Second, "progress report interval")
 		verbose  = fs.Bool("v", false, "log every run")
+
+		chaosMode   = fs.Bool("chaos", false, "run a live-station chaos soak instead of simulator mixes")
+		chaosMsgs   = fs.Int("messages", 500, "unique messages per chaos soak")
+		scenarioIn  = fs.String("scenario", "", "chaos: replay a scenario JSON file instead of generating one")
+		scenarioOut = fs.String("scenario-out", "", "chaos: write the scenario JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *chaosMode {
+		return runChaos(out, chaosOptions{
+			seed: *seed, messages: *chaosMsgs, eps: *eps, budget: *duration,
+			scenarioIn: *scenarioIn, scenarioOut: *scenarioOut, verbose: *verbose,
+		})
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -106,6 +132,69 @@ func run(args []string, out io.Writer) error {
 	}
 	if livenessRuns > 0 && completed < livenessRuns {
 		return fmt.Errorf("%d liveness-eligible runs did not complete", livenessRuns-completed)
+	}
+	return nil
+}
+
+// chaosOptions collects the flag values of the -chaos mode.
+type chaosOptions struct {
+	seed        int64
+	messages    int
+	eps         float64
+	budget      time.Duration
+	scenarioIn  string
+	scenarioOut string
+	verbose     bool
+}
+
+// runChaos executes one live-station chaos soak: generate (or replay) a
+// scenario, drive its fault timeline against a real Sender/Receiver pair
+// under an impaired link, and fail on any live conformance violation.
+func runChaos(out io.Writer, o chaosOptions) error {
+	var sc chaos.Scenario
+	if o.scenarioIn != "" {
+		data, err := os.ReadFile(o.scenarioIn)
+		if err != nil {
+			return err
+		}
+		sc, err = chaos.ParseScenario(data)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chaos: replaying %s (seed %d)\n", o.scenarioIn, sc.Seed)
+	} else {
+		sc = chaos.Generate(o.seed, chaos.GenConfig{})
+		fmt.Fprintf(out, "chaos: seed %d (rerun with -chaos -seed %d)\n", o.seed, o.seed)
+	}
+	if o.scenarioOut != "" {
+		if err := os.WriteFile(o.scenarioOut, []byte(sc.JSON()+"\n"), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chaos: scenario written to %s\n", o.scenarioOut)
+	}
+	if o.verbose {
+		fmt.Fprintln(out, sc.JSON())
+	}
+	fmt.Fprintf(out, "chaos: %d crashes^T, %d crashes^R, %d blackouts, %d loss ramps over %v\n",
+		sc.Count(chaos.CrashSender), sc.Count(chaos.CrashReceiver),
+		sc.Count(chaos.BlackoutStart), sc.Count(chaos.SetLoss), sc.Duration)
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.budget)
+	defer cancel()
+	res, err := chaos.Soak(ctx, chaos.SoakConfig{
+		Scenario: sc,
+		Messages: o.messages,
+		Epsilon:  o.eps,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "done: %d messages delivered, %d sends wiped by crash^T and reissued, %v elapsed\n",
+		res.Delivered, res.Abandoned, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "conformance: %s\n", res.Report)
+	if !res.Report.Clean() {
+		return fmt.Errorf("%d conformance violations in a live execution", res.Report.Violations())
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -16,6 +17,43 @@ func TestSoakShortRun(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "done:") || !strings.Contains(s, "safety:   0 violations") {
 		t.Errorf("summary missing:\n%s", s)
+	}
+}
+
+func TestChaosModeRunsAndReplays(t *testing.T) {
+	scenario := filepath.Join(t.TempDir(), "scenario.json")
+	var out strings.Builder
+	err := run([]string{
+		"-chaos", "-seed", "42", "-messages", "60",
+		"-duration", "60s", "-scenario-out", scenario,
+	}, &out)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"chaos: seed 42", "conformance:", " clean", "messages delivered"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	// The written scenario must replay, reproducing the schedule.
+	out.Reset()
+	err = run([]string{
+		"-chaos", "-scenario", scenario, "-messages", "40", "-duration", "60s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("chaos replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replaying") || !strings.Contains(out.String(), " clean") {
+		t.Errorf("replay output unexpected:\n%s", out.String())
+	}
+}
+
+func TestChaosModeRejectsMissingScenario(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-chaos", "-scenario", "/nonexistent/sc.json"}, &out); err == nil {
+		t.Error("missing scenario file accepted")
 	}
 }
 

@@ -32,6 +32,7 @@ package ghm
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ghm/internal/netlink"
 )
@@ -49,6 +50,34 @@ type PacketConn interface {
 	Close() error
 }
 
+// BurstLoss parameterizes Gilbert–Elliott two-state burst loss: the link
+// alternates between a Good and a Bad state with the given per-packet
+// transition probabilities, dropping packets at each state's own rate.
+// Long Bad-state runs produce the correlated loss bursts of real radio
+// and congested links — a much harsher regime than independent loss.
+type BurstLoss struct {
+	// PGoodBad is the per-packet probability of entering the Bad state.
+	PGoodBad float64
+	// PBadGood is the per-packet probability of leaving the Bad state.
+	PBadGood float64
+	// LossGood is the drop probability in the Good state.
+	LossGood float64
+	// LossBad is the drop probability in the Bad state.
+	LossBad float64
+}
+
+func (b *BurstLoss) netlink() *netlink.GilbertElliott {
+	if b == nil {
+		return nil
+	}
+	return &netlink.GilbertElliott{
+		PGoodBad: b.PGoodBad,
+		PBadGood: b.PBadGood,
+		LossGood: b.LossGood,
+		LossBad:  b.LossBad,
+	}
+}
+
 // PipeFaults configures the in-process test link returned by Pipe. The
 // zero value is a perfect link.
 type PipeFaults struct {
@@ -60,6 +89,22 @@ type PipeFaults struct {
 	ReorderProb float64
 	// Seed fixes the fault schedule for reproducibility (0 = from clock).
 	Seed int64
+
+	// Burst layers Gilbert–Elliott burst loss on each direction, on top
+	// of the independent Loss above.
+	Burst *BurstLoss
+	// Latency delays every packet by a fixed amount.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per packet; since
+	// each packet draws independently, jitter also reorders.
+	Jitter time.Duration
+	// Bandwidth serializes packets at the given rate in bytes/second
+	// (0 = infinite); packets queue behind the serialization clock.
+	Bandwidth int
+	// Queue caps packets queued in each direction's impairment stage
+	// (0 = a reasonable default); effective only with Burst, Latency,
+	// Jitter or Bandwidth set.
+	Queue int
 }
 
 // Pipe returns two connected in-process endpoints with the given fault
@@ -70,8 +115,83 @@ func Pipe(f PipeFaults) (PacketConn, PacketConn) {
 		DupProb:     f.DupProb,
 		ReorderProb: f.ReorderProb,
 		Seed:        f.Seed,
+		Burst:       f.Burst.netlink(),
+		Latency:     f.Latency,
+		Jitter:      f.Jitter,
+		Bandwidth:   f.Bandwidth,
+		Queue:       f.Queue,
 	})
 }
+
+// LinkFaults configures an Impair wrapper. The zero value forwards
+// packets unchanged.
+type LinkFaults struct {
+	// Loss is an independent per-packet drop probability; it can be
+	// changed at runtime with ImpairedConn.SetLoss.
+	Loss float64
+	// DupProb is the probability a packet is sent twice.
+	DupProb float64
+	// Burst layers Gilbert–Elliott burst loss on the link.
+	Burst *BurstLoss
+	// Latency delays every packet by a fixed amount.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per packet.
+	Jitter time.Duration
+	// Bandwidth serializes packets at the given rate in bytes/second
+	// (0 = infinite).
+	Bandwidth int
+	// Queue caps packets inside the impairment stage (0 = default).
+	Queue int
+	// Seed fixes the impairment schedule for reproducibility (0 = clock).
+	Seed int64
+}
+
+// ImpairedConn is a PacketConn whose Send path passes through a
+// configurable impairment stage, with runtime controls for chaos testing:
+// SetBlackout fully partitions the link, Blackout partitions it for a
+// window, SetLoss ramps the independent loss rate while traffic flows.
+type ImpairedConn struct {
+	ic *netlink.ImpairedConn
+}
+
+var _ PacketConn = (*ImpairedConn)(nil)
+
+// Impair wraps any PacketConn — UDP included, not just pipes — with f's
+// impairments on its Send path. Wrap both endpoints to impair both
+// directions. The protocol's guarantees hold regardless; Impair exists to
+// prove exactly that under chaos tests and soak runs.
+func Impair(conn PacketConn, f LinkFaults) *ImpairedConn {
+	return &ImpairedConn{ic: netlink.Impair(conn, netlink.ImpairConfig{
+		Loss:      f.Loss,
+		DupProb:   f.DupProb,
+		Burst:     f.Burst.netlink(),
+		Latency:   f.Latency,
+		Jitter:    f.Jitter,
+		Bandwidth: f.Bandwidth,
+		Queue:     f.Queue,
+		Seed:      f.Seed,
+	})}
+}
+
+// Send implements PacketConn.
+func (c *ImpairedConn) Send(p []byte) error { return c.ic.Send(p) }
+
+// Recv implements PacketConn.
+func (c *ImpairedConn) Recv() ([]byte, error) { return c.ic.Recv() }
+
+// Close implements PacketConn.
+func (c *ImpairedConn) Close() error { return c.ic.Close() }
+
+// SetBlackout switches a full partition of the impaired direction on or
+// off: while on, every packet entering the stage is dropped.
+func (c *ImpairedConn) SetBlackout(on bool) { c.ic.SetBlackout(on) }
+
+// Blackout partitions the impaired direction for the next d; overlapping
+// windows extend each other.
+func (c *ImpairedConn) Blackout(d time.Duration) { c.ic.Blackout(d) }
+
+// SetLoss replaces the independent loss probability at runtime.
+func (c *ImpairedConn) SetLoss(p float64) { c.ic.SetLoss(p) }
 
 // DialUDP binds laddr and exchanges protocol packets with raddr. UDP is
 // exactly the link the protocol was designed for: datagrams may vanish,
@@ -89,7 +209,10 @@ type Sender struct {
 // NewSender starts a transmitting station on conn.
 func NewSender(conn PacketConn, opts ...Option) (*Sender, error) {
 	o := applyOptions(opts)
-	s, err := netlink.NewSender(conn, o.params())
+	s, err := netlink.NewSender(conn, netlink.SenderConfig{
+		Params: o.params(),
+		Tap:    tapToTrace(o.tap),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("ghm: %w", err)
 	}
@@ -136,8 +259,10 @@ type Receiver struct {
 func NewReceiver(conn PacketConn, opts ...Option) (*Receiver, error) {
 	o := applyOptions(opts)
 	r, err := netlink.NewReceiver(conn, netlink.ReceiverConfig{
-		Params:        o.params(),
-		RetryInterval: o.retryInterval,
+		Params:          o.params(),
+		RetryInterval:   o.retryInterval,
+		RetryBackoffMax: o.retryBackoff,
+		Tap:             tapToTrace(o.tap),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ghm: %w", err)

@@ -1,0 +1,273 @@
+// Package chaos drives scripted and randomized fault scenarios against
+// the live runtime stations of ghm/internal/netlink: scheduled station
+// crashes (via the stations' Crash hooks), link blackouts and loss ramps
+// (via netlink.ImpairedConn's runtime controls), all layered over a
+// seeded impaired link with Gilbert–Elliott burst loss, latency and
+// jitter.
+//
+// A Scenario is a deterministic function of its seed, serializes to JSON
+// for reproduction, and can be executed both from tests and from the
+// cmd/ghmsoak chaos mode. Soak additionally wires the stations' event
+// taps into a verify.Live checker, so every chaos run doubles as a
+// mechanical check of the paper's Section 2.6 correctness conditions
+// against a real execution.
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ghm/internal/netlink"
+)
+
+// ActionKind names one scheduled chaos action.
+type ActionKind string
+
+// The chaos actions a scenario may schedule.
+const (
+	// CrashSender erases the transmitting station's memory (crash^T).
+	CrashSender ActionKind = "crash_sender"
+	// CrashReceiver erases the receiving station's memory (crash^R).
+	CrashReceiver ActionKind = "crash_receiver"
+	// BlackoutStart fully partitions every link.
+	BlackoutStart ActionKind = "blackout_start"
+	// BlackoutEnd lifts the partition.
+	BlackoutEnd ActionKind = "blackout_end"
+	// SetLoss replaces every link's i.i.d. loss probability with Loss.
+	SetLoss ActionKind = "set_loss"
+)
+
+// Action is one scheduled fault, At after scenario start.
+type Action struct {
+	At   time.Duration `json:"at"`
+	Kind ActionKind    `json:"kind"`
+	Loss float64       `json:"loss,omitempty"` // for SetLoss
+}
+
+// LinkSpec is the impairment profile of the scenario's link, applied
+// symmetrically to both directions.
+type LinkSpec struct {
+	Loss        float64                 `json:"loss,omitempty"`
+	DupProb     float64                 `json:"dupProb,omitempty"`
+	ReorderProb float64                 `json:"reorderProb,omitempty"`
+	Burst       *netlink.GilbertElliott `json:"burst,omitempty"`
+	Latency     time.Duration           `json:"latency,omitempty"`
+	Jitter      time.Duration           `json:"jitter,omitempty"`
+	Bandwidth   int                     `json:"bandwidth,omitempty"`
+	Queue       int                     `json:"queue,omitempty"`
+}
+
+// Scenario is one reproducible chaos schedule: a link profile plus a
+// timeline of fault actions. Identical seeds yield identical scenarios.
+type Scenario struct {
+	Name     string        `json:"name"`
+	Seed     int64         `json:"seed"`
+	Duration time.Duration `json:"duration"`
+	Link     LinkSpec      `json:"link"`
+	Actions  []Action      `json:"actions"`
+}
+
+// Count returns how many scheduled actions have the given kind.
+func (s Scenario) Count(k ActionKind) int {
+	n := 0
+	for _, a := range s.Actions {
+		if a.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// JSON renders the scenario as indented JSON for logs and repro files.
+func (s Scenario) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("{%q:%q}", "error", err.Error())
+	}
+	return string(b)
+}
+
+// ParseScenario decodes a scenario previously rendered with JSON.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: parse scenario: %w", err)
+	}
+	sort.SliceStable(s.Actions, func(i, j int) bool { return s.Actions[i].At < s.Actions[j].At })
+	return s, nil
+}
+
+// GenConfig bounds the randomized scenario generator. Zero fields take
+// the defaults noted on each.
+type GenConfig struct {
+	// Duration is the timeline length (default 1.5s).
+	Duration time.Duration
+	// CrashesPerSide schedules this many crashes for each station
+	// (default 3).
+	CrashesPerSide int
+	// Blackouts is the number of full-partition windows (default 1).
+	Blackouts int
+	// MaxBlackout caps each blackout window (default 60ms).
+	MaxBlackout time.Duration
+	// LossRamps is how many times the i.i.d. loss is re-drawn (default 2);
+	// the nominal link loss is always restored near the end.
+	LossRamps int
+	// MaxRampLoss caps ramped loss probabilities (default 0.5).
+	MaxRampLoss float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Duration <= 0 {
+		c.Duration = 1500 * time.Millisecond
+	}
+	if c.CrashesPerSide == 0 {
+		c.CrashesPerSide = 3
+	}
+	if c.Blackouts == 0 {
+		c.Blackouts = 1
+	}
+	if c.MaxBlackout <= 0 {
+		c.MaxBlackout = 60 * time.Millisecond
+	}
+	if c.LossRamps == 0 {
+		c.LossRamps = 2
+	}
+	if c.MaxRampLoss <= 0 {
+		c.MaxRampLoss = 0.5
+	}
+	return c
+}
+
+// Generate draws a randomized scenario: a bursty, jittery link profile
+// and a timeline of crashes, blackouts and loss ramps. The result is a
+// pure function of seed and cfg — rerunning with the printed seed replays
+// the exact schedule.
+func Generate(seed int64, cfg GenConfig) Scenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	d := cfg.Duration
+
+	sc := Scenario{
+		Name:     fmt.Sprintf("random-%d", seed),
+		Seed:     seed,
+		Duration: d,
+		Link: LinkSpec{
+			Loss:        0.05 * rng.Float64(),
+			DupProb:     0.1 * rng.Float64(),
+			ReorderProb: 0.1 * rng.Float64(),
+			Burst: &netlink.GilbertElliott{
+				PGoodBad: 0.02 + 0.08*rng.Float64(),
+				PBadGood: 0.2 + 0.3*rng.Float64(),
+				LossGood: 0.05 * rng.Float64(),
+				LossBad:  0.5 + 0.4*rng.Float64(),
+			},
+			Latency: 50*time.Microsecond + time.Duration(rng.Int63n(int64(200*time.Microsecond))),
+			Jitter:  100*time.Microsecond + time.Duration(rng.Int63n(int64(400*time.Microsecond))),
+		},
+	}
+
+	// Crashes land in the middle 80% of the timeline so traffic overlaps.
+	inWindow := func() time.Duration {
+		lo := d / 10
+		return lo + time.Duration(rng.Int63n(int64(d-2*lo)))
+	}
+	for i := 0; i < cfg.CrashesPerSide; i++ {
+		sc.Actions = append(sc.Actions,
+			Action{At: inWindow(), Kind: CrashSender},
+			Action{At: inWindow(), Kind: CrashReceiver})
+	}
+
+	// Blackouts get one non-overlapping slot each.
+	slot := d / time.Duration(cfg.Blackouts+1)
+	for i := 0; i < cfg.Blackouts; i++ {
+		start := slot*time.Duration(i) + slot/4 + time.Duration(rng.Int63n(int64(slot/4)))
+		length := cfg.MaxBlackout/4 + time.Duration(rng.Int63n(int64(3*cfg.MaxBlackout/4)))
+		sc.Actions = append(sc.Actions,
+			Action{At: start, Kind: BlackoutStart},
+			Action{At: start + length, Kind: BlackoutEnd})
+	}
+
+	for i := 0; i < cfg.LossRamps; i++ {
+		sc.Actions = append(sc.Actions,
+			Action{At: inWindow(), Kind: SetLoss, Loss: cfg.MaxRampLoss * rng.Float64()})
+	}
+	// Restore the nominal loss so the tail of the run can always drain.
+	sc.Actions = append(sc.Actions,
+		Action{At: d * 95 / 100, Kind: SetLoss, Loss: sc.Link.Loss})
+
+	sort.SliceStable(sc.Actions, func(i, j int) bool { return sc.Actions[i].At < sc.Actions[j].At })
+	return sc
+}
+
+// Crasher is a station that can have its memory erased; both
+// netlink.Sender and netlink.Receiver satisfy it.
+type Crasher interface{ Crash() }
+
+// Controllable is a link with runtime impairment controls;
+// netlink.ImpairedConn satisfies it.
+type Controllable interface {
+	SetBlackout(bool)
+	SetLoss(float64)
+}
+
+// Targets are the live objects a scenario acts on. Nil stations and empty
+// link lists are allowed; the matching actions become no-ops.
+type Targets struct {
+	Sender   Crasher
+	Receiver Crasher
+	Links    []Controllable
+}
+
+// Run executes the scenario's timeline in real time against t, returning
+// when the timeline completes or ctx ends. Actions fire in At order from
+// the moment Run is called.
+func Run(ctx context.Context, sc Scenario, t Targets) error {
+	actions := append([]Action(nil), sc.Actions...)
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
+	start := time.Now()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for _, a := range actions {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(time.Until(start.Add(a.At)))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		switch a.Kind {
+		case CrashSender:
+			if t.Sender != nil {
+				t.Sender.Crash()
+			}
+		case CrashReceiver:
+			if t.Receiver != nil {
+				t.Receiver.Crash()
+			}
+		case BlackoutStart:
+			for _, l := range t.Links {
+				l.SetBlackout(true)
+			}
+		case BlackoutEnd:
+			for _, l := range t.Links {
+				l.SetBlackout(false)
+			}
+		case SetLoss:
+			for _, l := range t.Links {
+				l.SetLoss(a.Loss)
+			}
+		default:
+			return fmt.Errorf("chaos: unknown action kind %q", a.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ghm/internal/netlink"
+	"ghm/internal/stats"
+)
+
+// E10Row is one mean-burst-length setting of the burst-loss experiment.
+type E10Row struct {
+	BurstLen        int // mean Bad-state run length, in packets
+	Messages        int
+	Completed       int
+	DataPerMsg      float64 // DATA packets per completed message
+	CtlPerMsg       float64 // control packets per completed message
+	ElapsedPerMsgMs float64
+}
+
+// E10Result holds the burst-loss comparison.
+type E10Result struct {
+	Rows []E10Row
+}
+
+// E10 measures what loss *correlation* costs the runtime protocol: each
+// row keeps the stationary loss rate fixed (20% of packets see the Bad
+// state, which drops 80%) while the Gilbert–Elliott mean burst length
+// grows from 1 packet (memoryless) to 64. The paper's cost claims (§1,
+// Theorem 9) are stated against per-packet loss rates; bursts with the
+// same average rate concentrate the loss into outage windows that stall
+// whole handshake rounds, so retry traffic and delivery latency climb
+// with burst length even though the long-run loss rate never changes.
+func E10(o Options) E10Result {
+	o = o.norm()
+	messages := o.scaled(150, 15)
+
+	var res E10Result
+	for _, bl := range []int{1, 4, 16, 64} {
+		res.Rows = append(res.Rows, runE10Burst(o, bl, messages))
+	}
+	return res
+}
+
+func runE10Burst(o Options, burstLen, messages int) E10Row {
+	// Fix the stationary Bad probability at 0.2 and vary only the mean
+	// Bad-state run length: pBadGood = 1/len, pGoodBad chosen to keep the
+	// Good/Bad balance.
+	const piBad = 0.2
+	pBadGood := 1.0 / float64(burstLen)
+	pGoodBad := piBad / (1 - piBad) * pBadGood
+
+	a, b := netlink.Pipe(netlink.PipeConfig{
+		Burst:   &netlink.GilbertElliott{PGoodBad: pGoodBad, PBadGood: pBadGood, LossBad: 0.8},
+		Latency: 100 * time.Microsecond,
+		Jitter:  200 * time.Microsecond,
+		Seed:    o.Seed*61 + int64(burstLen),
+	})
+	s, err := netlink.NewSender(a, netlink.SenderConfig{})
+	if err != nil {
+		panic(fmt.Sprintf("E10: %v", err))
+	}
+	defer s.Close()
+	r, err := netlink.NewReceiver(b, netlink.ReceiverConfig{
+		RetryInterval: 300 * time.Microsecond,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("E10: %v", err))
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	completed := 0
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for i := 0; i < messages; i++ {
+			if _, err := r.Recv(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < messages; i++ {
+		if err := s.Send(ctx, []byte(fmt.Sprintf("e10-%d-%d", burstLen, i))); err != nil {
+			break
+		}
+		completed++
+	}
+	<-recvDone
+	elapsed := time.Since(start)
+
+	row := E10Row{BurstLen: burstLen, Messages: messages, Completed: completed}
+	if completed > 0 {
+		row.DataPerMsg = float64(s.Stats().PacketsSent) / float64(completed)
+		row.CtlPerMsg = float64(r.Stats().PacketsSent) / float64(completed)
+		row.ElapsedPerMsgMs = float64(elapsed.Microseconds()) / 1000 / float64(completed)
+	}
+	return row
+}
+
+// LatencyClimbs reports the claim's shape: the longest bursts cost more
+// wall-clock per message than memoryless loss at the same average rate.
+func (r E10Result) LatencyClimbs() bool {
+	if len(r.Rows) < 2 {
+		return false
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	return last.ElapsedPerMsgMs > first.ElapsedPerMsgMs
+}
+
+// Table renders the result.
+func (r E10Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   "E10: burst loss — cost vs mean burst length at a fixed average loss rate",
+		Note:    "Gilbert–Elliott link, stationary 20% Bad state dropping 80%; live netlink stations",
+		Headers: []string{"mean burst (pkts)", "messages", "completed", "DATA/msg", "CTL/msg", "ms/msg"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(itoa(row.BurstLen), itoa(row.Messages), itoa(row.Completed),
+			stats.F1(row.DataPerMsg), stats.F1(row.CtlPerMsg), stats.F1(row.ElapsedPerMsgMs))
+	}
+	return t
+}

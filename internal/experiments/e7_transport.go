@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"ghm/internal/core"
 	"ghm/internal/netlink"
 	"ghm/internal/stats"
 	"ghm/internal/transport"
@@ -64,7 +63,7 @@ func runE7Mode(o Options, salt int64, mode transport.Mode, messages int) E7Row {
 	if err != nil {
 		panic(fmt.Sprintf("E7: %v", err))
 	}
-	s, err := netlink.NewSender(srcConn, core.Params{})
+	s, err := netlink.NewSender(srcConn, netlink.SenderConfig{})
 	if err != nil {
 		panic(fmt.Sprintf("E7: %v", err))
 	}

@@ -79,6 +79,8 @@ func All() []Experiment {
 			Run: func(o Options) *stats.Table { return E8(o).Table() }},
 		{ID: "E9", Title: "Forging channels: safety without liveness (Conclusions open problem)",
 			Run: func(o Options) *stats.Table { return E9(o).Table() }},
+		{ID: "E10", Title: "Burst loss: cost vs mean burst length at fixed average loss",
+			Run: func(o Options) *stats.Table { return E10(o).Table() }},
 	}
 }
 

@@ -148,9 +148,24 @@ func TestE9ForgerySplitsSafetyFromLiveness(t *testing.T) {
 	}
 }
 
+func TestE10BurstLatencyClimbs(t *testing.T) {
+	res := E10(small)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Completed != row.Messages {
+			t.Errorf("burst %d completed %d of %d", row.BurstLen, row.Completed, row.Messages)
+		}
+	}
+	if !res.LatencyClimbs() {
+		t.Errorf("burst length did not raise per-message latency:\n%s", res.Table())
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
+	if len(all) != 10 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)

@@ -70,7 +70,7 @@ func NewSender(conn netlink.PacketConn, lanes int, p core.Params) (*Sender, erro
 		closed: make(chan struct{}),
 	}
 	for i := 0; i < lanes; i++ {
-		ls, err := netlink.NewSender(subs[i], p)
+		ls, err := netlink.NewSender(subs[i], netlink.SenderConfig{Params: p})
 		if err != nil {
 			subs[0].Close()
 			return nil, fmt.Errorf("mux: lane %d: %w", i, err)

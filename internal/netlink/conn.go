@@ -17,7 +17,11 @@
 // and joins them.
 package netlink
 
-import "errors"
+import (
+	"errors"
+	"net"
+	"time"
+)
 
 var (
 	// ErrClosed reports use of a closed connection or session.
@@ -26,6 +30,28 @@ var (
 	// station crash.
 	ErrCrashed = errors.New("netlink: station crashed")
 )
+
+// transientIODelay paces a station loop's retry after a transient conn
+// error, bounding the spin if the error persists.
+const transientIODelay = time.Millisecond
+
+// isClosedErr reports whether err means the conn is permanently gone (as
+// opposed to a transient fault the protocol should ride out as loss).
+func isClosedErr(err error) bool {
+	return errors.Is(err, ErrClosed) || errors.Is(err, net.ErrClosed)
+}
+
+// sendTolerant sends p, treating transient errors — e.g. UDP
+// ECONNREFUSED while the peer host is down, exactly the crash scenario
+// the protocol exists for — as packet loss. It returns false only when
+// the conn is permanently closed and the calling loop should exit.
+func sendTolerant(conn PacketConn, p []byte) bool {
+	err := conn.Send(p)
+	if err == nil {
+		return true
+	}
+	return !isClosedErr(err)
+}
 
 // PacketConn is one endpoint of an unreliable datagram link. The link may
 // lose, duplicate and reorder packets but never corrupts them (the model's

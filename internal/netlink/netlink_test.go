@@ -24,7 +24,7 @@ func testCtx(t *testing.T) context.Context {
 func newSession(t *testing.T, cfg PipeConfig) (*Sender, *Receiver) {
 	t.Helper()
 	a, b := Pipe(cfg)
-	s, err := NewSender(a, core.Params{})
+	s, err := NewSender(a, SenderConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestUDPSession(t *testing.T) {
 	ca := NewUDPConn(la, bAddr)
 	cb := NewUDPConn(lb, aAddr)
 
-	s, err := NewSender(ca, core.Params{})
+	s, err := NewSender(ca, SenderConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func NewPeer(conn PacketConn, role PeerRole, p core.Params, rcfg ReceiverConfig)
 	sendSub := subs[int(role)]
 	recvSub := subs[1-int(role)]
 
-	s, err := NewSender(sendSub, p)
+	s, err := NewSender(sendSub, SenderConfig{Params: p})
 	if err != nil {
 		subs[0].Close()
 		return nil, err

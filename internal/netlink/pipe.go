@@ -22,6 +22,28 @@ type PipeConfig struct {
 	// ReleaseEvery is how often held-back packets are released (default
 	// 200 microseconds).
 	ReleaseEvery time.Duration
+
+	// Burst, when non-nil, layers Gilbert–Elliott two-state burst loss on
+	// each direction, on top of (not instead of) the i.i.d. Loss above.
+	Burst *GilbertElliott
+	// Latency delays every packet by a fixed amount.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per packet, which
+	// also reorders packets whose delays invert.
+	Jitter time.Duration
+	// Bandwidth serializes packets at the given rate in bytes/second
+	// (0 = infinite).
+	Bandwidth int
+	// Queue caps packets queued in the impairment stage of each direction
+	// (0 = DefaultImpairQueue); it only takes effect when some other
+	// extended impairment is set.
+	Queue int
+}
+
+// extended reports whether cfg needs the impairment engine on top of the
+// base pipe faults.
+func (cfg PipeConfig) extended() bool {
+	return cfg.Burst != nil || cfg.Latency > 0 || cfg.Jitter > 0 || cfg.Bandwidth > 0
 }
 
 // Pipe returns two connected PacketConn endpoints with cfg's fault
@@ -41,7 +63,22 @@ func Pipe(cfg PipeConfig) (PacketConn, PacketConn) {
 	p.dirs = []*pipeDir{ab, ba}
 	a := &pipeEnd{p: p, send: ab, recv: ba}
 	b := &pipeEnd{p: p, send: ba, recv: ab}
-	return a, b
+	if !cfg.extended() {
+		return a, b
+	}
+	// Extended impairments (burst loss, latency, jitter, bandwidth) run in
+	// the shared Impair engine, wrapped around each endpoint's egress so
+	// each direction gets an independent seeded schedule.
+	ic := ImpairConfig{
+		Burst:     cfg.Burst,
+		Latency:   cfg.Latency,
+		Jitter:    cfg.Jitter,
+		Bandwidth: cfg.Bandwidth,
+		Queue:     cfg.Queue,
+	}
+	ia, ib := ic, ic
+	ia.Seed, ib.Seed = seed+2, seed+3
+	return Impair(a, ia), Impair(b, ib)
 }
 
 // pipe owns the shared shutdown state of both directions.

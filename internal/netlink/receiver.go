@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghm/internal/core"
+	"ghm/internal/trace"
 )
 
 // defaultRetryInterval paces the receiver's RETRY action. The protocol
@@ -25,6 +27,16 @@ type ReceiverConfig struct {
 	Params core.Params
 	// RetryInterval paces the RETRY action (default 2ms).
 	RetryInterval time.Duration
+	// RetryBackoffMax, when positive, enables adaptive retry pacing: while
+	// no packet arrives (idle or blacked-out link) the retry interval
+	// doubles per tick up to this cap, and snaps back to RetryInterval on
+	// any arrival. Zero keeps the fixed-interval behaviour.
+	RetryBackoffMax time.Duration
+	// Tap, when non-nil, observes the station's externally visible
+	// actions — receive_msg and crash^R — as trace events, in the order
+	// the station commits them. It is invoked with the station lock held:
+	// callbacks must be fast and must not call back into the station.
+	Tap func(trace.Event)
 }
 
 // Receiver runs a protocol receiver over a PacketConn and hands delivered
@@ -32,11 +44,14 @@ type ReceiverConfig struct {
 // and station crashes).
 type Receiver struct {
 	conn PacketConn
+	tap  func(trace.Event)
 
 	mu sync.Mutex // guards rx
 	rx *core.Receiver
 
 	out chan []byte
+
+	arrivals atomic.Uint64 // packets seen; read by retryLoop for backoff
 
 	stop      chan struct{}
 	readDone  chan struct{}
@@ -55,6 +70,7 @@ func NewReceiver(conn PacketConn, cfg ReceiverConfig) (*Receiver, error) {
 	}
 	r := &Receiver{
 		conn:      conn,
+		tap:       cfg.Tap,
 		rx:        rx,
 		out:       make(chan []byte, deliveryBuffer),
 		stop:      make(chan struct{}),
@@ -62,8 +78,16 @@ func NewReceiver(conn PacketConn, cfg ReceiverConfig) (*Receiver, error) {
 		retryDone: make(chan struct{}),
 	}
 	go r.readLoop()
-	go r.retryLoop(cfg.RetryInterval)
+	go r.retryLoop(cfg.RetryInterval, cfg.RetryBackoffMax)
 	return r, nil
+}
+
+// emit reports one externally visible action; callers hold r.mu so taps
+// observe actions in commit order.
+func (r *Receiver) emit(k trace.Kind, msg string) {
+	if r.tap != nil {
+		r.tap(trace.Event{Kind: k, Msg: msg})
+	}
 }
 
 // Recv blocks for the next delivered message.
@@ -91,6 +115,7 @@ func (r *Receiver) Crash() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rx.Crash()
+	r.emit(trace.KindCrashR, "")
 }
 
 // Stats returns the receiver's protocol counters.
@@ -116,14 +141,31 @@ func (r *Receiver) readLoop() {
 	for {
 		p, err := r.conn.Recv()
 		if err != nil {
-			return
+			if isClosedErr(err) {
+				return
+			}
+			// Transient read fault (e.g. an ICMP-induced error while the
+			// peer host is down): indistinguishable from loss, so back off
+			// briefly and keep serving instead of dying.
+			select {
+			case <-time.After(transientIODelay):
+				continue
+			case <-r.stop:
+				return
+			}
 		}
+		r.arrivals.Add(1)
 		r.mu.Lock()
 		out := r.rx.ReceivePacket(p)
+		// Deliveries are committed here, before the replies leave: a tap
+		// always observes receive_msg(m) before any OK it can cause.
+		for _, m := range out.Delivered {
+			r.emit(trace.KindReceiveMsg, string(m))
+		}
 		r.mu.Unlock()
 
 		for _, cp := range out.Packets {
-			if r.conn.Send(cp) != nil {
+			if !sendTolerant(r.conn, cp) {
 				return
 			}
 		}
@@ -137,21 +179,38 @@ func (r *Receiver) readLoop() {
 	}
 }
 
-func (r *Receiver) retryLoop(interval time.Duration) {
+// retryLoop fires the RETRY action. With backoff disabled the interval is
+// fixed; with backoff enabled the interval doubles while the link is
+// silent (idle or blacked out) up to maxBackoff, and snaps back to base
+// on any packet arrival — retry traffic fades on dead links without
+// giving up the "infinitely often" the protocol needs.
+func (r *Receiver) retryLoop(base, maxBackoff time.Duration) {
 	defer close(r.retryDone)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	interval := base
+	lastSeen := r.arrivals.Load()
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	for {
 		select {
-		case <-ticker.C:
+		case <-timer.C:
+			if n := r.arrivals.Load(); n != lastSeen {
+				lastSeen = n
+				interval = base
+			} else if maxBackoff > base {
+				interval *= 2
+				if interval > maxBackoff {
+					interval = maxBackoff
+				}
+			}
 			r.mu.Lock()
 			out := r.rx.Retry()
 			r.mu.Unlock()
 			for _, p := range out.Packets {
-				if r.conn.Send(p) != nil {
+				if !sendTolerant(r.conn, p) {
 					return
 				}
 			}
+			timer.Reset(interval)
 		case <-r.stop:
 			return
 		}

@@ -6,8 +6,6 @@ import (
 	"math/rand"
 	"testing"
 	"time"
-
-	"ghm/internal/core"
 )
 
 func sealedPair(t *testing.T, cfg PipeConfig, key []byte) (PacketConn, PacketConn) {
@@ -147,7 +145,7 @@ func TestSealedSession(t *testing.T) {
 	// Full protocol over a sealed faulty link.
 	key := bytes.Repeat([]byte{3}, 32)
 	ca, cb := sealedPair(t, PipeConfig{Loss: 0.2, DupProb: 0.2, Seed: 7}, key)
-	s, err := NewSender(ca, core.Params{})
+	s, err := NewSender(ca, SenderConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

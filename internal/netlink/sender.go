@@ -4,9 +4,24 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"ghm/internal/core"
+	"ghm/internal/trace"
 )
+
+// SenderConfig parameterizes a Sender session.
+type SenderConfig struct {
+	// Params configures the protocol transmitter.
+	Params core.Params
+	// Tap, when non-nil, observes the station's externally visible
+	// actions — send_msg, OK and crash^T — as trace events, in the order
+	// the station commits them. It is invoked with the station lock held:
+	// callbacks must be fast and must not call back into the station.
+	// Feeding both stations' taps into one verify.Live turns any run into
+	// a live check of the paper's Section 2.6 conditions.
+	Tap func(trace.Event)
+}
 
 // Sender runs a protocol transmitter over a PacketConn and offers blocking
 // exactly-once sends: Send returns nil only after the protocol's OK, i.e.
@@ -14,6 +29,7 @@ import (
 // to the receiving station's higher layer.
 type Sender struct {
 	conn PacketConn
+	tap  func(trace.Event)
 
 	mu     sync.Mutex // guards tx and waiter
 	tx     *core.Transmitter
@@ -26,21 +42,29 @@ type Sender struct {
 	closeOnce sync.Once
 }
 
-// NewSender builds the transmitter with params p and starts its receive
-// loop on conn.
-func NewSender(conn PacketConn, p core.Params) (*Sender, error) {
-	tx, err := core.NewTransmitter(p)
+// NewSender builds the transmitter and starts its receive loop on conn.
+func NewSender(conn PacketConn, cfg SenderConfig) (*Sender, error) {
+	tx, err := core.NewTransmitter(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("netlink: sender: %w", err)
 	}
 	s := &Sender{
 		conn: conn,
+		tap:  cfg.Tap,
 		tx:   tx,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
 	go s.recvLoop()
 	return s, nil
+}
+
+// emit reports one externally visible action; callers hold s.mu so taps
+// observe actions in commit order.
+func (s *Sender) emit(k trace.Kind, msg string) {
+	if s.tap != nil {
+		s.tap(trace.Event{Kind: k, Msg: msg})
+	}
 }
 
 // Send transfers msg and blocks until the protocol confirms delivery (OK),
@@ -58,6 +82,7 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 		s.mu.Unlock()
 		return fmt.Errorf("netlink: send: %w", err)
 	}
+	s.emit(trace.KindSendMsg, string(msg))
 	w := make(chan error, 1)
 	s.waiter = w
 	s.mu.Unlock()
@@ -72,6 +97,7 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 		if s.waiter == w {
 			s.waiter = nil
 			s.tx.Crash()
+			s.emit(trace.KindCrashT, "")
 		}
 		s.mu.Unlock()
 		return ctx.Err()
@@ -85,6 +111,7 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 func (s *Sender) Crash() {
 	s.mu.Lock()
 	s.tx.Crash()
+	s.emit(trace.KindCrashT, "")
 	w := s.waiter
 	s.waiter = nil
 	s.mu.Unlock()
@@ -116,12 +143,22 @@ func (s *Sender) recvLoop() {
 	for {
 		p, err := s.conn.Recv()
 		if err != nil {
-			return
+			if isClosedErr(err) {
+				return
+			}
+			// Transient read fault: back off briefly and keep serving.
+			select {
+			case <-time.After(transientIODelay):
+				continue
+			case <-s.stop:
+				return
+			}
 		}
 		s.mu.Lock()
 		out := s.tx.ReceivePacket(p)
 		var w chan error
 		if out.OK {
+			s.emit(trace.KindOK, "")
 			w = s.waiter
 			s.waiter = nil
 		}
@@ -134,9 +171,11 @@ func (s *Sender) recvLoop() {
 	}
 }
 
+// transmit sends protocol packets, treating transient conn errors as the
+// packet loss the protocol is built to tolerate.
 func (s *Sender) transmit(pkts [][]byte) {
 	for _, p := range pkts {
-		if err := s.conn.Send(p); err != nil {
+		if !sendTolerant(s.conn, p) {
 			return // closed; the loop will notice
 		}
 	}

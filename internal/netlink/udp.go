@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 )
 
 // maxUDPPacket bounds received datagrams. Protocol packets are a few
@@ -63,17 +64,26 @@ func (u *UDPConn) Send(p []byte) error {
 }
 
 // Recv implements PacketConn. Datagrams from addresses other than the
-// peer are dropped: the data link is a two-station system.
+// peer are dropped: the data link is a two-station system. Transient read
+// errors (e.g. ICMP-induced ECONNREFUSED while the peer host is down —
+// exactly the crash scenario the protocol exists for) look like loss and
+// are retried; only a persistent failure or a closed socket returns.
 func (u *UDPConn) Recv() ([]byte, error) {
 	buf := make([]byte, maxUDPPacket)
+	consecutive := 0
 	for {
 		n, from, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil, ErrClosed
 			}
-			return nil, fmt.Errorf("netlink: udp read: %w", err)
+			if consecutive++; consecutive > 100 {
+				return nil, fmt.Errorf("netlink: udp read: %w", err)
+			}
+			time.Sleep(transientIODelay)
+			continue
 		}
+		consecutive = 0
 		if from == nil || !from.IP.Equal(u.peer.IP) && !u.peer.IP.IsUnspecified() {
 			continue
 		}

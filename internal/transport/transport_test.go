@@ -7,7 +7,6 @@ import (
 	"testing"
 	"time"
 
-	"ghm/internal/core"
 	"ghm/internal/netlink"
 )
 
@@ -178,7 +177,7 @@ func TestGHMSessionOverNetwork(t *testing.T) {
 			srcConn, _ := n.Endpoint(0, 8, mode)
 			dstConn, _ := n.Endpoint(8, 0, mode)
 
-			s, err := netlink.NewSender(srcConn, core.Params{})
+			s, err := netlink.NewSender(srcConn, netlink.SenderConfig{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -329,7 +328,7 @@ func TestGHMSurvivesRelayCrashes(t *testing.T) {
 	defer n.Close()
 	srcConn, _ := n.Endpoint(0, 8, PathRouting)
 	dstConn, _ := n.Endpoint(8, 0, PathRouting)
-	s, err := netlink.NewSender(srcConn, core.Params{})
+	s, err := netlink.NewSender(srcConn, netlink.SenderConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

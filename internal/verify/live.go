@@ -1,0 +1,40 @@
+package verify
+
+import (
+	"sync"
+
+	"ghm/internal/trace"
+)
+
+// Live adapts Checker for use as an event tap on live netlink stations:
+// Observe is safe to call from the sender's and the receiver's goroutines
+// concurrently, and events are checked in arrival order — which, because
+// each station emits its events at the action's commit point (under the
+// station lock, before dependent packets leave), is a legitimate
+// interleaving of the real execution. Feeding both stations' taps into one
+// Live turns every chaos run and soak test into a mechanical check of the
+// paper's Section 2.6 conditions.
+//
+// The zero value is ready to use.
+type Live struct {
+	mu   sync.Mutex
+	c    Checker
+	step int
+}
+
+// Observe records one station event; it has the signature netlink taps
+// expect. Steps are assigned in arrival order.
+func (l *Live) Observe(e trace.Event) {
+	l.mu.Lock()
+	e.Step = l.step
+	l.step++
+	l.c.Observe(e)
+	l.mu.Unlock()
+}
+
+// Report returns the verification state so far.
+func (l *Live) Report() Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Report()
+}

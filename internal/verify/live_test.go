@@ -1,0 +1,55 @@
+package verify
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ghm/internal/trace"
+)
+
+func TestLiveMatchesBatchChecker(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindSendMsg, Msg: "a"},
+		{Kind: trace.KindReceiveMsg, Msg: "a"},
+		{Kind: trace.KindOK},
+		{Kind: trace.KindSendMsg, Msg: "b"},
+		{Kind: trace.KindCrashT},
+		{Kind: trace.KindSendMsg, Msg: "c"},
+		{Kind: trace.KindReceiveMsg, Msg: "c"},
+		{Kind: trace.KindCrashR},
+		{Kind: trace.KindOK},
+	}
+	var l Live
+	for _, e := range events {
+		l.Observe(e)
+	}
+	if got, want := l.Report(), Check(events); !reflect.DeepEqual(got, want) {
+		t.Errorf("live report = %+v, batch = %+v", got, want)
+	}
+}
+
+func TestLiveConcurrentObservers(t *testing.T) {
+	var l Live
+	const perSide = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			l.Observe(trace.Event{Kind: trace.KindSendMsg, Msg: fmt.Sprintf("s-%d", i)})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			l.Observe(trace.Event{Kind: trace.KindCrashR})
+		}
+	}()
+	wg.Wait()
+	r := l.Report()
+	if r.Sent != perSide || r.CrashR != perSide {
+		t.Errorf("report = %+v, want %d sends and %d crashes", r, perSide, perSide)
+	}
+}

@@ -57,8 +57,9 @@ type MuxReceiver struct {
 func NewMuxReceiver(conn PacketConn, lanes int, opts ...Option) (*MuxReceiver, error) {
 	o := applyOptions(opts)
 	m, err := mux.NewReceiver(conn, lanes, netlink.ReceiverConfig{
-		Params:        o.params(),
-		RetryInterval: o.retryInterval,
+		Params:          o.params(),
+		RetryInterval:   o.retryInterval,
+		RetryBackoffMax: o.retryBackoff,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ghm: %w", err)

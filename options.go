@@ -16,10 +16,12 @@ type Option interface {
 type options struct {
 	epsilon       float64
 	retryInterval time.Duration
+	retryBackoff  time.Duration
 	seed          int64
 	hasSeed       bool
 	size          func(t int) int
 	bound         func(t int) int
+	tap           func(Event)
 }
 
 func applyOptions(opts []Option) options {
@@ -60,6 +62,29 @@ type retryOption time.Duration
 func WithRetryInterval(d time.Duration) Option { return retryOption(d) }
 
 func (r retryOption) apply(o *options) { o.retryInterval = time.Duration(r) }
+
+type retryBackoffOption time.Duration
+
+// WithRetryBackoff enables the receiving station's adaptive retry pacing:
+// while the link is silent (idle, or blacked out) the retry interval
+// doubles per tick up to max, and snaps back to the WithRetryInterval
+// base on any packet arrival. Idle links stop burning control traffic
+// without giving up the "infinitely often" retries the protocol's
+// liveness needs. Senders ignore this option.
+func WithRetryBackoff(max time.Duration) Option { return retryBackoffOption(max) }
+
+func (r retryBackoffOption) apply(o *options) { o.retryBackoff = time.Duration(r) }
+
+type tapOption func(Event)
+
+// WithTap registers a callback observing the station's lifecycle actions
+// (send_msg, OK, receive_msg, crashes) at the moment they commit. The
+// callback runs on the station's internal goroutines with its lock held:
+// it must be fast and must not call back into the station. Taps exist for
+// chaos testing, conformance checking and monitoring.
+func WithTap(fn func(Event)) Option { return tapOption(fn) }
+
+func (t tapOption) apply(o *options) { o.tap = t }
 
 type seedOption int64
 

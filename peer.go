@@ -30,7 +30,8 @@ type Peer struct {
 func NewPeer(conn PacketConn, role Role, opts ...Option) (*Peer, error) {
 	o := applyOptions(opts)
 	p, err := netlink.NewPeer(conn, netlink.PeerRole(role), o.params(), netlink.ReceiverConfig{
-		RetryInterval: o.retryInterval,
+		RetryInterval:   o.retryInterval,
+		RetryBackoffMax: o.retryBackoff,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ghm: %w", err)

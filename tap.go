@@ -1,0 +1,79 @@
+package ghm
+
+import (
+	"ghm/internal/trace"
+)
+
+// EventKind classifies a station lifecycle event observed via WithTap.
+type EventKind int
+
+// The externally visible station actions a tap observes. They mirror the
+// actions of the paper's I/O-automata model: send_msg, OK, receive_msg
+// and the two crash actions.
+const (
+	// EventSendMsg fires when a Sender accepts a message from the caller.
+	EventSendMsg EventKind = iota + 1
+	// EventOK fires when the Sender's protocol confirms delivery.
+	EventOK
+	// EventReceiveMsg fires when a Receiver commits a delivery to the
+	// higher layer.
+	EventReceiveMsg
+	// EventCrashSender fires when the transmitting station's memory is
+	// erased (Crash, or a cancelled Send).
+	EventCrashSender
+	// EventCrashReceiver fires when the receiving station's memory is
+	// erased.
+	EventCrashReceiver
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSendMsg:
+		return "send_msg"
+	case EventOK:
+		return "OK"
+	case EventReceiveMsg:
+		return "receive_msg"
+	case EventCrashSender:
+		return "crash^T"
+	case EventCrashReceiver:
+		return "crash^R"
+	default:
+		return "Event(?)"
+	}
+}
+
+// Event is one station lifecycle action, delivered to a WithTap callback
+// at the moment the station commits it.
+type Event struct {
+	Kind EventKind
+	// Msg is the message payload for EventSendMsg and EventReceiveMsg.
+	Msg []byte
+}
+
+// tapToTrace adapts a public tap callback to the internal trace schema
+// shared with the model layer's checkers.
+func tapToTrace(fn func(Event)) func(trace.Event) {
+	if fn == nil {
+		return nil
+	}
+	return func(e trace.Event) {
+		var k EventKind
+		switch e.Kind {
+		case trace.KindSendMsg:
+			k = EventSendMsg
+		case trace.KindOK:
+			k = EventOK
+		case trace.KindReceiveMsg:
+			k = EventReceiveMsg
+		case trace.KindCrashT:
+			k = EventCrashSender
+		case trace.KindCrashR:
+			k = EventCrashReceiver
+		default:
+			return
+		}
+		fn(Event{Kind: k, Msg: []byte(e.Msg)})
+	}
+}
