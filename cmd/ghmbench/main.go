@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ghm/internal/experiments"
+	"ghm/internal/metrics"
 )
 
 func main() {
@@ -32,9 +33,26 @@ func run(args []string, out io.Writer) error {
 		scale    = fs.Float64("scale", 1.0, "workload scale factor")
 		seed     = fs.Int64("seed", 1, "base random seed")
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
+
+		metricsOut  = fs.Bool("metrics", false, "print a JSON metrics snapshot when the suite ends")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: serving http://%s/metrics\n", srv.Addr())
+	}
+	if *metricsOut {
+		defer func() {
+			fmt.Fprintf(out, "metrics:\n%s\n", metrics.Default().Snapshot().JSON())
+		}()
 	}
 
 	opt := experiments.Options{Scale: *scale, Seed: *seed}

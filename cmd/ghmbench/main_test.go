@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -42,5 +43,21 @@ func TestRunBadFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-bogus"}, &out); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunMetricsFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E1", "-scale", "0.05", "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	i := strings.Index(s, "metrics:\n")
+	if i < 0 {
+		t.Fatalf("metrics snapshot missing:\n%s", s)
+	}
+	var snap map[string]interface{}
+	if err := json.Unmarshal([]byte(s[i+len("metrics:\n"):]), &snap); err != nil {
+		t.Errorf("snapshot is not JSON: %v\n%s", err, s)
 	}
 }

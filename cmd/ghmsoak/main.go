@@ -39,6 +39,7 @@ import (
 	"ghm/internal/adversary"
 	"ghm/internal/chaos"
 	"ghm/internal/core"
+	"ghm/internal/metrics"
 	"ghm/internal/sim"
 	"ghm/internal/trace"
 )
@@ -63,9 +64,28 @@ func run(args []string, out io.Writer) error {
 		chaosMsgs   = fs.Int("messages", 500, "unique messages per chaos soak")
 		scenarioIn  = fs.String("scenario", "", "chaos: replay a scenario JSON file instead of generating one")
 		scenarioOut = fs.String("scenario-out", "", "chaos: write the scenario JSON to this file")
+
+		metricsOut  = fs.Bool("metrics", false, "print a JSON metrics snapshot when the run ends")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run lasts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: serving http://%s/metrics\n", srv.Addr())
+	}
+	if *metricsOut {
+		// Deferred so the snapshot lands even when the run fails — a
+		// violating run is exactly when the counters are interesting.
+		defer func() {
+			fmt.Fprintf(out, "metrics:\n%s\n", metrics.Default().Snapshot().JSON())
+		}()
 	}
 
 	if *chaosMode {
@@ -192,6 +212,22 @@ func runChaos(out io.Writer, o chaosOptions) error {
 
 	fmt.Fprintf(out, "done: %d messages delivered, %d sends wiped by crash^T and reissued, %v elapsed\n",
 		res.Delivered, res.Abandoned, res.Elapsed.Round(time.Millisecond))
+	link := res.LinkTR
+	link.Sent += res.LinkRT.Sent
+	link.Delivered += res.LinkRT.Delivered
+	link.Duplicated += res.LinkRT.Duplicated
+	link.DropIID += res.LinkRT.DropIID
+	link.DropBurst += res.LinkRT.DropBurst
+	link.DropBlackout += res.LinkRT.DropBlackout
+	link.DropQueue += res.LinkRT.DropQueue
+	observed := 0.0
+	if link.Sent > 0 {
+		observed = float64(link.DropIID) / float64(link.Sent)
+	}
+	fmt.Fprintf(out, "link: %d packets sent, %d delivered, %d duplicated; drops iid=%d burst=%d blackout=%d queue=%d — observed i.i.d. loss %.3f (nominal %.3f)\n",
+		link.Sent, link.Delivered, link.Duplicated,
+		link.DropIID, link.DropBurst, link.DropBlackout, link.DropQueue,
+		observed, sc.Link.Loss)
 	fmt.Fprintf(out, "conformance: %s\n", res.Report)
 	if !res.Report.Clean() {
 		return fmt.Errorf("%d conformance violations in a live execution", res.Report.Violations())

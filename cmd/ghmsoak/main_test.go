@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -113,4 +114,53 @@ func TestSoakDeterministicSeed(t *testing.T) {
 		}
 	}
 	_ = time.Now
+}
+
+func TestChaosMetricsSnapshot(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-chaos", "-seed", "42", "-messages", "60", "-duration", "60s", "-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatalf("chaos soak failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "link: ") || !strings.Contains(s, "observed i.i.d. loss") {
+		t.Errorf("injected-vs-observed link summary missing:\n%s", s)
+	}
+	i := strings.Index(s, "metrics:\n")
+	if i < 0 {
+		t.Fatalf("metrics snapshot missing:\n%s", s)
+	}
+	var snap struct {
+		Counters   map[string]int64                  `json:"counters"`
+		Histograms map[string]map[string]interface{} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(s[i+len("metrics:\n"):]), &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, s)
+	}
+	// The default registry is process-global, so counts are lower bounds.
+	if snap.Counters["tx.oks"] < 60 || snap.Counters["chaos.sends"] < 60 {
+		t.Errorf("station counters too low: tx.oks=%d chaos.sends=%d",
+			snap.Counters["tx.oks"], snap.Counters["chaos.sends"])
+	}
+	if snap.Counters["link.sent"] == 0 || snap.Counters["rx.delivered"] == 0 {
+		t.Errorf("link/receiver counters missing: %v", snap.Counters)
+	}
+	if _, ok := snap.Histograms["tx.ok_latency_ms"]; !ok {
+		t.Errorf("ok latency histogram missing: %v", snap.Histograms)
+	}
+}
+
+func TestMetricsAddrServes(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-duration", "100ms", "-seed", "5", "-metrics-addr", "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	if !strings.Contains(out.String(), "metrics: serving http://") {
+		t.Errorf("endpoint banner missing:\n%s", out.String())
+	}
 }

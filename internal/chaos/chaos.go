@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"ghm/internal/metrics"
 	"ghm/internal/netlink"
 )
 
@@ -220,12 +221,29 @@ type Targets struct {
 	Sender   Crasher
 	Receiver Crasher
 	Links    []Controllable
+	// Metrics counts the injected faults (the chaos.*_injected family),
+	// so a run's reported numbers can be cross-checked against what the
+	// instrumented links and stations observed. Nil uses metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // Run executes the scenario's timeline in real time against t, returning
 // when the timeline completes or ctx ends. Actions fire in At order from
 // the moment Run is called.
 func Run(ctx context.Context, sc Scenario, t Targets) error {
+	reg := t.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	var (
+		crashTInjected   = reg.Counter("chaos.crash_t_injected")
+		crashRInjected   = reg.Counter("chaos.crash_r_injected")
+		blackoutInjected = reg.Counter("chaos.blackouts_injected")
+		rampInjected     = reg.Counter("chaos.loss_ramps_injected")
+		lossCurrent      = reg.Gauge("chaos.loss_current")
+	)
+	lossCurrent.Set(sc.Link.Loss)
+
 	actions := append([]Action(nil), sc.Actions...)
 	sort.SliceStable(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
 	start := time.Now()
@@ -246,14 +264,17 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 		}
 		switch a.Kind {
 		case CrashSender:
+			crashTInjected.Inc()
 			if t.Sender != nil {
 				t.Sender.Crash()
 			}
 		case CrashReceiver:
+			crashRInjected.Inc()
 			if t.Receiver != nil {
 				t.Receiver.Crash()
 			}
 		case BlackoutStart:
+			blackoutInjected.Inc()
 			for _, l := range t.Links {
 				l.SetBlackout(true)
 			}
@@ -262,6 +283,8 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 				l.SetBlackout(false)
 			}
 		case SetLoss:
+			rampInjected.Inc()
+			lossCurrent.Set(a.Loss)
 			for _, l := range t.Links {
 				l.SetLoss(a.Loss)
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ghm/internal/core"
+	"ghm/internal/metrics"
 	"ghm/internal/netlink"
 	"ghm/internal/verify"
 )
@@ -25,6 +26,10 @@ type SoakConfig struct {
 	RetryBackoffMax time.Duration
 	// Epsilon is the per-message error probability (0 = protocol default).
 	Epsilon float64
+	// Metrics receives the whole run's counters: the stations' tx.*/rx.*
+	// families, both link directions aggregated under "link.", and the
+	// chaos.* injection counts. Nil uses metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // SoakResult summarizes a live chaos soak.
@@ -37,6 +42,10 @@ type SoakResult struct {
 	// Abandoned counts sends wiped mid-flight by a scheduled crash^T and
 	// reissued under a fresh message id.
 	Abandoned int
+	// LinkTR and LinkRT are the two impaired directions' fate counters,
+	// for cross-checking the faults the run injected against the drops
+	// the metrics registry observed.
+	LinkTR, LinkRT netlink.ImpairStats
 	// Elapsed is the wall-clock soak time.
 	Elapsed time.Duration
 }
@@ -62,23 +71,33 @@ func Soak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 	if cfg.RetryBackoffMax <= 0 {
 		cfg.RetryBackoffMax = 32 * time.Millisecond
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
 	sc := cfg.Scenario
 	start := time.Now()
 
-	// The base pipe carries the i.i.d. faults; the Impair wrappers add
-	// burst loss, latency, jitter and the chaos controls per direction.
+	// The base pipe carries reordering only; everything the scenario can
+	// inject or ramp — i.i.d. loss, duplication, burst loss, latency,
+	// jitter, bandwidth — lives in the Impair stage, where it is counted.
+	// That keeps injected faults cross-checkable against the link.*
+	// metrics, and it means a scheduled SetLoss restore of the nominal
+	// loss lands on the same knob the nominal loss started on.
 	a, b := netlink.Pipe(netlink.PipeConfig{
-		Loss:        sc.Link.Loss,
-		DupProb:     sc.Link.DupProb,
 		ReorderProb: sc.Link.ReorderProb,
 		Seed:        sc.Seed + 1,
 	})
 	ic := netlink.ImpairConfig{
-		Burst:     sc.Link.Burst,
-		Latency:   sc.Link.Latency,
-		Jitter:    sc.Link.Jitter,
-		Bandwidth: sc.Link.Bandwidth,
-		Queue:     sc.Link.Queue,
+		Loss:          sc.Link.Loss,
+		DupProb:       sc.Link.DupProb,
+		Burst:         sc.Link.Burst,
+		Latency:       sc.Link.Latency,
+		Jitter:        sc.Link.Jitter,
+		Bandwidth:     sc.Link.Bandwidth,
+		Queue:         sc.Link.Queue,
+		Metrics:       reg,
+		MetricsPrefix: "link", // both directions share it: link totals
 	}
 	ia, ib := ic, ic
 	ia.Seed, ib.Seed = sc.Seed+2, sc.Seed+3
@@ -87,8 +106,9 @@ func Soak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 
 	live := &verify.Live{}
 	s, err := netlink.NewSender(la, netlink.SenderConfig{
-		Params: core.Params{Epsilon: cfg.Epsilon},
-		Tap:    live.Observe,
+		Params:  core.Params{Epsilon: cfg.Epsilon},
+		Tap:     live.Observe,
+		Metrics: reg,
 	})
 	if err != nil {
 		la.Close()
@@ -99,6 +119,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 		RetryInterval:   cfg.RetryInterval,
 		RetryBackoffMax: cfg.RetryBackoffMax,
 		Tap:             live.Observe,
+		Metrics:         reg,
 	})
 	if err != nil {
 		s.Close()
@@ -131,20 +152,28 @@ func Soak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 			Sender:   s,
 			Receiver: r,
 			Links:    []Controllable{la, lb},
+			Metrics:  reg,
 		})
 	}()
 
+	var (
+		sendsCtr     = reg.Counter("chaos.sends")
+		abandonedCtr = reg.Counter("chaos.abandoned")
+		deliveredCtr = reg.Counter("chaos.delivered")
+	)
 	var res SoakResult
 	timelineDone := false
 	for i := 0; i < cfg.Messages || !timelineDone; i++ {
 		msg := fmt.Sprintf("m-%08d", i)
 		for attempt := 0; ; attempt++ {
+			sendsCtr.Inc()
 			err := s.Send(ctx, []byte(msg))
 			if err == nil {
 				break
 			}
 			if errors.Is(err, netlink.ErrCrashed) {
 				res.Abandoned++
+				abandonedCtr.Inc()
 				msg = fmt.Sprintf("m-%08d.r%d", i, attempt+1)
 				continue
 			}
@@ -172,6 +201,9 @@ func Soak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 	r.Close()
 	stopDrain()
 	res.Delivered = <-drained
+	deliveredCtr.Add(int64(res.Delivered))
+	res.LinkTR = la.Stats()
+	res.LinkRT = lb.Stats()
 	res.Report = live.Report()
 	res.Elapsed = time.Since(start)
 	return res, nil

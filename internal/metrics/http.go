@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and Handler may be built more than once per process.
+var publishOnce sync.Once
+
+// Handler returns an HTTP handler exposing r alongside the standard Go
+// debug surfaces:
+//
+//	/metrics      — the registry snapshot as JSON
+//	/debug/vars   — expvar (includes the Default registry under "ghm")
+//	/debug/pprof/ — the standard pprof profiles
+func Handler(r *Registry) http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("ghm", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, r.Snapshot().JSON()+"\n")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics endpoint; Close stops it.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Addr returns the endpoint's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP metrics endpoint for r on addr (for example
+// "localhost:6060"; a port of 0 picks a free one — see Addr).
+func Serve(addr string, r *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(l)
+	return &Server{l: l, srv: srv}, nil
+}

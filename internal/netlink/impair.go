@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ghm/internal/metrics"
 )
 
 // GilbertElliott parameterizes the classic two-state Markov burst-loss
@@ -52,6 +54,14 @@ type ImpairConfig struct {
 	Queue int
 	// Seed fixes the impairment schedule for reproducibility (0 = clock).
 	Seed int64
+	// Metrics receives the link's fate counters; nil uses
+	// metrics.Default(). Injected faults become observable numbers here,
+	// so a chaos run can cross-check injected against observed loss.
+	Metrics *metrics.Registry
+	// MetricsPrefix namespaces this link's counters (default "link").
+	// Links sharing a registry and prefix share counters: registering both
+	// directions under one prefix yields link totals.
+	MetricsPrefix string
 }
 
 // DefaultImpairQueue is the queue cap when ImpairConfig.Queue is zero.
@@ -77,6 +87,7 @@ type ImpairStats struct {
 type ImpairedConn struct {
 	conn PacketConn
 	cfg  ImpairConfig
+	m    linkMetrics
 
 	in        chan []byte
 	stop      chan struct{}
@@ -108,6 +119,7 @@ func Impair(conn PacketConn, cfg ImpairConfig) *ImpairedConn {
 	c := &ImpairedConn{
 		conn: conn,
 		cfg:  cfg,
+		m:    newLinkMetrics(cfg.Metrics, cfg.MetricsPrefix),
 		in:   make(chan []byte, cfg.Queue),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -168,12 +180,14 @@ func (c *ImpairedConn) Send(p []byte) error {
 	default:
 	}
 	c.sent.Add(1)
+	c.m.sent.Inc()
 	cp := append([]byte(nil), p...)
 	select {
 	case c.in <- cp:
 	default:
 		// Ingress burst beyond the queue cap: the router queue is full.
 		c.dropQueue.Add(1)
+		c.m.dropQueue.Inc()
 	}
 	return nil
 }
@@ -231,6 +245,7 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 	schedule := func(p []byte, now time.Time) {
 		if len(h) >= c.cfg.Queue {
 			c.dropQueue.Add(1)
+			c.m.dropQueue.Inc()
 			return
 		}
 		start := now
@@ -246,6 +261,9 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 		if c.cfg.Jitter > 0 {
 			release = release.Add(time.Duration(rng.Int63n(int64(c.cfg.Jitter))))
 		}
+		if release.After(now) {
+			c.m.delayed.Inc()
+		}
 		heap.Push(&h, flight{at: release, p: p})
 	}
 
@@ -256,6 +274,7 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 			// packet is simply lost, which the protocol tolerates.
 			_ = c.conn.Send(f.p)
 			c.delivered.Add(1)
+			c.m.delivered.Inc()
 		}
 	}
 
@@ -276,6 +295,7 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 			now := time.Now()
 			if c.blackedOut(now) {
 				c.dropBlackout.Add(1)
+				c.m.dropBlackout.Inc()
 				continue
 			}
 			if ge := c.cfg.Burst; ge != nil {
@@ -292,16 +312,19 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 				}
 				if rng.Float64() < stateLoss {
 					c.dropBurst.Add(1)
+					c.m.dropBurst.Inc()
 					continue
 				}
 			}
 			if rng.Float64() < math.Float64frombits(c.loss.Load()) {
 				c.dropIID.Add(1)
+				c.m.dropIID.Inc()
 				continue
 			}
 			schedule(p, now)
 			if rng.Float64() < c.cfg.DupProb {
 				c.duplicated.Add(1)
+				c.m.duplicated.Inc()
 				schedule(p, now)
 			}
 			// Zero-latency packets are due immediately; releasing them

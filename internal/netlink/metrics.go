@@ -1,0 +1,114 @@
+package netlink
+
+import (
+	"ghm/internal/metrics"
+)
+
+// Metric names exported by the netlink layer. The tx.* and rx.* families
+// are cumulative across station crashes: the stations flush the core
+// state machines' per-incarnation counters into the registry as deltas
+// before every crash^T / crash^R wipes them.
+//
+// The link.* family is shared by every ImpairedConn registered under the
+// same prefix, so with both directions of a link on one registry the
+// counters report link totals.
+
+// senderMetrics are the transmitting station's registry hooks.
+type senderMetrics struct {
+	sendMsgs         *metrics.Counter // send_msg actions accepted
+	oks              *metrics.Counter // transfers completed (OK)
+	crashes          *metrics.Counter // crash^T events (API, cancel, close)
+	abandoned        *metrics.Counter // transfers wiped before their OK
+	packetsSent      *metrics.Counter // DATA packets emitted
+	packetsReceived  *metrics.Counter // protocol rounds (packets processed)
+	errorsCounted    *metrics.Counter // same-length tag mismatches (num^T)
+	tagExtensions    *metrics.Counter // tag regenerations (t^T increments)
+	replayRejections *metrics.Counter // malformed/stale/idle packets ignored
+	ioRetries        *metrics.Counter // transient conn read errors retried
+	okLatencyMS      *metrics.Histogram
+}
+
+func newSenderMetrics(r *metrics.Registry) senderMetrics {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return senderMetrics{
+		sendMsgs:         r.Counter("tx.send_msgs"),
+		oks:              r.Counter("tx.oks"),
+		crashes:          r.Counter("tx.crashes"),
+		abandoned:        r.Counter("tx.abandoned"),
+		packetsSent:      r.Counter("tx.packets_sent"),
+		packetsReceived:  r.Counter("tx.packets_received"),
+		errorsCounted:    r.Counter("tx.errors_counted"),
+		tagExtensions:    r.Counter("tx.tag_extensions"),
+		replayRejections: r.Counter("tx.replay_rejections"),
+		ioRetries:        r.Counter("tx.io_retries"),
+		okLatencyMS:      r.Histogram("tx.ok_latency_ms"),
+	}
+}
+
+// receiverMetrics are the receiving station's registry hooks.
+type receiverMetrics struct {
+	delivered         *metrics.Counter // receive_msg actions committed
+	crashes           *metrics.Counter // crash^R events
+	packetsSent       *metrics.Counter // CTL packets emitted
+	packetsReceived   *metrics.Counter // protocol rounds (packets processed)
+	errorsCounted     *metrics.Counter // same-length challenge mismatches
+	challengeExts     *metrics.Counter // challenge regenerations (t^R)
+	replayRejections  *metrics.Counter // malformed/stale packets ignored
+	retries           *metrics.Counter // RETRY actions fired
+	ioRetries         *metrics.Counter // transient conn read errors retried
+	deliveriesDropped *metrics.Counter // committed deliveries lost to Close
+	retryIntervalMS   *metrics.Gauge   // current (possibly backed-off) retry pace
+}
+
+func newReceiverMetrics(r *metrics.Registry) receiverMetrics {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return receiverMetrics{
+		delivered:         r.Counter("rx.delivered"),
+		crashes:           r.Counter("rx.crashes"),
+		packetsSent:       r.Counter("rx.packets_sent"),
+		packetsReceived:   r.Counter("rx.packets_received"),
+		errorsCounted:     r.Counter("rx.errors_counted"),
+		challengeExts:     r.Counter("rx.challenge_extensions"),
+		replayRejections:  r.Counter("rx.replay_rejections"),
+		retries:           r.Counter("rx.retries"),
+		ioRetries:         r.Counter("rx.io_retries"),
+		deliveriesDropped: r.Counter("rx.deliveries_dropped"),
+		retryIntervalMS:   r.Gauge("rx.retry_interval_ms"),
+	}
+}
+
+// linkMetrics are an impaired link's registry hooks; links sharing a
+// registry and prefix share the counters (their counts sum).
+type linkMetrics struct {
+	sent         *metrics.Counter // packets accepted from the caller
+	delivered    *metrics.Counter // packets released to the underlying conn
+	duplicated   *metrics.Counter // extra copies injected
+	delayed      *metrics.Counter // packets held by latency/jitter/bandwidth
+	dropIID      *metrics.Counter // drops by the i.i.d. loss probability
+	dropBurst    *metrics.Counter // drops by the Gilbert–Elliott machine
+	dropBlackout *metrics.Counter // drops during a blackout window
+	dropQueue    *metrics.Counter // drops past the queue cap
+}
+
+func newLinkMetrics(r *metrics.Registry, prefix string) linkMetrics {
+	if r == nil {
+		r = metrics.Default()
+	}
+	if prefix == "" {
+		prefix = "link"
+	}
+	return linkMetrics{
+		sent:         r.Counter(prefix + ".sent"),
+		delivered:    r.Counter(prefix + ".delivered"),
+		duplicated:   r.Counter(prefix + ".duplicated"),
+		delayed:      r.Counter(prefix + ".delayed"),
+		dropIID:      r.Counter(prefix + ".drop_iid"),
+		dropBurst:    r.Counter(prefix + ".drop_burst"),
+		dropBlackout: r.Counter(prefix + ".drop_blackout"),
+		dropQueue:    r.Counter(prefix + ".drop_queue"),
+	}
+}

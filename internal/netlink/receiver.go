@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ghm/internal/core"
+	"ghm/internal/metrics"
 	"ghm/internal/trace"
 )
 
@@ -37,6 +38,9 @@ type ReceiverConfig struct {
 	// the station commits them. It is invoked with the station lock held:
 	// callbacks must be fast and must not call back into the station.
 	Tap func(trace.Event)
+	// Metrics receives the station's runtime counters (the rx.* family);
+	// nil uses metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // Receiver runs a protocol receiver over a PacketConn and hands delivered
@@ -45,9 +49,11 @@ type ReceiverConfig struct {
 type Receiver struct {
 	conn PacketConn
 	tap  func(trace.Event)
+	m    receiverMetrics
 
-	mu sync.Mutex // guards rx
-	rx *core.Receiver
+	mu   sync.Mutex // guards rx and last
+	rx   *core.Receiver
+	last core.RxStats // rx stats at the previous flush (delta baseline)
 
 	out chan []byte
 
@@ -71,6 +77,7 @@ func NewReceiver(conn PacketConn, cfg ReceiverConfig) (*Receiver, error) {
 	r := &Receiver{
 		conn:      conn,
 		tap:       cfg.Tap,
+		m:         newReceiverMetrics(cfg.Metrics),
 		rx:        rx,
 		out:       make(chan []byte, deliveryBuffer),
 		stop:      make(chan struct{}),
@@ -88,6 +95,19 @@ func (r *Receiver) emit(k trace.Kind, msg string) {
 	if r.tap != nil {
 		r.tap(trace.Event{Kind: k, Msg: msg})
 	}
+}
+
+// flushStats publishes the receiver's per-incarnation protocol counters
+// into the registry as deltas, keeping the registry cumulative across
+// crashes. Call with r.mu held, and always immediately before rx.Crash().
+func (r *Receiver) flushStats() {
+	st := r.rx.Stats()
+	r.m.packetsSent.Add(int64(st.PacketsSent - r.last.PacketsSent))
+	r.m.delivered.Add(int64(st.Delivered - r.last.Delivered))
+	r.m.errorsCounted.Add(int64(st.ErrorsCounted - r.last.ErrorsCounted))
+	r.m.challengeExts.Add(int64(st.Extensions - r.last.Extensions))
+	r.m.replayRejections.Add(int64(st.Ignored - r.last.Ignored))
+	r.last = st
 }
 
 // Recv blocks for the next delivered message.
@@ -114,7 +134,10 @@ func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
 func (r *Receiver) Crash() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushStats()
 	r.rx.Crash()
+	r.last = core.RxStats{}
+	r.m.crashes.Inc()
 	r.emit(trace.KindCrashR, "")
 }
 
@@ -126,6 +149,14 @@ func (r *Receiver) Stats() core.RxStats {
 }
 
 // Close stops both loops and waits for them.
+//
+// Audit note (the symmetric check to the sender's abandoned-transfer
+// fix): the receiver keeps no waiter, so Close cannot strand one. A
+// delivery is committed — taped as receive_msg, counted — under r.mu
+// before it enters the session buffer, and Recv keeps draining buffered
+// deliveries after Close, so closing cannot un-deliver or double-deliver.
+// The one loss Close can cause is a committed delivery that no Recv call
+// ever drains; those are counted as rx.deliveries_dropped.
 func (r *Receiver) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.stop)
@@ -138,6 +169,12 @@ func (r *Receiver) Close() error {
 
 func (r *Receiver) readLoop() {
 	defer close(r.readDone)
+	var backoff *time.Timer // reused across transient faults (no per-error allocation)
+	defer func() {
+		if backoff != nil {
+			backoff.Stop()
+		}
+	}()
 	for {
 		p, err := r.conn.Recv()
 		if err != nil {
@@ -147,8 +184,16 @@ func (r *Receiver) readLoop() {
 			// Transient read fault (e.g. an ICMP-induced error while the
 			// peer host is down): indistinguishable from loss, so back off
 			// briefly and keep serving instead of dying.
+			r.m.ioRetries.Inc()
+			if backoff == nil {
+				backoff = time.NewTimer(transientIODelay)
+			} else {
+				// The timer has always fired and been drained by the time
+				// we get back here, so Reset is race-free.
+				backoff.Reset(transientIODelay)
+			}
 			select {
-			case <-time.After(transientIODelay):
+			case <-backoff.C:
 				continue
 			case <-r.stop:
 				return
@@ -157,11 +202,13 @@ func (r *Receiver) readLoop() {
 		r.arrivals.Add(1)
 		r.mu.Lock()
 		out := r.rx.ReceivePacket(p)
+		r.m.packetsReceived.Inc()
 		// Deliveries are committed here, before the replies leave: a tap
 		// always observes receive_msg(m) before any OK it can cause.
 		for _, m := range out.Delivered {
 			r.emit(trace.KindReceiveMsg, string(m))
 		}
+		r.flushStats()
 		r.mu.Unlock()
 
 		for _, cp := range out.Packets {
@@ -169,10 +216,14 @@ func (r *Receiver) readLoop() {
 				return
 			}
 		}
-		for _, m := range out.Delivered {
+		for i, m := range out.Delivered {
 			select {
 			case r.out <- m:
 			case <-r.stop:
+				// Close raced a committed delivery into the void; account
+				// for it so the books still balance (delivered =
+				// drained + buffered + dropped).
+				r.m.deliveriesDropped.Add(int64(len(out.Delivered) - i))
 				return
 			}
 		}
@@ -190,6 +241,7 @@ func (r *Receiver) retryLoop(base, maxBackoff time.Duration) {
 	lastSeen := r.arrivals.Load()
 	timer := time.NewTimer(interval)
 	defer timer.Stop()
+	r.m.retryIntervalMS.Set(float64(interval) / float64(time.Millisecond))
 	for {
 		select {
 		case <-timer.C:
@@ -202,8 +254,11 @@ func (r *Receiver) retryLoop(base, maxBackoff time.Duration) {
 					interval = maxBackoff
 				}
 			}
+			r.m.retries.Inc()
+			r.m.retryIntervalMS.Set(float64(interval) / float64(time.Millisecond))
 			r.mu.Lock()
 			out := r.rx.Retry()
+			r.flushStats()
 			r.mu.Unlock()
 			for _, p := range out.Packets {
 				if !sendTolerant(r.conn, p) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ghm/internal/core"
+	"ghm/internal/metrics"
 	"ghm/internal/trace"
 )
 
@@ -21,6 +22,9 @@ type SenderConfig struct {
 	// Feeding both stations' taps into one verify.Live turns any run into
 	// a live check of the paper's Section 2.6 conditions.
 	Tap func(trace.Event)
+	// Metrics receives the station's runtime counters (the tx.* family);
+	// nil uses metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // Sender runs a protocol transmitter over a PacketConn and offers blocking
@@ -30,10 +34,12 @@ type SenderConfig struct {
 type Sender struct {
 	conn PacketConn
 	tap  func(trace.Event)
+	m    senderMetrics
 
-	mu     sync.Mutex // guards tx and waiter
+	mu     sync.Mutex // guards tx, waiter and last
 	tx     *core.Transmitter
-	waiter chan error // non-nil while a Send awaits its OK
+	waiter chan error   // non-nil while a Send awaits its OK
+	last   core.TxStats // tx stats at the previous flush (delta baseline)
 
 	sendMu sync.Mutex // serializes Send callers (Axiom 1)
 
@@ -51,6 +57,7 @@ func NewSender(conn PacketConn, cfg SenderConfig) (*Sender, error) {
 	s := &Sender{
 		conn: conn,
 		tap:  cfg.Tap,
+		m:    newSenderMetrics(cfg.Metrics),
 		tx:   tx,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -67,11 +74,52 @@ func (s *Sender) emit(k trace.Kind, msg string) {
 	}
 }
 
+// flushStats publishes the transmitter's per-incarnation protocol
+// counters into the registry as deltas, keeping the registry cumulative
+// across crashes. Call with s.mu held, and always immediately before
+// tx.Crash(), which zeroes the counters the deltas are computed from.
+func (s *Sender) flushStats() {
+	st := s.tx.Stats()
+	s.m.packetsSent.Add(int64(st.PacketsSent - s.last.PacketsSent))
+	s.m.oks.Add(int64(st.OKs - s.last.OKs))
+	s.m.errorsCounted.Add(int64(st.ErrorsCounted - s.last.ErrorsCounted))
+	s.m.tagExtensions.Add(int64(st.Extensions - s.last.Extensions))
+	s.m.replayRejections.Add(int64(st.Ignored - s.last.Ignored))
+	s.last = st
+}
+
+// crashLocked performs crash^T with the bookkeeping every crash needs:
+// stats flushed first (the wipe zeroes them), the event taped, the crash
+// counted. Call with s.mu held.
+func (s *Sender) crashLocked() {
+	s.flushStats()
+	s.tx.Crash()
+	s.last = core.TxStats{}
+	s.m.crashes.Inc()
+	s.emit(trace.KindCrashT, "")
+}
+
+// abandon resolves an interrupted Send: if the transfer is still pending,
+// the station crashes itself — the model offers no "cancel" action, so an
+// abandoned transfer is accounted as crash^T, and wiping the transmitter
+// guarantees a stale OK arriving later cannot match it. If the OK raced
+// ahead and already resolved the waiter there is nothing to abandon.
+func (s *Sender) abandon(w chan error) {
+	s.mu.Lock()
+	if s.waiter == w {
+		s.waiter = nil
+		s.m.abandoned.Inc()
+		s.crashLocked()
+	}
+	s.mu.Unlock()
+}
+
 // Send transfers msg and blocks until the protocol confirms delivery (OK),
 // the context ends, or the sender is closed or crashed. On context
-// cancellation the in-flight transfer cannot be plainly abandoned — the
-// model offers no "cancel" action — so the station crashes itself (memory
-// erased), exactly as a real host would be power-cycled.
+// cancellation or Close the in-flight transfer cannot be plainly
+// abandoned — the model offers no "cancel" action — so the station
+// crashes itself (memory erased), exactly as a real host would be
+// power-cycled.
 func (s *Sender) Send(ctx context.Context, msg []byte) error {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
@@ -82,26 +130,27 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 		s.mu.Unlock()
 		return fmt.Errorf("netlink: send: %w", err)
 	}
+	s.m.sendMsgs.Inc()
 	s.emit(trace.KindSendMsg, string(msg))
+	s.flushStats()
 	w := make(chan error, 1)
 	s.waiter = w
 	s.mu.Unlock()
 
+	start := time.Now()
 	s.transmit(out.Packets)
 
 	select {
 	case err := <-w:
+		if err == nil {
+			s.m.okLatencyMS.ObserveSince(start)
+		}
 		return err
 	case <-ctx.Done():
-		s.mu.Lock()
-		if s.waiter == w {
-			s.waiter = nil
-			s.tx.Crash()
-			s.emit(trace.KindCrashT, "")
-		}
-		s.mu.Unlock()
+		s.abandon(w)
 		return ctx.Err()
 	case <-s.stop:
+		s.abandon(w)
 		return ErrClosed
 	}
 }
@@ -110,12 +159,16 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 // Send fails with ErrCrashed.
 func (s *Sender) Crash() {
 	s.mu.Lock()
-	s.tx.Crash()
-	s.emit(trace.KindCrashT, "")
+	s.crashLocked()
 	w := s.waiter
 	s.waiter = nil
 	s.mu.Unlock()
 	if w != nil {
+		// Whoever clears s.waiter under the lock owns the buffered channel
+		// exclusively, so this send cannot block and cannot double-resolve
+		// against a concurrent OK from recvLoop (see the interleaving tests
+		// in waiter_race_test.go).
+		s.m.abandoned.Inc()
 		w <- ErrCrashed
 	}
 }
@@ -127,8 +180,10 @@ func (s *Sender) Stats() core.TxStats {
 	return s.tx.Stats()
 }
 
-// Close stops the receive loop and waits for it to exit. Pending Sends
-// fail with ErrClosed.
+// Close stops the receive loop and waits for it to exit. A pending Send
+// fails with ErrClosed and its transfer is abandoned via the same crash^T
+// bookkeeping as a context cancellation, so no waiter survives Close to
+// be matched by a stale OK.
 func (s *Sender) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
@@ -140,6 +195,12 @@ func (s *Sender) Close() error {
 
 func (s *Sender) recvLoop() {
 	defer close(s.done)
+	var backoff *time.Timer // reused across transient faults (no per-error allocation)
+	defer func() {
+		if backoff != nil {
+			backoff.Stop()
+		}
+	}()
 	for {
 		p, err := s.conn.Recv()
 		if err != nil {
@@ -147,8 +208,16 @@ func (s *Sender) recvLoop() {
 				return
 			}
 			// Transient read fault: back off briefly and keep serving.
+			s.m.ioRetries.Inc()
+			if backoff == nil {
+				backoff = time.NewTimer(transientIODelay)
+			} else {
+				// The timer has always fired and been drained by the time
+				// we get back here, so Reset is race-free.
+				backoff.Reset(transientIODelay)
+			}
 			select {
-			case <-time.After(transientIODelay):
+			case <-backoff.C:
 				continue
 			case <-s.stop:
 				return
@@ -156,12 +225,14 @@ func (s *Sender) recvLoop() {
 		}
 		s.mu.Lock()
 		out := s.tx.ReceivePacket(p)
+		s.m.packetsReceived.Inc()
 		var w chan error
 		if out.OK {
 			s.emit(trace.KindOK, "")
 			w = s.waiter
 			s.waiter = nil
 		}
+		s.flushStats()
 		s.mu.Unlock()
 
 		s.transmit(out.Packets)

@@ -1,0 +1,289 @@
+package netlink
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ghm/internal/bitstr"
+	"ghm/internal/metrics"
+	"ghm/internal/trace"
+	"ghm/internal/wire"
+)
+
+// scriptConn is a hand-driven PacketConn: the test feeds packets to Recv
+// through in, captures the station's output from sent, and controls when
+// Recv observes the close — Close here does NOT unblock Recv, so the
+// receive loop provably outlives Sender.Close's stop signal, which is
+// exactly the window the stale-waiter bug lived in.
+type scriptConn struct {
+	sent    chan []byte
+	in      chan []byte
+	release chan struct{}
+	once    sync.Once
+}
+
+func newScriptConn() *scriptConn {
+	return &scriptConn{
+		sent:    make(chan []byte, 64),
+		in:      make(chan []byte),
+		release: make(chan struct{}),
+	}
+}
+
+func (c *scriptConn) Send(p []byte) error {
+	cp := append([]byte(nil), p...)
+	select {
+	case c.sent <- cp:
+	default:
+	}
+	return nil
+}
+
+func (c *scriptConn) Recv() ([]byte, error) {
+	select {
+	case p := <-c.in:
+		return p, nil
+	case <-c.release:
+		return nil, ErrClosed
+	}
+}
+
+func (c *scriptConn) Close() error { return nil }
+
+// waitCounter polls reg until the named counter reaches at least want.
+func waitCounter(t *testing.T, reg *metrics.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(name).Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter %s never reached %d", name, want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// feed hands one packet to the station's receive loop and returns once it
+// was picked up.
+func (c *scriptConn) feed(t *testing.T, p []byte) {
+	t.Helper()
+	select {
+	case c.in <- p:
+	case <-time.After(5 * time.Second):
+		t.Fatal("receive loop never picked up the packet")
+	}
+}
+
+// TestCloseAbandonsPendingTransfer is the regression test for the
+// abandoned-transfer bookkeeping bug: Send's Close path used to return
+// ErrClosed while leaving the waiter set and the transmitter un-crashed,
+// so a stale OK arriving afterwards matched the abandoned transfer — the
+// tap saw an OK for a message the caller was told did not complete, and
+// no crash^T accounted for the abandonment. After the fix the abandoned
+// transfer is wiped as crash^T and the stale ack is ignored.
+func TestCloseAbandonsPendingTransfer(t *testing.T) {
+	conn := newScriptConn()
+	reg := metrics.New()
+	var mu sync.Mutex
+	var events []trace.Kind
+	s, err := NewSender(conn, SenderConfig{
+		Tap: func(e trace.Event) {
+			mu.Lock()
+			events = append(events, e.Kind)
+			mu.Unlock()
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Start a Send. The transmitter knows no challenge yet, so no DATA
+	// leaves; the waiter parks.
+	errc := make(chan error, 1)
+	go func() { errc <- s.Send(context.Background(), []byte("abandoned")) }()
+	waitCounter(t, reg, "tx.send_msgs", 1) // the transfer is committed
+
+	// 2. Feed a receiver challenge; the transmitter answers with DATA,
+	// revealing the transfer's tag.
+	rho := bitstr.MustBinary("10110011")
+	conn.feed(t, wire.Ctl{Rho: rho, Tau: bitstr.Empty(), I: 1}.Encode())
+	var tau bitstr.Str
+	select {
+	case p := <-conn.sent:
+		d, err := wire.DecodeData(p)
+		if err != nil {
+			t.Fatalf("station emitted junk: %v", err)
+		}
+		tau = d.Tau
+	case <-time.After(5 * time.Second):
+		t.Fatal("no DATA packet for the challenge")
+	}
+
+	// 3. Close the sender. Close blocks until the receive loop exits, and
+	// our conn keeps that loop alive, so run it from a goroutine; the
+	// pending Send must fail with ErrClosed first.
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Send = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send did not fail on Close")
+	}
+
+	// 4. A perfectly valid — but now stale — OK for the abandoned
+	// transfer arrives while the receive loop is still running.
+	conn.feed(t, wire.Ctl{Rho: bitstr.MustBinary("01011100"), Tau: tau, I: 2}.Encode())
+
+	// 5. Let the receive loop observe the close and Close return.
+	close(conn.release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var okCount, crashCount int
+	for _, k := range events {
+		switch k {
+		case trace.KindOK:
+			okCount++
+		case trace.KindCrashT:
+			crashCount++
+		}
+	}
+	if okCount != 0 {
+		t.Errorf("stale OK matched an abandoned transfer (%d OK events): %v", okCount, events)
+	}
+	if crashCount != 1 {
+		t.Errorf("abandoned transfer not accounted as crash^T (%d crash events): %v", crashCount, events)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["tx.abandoned"] != 1 || snap.Counters["tx.crashes"] != 1 {
+		t.Errorf("abandonment counters wrong: abandoned=%d crashes=%d",
+			snap.Counters["tx.abandoned"], snap.Counters["tx.crashes"])
+	}
+	if snap.Counters["tx.oks"] != 0 {
+		t.Errorf("tx.oks = %d for a run with no completed transfer", snap.Counters["tx.oks"])
+	}
+}
+
+// raceSession builds a Sender/Receiver pair on a perfect pipe with a tap
+// recording the sender's events.
+func raceSession(t *testing.T, seed int64, events *[]trace.Kind, mu *sync.Mutex) (*Sender, *Receiver) {
+	t.Helper()
+	a, b := Pipe(PipeConfig{Seed: seed})
+	s, err := NewSender(a, SenderConfig{
+		Tap: func(e trace.Event) {
+			mu.Lock()
+			*events = append(*events, e.Kind)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(b, ReceiverConfig{RetryInterval: 50 * time.Microsecond})
+	if err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+// TestCrashVsOKInterleaving drives Crash head-to-head against the OK from
+// the receive loop, many times, under -race: the waiter must resolve
+// exactly once, with either nil or ErrCrashed, and never wedge.
+func TestCrashVsOKInterleaving(t *testing.T) {
+	ctx := testCtx(t)
+	for i := 0; i < 150; i++ {
+		var mu sync.Mutex
+		var events []trace.Kind
+		s, r := raceSession(t, int64(1000+i), &events, &mu)
+
+		errc := make(chan error, 1)
+		go func() { errc <- s.Send(ctx, []byte("racer")) }()
+		// Vary the crash point across iterations to sweep the interleaving
+		// space around the OK commit.
+		time.Sleep(time.Duration(i%40) * 10 * time.Microsecond)
+		s.Crash()
+
+		select {
+		case err := <-errc:
+			if err != nil && !errors.Is(err, ErrCrashed) {
+				t.Fatalf("iter %d: Send = %v, want nil or ErrCrashed", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: Send never resolved — waiter lost", i)
+		}
+		// A second transfer must work regardless of which side won.
+		if err := s.Send(ctx, []byte("after")); err != nil {
+			t.Fatalf("iter %d: Send after crash = %v", i, err)
+		}
+		drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		for delivered := 0; delivered < 1; delivered++ {
+			if _, err := r.Recv(drainCtx); err != nil {
+				t.Fatalf("iter %d: Recv = %v", i, err)
+			}
+		}
+		cancel()
+		s.Close()
+		r.Close()
+	}
+}
+
+// TestCloseVsOKInterleaving drives Close head-to-head against the OK. For
+// each interleaving the outcome must be coherent: either the OK won (Send
+// nil, tap shows OK, no crash^T) or the abandonment won (Send ErrClosed —
+// possibly with the OK having raced past the stop signal — and, when the
+// transfer really was pending, crash^T taped). What may never happen is an
+// OK and a crash^T for the same transfer.
+func TestCloseVsOKInterleaving(t *testing.T) {
+	ctx := testCtx(t)
+	for i := 0; i < 150; i++ {
+		var mu sync.Mutex
+		var events []trace.Kind
+		s, r := raceSession(t, int64(5000+i), &events, &mu)
+
+		errc := make(chan error, 1)
+		go func() { errc <- s.Send(ctx, []byte("racer")) }()
+		time.Sleep(time.Duration(i%40) * 10 * time.Microsecond)
+		s.Close()
+
+		var sendErr error
+		select {
+		case sendErr = <-errc:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: Send never resolved — waiter lost", i)
+		}
+		if sendErr != nil && !errors.Is(sendErr, ErrClosed) {
+			t.Fatalf("iter %d: Send = %v, want nil or ErrClosed", i, sendErr)
+		}
+
+		mu.Lock()
+		var okCount, crashCount int
+		for _, k := range events {
+			switch k {
+			case trace.KindOK:
+				okCount++
+			case trace.KindCrashT:
+				crashCount++
+			}
+		}
+		mu.Unlock()
+		if okCount > 0 && crashCount > 0 {
+			t.Fatalf("iter %d: transfer both completed (OK) and was abandoned (crash^T)", i)
+		}
+		if sendErr == nil && okCount != 1 {
+			t.Fatalf("iter %d: Send succeeded but tap saw %d OKs", i, okCount)
+		}
+		r.Close()
+	}
+}

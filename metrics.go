@@ -1,0 +1,93 @@
+package ghm
+
+import (
+	"ghm/internal/metrics"
+)
+
+// MetricsSnapshot is a point-in-time export of the process-wide metrics
+// registry: every counter, gauge and latency histogram the runtime layers
+// maintain. See the README's Observability section for the exported
+// metric names.
+type MetricsSnapshot struct {
+	// Counters are monotonic event counts (tx.*, rx.*, link.*, chaos.*).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges are instantaneous values (e.g. rx.retry_interval_ms).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms summarize sample streams (e.g. tx.ok_latency_ms).
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// HistogramStats summarizes one histogram: count, mean, extrema and
+// streaming p50/p95/p99 estimates (P² algorithm — no samples retained).
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Metrics snapshots the process-wide metrics registry. Every Sender,
+// Receiver and impaired link in the process feeds it (stations created
+// through this package always do); the tx.* and rx.* counter families
+// stay cumulative across station crashes even though a crash erases the
+// stations' own protocol memory.
+func Metrics() MetricsSnapshot {
+	s := metrics.Default().Snapshot()
+	out := MetricsSnapshot{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramStats, len(s.Histograms)),
+	}
+	for k, h := range s.Histograms {
+		out.Histograms[k] = HistogramStats{
+			Count: h.Count, Mean: h.Mean, Min: h.Min, Max: h.Max,
+			P50: h.P50, P95: h.P95, P99: h.P99,
+		}
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON with stable key order.
+func (s MetricsSnapshot) JSON() string {
+	return metrics.Snapshot{
+		Counters: s.Counters,
+		Gauges:   s.Gauges,
+		Histograms: func() map[string]metrics.HistogramValue {
+			m := make(map[string]metrics.HistogramValue, len(s.Histograms))
+			for k, h := range s.Histograms {
+				m[k] = metrics.HistogramValue{
+					Count: h.Count, Mean: h.Mean, Min: h.Min, Max: h.Max,
+					P50: h.P50, P95: h.P95, P99: h.P99,
+				}
+			}
+			return m
+		}(),
+	}.JSON()
+}
+
+// MetricsServer is a running metrics HTTP endpoint; see ServeMetrics.
+type MetricsServer struct {
+	srv *metrics.Server
+}
+
+// Addr returns the endpoint's bound address (useful with a ":0" port).
+func (s *MetricsServer) Addr() string { return s.srv.Addr() }
+
+// Close shuts the endpoint down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// ServeMetrics starts an HTTP endpoint on addr (e.g. "localhost:6060")
+// exposing the process-wide registry as JSON at /metrics, the standard
+// expvar surface at /debug/vars, and the pprof profiles under
+// /debug/pprof/. The cmd/ghmsoak and cmd/ghmbench -metrics-addr flags
+// wrap exactly this.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	srv, err := metrics.Serve(addr, metrics.Default())
+	if err != nil {
+		return nil, err
+	}
+	return &MetricsServer{srv: srv}, nil
+}

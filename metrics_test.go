@@ -1,0 +1,75 @@
+package ghm_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"ghm"
+)
+
+// TestMetricsObservesTraffic checks that stations created through the
+// public API feed the process-wide registry ghm.Metrics() exports.
+func TestMetricsObservesTraffic(t *testing.T) {
+	before := ghm.Metrics()
+	left, right := ghm.Pipe(ghm.PipeFaults{Seed: 77})
+	s, err := ghm.NewSender(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := ghm.NewReceiver(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx := testCtx(t)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := s.Send(ctx, []byte("observed")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after := ghm.Metrics()
+	if got := after.Counters["tx.oks"] - before.Counters["tx.oks"]; got != n {
+		t.Errorf("tx.oks grew by %d, want %d", got, n)
+	}
+	if got := after.Counters["rx.delivered"] - before.Counters["rx.delivered"]; got != n {
+		t.Errorf("rx.delivered grew by %d, want %d", got, n)
+	}
+	if after.Histograms["tx.ok_latency_ms"].Count < n {
+		t.Errorf("ok latency histogram count = %d, want >= %d",
+			after.Histograms["tx.ok_latency_ms"].Count, n)
+	}
+	var parsed ghm.MetricsSnapshot
+	if err := json.Unmarshal([]byte(after.JSON()), &parsed); err != nil {
+		t.Errorf("snapshot JSON does not parse: %v", err)
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	srv, err := ghm.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics = %d %q", resp.StatusCode, body)
+	}
+	var snap ghm.MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Errorf("/metrics body is not a snapshot: %v", err)
+	}
+}
