@@ -19,6 +19,15 @@
 //	ghmsoak -chaos -seed 42 -messages 500
 //	ghmsoak -chaos -scenario repro.json
 //
+// With -chaos -supervised the sending station additionally runs under
+// the self-healing session supervisor: the schedule gains a wedge action
+// (a half-dead link view only the progress watchdog can detect), and the
+// run requires every enqueued payload to arrive end-to-end with zero
+// conformance violations and no manual intervention, reporting the
+// restarts, wedges and breaker events the session absorbed.
+//
+//	ghmsoak -chaos -supervised -seed 42 -messages 200
+//
 // Liveness note: completion is demanded only of mixes where Theorem 9
 // actually promises it — fair channels without recurring crashes or
 // forgery. Recurring crash^R resets the retry counter the transmitter's
@@ -61,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		verbose  = fs.Bool("v", false, "log every run")
 
 		chaosMode   = fs.Bool("chaos", false, "run a live-station chaos soak instead of simulator mixes")
+		supervised  = fs.Bool("supervised", false, "chaos: drive a self-healing supervised session (adds a wedge action)")
 		chaosMsgs   = fs.Int("messages", 500, "unique messages per chaos soak")
 		scenarioIn  = fs.String("scenario", "", "chaos: replay a scenario JSON file instead of generating one")
 		scenarioOut = fs.String("scenario-out", "", "chaos: write the scenario JSON to this file")
@@ -92,6 +102,7 @@ func run(args []string, out io.Writer) error {
 		return runChaos(out, chaosOptions{
 			seed: *seed, messages: *chaosMsgs, eps: *eps, budget: *duration,
 			scenarioIn: *scenarioIn, scenarioOut: *scenarioOut, verbose: *verbose,
+			supervised: *supervised,
 		})
 	}
 
@@ -165,6 +176,7 @@ type chaosOptions struct {
 	scenarioIn  string
 	scenarioOut string
 	verbose     bool
+	supervised  bool
 }
 
 // runChaos executes one live-station chaos soak: generate (or replay) a
@@ -183,7 +195,13 @@ func runChaos(out io.Writer, o chaosOptions) error {
 		}
 		fmt.Fprintf(out, "chaos: replaying %s (seed %d)\n", o.scenarioIn, sc.Seed)
 	} else {
-		sc = chaos.Generate(o.seed, chaos.GenConfig{})
+		var gen chaos.GenConfig
+		if o.supervised {
+			// The wedge is the supervisor's signature fault: only a
+			// watchdog-driven redial recovers from it.
+			gen.Wedges = 1
+		}
+		sc = chaos.Generate(o.seed, gen)
 		fmt.Fprintf(out, "chaos: seed %d (rerun with -chaos -seed %d)\n", o.seed, o.seed)
 	}
 	if o.scenarioOut != "" {
@@ -195,12 +213,16 @@ func runChaos(out io.Writer, o chaosOptions) error {
 	if o.verbose {
 		fmt.Fprintln(out, sc.JSON())
 	}
-	fmt.Fprintf(out, "chaos: %d crashes^T, %d crashes^R, %d blackouts, %d loss ramps over %v\n",
+	fmt.Fprintf(out, "chaos: %d crashes^T, %d crashes^R, %d blackouts, %d loss ramps, %d wedges over %v\n",
 		sc.Count(chaos.CrashSender), sc.Count(chaos.CrashReceiver),
-		sc.Count(chaos.BlackoutStart), sc.Count(chaos.SetLoss), sc.Duration)
+		sc.Count(chaos.BlackoutStart), sc.Count(chaos.SetLoss),
+		sc.Count(chaos.WedgeSender), sc.Duration)
 
 	ctx, cancel := context.WithTimeout(context.Background(), o.budget)
 	defer cancel()
+	if o.supervised {
+		return runSupervised(ctx, out, sc, o)
+	}
 	res, err := chaos.Soak(ctx, chaos.SoakConfig{
 		Scenario: sc,
 		Messages: o.messages,
@@ -231,6 +253,36 @@ func runChaos(out io.Writer, o chaosOptions) error {
 	fmt.Fprintf(out, "conformance: %s\n", res.Report)
 	if !res.Report.Clean() {
 		return fmt.Errorf("%d conformance violations in a live execution", res.Report.Violations())
+	}
+	return nil
+}
+
+// runSupervised executes the scenario against a self-healing supervised
+// session and demands complete end-to-end delivery on top of the
+// conformance conditions: every fault in the schedule — including the
+// wedge only the progress watchdog can detect — must be absorbed without
+// manual intervention.
+func runSupervised(ctx context.Context, out io.Writer, sc chaos.Scenario, o chaosOptions) error {
+	res, err := chaos.SupervisedSoak(ctx, chaos.SupervisedSoakConfig{
+		Scenario: sc,
+		Messages: o.messages,
+		Epsilon:  o.eps,
+	})
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(out, "done: %d/%d payloads delivered end-to-end, %v elapsed\n",
+		res.Enqueued-len(res.Missing), res.Enqueued, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "session: restarts=%d wedges=%d start-failures=%d breaker-opens=%d resubmits=%d transitions=%d health=%s\n",
+		st.Restarts, st.Wedges, st.StartFailures, st.BreakerOpens,
+		st.Resubmits, res.Transitions, st.Health)
+	fmt.Fprintf(out, "conformance: %s\n", res.Report)
+	if !res.Report.Clean() {
+		return fmt.Errorf("%d conformance violations in a supervised execution", res.Report.Violations())
+	}
+	if len(res.Missing) > 0 {
+		return fmt.Errorf("%d enqueued payloads never delivered", len(res.Missing))
 	}
 	return nil
 }

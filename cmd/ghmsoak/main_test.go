@@ -164,3 +164,19 @@ func TestMetricsAddrServes(t *testing.T) {
 		t.Errorf("endpoint banner missing:\n%s", out.String())
 	}
 }
+
+func TestSupervisedChaosMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-chaos", "-supervised", "-seed", "42", "-messages", "80", "-duration", "120s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("supervised chaos soak failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"1 wedges", "payloads delivered end-to-end", "session: restarts=", " clean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,18 +1,18 @@
-// Crash recovery: both stations lose their entire memory mid-stream and
-// the protocol keeps its guarantees — this is the property that is
+// Crash recovery: stations lose their entire memory mid-stream and the
+// protocol keeps its guarantees — this is the property that is
 // impossible for deterministic protocols (Lynch-Mansour-Fekete 1988) and
 // the reason the paper's protocol is randomized.
 //
-// The demo transfers a numbered stream, crashing the sender and the
-// receiver at chosen points, and shows that (a) progress always resumes,
-// (b) the delivered stream never replays a message completed before a
-// crash, and (c) a pending message wiped by a sender crash is reported to
-// the caller rather than silently lost.
+// The demo drives the self-healing ghm.Session through three fault
+// classes on a lossy link — a receiver crash, sender crashes mid-stream,
+// and a wedged link view that produces no error at all — and shows that
+// (a) the stream always completes without manual intervention, (b) the
+// watchdog detects and heals the silent wedge, and (c) the health
+// subscription narrates every degradation and recovery as it happens.
 package main
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -28,16 +28,26 @@ func main() {
 
 func run() error {
 	left, right := ghm.Pipe(ghm.PipeFaults{Loss: 0.2, DupProb: 0.2, Seed: 7})
-	sender, err := ghm.NewSender(left)
-	if err != nil {
-		return err
-	}
-	defer sender.Close()
+
+	// The receiver is a plain station; the sending side goes behind a
+	// shared link so the supervised session can redial it on restart.
 	receiver, err := ghm.NewReceiver(right)
 	if err != nil {
 		return err
 	}
 	defer receiver.Close()
+
+	link := ghm.Share(left)
+	defer link.Close()
+	session, err := ghm.NewSession(ghm.SessionConfig{
+		Dial:           link.Dial,
+		WatchdogWindow: 200 * time.Millisecond, // demo-fast wedge detection
+		RestartBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer session.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -54,48 +64,58 @@ func run() error {
 		}
 	}()
 
-	send := func(msg string) error {
-		err := sender.Send(ctx, []byte(msg))
-		switch {
-		case err == nil:
-			fmt.Printf("  sent %q (confirmed)\n", msg)
-		case errors.Is(err, ghm.ErrCrashed):
-			fmt.Printf("  sent %q -> station crashed mid-transfer; higher layer must decide whether to resend\n", msg)
-		default:
-			return err
+	// The health subscription narrates the session's self-healing live.
+	go func() {
+		for tr := range session.Subscribe() {
+			fmt.Printf("  [health] %s -> %s (%s)\n", tr.From, tr.To, tr.Cause)
+		}
+	}()
+
+	enqueue := func(from, to int) error {
+		for i := from; i <= to; i++ {
+			if _, err := session.Enqueue([]byte(fmt.Sprintf("msg-%d", i))); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 
 	fmt.Println("phase 1: normal operation")
-	for i := 1; i <= 3; i++ {
-		if err := send(fmt.Sprintf("msg-%d", i)); err != nil {
-			return err
-		}
+	if err := enqueue(1, 3); err != nil {
+		return err
+	}
+	if err := session.Flush(ctx); err != nil {
+		return err
 	}
 
 	fmt.Println("phase 2: receiver crashes (its memory is erased)")
 	receiver.Crash()
-	for i := 4; i <= 6; i++ {
-		if err := send(fmt.Sprintf("msg-%d", i)); err != nil {
-			return err
-		}
-	}
-
-	fmt.Println("phase 3: sender crashes while msg-7 is in flight")
-	go func() {
-		// Crash the sender shortly after the transfer starts.
-		time.Sleep(2 * time.Millisecond)
-		sender.Crash()
-	}()
-	if err := send("msg-7"); err != nil {
+	if err := enqueue(4, 6); err != nil {
 		return err
 	}
-	fmt.Println("phase 4: the stream continues after the crash")
-	for i := 8; i <= 9; i++ {
-		if err := send(fmt.Sprintf("msg-%d", i)); err != nil {
-			return err
-		}
+	if err := session.Flush(ctx); err != nil {
+		return err
+	}
+
+	fmt.Println("phase 3: sender crashes mid-stream — the session resubmits the wiped transfer")
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		session.Crash()
+	}()
+	if err := enqueue(7, 9); err != nil {
+		return err
+	}
+	if err := session.Flush(ctx); err != nil {
+		return err
+	}
+
+	fmt.Println("phase 4: the link wedges silently — only the watchdog can notice")
+	link.Wedge() // sends vanish, no error surfaces
+	if err := enqueue(10, 12); err != nil {
+		return err
+	}
+	if err := session.Flush(ctx); err != nil {
+		return err
 	}
 
 	// Give late deliveries a moment, then inspect what the receiver's
@@ -114,11 +134,17 @@ func run() error {
 		break
 	}
 
+	st := session.Stats()
+	fmt.Printf("\nsession: sent=%d resubmits=%d restarts=%d wedges=%d health=%s\n",
+		st.Sent, st.Resubmits, st.Restarts, st.Wedges, st.Health)
+
 	fmt.Println("\nwhat to notice:")
-	fmt.Println("  - every confirmed message was delivered;")
+	fmt.Println("  - all 12 messages completed with no manual intervention;")
 	fmt.Println("  - messages confirmed before a crash never reappear (no replay);")
-	fmt.Println("  - only a message in flight across the receiver crash may show two copies,")
-	fmt.Println("    which the paper proves unavoidable;")
-	fmt.Println("  - msg-7, wiped by the sender crash, surfaced as an error, not silence.")
+	fmt.Println("  - a transfer wiped by a crash was resubmitted by the session, so only")
+	fmt.Println("    a message in flight across a crash may show two copies — the")
+	fmt.Println("    at-least-once the paper proves unavoidable;")
+	fmt.Println("  - the wedge produced no error anywhere, yet the watchdog declared the")
+	fmt.Println("    station stuck, rebuilt it on a fresh link view, and the stream drained.")
 	return nil
 }

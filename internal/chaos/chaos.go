@@ -40,6 +40,10 @@ const (
 	BlackoutEnd ActionKind = "blackout_end"
 	// SetLoss replaces every link's i.i.d. loss probability with Loss.
 	SetLoss ActionKind = "set_loss"
+	// WedgeSender half-kills the sending station's current link view:
+	// sends vanish silently, no error surfaces — detectable only by a
+	// progress watchdog. Requires a Targets.Shared; no-op otherwise.
+	WedgeSender ActionKind = "wedge_sender"
 )
 
 // Action is one scheduled fault, At after scenario start.
@@ -119,6 +123,10 @@ type GenConfig struct {
 	LossRamps int
 	// MaxRampLoss caps ramped loss probabilities (default 0.5).
 	MaxRampLoss float64
+	// Wedges schedules this many WedgeSender actions (default 0 — only
+	// supervised scenarios can survive one, since recovery requires a
+	// watchdog-driven redial).
+	Wedges int
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -196,6 +204,12 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		sc.Actions = append(sc.Actions,
 			Action{At: inWindow(), Kind: SetLoss, Loss: cfg.MaxRampLoss * rng.Float64()})
 	}
+	// Wedges land in the middle half of the timeline: late enough to meet
+	// live traffic, early enough that the watchdog can heal before drain.
+	for i := 0; i < cfg.Wedges; i++ {
+		at := d/4 + time.Duration(rng.Int63n(int64(d/2)))
+		sc.Actions = append(sc.Actions, Action{At: at, Kind: WedgeSender})
+	}
 	// Restore the nominal loss so the tail of the run can always drain.
 	sc.Actions = append(sc.Actions,
 		Action{At: d * 95 / 100, Kind: SetLoss, Loss: sc.Link.Loss})
@@ -215,12 +229,19 @@ type Controllable interface {
 	SetLoss(float64)
 }
 
+// Wedger can half-kill the live view of a shared link;
+// netlink.SharedConn satisfies it.
+type Wedger interface{ WedgeCurrent() }
+
 // Targets are the live objects a scenario acts on. Nil stations and empty
 // link lists are allowed; the matching actions become no-ops.
 type Targets struct {
 	Sender   Crasher
 	Receiver Crasher
 	Links    []Controllable
+	// Shared is the sending side's shared link, target of WedgeSender
+	// actions (supervised scenarios only).
+	Shared Wedger
 	// Metrics counts the injected faults (the chaos.*_injected family),
 	// so a run's reported numbers can be cross-checked against what the
 	// instrumented links and stations observed. Nil uses metrics.Default().
@@ -240,6 +261,7 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 		crashRInjected   = reg.Counter("chaos.crash_r_injected")
 		blackoutInjected = reg.Counter("chaos.blackouts_injected")
 		rampInjected     = reg.Counter("chaos.loss_ramps_injected")
+		wedgeInjected    = reg.Counter("chaos.wedges_injected")
 		lossCurrent      = reg.Gauge("chaos.loss_current")
 	)
 	lossCurrent.Set(sc.Link.Loss)
@@ -287,6 +309,11 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 			lossCurrent.Set(a.Loss)
 			for _, l := range t.Links {
 				l.SetLoss(a.Loss)
+			}
+		case WedgeSender:
+			wedgeInjected.Inc()
+			if t.Shared != nil {
+				t.Shared.WedgeCurrent()
 			}
 		default:
 			return fmt.Errorf("chaos: unknown action kind %q", a.Kind)

@@ -213,6 +213,18 @@ func (r *Receiver) readLoop() {
 
 		for _, cp := range out.Packets {
 			if !sendTolerant(r.conn, cp) {
+				// Closed mid-reply with deliveries already committed: salvage
+				// what fits into the session buffer (post-Close Recv drains
+				// it) and count the rest as dropped, so delivered =
+				// drained + buffered + dropped still balances.
+				for i, m := range out.Delivered {
+					select {
+					case r.out <- m:
+					default:
+						r.m.deliveriesDropped.Add(int64(len(out.Delivered) - i))
+						return
+					}
+				}
 				return
 			}
 		}

@@ -305,6 +305,38 @@ func TestIDsAreUniqueAcrossLives(t *testing.T) {
 	}
 }
 
+func TestWALSyncRoundtrip(t *testing.T) {
+	// Behavioural parity: with WALSync every enqueue fsyncs, and the
+	// backlog still persists and replays identically.
+	path := filepath.Join(t.TempDir(), "outbox.wal")
+	q, err := New(Config{
+		Send:    func(ctx context.Context, msg []byte) error { <-ctx.Done(); return ctx.Err() },
+		WALPath: path, WALSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Enqueue([]byte(fmt.Sprintf("sync-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+
+	var c collector
+	q2, err := New(Config{Send: c.send, WALPath: path, WALSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if err := q2.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.messages(); len(got) != 3 || got[0] != "sync-0" || got[2] != "sync-2" {
+		t.Fatalf("messages = %v", got)
+	}
+}
+
 func TestCloseIdempotentAndUnblocks(t *testing.T) {
 	blocked := make(chan struct{})
 	q, err := New(Config{Send: func(ctx context.Context, msg []byte) error {

@@ -20,6 +20,10 @@ type Config struct {
 	Retryable func(error) bool
 	// WALPath persists the backlog; empty means memory-only.
 	WALPath string
+	// WALSync fsyncs every enqueue record to the device before Enqueue
+	// returns (power-loss durability); without it, records are flushed to
+	// the kernel per enqueue (process-crash durability).
+	WALSync bool
 	// MaxAttempts bounds resubmissions per message (0 = unlimited).
 	MaxAttempts int
 }
@@ -62,7 +66,7 @@ func New(cfg Config) (*Queue, error) {
 	q.ctx, q.cancel = context.WithCancel(context.Background())
 
 	if cfg.WALPath != "" {
-		log, backlog, nextID, err := openWAL(cfg.WALPath)
+		log, backlog, nextID, err := openWAL(cfg.WALPath, cfg.WALSync)
 		if err != nil {
 			return nil, err
 		}

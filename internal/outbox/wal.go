@@ -40,8 +40,9 @@ const maxWALPayload = 64 << 20
 // by a crash mid-write; replay stops at the first malformed record and
 // the file is truncated to the last good offset on open.
 type wal struct {
-	f *os.File
-	w *bufio.Writer
+	f    *os.File
+	w    *bufio.Writer
+	sync bool // fsync after every enqueue record
 }
 
 // walEntry is one surviving message after replay.
@@ -52,11 +53,16 @@ type walEntry struct {
 
 // openWAL opens (or creates) the log at path, replays it, compacts the
 // surviving backlog into a fresh file, and returns the open log plus the
-// backlog in enqueue order.
-func openWAL(path string) (*wal, []walEntry, uint64, error) {
+// backlog in enqueue order. With sync set, every subsequent enqueue
+// record is fsynced before Enqueue returns.
+func openWAL(path string, sync bool) (*wal, []walEntry, uint64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("outbox: open wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("outbox: replay wal: %w", err)
 	}
 	entries, nextID, err := replayWAL(f)
 	if err != nil {
@@ -99,16 +105,15 @@ func openWAL(path string) (*wal, []walEntry, uint64, error) {
 		tf.Close()
 		return nil, nil, 0, fmt.Errorf("outbox: compact wal: %w", err)
 	}
-	return &wal{f: tf, w: bufio.NewWriter(tf)}, entries, nextID, nil
+	return &wal{f: tf, w: bufio.NewWriter(tf), sync: sync}, entries, nextID, nil
 }
 
-// replayWAL scans the log, returning the not-yet-done entries in order
-// and the next free id. A torn tail ends the replay silently.
-func replayWAL(f *os.File) ([]walEntry, uint64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, fmt.Errorf("outbox: replay wal: %w", err)
-	}
-	r := bufio.NewReader(f)
+// replayWAL scans a log, returning the not-yet-done entries in order and
+// the next free id. A torn tail — truncation, a corrupt length, an
+// unknown kind — ends the replay silently at the last good record; it
+// never fails and never allocates more than maxWALPayload per entry.
+func replayWAL(src io.Reader) ([]walEntry, uint64, error) {
+	r := bufio.NewReader(src)
 	byID := make(map[uint64][]byte)
 	var order []uint64
 	var nextID uint64
@@ -173,7 +178,10 @@ func writeRecord(w io.Writer, kind byte, id uint64, msg []byte) error {
 	return nil
 }
 
-// appendEnqueue logs a new message durably.
+// appendEnqueue logs a new message. The record always reaches the kernel
+// (Flush) before Enqueue returns, so it survives a process crash; with
+// l.sync it is also fsynced to the device, surviving power loss, at the
+// cost of one fsync per enqueue.
 func (l *wal) appendEnqueue(id uint64, msg []byte) error {
 	if err := writeRecord(l.w, recEnqueue, id, msg); err != nil {
 		return err
@@ -181,8 +189,10 @@ func (l *wal) appendEnqueue(id uint64, msg []byte) error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("outbox: wal flush: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("outbox: wal sync: %w", err)
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("outbox: wal sync: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,278 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ghm/internal/metrics"
+	"ghm/internal/netlink"
+	"ghm/internal/supervise"
+	"ghm/internal/verify"
+)
+
+// rig is a session wired to a plain receiver over a SharedConn, with a
+// live conformance checker on both taps.
+type rig struct {
+	shared *netlink.SharedConn
+	r      *netlink.Receiver
+	s      *Session
+	live   *verify.Live
+	drain  sync.WaitGroup
+
+	mu  sync.Mutex
+	got []string
+}
+
+func (g *rig) delivered() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.got...)
+}
+
+func newRig(t *testing.T, mut func(*Config)) *rig {
+	t.Helper()
+	a, b := netlink.Pipe(netlink.PipeConfig{Seed: 1})
+	g := &rig{shared: netlink.NewSharedConn(a), live: &verify.Live{}}
+
+	var err error
+	g.r, err = netlink.NewReceiver(b, netlink.ReceiverConfig{
+		Tap:     g.live.Observe,
+		Metrics: metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.drain.Add(1)
+	go func() {
+		defer g.drain.Done()
+		for {
+			msg, err := g.r.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			g.mu.Lock()
+			g.got = append(g.got, string(msg))
+			g.mu.Unlock()
+		}
+	}()
+
+	cfg := Config{
+		Dial:              g.shared.Attach,
+		Tap:               g.live.Observe,
+		WatchdogWindow:    150 * time.Millisecond,
+		WatchdogInterval:  10 * time.Millisecond,
+		RestartBackoff:    5 * time.Millisecond,
+		RestartBackoffMax: 40 * time.Millisecond,
+		BreakerThreshold:  50,
+		BreakerWindow:     10 * time.Second,
+		BreakerCooldown:   100 * time.Millisecond,
+		Seed:              42,
+		Metrics:           metrics.New(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g.s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		g.s.Close()
+		g.r.Close()
+		g.shared.Close()
+		g.drain.Wait()
+	})
+	return g
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSessionDeliversInOrder(t *testing.T) {
+	g := newRig(t, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := g.s.Enqueue([]byte(fmt.Sprintf("m-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := g.s.Stats()
+	if st.Sent != 10 || st.Pending != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The last OK can precede the drain goroutine's pickup: wait briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(g.delivered()) < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	delivered := g.delivered()
+	if len(delivered) != 10 || delivered[0] != "m-00" || delivered[9] != "m-09" {
+		t.Fatalf("delivered %v", delivered)
+	}
+	if rep := g.live.Report(); !rep.Clean() {
+		t.Fatalf("conformance: %v", rep)
+	}
+}
+
+func TestSessionSurvivesStationCrashes(t *testing.T) {
+	g := newRig(t, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			g.s.Crash() // protocol-level crash^T, memory erased
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		if _, err := g.s.Enqueue([]byte(fmt.Sprintf("c-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.s.Stats(); st.Sent != 30 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if rep := g.live.Report(); !rep.Clean() {
+		t.Fatalf("conformance: %v", rep)
+	}
+}
+
+func TestWatchdogRestartsWedgedStation(t *testing.T) {
+	g := newRig(t, nil)
+
+	// Confirm one message so the first incarnation is demonstrably live.
+	if _, err := g.s.Enqueue([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := g.s.Subscribe()
+	g.shared.WedgeCurrent() // half-dead socket: sends vanish, no progress
+
+	if _, err := g.s.Enqueue([]byte("stuck-then-saved")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatalf("flush across wedge: %v (stats %+v)", err, g.s.Stats())
+	}
+
+	st := g.s.Stats()
+	if st.Wedges < 1 || st.Restarts < 1 {
+		t.Fatalf("watchdog did not fire: %+v", st)
+	}
+	if st.Sent != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The health machine must have left Healthy and come back.
+	var sawDegraded, sawHealthy bool
+	for {
+		select {
+		case tr := <-sub:
+			if tr.To == supervise.Degraded || tr.To == supervise.Partitioned {
+				sawDegraded = true
+			}
+			if sawDegraded && tr.To == supervise.Healthy {
+				sawHealthy = true
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("transitions incomplete: degraded=%v healthy=%v", sawDegraded, sawHealthy)
+		}
+		if sawDegraded && sawHealthy {
+			break
+		}
+	}
+	if rep := g.live.Report(); !rep.Clean() {
+		t.Fatalf("conformance: %v", rep)
+	}
+}
+
+func TestSessionWALPersistsAcrossSessions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.wal")
+
+	// First life: enqueue while the socket is wedged so nothing confirms,
+	// then close. The backlog must survive in the WAL.
+	g1 := newRig(t, func(c *Config) { c.WALPath = path })
+	g1.shared.WedgeCurrent()
+	for i := 0; i < 3; i++ {
+		if _, err := g1.s.Enqueue([]byte(fmt.Sprintf("wal-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g1.s.Close()
+
+	// Second life on a fresh link: the backlog drains by itself.
+	g2 := newRig(t, func(c *Config) { c.WALPath = path })
+	if err := g2.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := g2.s.Stats(); st.Sent < 3 {
+		t.Fatalf("recovered backlog not sent: %+v", st)
+	}
+}
+
+func TestBreakerOpensWhenDialFails(t *testing.T) {
+	reg := metrics.New()
+	s, err := New(Config{
+		Dial: func() (netlink.PacketConn, error) {
+			return nil, fmt.Errorf("no route")
+		},
+		WatchdogWindow:    50 * time.Millisecond,
+		WatchdogInterval:  5 * time.Millisecond,
+		RestartBackoff:    time.Millisecond,
+		RestartBackoffMax: 2 * time.Millisecond,
+		BreakerThreshold:  3,
+		BreakerWindow:     10 * time.Second,
+		BreakerCooldown:   10 * time.Second,
+		Seed:              7,
+		Metrics:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s.Stats(); st.BreakerOpens >= 1 && st.Health == supervise.Down {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("breaker never opened: %+v", s.Stats())
+}
+
+func TestSubscribeAfterCloseReturnsClosedChannel(t *testing.T) {
+	g := newRig(t, nil)
+	g.s.Close()
+	sub := g.s.Subscribe()
+	select {
+	case _, ok := <-sub:
+		if ok {
+			t.Fatal("closed-session subscription yielded a transition")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("closed-session subscription not closed")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing Dial accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package supervise
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff produces jittered exponential restart delays: attempt n waits
+// base<<(n-1) capped at max, then jittered uniformly into [d/2, d] so a
+// fleet of supervisors sharing a fault does not restart in lockstep.
+type backoff struct {
+	base, max time.Duration
+	rng       *rand.Rand
+}
+
+func (b *backoff) next(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := b.base << shift
+	if d > b.max || d <= 0 { // <= 0 guards shift overflow
+		d = b.max
+	}
+	return d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+}

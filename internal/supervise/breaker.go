@@ -1,0 +1,111 @@
+package supervise
+
+import "time"
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// admitVerdict is what allow tells the supervision loop to do.
+type admitVerdict int
+
+const (
+	admitNone   admitVerdict = iota // breaker open: wait, ask again
+	admitNormal                     // breaker closed: start freely
+	admitProbe                      // half-open: this start is the probe
+)
+
+// breaker counts fruitless restarts in a rolling window; at threshold it
+// opens and blocks restarts for cooldown, then admits a single half-open
+// probe whose outcome closes or reopens it. Not goroutine-safe: owned by
+// the supervision loop.
+type breaker struct {
+	threshold int // <0 disables the breaker entirely
+	window    time.Duration
+	cooldown  time.Duration
+
+	state    breakerState
+	failures []time.Time // recent failures, pruned to window
+	openedAt time.Time
+	probing  bool // half-open probe already handed out
+}
+
+// allow reports whether a restart may proceed. When the verdict is
+// admitNone, wait suggests how long to sleep before asking again.
+func (b *breaker) allow(now time.Time) (v admitVerdict, wait time.Duration) {
+	if b.threshold < 0 {
+		return admitNormal, 0
+	}
+	switch b.state {
+	case breakerClosed:
+		return admitNormal, 0
+	case breakerOpen:
+		if rest := b.cooldown - now.Sub(b.openedAt); rest > 0 {
+			if rest > 50*time.Millisecond {
+				rest = 50 * time.Millisecond // stay responsive to Close
+			}
+			return admitNone, rest
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		fallthrough
+	case breakerHalfOpen:
+		if b.probing {
+			// A probe is already out; its failure path re-opens before the
+			// loop ever asks again, so this only guards misuse.
+			return admitNone, b.cooldown
+		}
+		b.probing = true
+		return admitProbe, 0
+	}
+	return admitNormal, 0
+}
+
+// failure records one fruitless restart; it returns true when this
+// failure opened the breaker.
+func (b *breaker) failure(now time.Time) bool {
+	if b.threshold < 0 {
+		return false
+	}
+	if b.state == breakerHalfOpen {
+		// The probe wedged too: back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = now
+		b.failures = b.failures[:0]
+		return true
+	}
+	b.failures = append(b.failures, now)
+	cut := now.Add(-b.window)
+	kept := b.failures[:0]
+	for _, t := range b.failures {
+		if t.After(cut) {
+			kept = append(kept, t)
+		}
+	}
+	b.failures = kept
+	if b.state == breakerClosed && len(b.failures) >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.failures = b.failures[:0]
+		return true
+	}
+	return false
+}
+
+// success records committed progress; it returns true when it closed the
+// breaker from half-open (i.e. the probe succeeded).
+func (b *breaker) success() bool {
+	if b.threshold < 0 {
+		return false
+	}
+	closed := b.state == breakerHalfOpen
+	b.state = breakerClosed
+	b.probing = false
+	b.failures = b.failures[:0]
+	return closed
+}

@@ -1,0 +1,554 @@
+// Package supervise restarts wedged components. The paper's stations are
+// built to survive having their memory erased — that is the protocol's
+// whole premise — but nothing in the protocol restarts a station whose
+// host process lost its goroutines, whose socket went half-dead, or whose
+// link partitioned for longer than the application can wait. Supervise is
+// that missing layer, in the spirit of the self-stabilizing treatments of
+// the same channel model (Dolev et al.): from any fault state, keep
+// converging back toward a working incarnation.
+//
+// A Supervisor owns one restartable incarnation of a component (built by
+// a Start callback, torn down by Stop) and layers three mechanisms on it:
+//
+//   - a progress watchdog: while the component has pending work
+//     (Pending() true) but commits no progress (Progress() not called)
+//     for a full Window, the incarnation is declared wedged, torn down
+//     and rebuilt;
+//   - exponential backoff with jitter between consecutive rebuilds, so a
+//     persistent fault does not turn into a restart storm;
+//   - a restart circuit breaker: after Threshold fruitless restarts
+//     inside a rolling window the supervisor stops restarting (open),
+//     waits out a cooldown, then lets a single probe incarnation through
+//     (half-open); the probe's progress closes the breaker, its failure
+//     reopens it.
+//
+// The supervisor publishes a four-state health machine — Healthy,
+// Degraded, Partitioned, Down — through Health, an OnTransition callback
+// and the session.* metrics family.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghm/internal/metrics"
+)
+
+// ErrStopped reports use of a closed Supervisor.
+var ErrStopped = errors.New("supervise: stopped")
+
+// Health is the supervisor's coarse view of the supervised endpoint.
+type Health int32
+
+// The health states, ordered by severity.
+const (
+	// Healthy: the incarnation is up and either committing progress or
+	// idle with nothing pending.
+	Healthy Health = iota
+	// Degraded: a restart is in flight — the watchdog fired or a start
+	// failed — but the evidence still points at the component itself.
+	Degraded
+	// Partitioned: consecutive rebuilds changed nothing; fresh
+	// incarnations wedge exactly like their predecessors, which points at
+	// the link rather than the station.
+	Partitioned
+	// Down: the circuit breaker is open; the supervisor has given up
+	// restarting until the cooldown elapses.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Partitioned:
+		return "partitioned"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Health(%d)", int32(h))
+	}
+}
+
+// Transition is one health-state change.
+type Transition struct {
+	From, To Health
+	// Cause is a short human-readable reason ("watchdog: no progress",
+	// "breaker open", "progress", ...).
+	Cause string
+	At    time.Time
+}
+
+// Config parameterizes a Supervisor over incarnations of type S.
+type Config[S any] struct {
+	// Start builds a fresh incarnation. Required.
+	Start func() (S, error)
+	// Stop tears one down; it must release every resource Start acquired
+	// and may block until the incarnation's goroutines exit. Required.
+	Stop func(S)
+	// Pending reports whether the component has outstanding work. The
+	// watchdog only fires while Pending is true: an idle endpoint is
+	// healthy, not wedged. Nil means never pending (watchdog disabled).
+	Pending func() bool
+
+	// Window is the no-progress interval after which a pending
+	// incarnation is declared wedged (default 2s).
+	Window time.Duration
+	// Interval is the watchdog poll period (default Window/8, clamped to
+	// [1ms, 250ms]).
+	Interval time.Duration
+
+	// BackoffBase and BackoffMax bound the jittered exponential delay
+	// between consecutive rebuilds (defaults 50ms and 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// BreakerThreshold is how many fruitless restarts (failed starts or
+	// watchdog teardowns without intervening progress) inside
+	// BreakerWindow open the breaker (default 5; negative disables).
+	BreakerThreshold int
+	// BreakerWindow is the rolling window failures are counted in
+	// (default 30s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long an open breaker blocks restarts before
+	// letting a half-open probe through (default 10s).
+	BreakerCooldown time.Duration
+
+	// PartitionAfter is how many consecutive fruitless restarts move the
+	// health from Degraded to Partitioned (default 2).
+	PartitionAfter int
+
+	// Seed fixes the backoff jitter for reproducible tests (0 = clock).
+	Seed int64
+	// Metrics receives the session.* family; nil uses metrics.Default().
+	Metrics *metrics.Registry
+	// OnTransition, when non-nil, observes every health change. It is
+	// called from the supervisor's goroutine: keep it fast.
+	OnTransition func(Transition)
+}
+
+func (c Config[S]) withDefaults() Config[S] {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = c.Window / 8
+		if c.Interval > 250*time.Millisecond {
+			c.Interval = 250 * time.Millisecond
+		}
+	}
+	if c.Interval < time.Millisecond {
+		c.Interval = time.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = 5 * time.Second
+		if c.BackoffMax < c.BackoffBase {
+			c.BackoffMax = c.BackoffBase
+		}
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 30 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.PartitionAfter <= 0 {
+		c.PartitionAfter = 2
+	}
+	return c
+}
+
+// Stats are the supervisor's own lifetime counters (the registry carries
+// the same numbers under session.*, but a registry may be shared between
+// supervisors; these are this supervisor's alone).
+type Stats struct {
+	Restarts      int64 // incarnations built after the first
+	StartFailures int64 // Start calls that returned an error
+	Wedges        int64 // watchdog firings
+	BreakerOpens  int64 // closed/half-open -> open transitions
+	BreakerProbes int64 // half-open probe incarnations admitted
+	BreakerCloses int64 // probe successes closing the breaker
+	Transitions   int64 // health transitions
+}
+
+// Supervisor keeps one incarnation of a component alive; see the package
+// comment. Create with New, then Run; always Close.
+type Supervisor[S any] struct {
+	cfg Config[S]
+	m   supMetrics
+	bo  backoff
+	br  breaker
+
+	mu     sync.Mutex
+	cur    S
+	has    bool
+	gen    uint64
+	readyc chan struct{}
+	health Health
+
+	progress     atomic.Int64 // commits observed (Progress calls)
+	lastProgress atomic.Int64 // unix nanos of the last commit or refresh
+
+	st struct {
+		restarts, startFailures, wedges         atomic.Int64
+		breakerOpens, breakerProbes, breakerClo atomic.Int64
+		transitions                             atomic.Int64
+	}
+
+	started   bool
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a supervisor. It does not start anything: call Run once the
+// callbacks' dependencies are wired up.
+func New[S any](cfg Config[S]) (*Supervisor[S], error) {
+	if cfg.Start == nil || cfg.Stop == nil {
+		return nil, fmt.Errorf("supervise: Start and Stop are required")
+	}
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s := &Supervisor[S]{
+		cfg: cfg,
+		m:   newSupMetrics(cfg.Metrics),
+		bo:  backoff{base: cfg.BackoffBase, max: cfg.BackoffMax, rng: rand.New(rand.NewSource(seed))},
+		br: breaker{
+			threshold: cfg.BreakerThreshold,
+			window:    cfg.BreakerWindow,
+			cooldown:  cfg.BreakerCooldown,
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.m.health.Set(float64(Healthy))
+	s.markProgress()
+	return s, nil
+}
+
+// Run starts the supervision loop. Call exactly once.
+func (s *Supervisor[S]) Run() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("supervise: Run called twice")
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.run()
+}
+
+// Progress records one committed unit of work (an OK, a delivery); it
+// feeds the watchdog and is safe to call from any goroutine, including
+// station taps holding station locks.
+func (s *Supervisor[S]) Progress() {
+	s.progress.Add(1)
+	s.markProgress()
+}
+
+func (s *Supervisor[S]) markProgress() {
+	s.lastProgress.Store(time.Now().UnixNano())
+}
+
+// Current blocks until a live incarnation exists and returns it with its
+// generation number. It fails with ctx's error when ctx ends and with
+// ErrStopped when the supervisor is closed. The caller may race a
+// teardown: always treat the incarnation's "closed" errors as "get the
+// next incarnation and retry".
+func (s *Supervisor[S]) Current(ctx interface {
+	Done() <-chan struct{}
+	Err() error
+}) (S, uint64, error) {
+	var zero S
+	for {
+		s.mu.Lock()
+		if s.has {
+			st, gen := s.cur, s.gen
+			s.mu.Unlock()
+			return st, gen, nil
+		}
+		if s.readyc == nil {
+			s.readyc = make(chan struct{})
+		}
+		c := s.readyc
+		s.mu.Unlock()
+		select {
+		case <-c:
+		case <-ctx.Done():
+			return zero, 0, ctx.Err()
+		case <-s.stop:
+			return zero, 0, ErrStopped
+		}
+	}
+}
+
+// Peek returns the live incarnation without blocking.
+func (s *Supervisor[S]) Peek() (S, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur, s.has
+}
+
+// Generation returns how many incarnations have been built so far.
+func (s *Supervisor[S]) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Health returns the current health state.
+func (s *Supervisor[S]) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// Stats returns this supervisor's lifetime counters.
+func (s *Supervisor[S]) Stats() Stats {
+	return Stats{
+		Restarts:      s.st.restarts.Load(),
+		StartFailures: s.st.startFailures.Load(),
+		Wedges:        s.st.wedges.Load(),
+		BreakerOpens:  s.st.breakerOpens.Load(),
+		BreakerProbes: s.st.breakerProbes.Load(),
+		BreakerCloses: s.st.breakerClo.Load(),
+		Transitions:   s.st.transitions.Load(),
+	}
+}
+
+// Close stops the loop, tears down the live incarnation and waits for the
+// supervisor goroutine.
+func (s *Supervisor[S]) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.mu.Lock()
+		started := s.started
+		s.mu.Unlock()
+		if started {
+			<-s.done
+		} else {
+			close(s.done)
+		}
+	})
+	return nil
+}
+
+// transition moves the health machine, updating metrics and notifying the
+// observer. Called only from the supervisor goroutine.
+func (s *Supervisor[S]) transition(to Health, cause string) {
+	s.mu.Lock()
+	from := s.health
+	if from == to {
+		s.mu.Unlock()
+		return
+	}
+	s.health = to
+	s.mu.Unlock()
+
+	s.m.health.Set(float64(to))
+	s.m.transitions.Inc()
+	s.st.transitions.Add(1)
+	if s.cfg.OnTransition != nil {
+		s.cfg.OnTransition(Transition{From: from, To: to, Cause: cause, At: time.Now()})
+	}
+}
+
+// install publishes a freshly started incarnation.
+func (s *Supervisor[S]) install(st S) {
+	s.mu.Lock()
+	s.cur, s.has = st, true
+	s.gen++
+	first := s.gen == 1
+	if s.readyc != nil {
+		close(s.readyc)
+		s.readyc = nil
+	}
+	s.mu.Unlock()
+	if !first {
+		s.m.restarts.Inc()
+		s.st.restarts.Add(1)
+	}
+}
+
+// uninstall withdraws the incarnation before tearing it down, so no new
+// Current caller can pick up a dying station.
+func (s *Supervisor[S]) uninstall() {
+	var zero S
+	s.mu.Lock()
+	s.cur, s.has = zero, false
+	s.mu.Unlock()
+}
+
+// sleep waits d, returning false if the supervisor is closed meanwhile.
+func (s *Supervisor[S]) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-s.stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// recordFailure accounts one fruitless restart (failed start or watchdog
+// teardown) against the breaker and the health machine.
+func (s *Supervisor[S]) recordFailure(consecutive int, cause string) {
+	if s.br.failure(time.Now()) {
+		s.m.breakerOpens.Inc()
+		s.st.breakerOpens.Add(1)
+		s.transition(Down, "breaker open: "+cause)
+		return
+	}
+	if consecutive >= s.cfg.PartitionAfter {
+		s.transition(Partitioned, cause)
+	} else {
+		s.transition(Degraded, cause)
+	}
+}
+
+// run is the supervision loop: gate on the breaker, start an incarnation,
+// watch it, tear it down when wedged, back off, repeat.
+func (s *Supervisor[S]) run() {
+	defer close(s.done)
+	consecutive := 0 // fruitless restarts in a row (backoff exponent)
+	for {
+		// Breaker gate: while open, sleep out the cooldown in slices so
+		// Close stays responsive; a half-open state admits one probe.
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			verdict, wait := s.br.allow(time.Now())
+			if verdict == admitProbe {
+				s.m.breakerProbes.Inc()
+				s.st.breakerProbes.Add(1)
+				s.transition(Degraded, "breaker probe")
+			}
+			if verdict != admitNone {
+				break
+			}
+			if !s.sleep(wait) {
+				return
+			}
+		}
+
+		st, err := s.cfg.Start()
+		if err != nil {
+			s.m.startFailures.Inc()
+			s.st.startFailures.Add(1)
+			consecutive++
+			s.recordFailure(consecutive, "start failed: "+err.Error())
+			if !s.sleep(s.bo.next(consecutive)) {
+				return
+			}
+			continue
+		}
+		s.install(st)
+		s.markProgress() // grace: the window counts from the incarnation's birth
+		born := time.Now()
+		genProgress := s.progress.Load()
+		rewarded := false // breaker success granted for this incarnation
+
+		wedged := false
+		for !wedged {
+			if !s.sleep(s.cfg.Interval) {
+				s.uninstall()
+				s.cfg.Stop(st)
+				return
+			}
+			now := time.Now()
+			if p := s.progress.Load(); p != genProgress {
+				// Work is committing: the incarnation earned its keep.
+				genProgress = p
+				consecutive = 0
+				if !rewarded {
+					rewarded = true
+					if s.br.success() {
+						s.m.breakerCloses.Inc()
+						s.st.breakerClo.Add(1)
+					}
+				}
+				s.transition(Healthy, "progress")
+				continue
+			}
+			if s.cfg.Pending == nil || !s.cfg.Pending() {
+				// Idle is not wedged; keep the window from firing the
+				// instant pending work appears after a quiet stretch.
+				s.markProgress()
+				if now.Sub(born) >= s.cfg.Window {
+					consecutive = 0
+					s.transition(Healthy, "idle")
+				}
+				continue
+			}
+			if now.Sub(time.Unix(0, s.lastProgress.Load())) >= s.cfg.Window {
+				wedged = true
+			}
+		}
+
+		s.m.wedges.Inc()
+		s.st.wedges.Add(1)
+		s.uninstall()
+		s.cfg.Stop(st)
+		consecutive++
+		s.recordFailure(consecutive, "watchdog: no progress")
+		if !s.sleep(s.bo.next(consecutive)) {
+			return
+		}
+	}
+}
+
+// supMetrics are the supervisor's registry hooks (the session.* family).
+type supMetrics struct {
+	restarts      *metrics.Counter // incarnations rebuilt after the first
+	startFailures *metrics.Counter // Start errors
+	wedges        *metrics.Counter // watchdog firings
+	breakerOpens  *metrics.Counter // breaker open transitions
+	breakerProbes *metrics.Counter // half-open probes admitted
+	breakerCloses *metrics.Counter // probes that closed the breaker
+	transitions   *metrics.Counter // health transitions
+	health        *metrics.Gauge   // current health (0..3)
+}
+
+func newSupMetrics(r *metrics.Registry) supMetrics {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return supMetrics{
+		restarts:      r.Counter("session.restarts"),
+		startFailures: r.Counter("session.start_failures"),
+		wedges:        r.Counter("session.wedges"),
+		breakerOpens:  r.Counter("session.breaker_opens"),
+		breakerProbes: r.Counter("session.breaker_probes"),
+		breakerCloses: r.Counter("session.breaker_closes"),
+		transitions:   r.Counter("session.health_transitions"),
+		health:        r.Gauge("session.health"),
+	}
+}

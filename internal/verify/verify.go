@@ -16,6 +16,17 @@
 //     refresh point (its last receive_msg or crash^R), which is exactly
 //     the M_alpha formulation of Theorem 7.
 //
+// The conditions are per *attempt*, not per payload: the buffering higher
+// layer that Axiom 1 assumes may legitimately resubmit a payload whose
+// earlier attempt was wiped by crash^T (at-least-once across crashes —
+// see ghm/internal/outbox), and a fresh send_msg of the same bytes opens
+// a new attempt rather than flagging the old one's delivery as a
+// duplicate or replay. Concretely, a message sent k times may be
+// delivered up to k times without an intervening crash^R and completed up
+// to k times before a refresh point; only the k+1-th is a violation.
+// When every payload is sent once, the rules reduce exactly to the
+// original per-payload conditions.
+//
 // Liveness is a property of infinite executions; the simulator reports it
 // as "completed within the step budget" instead.
 package verify
@@ -82,9 +93,7 @@ type Checker struct {
 	r Report
 
 	idx         int
-	sentAt      map[string]int
-	deliveredAt map[string][]int
-	completedAt map[string]int
+	msgs        map[string]*msgState
 	lastCrashR  int
 	lastRefresh int
 	inFlight    string
@@ -92,16 +101,32 @@ type Checker struct {
 	init        bool
 }
 
+// msgState tracks one payload across all of its send attempts.
+type msgState struct {
+	sends           int   // send_msg events for this payload
+	lastSentAt      int   // index of the most recent send_msg
+	deliveredAt     []int // indices of every receive_msg
+	completions     int   // OK or crash^T completions granted
+	lastCompletedAt int   // index of the most recent completion
+}
+
 func (c *Checker) ensure() {
 	if c.init {
 		return
 	}
-	c.sentAt = make(map[string]int)
-	c.deliveredAt = make(map[string][]int)
-	c.completedAt = make(map[string]int)
+	c.msgs = make(map[string]*msgState)
 	c.lastCrashR = -1
 	c.lastRefresh = -1
 	c.init = true
+}
+
+func (c *Checker) state(m string) *msgState {
+	st, ok := c.msgs[m]
+	if !ok {
+		st = &msgState{lastSentAt: -1, lastCompletedAt: -1}
+		c.msgs[m] = st
+	}
+	return st
 }
 
 // Observe feeds one event. Packet-level events are ignored; only the
@@ -113,52 +138,58 @@ func (c *Checker) Observe(e trace.Event) {
 	switch e.Kind {
 	case trace.KindSendMsg:
 		c.r.Sent++
-		c.sentAt[e.Msg] = i
+		st := c.state(e.Msg)
+		st.sends++
+		st.lastSentAt = i
 		c.inFlight, c.hasInFlight = e.Msg, true
 
 	case trace.KindReceiveMsg:
 		c.r.Delivered++
-		m := e.Msg
+		st := c.state(e.Msg)
 
-		if _, ok := c.sentAt[m]; !ok {
+		if st.sends == 0 {
 			c.r.Causality++
-			c.r.CausalityExamples = addExample(c.r.CausalityExamples, m)
+			c.r.CausalityExamples = addExample(c.r.CausalityExamples, e.Msg)
 		}
 
-		if prev := c.deliveredAt[m]; len(prev) > 0 && c.lastCrashR < prev[len(prev)-1] {
-			// Re-delivered with no crash^R since the previous delivery.
+		if prev := st.deliveredAt; len(prev) >= st.sends && len(prev) > 0 &&
+			c.lastCrashR < prev[len(prev)-1] {
+			// Delivered more times than it was sent, with no crash^R since
+			// the previous delivery.
 			c.r.Duplication++
-			c.r.DuplicationExamples = addExample(c.r.DuplicationExamples, m)
+			c.r.DuplicationExamples = addExample(c.r.DuplicationExamples, e.Msg)
 		}
 
-		if done, ok := c.completedAt[m]; ok && done <= c.lastRefresh {
-			// m was completed before the receiver's last refresh: the
-			// receiver had drawn a fresh challenge since, so this is
-			// the replay Theorem 7 makes improbable.
+		if st.completions >= st.sends && st.completions > 0 &&
+			st.lastCompletedAt <= c.lastRefresh {
+			// Every attempt was completed before the receiver's last
+			// refresh: the receiver had drawn a fresh challenge since, so
+			// this is the replay Theorem 7 makes improbable.
 			c.r.Replay++
-			c.r.ReplayExamples = addExample(c.r.ReplayExamples, m)
+			c.r.ReplayExamples = addExample(c.r.ReplayExamples, e.Msg)
 		}
 
-		c.deliveredAt[m] = append(c.deliveredAt[m], i)
+		st.deliveredAt = append(st.deliveredAt, i)
 		c.lastRefresh = i
 
 	case trace.KindOK:
 		c.r.OKs++
 		if c.hasInFlight {
-			m := c.inFlight
+			st := c.state(c.inFlight)
 			ok := false
-			for _, d := range c.deliveredAt[m] {
-				if d > c.sentAt[m] && d < i {
+			for _, d := range st.deliveredAt {
+				if d > st.lastSentAt && d < i {
 					ok = true
 					break
 				}
 			}
 			if !ok {
 				c.r.Order++
-				c.r.OrderExamples = addExample(c.r.OrderExamples, m)
+				c.r.OrderExamples = addExample(c.r.OrderExamples, c.inFlight)
 			}
-			if _, done := c.completedAt[m]; !done {
-				c.completedAt[m] = i
+			if st.completions < st.sends {
+				st.completions++
+				st.lastCompletedAt = i
 			}
 			c.hasInFlight = false
 		}
@@ -166,9 +197,11 @@ func (c *Checker) Observe(e trace.Event) {
 	case trace.KindCrashT:
 		c.r.CrashT++
 		if c.hasInFlight {
-			// send_msg followed by crash^T: the message joins M_alpha.
-			if _, done := c.completedAt[c.inFlight]; !done {
-				c.completedAt[c.inFlight] = i
+			// send_msg followed by crash^T: the attempt joins M_alpha.
+			st := c.state(c.inFlight)
+			if st.completions < st.sends {
+				st.completions++
+				st.lastCompletedAt = i
 			}
 			c.hasInFlight = false
 		}

@@ -177,3 +177,48 @@ func TestEmptyExecution(t *testing.T) {
 		t.Fatalf("empty execution: %v", r)
 	}
 }
+
+func TestResubmissionAfterCrashTIsClean(t *testing.T) {
+	// The buffering higher layer resubmits a payload whose first attempt
+	// was wiped by crash^T: the second send opens a new attempt, so its
+	// delivery and OK are clean even after the receiver refreshes.
+	r := Check(ev("s:a", "ct", "s:b", "r:b", "ok", "s:a", "r:a", "ok"))
+	if !r.Clean() {
+		t.Fatalf("resubmission flagged: %v", r)
+	}
+	if r.Sent != 3 || r.Delivered != 2 || r.OKs != 2 || r.CrashT != 1 {
+		t.Errorf("counts: %+v", r)
+	}
+}
+
+func TestResubmissionLateFirstAttemptDeliveryIsClean(t *testing.T) {
+	// Attempt 1 of a is delivered but its OK is lost to crash^T; the
+	// resubmitted attempt 2 is then delivered too. Two sends cover two
+	// deliveries: neither duplication nor replay.
+	r := Check(ev("s:a", "r:a", "ct", "s:a", "r:a", "ok"))
+	if !r.Clean() {
+		t.Fatalf("two-send/two-delivery run flagged: %v", r)
+	}
+}
+
+func TestResubmissionThirdDeliveryIsDuplication(t *testing.T) {
+	// Two sends license two deliveries; the third without crash^R is a
+	// duplication again.
+	r := Check(ev("s:a", "r:a", "ct", "s:a", "r:a", "ok", "r:a"))
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+}
+
+func TestResubmissionReplayAfterAllAttemptsComplete(t *testing.T) {
+	// Both attempts of a complete, the receiver refreshes (r:b), and a
+	// third copy of a arrives: every attempt was already completed before
+	// the refresh, so this is a replay (and a duplication: no crash^R).
+	r := Check(ev("s:a", "r:a", "ct", "s:a", "r:a", "ok", "s:b", "r:b", "ok", "r:a"))
+	if r.Replay != 1 {
+		t.Fatalf("Replay = %d, want 1 (%v)", r.Replay, r)
+	}
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+}

@@ -34,6 +34,7 @@ type QueueOption interface {
 
 type queueOptions struct {
 	walPath     string
+	walSync     bool
 	maxAttempts int
 }
 
@@ -43,7 +44,23 @@ func (w walOption) applyQueue(o *queueOptions) { o.walPath = string(w) }
 
 // WithWAL persists the backlog to a write-ahead log at path, making the
 // queue itself survive process restarts.
+//
+// Durability contract: every record is flushed to the operating system
+// before Enqueue returns, so an acknowledged enqueue survives a process
+// crash. It does not by itself survive a kernel panic or power loss —
+// add WithWALSync for that. A crash mid-write tears at most the final
+// record; reopening recovers the longest consistent prefix and compacts
+// the log.
 func WithWAL(path string) QueueOption { return walOption(path) }
+
+type walSyncOption struct{}
+
+func (walSyncOption) applyQueue(o *queueOptions) { o.walSync = true }
+
+// WithWALSync upgrades WithWAL's durability from process-crash to
+// power-loss: every enqueue record is fsynced to the storage device
+// before Enqueue returns, at the cost of one fsync per message.
+func WithWALSync() QueueOption { return walSyncOption{} }
 
 type attemptsOption int
 
@@ -64,6 +81,7 @@ func NewQueue(s *Sender, opts ...QueueOption) (*Queue, error) {
 		Send:        s.Send,
 		Retryable:   func(err error) bool { return errors.Is(err, ErrCrashed) },
 		WALPath:     o.walPath,
+		WALSync:     o.walSync,
 		MaxAttempts: o.maxAttempts,
 	})
 	if err != nil {

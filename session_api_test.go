@@ -1,0 +1,184 @@
+package ghm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ghm"
+)
+
+// sessionRig wires a supervised Session to a plain Receiver over a
+// shared in-memory pipe.
+type sessionRig struct {
+	link  *ghm.SharedLink
+	r     *ghm.Receiver
+	s     *ghm.Session
+	drain sync.WaitGroup
+
+	mu  sync.Mutex
+	got []string
+}
+
+func (g *sessionRig) delivered() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.got...)
+}
+
+func newSessionRig(t *testing.T, mut func(*ghm.SessionConfig)) *sessionRig {
+	t.Helper()
+	a, b := ghm.Pipe(ghm.PipeFaults{Seed: 1})
+	g := &sessionRig{link: ghm.Share(a)}
+
+	var err error
+	g.r, err = ghm.NewReceiver(b, ghm.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.drain.Add(1)
+	go func() {
+		defer g.drain.Done()
+		for {
+			msg, err := g.r.Recv(testCtx(t))
+			if err != nil {
+				return
+			}
+			g.mu.Lock()
+			g.got = append(g.got, string(msg))
+			g.mu.Unlock()
+		}
+	}()
+
+	cfg := ghm.SessionConfig{
+		Dial:              g.link.Dial,
+		Options:           []ghm.Option{ghm.WithSeed(3)},
+		WatchdogWindow:    150 * time.Millisecond,
+		WatchdogInterval:  10 * time.Millisecond,
+		RestartBackoff:    5 * time.Millisecond,
+		RestartBackoffMax: 40 * time.Millisecond,
+		BreakerThreshold:  50,
+		BreakerWindow:     10 * time.Second,
+		BreakerCooldown:   100 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g.s, err = ghm.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		g.s.Close()
+		g.r.Close()
+		g.link.Close()
+		g.drain.Wait()
+	})
+	return g
+}
+
+func TestSessionDelivers(t *testing.T) {
+	g := newSessionRig(t, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := g.s.Enqueue([]byte(fmt.Sprintf("s-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := g.s.Stats()
+	if st.Sent != 5 || st.Pending != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(g.delivered()) < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := g.delivered(); len(d) != 5 || d[0] != "s-0" || d[4] != "s-4" {
+		t.Fatalf("delivered %v", d)
+	}
+	if h := g.s.Health(); h != ghm.HealthHealthy {
+		t.Fatalf("health %v", h)
+	}
+}
+
+func TestSessionRecoversFromCrashes(t *testing.T) {
+	g := newSessionRig(t, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := g.s.Enqueue([]byte(fmt.Sprintf("c-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			g.s.Crash()
+		}
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.s.Stats(); st.Sent != 10 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSessionHealsWedgedLink(t *testing.T) {
+	g := newSessionRig(t, nil)
+
+	// Confirm one message so the first incarnation is demonstrably live.
+	if _, err := g.s.Enqueue([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := g.s.Subscribe()
+	g.link.Wedge() // half-dead socket: sends vanish, no error surfaces
+
+	if _, err := g.s.Enqueue([]byte("stuck-then-saved")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatalf("flush across wedge: %v (stats %+v)", err, g.s.Stats())
+	}
+
+	st := g.s.Stats()
+	if st.Wedges < 1 || st.Restarts < 1 || st.Sent != 2 {
+		t.Fatalf("watchdog did not heal: %+v", st)
+	}
+	// The health machine must have left Healthy and come back.
+	var sawDegraded, sawHealthy bool
+	for !(sawDegraded && sawHealthy) {
+		select {
+		case tr := <-sub:
+			if tr.To == ghm.HealthDegraded || tr.To == ghm.HealthPartitioned {
+				sawDegraded = true
+			}
+			if sawDegraded && tr.To == ghm.HealthHealthy {
+				sawHealthy = true
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("transitions incomplete: degraded=%v healthy=%v", sawDegraded, sawHealthy)
+		}
+	}
+}
+
+func TestSessionRequiresDial(t *testing.T) {
+	if _, err := ghm.NewSession(ghm.SessionConfig{}); err == nil {
+		t.Fatal("missing Dial accepted")
+	}
+}
+
+func TestHealthStrings(t *testing.T) {
+	for h, want := range map[ghm.Health]string{
+		ghm.HealthHealthy:     "healthy",
+		ghm.HealthDegraded:    "degraded",
+		ghm.HealthPartitioned: "partitioned",
+		ghm.HealthDown:        "down",
+	} {
+		if got := h.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(h), got, want)
+		}
+	}
+}
