@@ -1,0 +1,172 @@
+package main
+
+// Machine-readable runtime benchmark: `ghmbench -bench <label>` measures
+// confirmed-message throughput, confirm-latency quantiles and allocation
+// cost of the lane-multiplexed stack over a perfect in-process link, and
+// writes BENCH_<label>.json for CI to archive and compare across
+// revisions. The experiment tables (E1..E10) characterize the protocol;
+// this file characterizes the runtime under it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ghm/internal/core"
+	"ghm/internal/mux"
+	"ghm/internal/netlink"
+)
+
+// laneResult is one lane configuration's measurement.
+type laneResult struct {
+	Lanes        int     `json:"lanes"`
+	Messages     int     `json:"messages"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	P50ConfirmMS float64 `json:"p50_confirm_ms"`
+	P99ConfirmMS float64 `json:"p99_confirm_ms"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// benchReport is the BENCH_<label>.json document.
+type benchReport struct {
+	Label     string       `json:"label"`
+	Timestamp string       `json:"timestamp"`
+	GoVersion string       `json:"go_version"`
+	Runs      []laneResult `json:"runs"`
+}
+
+func parseLanes(spec string) ([]int, error) {
+	var lanes []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad lane count %q", f)
+		}
+		lanes = append(lanes, n)
+	}
+	return lanes, nil
+}
+
+// runBench measures each lane configuration and writes the JSON report.
+func runBench(label, laneSpec string, msgs int, dir string, out io.Writer) error {
+	lanes, err := parseLanes(laneSpec)
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Label:     label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+	for _, n := range lanes {
+		r, err := benchLanes(n, msgs)
+		if err != nil {
+			return fmt.Errorf("bench lanes=%d: %w", n, err)
+		}
+		rep.Runs = append(rep.Runs, r)
+		fmt.Fprintf(out, "bench %s: lanes=%-3d %10.0f msgs/s  p50=%.3fms p99=%.3fms  allocs/op=%.1f\n",
+			label, n, r.MsgsPerSec, r.P50ConfirmMS, r.P99ConfirmMS, r.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+label+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: wrote %s\n", path)
+	return nil
+}
+
+// benchLanes drives msgs confirmed transfers through an n-lane mux over
+// a perfect pipe, with up to n Sends in flight (the mux's pipelining
+// contract), and reports throughput, per-message confirm latency and the
+// process-wide allocation cost per message.
+func benchLanes(n, msgs int) (laneResult, error) {
+	a, b := netlink.Pipe(netlink.PipeConfig{Seed: 1})
+	s, err := mux.NewSender(a, n, core.Params{})
+	if err != nil {
+		return laneResult{}, err
+	}
+	defer s.Close()
+	r, err := mux.NewReceiver(b, n, netlink.ReceiverConfig{})
+	if err != nil {
+		return laneResult{}, err
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	recvDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if _, err := r.Recv(ctx); err != nil {
+				recvDone <- fmt.Errorf("recv %d: %w", i, err)
+				return
+			}
+		}
+		recvDone <- nil
+	}()
+
+	payload := []byte("ghmbench-payload-0123456789abcdef0123456789abcdef")
+	lat := make([]float64, msgs) // per-message confirm latency, ms
+	sem := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var sendErr error
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			if err := s.Send(ctx, payload); err != nil {
+				errOnce.Do(func() { sendErr = err })
+				return
+			}
+			lat[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if sendErr != nil {
+		return laneResult{}, sendErr
+	}
+	if err := <-recvDone; err != nil {
+		return laneResult{}, err
+	}
+
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	return laneResult{
+		Lanes:        n,
+		Messages:     msgs,
+		MsgsPerSec:   float64(msgs) / elapsed.Seconds(),
+		P50ConfirmMS: q(0.50),
+		P99ConfirmMS: q(0.99),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(msgs),
+	}, nil
+}

@@ -1,0 +1,474 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ghm/internal/metrics"
+)
+
+// chanConn is an in-memory Conn: inbound packets are injected on a
+// channel, outbound packets are recorded.
+type chanConn struct {
+	in     chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	mu   sync.Mutex
+	sent [][]byte
+}
+
+var errConnClosed = errors.New("chanConn: closed")
+
+func newChanConn() *chanConn {
+	return &chanConn{in: make(chan []byte, 64), closed: make(chan struct{})}
+}
+
+func (c *chanConn) Send(p []byte) error {
+	select {
+	case <-c.closed:
+		return errConnClosed
+	default:
+	}
+	c.mu.Lock()
+	c.sent = append(c.sent, append([]byte(nil), p...))
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *chanConn) Recv() ([]byte, error) {
+	select {
+	case p := <-c.in:
+		return p, nil
+	case <-c.closed:
+		return nil, errConnClosed
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *chanConn) sentPackets() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([][]byte(nil), c.sent...)
+}
+
+// inject frames body with id and feeds it to the conn as inbound.
+func (c *chanConn) inject(id int, body []byte) {
+	p := binary.AppendUvarint(nil, uint64(id))
+	c.in <- append(p, body...)
+}
+
+func recvOne(t *testing.T, ep *Endpoint) []byte {
+	t.Helper()
+	type res struct {
+		p   []byte
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		p, err := ep.Recv()
+		ch <- res{p, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("Recv: %v", r.err)
+		}
+		return r.p
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv timed out")
+		return nil
+	}
+}
+
+func TestFramedRouting(t *testing.T) {
+	conn := newChanConn()
+	reg := metrics.New()
+	e := New(conn, Config{MaxEndpoints: 4, Metrics: reg})
+	defer e.Close()
+
+	ep0, err := e.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := e.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn.inject(1, []byte("to-one"))
+	conn.inject(0, []byte("to-zero"))
+	if got := recvOne(t, ep0); string(got) != "to-zero" {
+		t.Fatalf("ep0 got %q", got)
+	}
+	if got := recvOne(t, ep1); string(got) != "to-one" {
+		t.Fatalf("ep1 got %q", got)
+	}
+
+	// Outbound framing: id prefix plus body, one byte for ids < 128.
+	if err := ep1.Send([]byte("out")); err != nil {
+		t.Fatal(err)
+	}
+	sent := conn.sentPackets()
+	if len(sent) != 1 || string(sent[0]) != "\x01out" {
+		t.Fatalf("sent = %q", sent)
+	}
+}
+
+func TestRawMode(t *testing.T) {
+	conn := newChanConn()
+	e := New(conn, Config{Raw: true, MaxEndpoints: 16, Metrics: metrics.New()})
+	defer e.Close()
+
+	// Raw mode forces a single endpoint.
+	if _, err := e.Endpoint(1); err == nil {
+		t.Fatal("raw engine accepted endpoint 1")
+	}
+	ep, err := e.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.in <- []byte("plain")
+	if got := recvOne(t, ep); string(got) != "plain" {
+		t.Fatalf("got %q", got)
+	}
+	if err := ep.Send([]byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if sent := conn.sentPackets(); len(sent) != 1 || string(sent[0]) != "reply" {
+		t.Fatalf("sent = %q", sent)
+	}
+}
+
+func waitCounterAtLeast(t *testing.T, c *metrics.Counter, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter = %d, want >= %d", c.Value(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDemuxDropAccounting(t *testing.T) {
+	conn := newChanConn()
+	reg := metrics.New()
+	e := New(conn, Config{MaxEndpoints: 2, Metrics: reg})
+	defer e.Close()
+	dropped := reg.Counter("link.demux_dropped")
+
+	conn.in <- []byte{}                 // unparsable frame
+	conn.inject(1, []byte("no-owner")) // valid id, nothing attached
+	conn.in <- binary.AppendUvarint(nil, 99) // id out of range
+	waitCounterAtLeast(t, dropped, 3)
+
+	// Packets for a closed endpoint count too.
+	ep, err := e.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	conn.inject(0, []byte("late"))
+	waitCounterAtLeast(t, dropped, 4)
+}
+
+func TestOverflowDropAccounting(t *testing.T) {
+	conn := newChanConn()
+	reg := metrics.New()
+	e := New(conn, Config{MaxEndpoints: 2, Buffer: 1, Metrics: reg})
+	defer e.Close()
+	if _, err := e.Endpoint(0); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.inject(0, []byte("fits"))
+	conn.inject(0, []byte("spills"))
+	conn.inject(0, []byte("spills-too"))
+	waitCounterAtLeast(t, reg.Counter("link.overflow_dropped"), 2)
+
+	snap := reg.Snapshot()
+	if g := snap.Gauges["link.ep0.overflow_dropped"]; g != 2 {
+		t.Fatalf("per-endpoint overflow gauge = %v, want 2", g)
+	}
+}
+
+func TestReplaceSemantics(t *testing.T) {
+	conn := newChanConn()
+	e := New(conn, Config{MaxEndpoints: 2, Metrics: metrics.New()})
+	defer e.Close()
+
+	old, err := e.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := e.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.inject(0, []byte("routed"))
+	if got := recvOne(t, cur); string(got) != "routed" {
+		t.Fatalf("current endpoint got %q", got)
+	}
+	// The superseded endpoint still sends.
+	if err := old.Send([]byte("still-sends")); err != nil {
+		t.Fatal(err)
+	}
+	// Its Close must not detach the successor.
+	old.Close()
+	conn.inject(0, []byte("after-old-close"))
+	if got := recvOne(t, cur); string(got) != "after-old-close" {
+		t.Fatalf("current endpoint after stale close got %q", got)
+	}
+}
+
+func TestEndpointCloseDetaches(t *testing.T) {
+	conn := newChanConn()
+	myErr := errors.New("layer closed")
+	e := New(conn, Config{MaxEndpoints: 2, ClosedErr: myErr, Metrics: metrics.New()})
+	defer e.Close()
+
+	ep, err := e.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	if _, err := ep.Recv(); !errors.Is(err, myErr) {
+		t.Fatalf("Recv on closed endpoint: %v", err)
+	}
+	if err := ep.Send([]byte("x")); !errors.Is(err, myErr) {
+		t.Fatalf("Send on closed endpoint: %v", err)
+	}
+	// The engine survives: a fresh registration works.
+	ep2, err := e.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.inject(0, []byte("alive"))
+	if got := recvOne(t, ep2); string(got) != "alive" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEngineCloseUnblocksEndpoints(t *testing.T) {
+	conn := newChanConn()
+	e := New(conn, Config{MaxEndpoints: 2, Metrics: metrics.New()})
+	ep, _ := e.Endpoint(0)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ep.Recv()
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv after engine close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv not unblocked by Engine.Close")
+	}
+	if _, err := e.Endpoint(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Endpoint after Close: %v", err)
+	}
+	// Idempotent.
+	e.Close()
+}
+
+func TestPumpDeathPropagates(t *testing.T) {
+	// An external conn kill (not Engine.Close) must still surface to
+	// every endpoint: the pump dies on the fatal read error, Dead closes,
+	// Recv drains buffered packets then reports closed.
+	conn := newChanConn()
+	e := New(conn, Config{MaxEndpoints: 2, Metrics: metrics.New()})
+	defer e.Close()
+	ep, _ := e.Endpoint(0)
+
+	conn.inject(0, []byte("buffered"))
+	// Let the pump buffer it before the kill.
+	if got := recvOne(t, ep); string(got) != "buffered" {
+		t.Fatalf("got %q", got)
+	}
+
+	conn.Close() // external kill, not via the engine
+	select {
+	case <-ep.Dead():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Dead not closed after conn kill")
+	}
+	if _, err := ep.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after pump death: %v", err)
+	}
+}
+
+func TestWedge(t *testing.T) {
+	conn := newChanConn()
+	e := New(conn, Config{MaxEndpoints: 2, Metrics: metrics.New()})
+	defer e.Close()
+	ep, _ := e.Endpoint(0)
+
+	ep.Wedge(true)
+	if err := ep.Send([]byte("swallowed")); err != nil {
+		t.Fatalf("wedged Send errored: %v", err)
+	}
+	if sent := conn.sentPackets(); len(sent) != 0 {
+		t.Fatalf("wedged send reached conn: %q", sent)
+	}
+	conn.inject(0, []byte("vanishes"))
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case p := <-ep.in:
+		t.Fatalf("wedged endpoint received %q", p)
+	default:
+	}
+
+	ep.Wedge(false)
+	if err := ep.Send([]byte("through")); err != nil {
+		t.Fatal(err)
+	}
+	if sent := conn.sentPackets(); len(sent) != 1 {
+		t.Fatalf("unwedged send did not reach conn: %q", sent)
+	}
+}
+
+func TestSetHandlerDrainsMailbox(t *testing.T) {
+	conn := newChanConn()
+	e := New(conn, Config{MaxEndpoints: 2, Metrics: metrics.New()})
+	defer e.Close()
+	ep, _ := e.Endpoint(0)
+
+	conn.inject(0, []byte("queued-1"))
+	conn.inject(0, []byte("queued-2"))
+	// Wait for the pump to mailbox both.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ep.in) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("packets never reached the mailbox")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var mu sync.Mutex
+	var got []string
+	seen := make(chan struct{}, 8)
+	ep.SetHandler(func(p []byte) {
+		mu.Lock()
+		got = append(got, string(p))
+		mu.Unlock()
+		seen <- struct{}{}
+	})
+	// Both queued packets drained through the handler...
+	<-seen
+	<-seen
+	// ...and new arrivals go straight to it.
+	conn.inject(0, []byte("pushed"))
+	select {
+	case <-seen:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never saw the pushed packet")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != "queued-1" || got[1] != "queued-2" || got[2] != "pushed" {
+		t.Fatalf("handler saw %q", got)
+	}
+}
+
+// flakyConn fails its first reads with a transient error, then serves.
+type flakyConn struct {
+	*chanConn
+	mu    sync.Mutex
+	fails int
+}
+
+var errTransient = errors.New("transient read fault")
+
+func (c *flakyConn) Recv() ([]byte, error) {
+	c.mu.Lock()
+	if c.fails > 0 {
+		c.fails--
+		c.mu.Unlock()
+		return nil, errTransient
+	}
+	c.mu.Unlock()
+	return c.chanConn.Recv()
+}
+
+func TestTransientReadErrorsRiddenOut(t *testing.T) {
+	conn := &flakyConn{chanConn: newChanConn(), fails: 3}
+	reg := metrics.New()
+	e := New(conn, Config{
+		MaxEndpoints:   2,
+		Metrics:        reg,
+		IsFatal:        func(err error) bool { return !errors.Is(err, errTransient) },
+		TransientDelay: 100 * time.Microsecond,
+	})
+	defer e.Close()
+	ep, _ := e.Endpoint(0)
+
+	conn.inject(0, []byte("survived"))
+	if got := recvOne(t, ep); string(got) != "survived" {
+		t.Fatalf("got %q", got)
+	}
+	if v := reg.Counter("link.io_retries").Value(); v != 3 {
+		t.Fatalf("link.io_retries = %d, want 3", v)
+	}
+}
+
+// nullConn swallows sends; Recv blocks until Close.
+type nullConn struct{ closed chan struct{} }
+
+func (c *nullConn) Send([]byte) error { return nil }
+func (c *nullConn) Recv() ([]byte, error) {
+	<-c.closed
+	return nil, errConnClosed
+}
+func (c *nullConn) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	return nil
+}
+
+// TestHotPathAllocs pins the engine's per-packet allocation budget: a
+// framed send reuses pooled buffers and dispatch into a handler performs
+// no allocation at all. (The pump is asynchronous, so dispatch is
+// exercised directly; it runs the identical code path.)
+func TestHotPathAllocs(t *testing.T) {
+	conn := &nullConn{closed: make(chan struct{})}
+	e := New(conn, Config{MaxEndpoints: 2, Metrics: metrics.New()})
+	defer e.Close()
+	ep, _ := e.Endpoint(0)
+	ep.SetHandler(func(p []byte) {})
+
+	msg := []byte("0123456789abcdef0123456789abcdef")
+	ep.Send(msg) // warm the frame pool
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := ep.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("Endpoint.Send allocs/op = %v, want 0", avg)
+	}
+
+	framed := binary.AppendUvarint(nil, 0)
+	framed = append(framed, msg...)
+	if avg := testing.AllocsPerRun(200, func() {
+		e.dispatch(framed)
+	}); avg > 0 {
+		t.Errorf("Engine.dispatch allocs/op = %v, want 0", avg)
+	}
+}

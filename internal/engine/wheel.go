@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Wheel defaults: a 100µs tick keeps retry pacing faithful down to the
+// sub-millisecond intervals the tests and benchmarks use, while 256
+// slots give a 25.6ms horizon per revolution; longer delays ride the
+// per-timer rounds counter.
+const (
+	defaultWheelTick  = 100 * time.Microsecond
+	defaultWheelSlots = 256
+)
+
+// Wheel is a hashed timer wheel: one goroutine and one ticker service
+// any number of timers, replacing the per-station retry goroutines the
+// stations used to spawn. Precision is one tick — a timer fires in
+// [d, d+tick) — which is exactly what retry pacing needs and far cheaper
+// than a runtime timer per station at high lane counts.
+//
+// Callbacks run sequentially on the wheel goroutine and must not block;
+// a blocking callback stalls every other timer on the wheel.
+type Wheel struct {
+	tick time.Duration
+
+	mu     sync.Mutex
+	slots  []map[*Timer]struct{}
+	cursor int
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewWheel starts a wheel. Zero tick or slots pick the defaults.
+func NewWheel(tick time.Duration, slots int) *Wheel {
+	if tick <= 0 {
+		tick = defaultWheelTick
+	}
+	if slots <= 0 {
+		slots = defaultWheelSlots
+	}
+	w := &Wheel{
+		tick:  tick,
+		slots: make([]map[*Timer]struct{}, slots),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for i := range w.slots {
+		w.slots[i] = make(map[*Timer]struct{})
+	}
+	go w.run()
+	return w
+}
+
+var (
+	defaultWheelOnce sync.Once
+	defaultWheel     *Wheel
+)
+
+// DefaultWheel returns the process-wide shared wheel, started on first
+// use and never stopped — the analogue of the runtime's own timer
+// goroutine. Engines without an explicit Config.Wheel use it.
+func DefaultWheel() *Wheel {
+	defaultWheelOnce.Do(func() {
+		defaultWheel = NewWheel(0, 0)
+	})
+	return defaultWheel
+}
+
+// Timer is one scheduled callback. It fires once; re-arm it from the
+// callback with Reset for periodic work (no allocation per period).
+type Timer struct {
+	w  *Wheel
+	fn func()
+
+	// All three fields are guarded by w.mu.
+	rounds  int
+	slot    int
+	stopped bool
+}
+
+// AfterFunc schedules fn to run once after roughly d (rounded up to a
+// whole tick).
+func (w *Wheel) AfterFunc(d time.Duration, fn func()) *Timer {
+	t := &Timer{w: w, fn: fn, stopped: true}
+	t.Reset(d)
+	return t
+}
+
+// Reset re-arms t to fire after roughly d, whether or not it has already
+// fired or been stopped. Safe to call from the timer's own callback.
+func (t *Timer) Reset(d time.Duration) {
+	w := t.w
+	ticks := int((d + w.tick - 1) / w.tick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	w.mu.Lock()
+	if !t.stopped {
+		delete(w.slots[t.slot], t)
+	}
+	t.stopped = false
+	t.slot = (w.cursor + ticks) % len(w.slots)
+	// The slot is first scanned ticks%len(slots) ticks from now; every
+	// further full revolution decrements rounds once.
+	t.rounds = (ticks - 1) / len(w.slots)
+	w.slots[t.slot][t] = struct{}{}
+	w.mu.Unlock()
+}
+
+// Stop cancels t; it reports whether the timer was still pending. A
+// stopped timer's callback is never invoked again until Reset.
+func (t *Timer) Stop() bool {
+	w := t.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	delete(w.slots[t.slot], t)
+	return true
+}
+
+// Stop halts the wheel goroutine; pending timers never fire. The default
+// wheel is never stopped.
+func (w *Wheel) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		<-w.done
+	})
+}
+
+func (w *Wheel) run() {
+	defer close(w.done)
+	tk := time.NewTicker(w.tick)
+	defer tk.Stop()
+	start := time.Now()
+	var processed int64 // ticks advanced so far
+	var due []func()
+	for {
+		select {
+		case now := <-tk.C:
+			// A ticker this fast drops ticks whenever the process stalls
+			// (its channel buffers one), so wheel time is derived from the
+			// clock: advance however many ticks really elapsed, scanning
+			// every slot passed over, and pacing stays faithful under load.
+			target := int64(now.Sub(start) / w.tick)
+			if target <= processed {
+				continue
+			}
+			w.mu.Lock()
+			for processed < target {
+				processed++
+				w.cursor = (w.cursor + 1) % len(w.slots)
+				for t := range w.slots[w.cursor] {
+					if t.rounds > 0 {
+						t.rounds--
+						continue
+					}
+					delete(w.slots[w.cursor], t)
+					t.stopped = true
+					due = append(due, t.fn)
+				}
+			}
+			w.mu.Unlock()
+			for _, fn := range due {
+				fn()
+			}
+			due = due[:0]
+		case <-w.stop:
+			return
+		}
+	}
+}

@@ -11,6 +11,11 @@
 // confirm messages independently (N transfers in flight), and the
 // receiving side's resequencer releases messages in sequence order.
 //
+// Lanes are endpoints of one runtime engine (ghm/internal/engine), so
+// the goroutine bill is flat in the lane count: one pump per conn plus
+// one resequencer on the receiving side, where the pre-engine stack
+// spent three goroutines per lane.
+//
 // Guarantees: every delivered message is delivered exactly once, in
 // global send order, each with the single-lane protocol's 1-epsilon
 // confidence. Limitation: the guarantees are per message, so if a Send
@@ -28,11 +33,18 @@ import (
 	"sync"
 
 	"ghm/internal/core"
+	"ghm/internal/engine"
 	"ghm/internal/netlink"
 )
 
-// MaxLanes bounds the lane count (the lane id is one byte on the wire).
+// MaxLanes bounds the lane count (the lane id stays one byte on the wire).
 const MaxLanes = 64
+
+// laneDeliveryBuffer sizes the merge channel per lane, mirroring the
+// per-station delivery buffer the pre-engine stack gave every lane, so
+// how far senders can run ahead of a slow consumer is unchanged by the
+// engine refactor.
+const laneDeliveryBuffer = 16
 
 var (
 	// ErrClosed reports use of a closed mux session.
@@ -44,7 +56,7 @@ var (
 // `lanes` Send calls proceed concurrently; each blocks until its own
 // message is confirmed.
 type Sender struct {
-	subs  []netlink.PacketConn
+	eng   *engine.Engine
 	lanes []*netlink.Sender
 
 	mu   sync.Mutex
@@ -55,30 +67,41 @@ type Sender struct {
 	closeOnce sync.Once
 }
 
-// NewSender starts `lanes` transmitter sessions over conn.
+// NewSender starts `lanes` transmitter sessions over conn, one engine
+// endpoint each.
 func NewSender(conn netlink.PacketConn, lanes int, p core.Params) (*Sender, error) {
 	if lanes < 1 || lanes > MaxLanes {
 		return nil, errLanes
 	}
-	subs, err := netlink.Split(conn, lanes)
-	if err != nil {
-		return nil, fmt.Errorf("mux: %w", err)
-	}
+	eng := netlink.NewEngine(conn, lanes, nil)
 	s := &Sender{
-		subs:   subs,
+		eng:    eng,
 		free:   make(chan int, lanes),
 		closed: make(chan struct{}),
 	}
 	for i := 0; i < lanes; i++ {
-		ls, err := netlink.NewSender(subs[i], netlink.SenderConfig{Params: p})
+		ep, err := eng.Endpoint(i)
 		if err != nil {
-			subs[0].Close()
+			s.fail()
+			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
+		}
+		ls, err := netlink.NewSender(ep, netlink.SenderConfig{Params: p})
+		if err != nil {
+			s.fail()
 			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
 		}
 		s.lanes = append(s.lanes, ls)
 		s.free <- i
 	}
 	return s, nil
+}
+
+// fail tears down a partially built sender.
+func (s *Sender) fail() {
+	s.eng.Close()
+	for _, l := range s.lanes {
+		l.Close()
+	}
 }
 
 // Send assigns msg the next global sequence number, transfers it on an
@@ -112,11 +135,11 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 	return nil
 }
 
-// Close stops every lane and the shared link pump.
+// Close stops every lane, the engine pump and the conn.
 func (s *Sender) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.subs[0].Close() // closes the shared pump and every sub-conn
+		s.eng.Close()
 		for _, l := range s.lanes {
 			l.Close()
 		}
@@ -124,44 +147,85 @@ func (s *Sender) Close() error {
 	return nil
 }
 
+// item is one framed lane delivery: global sequence number plus body.
+type item struct {
+	seq uint64
+	msg []byte
+}
+
 // Receiver merges lane deliveries back into one ordered stream.
 type Receiver struct {
-	subs  []netlink.PacketConn
+	eng   *engine.Engine
 	lanes []*netlink.Receiver
 
-	out  chan []byte
-	stop chan struct{}
-	done chan struct{}
+	merged chan item
+	out    chan []byte
+	stop   chan struct{}
+	done   chan struct{}
 
 	closeOnce sync.Once
 }
 
 // NewReceiver starts `lanes` receiver sessions over conn. The lane count
 // must match the sender's.
+//
+// Lane receivers run in Deliver mode: committed deliveries are pushed
+// straight from the engine pump into the merge channel (capacity
+// reserved by the Accept gate — a full merge channel sheds lane packets
+// as link loss instead of blocking the pump), and a single resequencer
+// goroutine releases them in global order.
 func NewReceiver(conn netlink.PacketConn, lanes int, cfg netlink.ReceiverConfig) (*Receiver, error) {
 	if lanes < 1 || lanes > MaxLanes {
 		return nil, errLanes
 	}
-	subs, err := netlink.Split(conn, lanes)
-	if err != nil {
-		return nil, fmt.Errorf("mux: %w", err)
-	}
+	eng := netlink.NewEngine(conn, lanes, nil)
 	r := &Receiver{
-		subs: subs,
-		out:  make(chan []byte, lanes),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		eng:    eng,
+		merged: make(chan item, lanes*laneDeliveryBuffer),
+		out:    make(chan []byte, lanes),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
+	lcfg := cfg
+	lcfg.Accept = func() bool { return len(r.merged) < cap(r.merged) }
+	lcfg.Deliver = r.laneDeliver
 	for i := 0; i < lanes; i++ {
-		lr, err := netlink.NewReceiver(subs[i], cfg)
+		ep, err := eng.Endpoint(i)
 		if err != nil {
-			subs[0].Close()
+			r.fail()
+			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
+		}
+		lr, err := netlink.NewReceiver(ep, lcfg)
+		if err != nil {
+			r.fail()
 			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
 		}
 		r.lanes = append(r.lanes, lr)
 	}
 	go r.resequence()
 	return r, nil
+}
+
+// fail tears down a partially built receiver.
+func (r *Receiver) fail() {
+	r.eng.Close()
+	for _, l := range r.lanes {
+		l.Close()
+	}
+}
+
+// laneDeliver runs on the engine pump for every committed lane delivery.
+// Space in merged was reserved by the Accept gate (the pump is the only
+// producer), so the push cannot block; the stop case is defensive.
+func (r *Receiver) laneDeliver(framed []byte) {
+	seq, n := binary.Uvarint(framed)
+	if n <= 0 {
+		return // malformed frame: drop like a lost packet
+	}
+	select {
+	case r.merged <- item{seq: seq, msg: framed[n:]}:
+	case <-r.stop:
+	}
 }
 
 // Recv blocks for the next message in global sequence order.
@@ -181,11 +245,11 @@ func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
 	}
 }
 
-// Close stops every lane and the resequencer.
+// Close stops every lane, the engine pump, the conn and the resequencer.
 func (r *Receiver) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.stop)
-		r.subs[0].Close() // closes the shared pump and every sub-conn
+		r.eng.Close()
 		for _, l := range r.lanes {
 			l.Close()
 		}
@@ -194,54 +258,17 @@ func (r *Receiver) Close() error {
 	return nil
 }
 
-// resequence collects framed messages from all lanes and emits them in
-// sequence order.
+// resequence is the receiving side's only goroutine: it orders lane
+// deliveries by sequence number and releases them to Recv. It exits on
+// Close and on engine death (the conn was killed externally), so a dead
+// link surfaces ErrClosed from Recv instead of wedging it.
 func (r *Receiver) resequence() {
 	defer close(r.done)
-	type item struct {
-		seq uint64
-		msg []byte
-	}
-	merged := make(chan item, len(r.lanes))
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-
-	var wg sync.WaitGroup
-	for _, lane := range r.lanes {
-		lane := lane
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				framed, err := lane.Recv(ctx)
-				if err != nil {
-					return
-				}
-				seq, n := binary.Uvarint(framed)
-				if n <= 0 {
-					continue // malformed frame: drop like a lost packet
-				}
-				select {
-				case merged <- item{seq: seq, msg: framed[n:]}:
-				case <-r.stop:
-					return
-				}
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(merged)
-	}()
-
 	pending := make(map[uint64][]byte)
 	var next uint64
 	for {
 		select {
-		case it, ok := <-merged:
-			if !ok {
-				return
-			}
+		case it := <-r.merged:
 			if it.seq < next {
 				continue // impossible under lane exactly-once; defensive
 			}
@@ -261,6 +288,33 @@ func (r *Receiver) resequence() {
 			}
 		case <-r.stop:
 			return
+		case <-r.eng.Dead():
+			// Drain what the lanes already committed, release the
+			// in-order prefix, then report closed.
+		drain:
+			for {
+				select {
+				case it := <-r.merged:
+					if it.seq >= next {
+						pending[it.seq] = it.msg
+					}
+				default:
+					break drain
+				}
+			}
+			for {
+				msg, ok := pending[next]
+				if !ok {
+					return
+				}
+				delete(pending, next)
+				select {
+				case r.out <- msg:
+					next++
+				default:
+					return
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package netlink
+
+import (
+	"ghm/internal/engine"
+	"ghm/internal/metrics"
+)
+
+// This file wires the netlink layer onto the runtime engine
+// (ghm/internal/engine): every physical conn gets exactly one read pump,
+// owned by an Engine, and stations attach as engine endpoints instead of
+// spawning private recvLoops. The engine is protocol-agnostic, so the
+// netlink error semantics — ErrClosed identity and the
+// closed-vs-transient split — are injected here.
+
+// engineBacked is implemented by conn types that are views over an
+// engine endpoint (Split subs, SharedConn views). Stations detect it and
+// reuse that engine's pump instead of wrapping the view in another one.
+type engineBacked interface {
+	engineEndpoint() *engine.Endpoint
+}
+
+// engineConfig carries netlink's error semantics into an engine.
+func engineConfig(reg *metrics.Registry, raw bool, maxEndpoints int) engine.Config {
+	return engine.Config{
+		Raw:            raw,
+		MaxEndpoints:   maxEndpoints,
+		ClosedErr:      ErrClosed,
+		IsFatal:        isClosedErr,
+		TransientDelay: transientIODelay,
+		Metrics:        reg,
+	}
+}
+
+// NewEngine builds a framed engine over conn with endpoint ids
+// [0, maxEndpoints) and this package's error semantics. The engine owns
+// conn; closing the engine closes it. reg receives the engine's link.*
+// drop counters (nil uses metrics.Default()).
+func NewEngine(conn PacketConn, maxEndpoints int, reg *metrics.Registry) *engine.Engine {
+	return engine.New(conn, engineConfig(reg, false, maxEndpoints))
+}
+
+// stationIO is a station's attachment to the runtime: the endpoint it
+// sends and receives through, and the close action matching the conn's
+// documented lifetime semantics (cascade for Split subs, detach for
+// views and bare endpoints, full engine close for a privately owned
+// conn).
+type stationIO struct {
+	ep    *engine.Endpoint
+	close func() error
+}
+
+// stationEndpoint resolves conn to its engine endpoint. Conns already
+// backed by an engine reuse its pump; a bare engine endpoint is used
+// directly; any other conn gets a private raw engine — so every physical
+// conn ends up with exactly one read pump regardless of how many
+// stations, lanes or sessions sit above it.
+func stationEndpoint(conn PacketConn, reg *metrics.Registry) stationIO {
+	switch c := conn.(type) {
+	case engineBacked:
+		return stationIO{ep: c.engineEndpoint(), close: conn.Close}
+	case *engine.Endpoint:
+		return stationIO{ep: c, close: conn.Close}
+	default:
+		eng := engine.New(conn, engineConfig(reg, true, 1))
+		ep, _ := eng.Endpoint(0)
+		return stationIO{ep: ep, close: eng.Close}
+	}
+}

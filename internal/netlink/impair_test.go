@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ghm/internal/metrics"
 )
 
 // collectConn is a PacketConn recording every Send for inspection.
@@ -316,4 +318,29 @@ func TestReceiverRetryBackoffQuietsIdleLink(t *testing.T) {
 	if backed == 0 {
 		t.Error("backoff silenced RETRY entirely; the protocol needs it infinitely often")
 	}
+}
+
+func TestImpairedLinkDemuxDropsAreCounted(t *testing.T) {
+	// Garbage arriving through an impaired link (duplicates and all) must
+	// show up in the engine's drop accounting: every copy the link
+	// delivers carries an unknown tag and is counted, never silently
+	// swallowed the way the pre-engine split pump did.
+	a, b := Pipe(PipeConfig{Seed: 68})
+	imp := Impair(a, ImpairConfig{DupProb: 0.3, Queue: 1000, Seed: 9, Metrics: metrics.New()})
+	defer imp.Close()
+	reg := metrics.New()
+	subsB, err := SplitMetrics(b, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subsB[0].Close()
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := imp.Send([]byte{9, byte(i)}); err != nil { // tag 9: no such lane
+			t.Fatal(err)
+		}
+	}
+	st := settle(t, imp, func(st ImpairStats) bool { return st.Delivered >= n })
+	waitCounter(t, reg, "link.demux_dropped", st.Delivered)
 }

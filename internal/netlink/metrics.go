@@ -59,6 +59,7 @@ type receiverMetrics struct {
 	retries           *metrics.Counter // RETRY actions fired
 	ioRetries         *metrics.Counter // transient conn read errors retried
 	deliveriesDropped *metrics.Counter // committed deliveries lost to Close
+	ingressShed       *metrics.Counter // packets shed unprocessed (delivery buffer full)
 	retryIntervalMS   *metrics.Gauge   // current (possibly backed-off) retry pace
 }
 
@@ -77,6 +78,7 @@ func newReceiverMetrics(r *metrics.Registry) receiverMetrics {
 		retries:           r.Counter("rx.retries"),
 		ioRetries:         r.Counter("rx.io_retries"),
 		deliveriesDropped: r.Counter("rx.deliveries_dropped"),
+		ingressShed:       r.Counter("rx.ingress_shed"),
 		retryIntervalMS:   r.Gauge("rx.retry_interval_ms"),
 	}
 }

@@ -1,0 +1,280 @@
+package netlink_test
+
+// Close/error propagation parity: however a transport dies — its conn
+// killed externally, one endpoint closed, or the engine pump dying under
+// it — every station, lane, view and session registered on it must
+// surface ErrClosed promptly rather than wedge. These are table tests on
+// purpose: each layer used to have its own private pump with its own
+// (subtly different) death behavior; the engine gives them one.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ghm/internal/core"
+	"ghm/internal/mux"
+	"ghm/internal/netlink"
+	"ghm/internal/session"
+)
+
+// wantErr waits for fn (running in a fresh goroutine) to return and
+// checks the error matches want.
+func wantErr(t *testing.T, name string, want error, fn func() error) {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, want) {
+			t.Errorf("%s returned %v, want %v", name, err, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Errorf("%s did not unblock", name)
+	}
+}
+
+func TestClosePropagationParity(t *testing.T) {
+	t.Run("split/conn-kill", func(t *testing.T) {
+		_, b := netlink.Pipe(netlink.PipeConfig{Seed: 81})
+		subs, err := netlink.Split(b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errc := make(chan error, 2)
+		for _, sub := range subs {
+			sub := sub
+			go func() {
+				_, err := sub.Recv()
+				errc <- err
+			}()
+		}
+		time.Sleep(5 * time.Millisecond)
+		b.Close() // external kill of the conn under the engine
+		for i := 0; i < 2; i++ {
+			select {
+			case err := <-errc:
+				if !errors.Is(err, netlink.ErrClosed) {
+					t.Errorf("sub Recv after conn kill: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("sub Recv did not unblock after conn kill")
+			}
+		}
+	})
+
+	t.Run("split/endpoint-close", func(t *testing.T) {
+		a, _ := netlink.Pipe(netlink.PipeConfig{Seed: 82})
+		subs, err := netlink.Split(a, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			subs[0].Close()
+		}()
+		wantErr(t, "sibling Recv", netlink.ErrClosed, func() error {
+			_, err := subs[1].Recv()
+			return err
+		})
+	})
+
+	t.Run("shared/conn-kill", func(t *testing.T) {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: 83})
+		defer b.Close()
+		s := netlink.NewSharedConn(a)
+		defer s.Close()
+		v, err := s.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			a.Close() // kill the conn, not the SharedConn
+		}()
+		wantErr(t, "view Recv", netlink.ErrClosed, func() error {
+			_, err := v.Recv()
+			return err
+		})
+	})
+
+	t.Run("shared/view-close", func(t *testing.T) {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: 84})
+		defer b.Close()
+		s := netlink.NewSharedConn(a)
+		defer s.Close()
+		v, err := s.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			v.Close()
+		}()
+		wantErr(t, "view Recv", netlink.ErrClosed, func() error {
+			_, err := v.Recv()
+			return err
+		})
+		// Detaching one view must not take the link down.
+		if _, err := s.Attach(); err != nil {
+			t.Fatalf("Attach after view close: %v", err)
+		}
+	})
+
+	t.Run("station/conn-kill", func(t *testing.T) {
+		// Both station types on one link; killing the conns unblocks a
+		// pending Send and a pending Recv with ErrClosed. (The pre-engine
+		// stations wedged forever on exactly this.)
+		a, b := netlink.Pipe(netlink.PipeConfig{Loss: 1, Seed: 85})
+		tx, err := netlink.NewSender(a, netlink.SenderConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tx.Close()
+		rx, err := netlink.NewReceiver(b, netlink.ReceiverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rx.Close()
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			a.Close()
+			b.Close()
+		}()
+		wantErr(t, "Sender.Send", netlink.ErrClosed, func() error {
+			return tx.Send(context.Background(), []byte("never"))
+		})
+		wantErr(t, "Receiver.Recv", netlink.ErrClosed, func() error {
+			_, err := rx.Recv(context.Background())
+			return err
+		})
+	})
+
+	t.Run("peer/conn-kill", func(t *testing.T) {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: 86})
+		pa, err := netlink.NewPeer(a, netlink.RoleA, core.Params{}, netlink.ReceiverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pa.Close()
+		pb, err := netlink.NewPeer(b, netlink.RoleB, core.Params{}, netlink.ReceiverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pb.Close()
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			a.Close()
+		}()
+		wantErr(t, "Peer.Recv", netlink.ErrClosed, func() error {
+			_, err := pa.Recv(context.Background())
+			return err
+		})
+		wantErr(t, "Peer.Send", netlink.ErrClosed, func() error {
+			return pa.Send(context.Background(), []byte("never"))
+		})
+	})
+
+	t.Run("peer/close", func(t *testing.T) {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: 87})
+		defer b.Close()
+		p, err := netlink.NewPeer(a, netlink.RoleA, core.Params{}, netlink.ReceiverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			p.Close()
+		}()
+		wantErr(t, "Peer.Recv", netlink.ErrClosed, func() error {
+			_, err := p.Recv(context.Background())
+			return err
+		})
+	})
+
+	t.Run("mux/conn-kill", func(t *testing.T) {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: 88})
+		ms, err := mux.NewSender(a, 4, core.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ms.Close()
+		mr, err := mux.NewReceiver(b, 4, netlink.ReceiverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mr.Close()
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			a.Close()
+			b.Close()
+		}()
+		wantErr(t, "mux Recv", mux.ErrClosed, func() error {
+			_, err := mr.Recv(context.Background())
+			return err
+		})
+		wantErr(t, "mux Send", netlink.ErrClosed, func() error {
+			return ms.Send(context.Background(), []byte("never"))
+		})
+	})
+
+	t.Run("mux/close", func(t *testing.T) {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: 89})
+		defer a.Close()
+		mr, err := mux.NewReceiver(b, 4, netlink.ReceiverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			mr.Close()
+		}()
+		wantErr(t, "mux Recv", mux.ErrClosed, func() error {
+			_, err := mr.Recv(context.Background())
+			return err
+		})
+	})
+
+	t.Run("session/close", func(t *testing.T) {
+		// A session over a shared link: Close must stop the supervisor
+		// and fail further Enqueues, and the link views must come down
+		// with the SharedConn, not before.
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: 90})
+		defer b.Close()
+		sc := netlink.NewSharedConn(a)
+		defer sc.Close()
+		rx, err := netlink.NewReceiver(b, netlink.ReceiverConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rx.Close()
+		go func() {
+			for {
+				if _, err := rx.Recv(context.Background()); err != nil {
+					return
+				}
+			}
+		}()
+		s, err := session.New(session.Config{
+			Dial: func() (netlink.PacketConn, error) { return sc.Attach() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Enqueue([]byte("one")); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Enqueue([]byte("late")); err == nil {
+			t.Error("Enqueue after session Close succeeded")
+		}
+	})
+}

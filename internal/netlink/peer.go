@@ -22,16 +22,17 @@ const (
 var errPeerRole = errors.New("netlink: peer role must be RoleA or RoleB")
 
 // Peer runs the protocol in both directions over one PacketConn: a
-// transmitter session on one tagged sub-link and a receiver session on
-// the other. Each direction independently carries the full per-message
-// guarantees (ordered, exactly-once, crash-resilient), which is how the
-// paper's unidirectional data link composes into the bidirectional links
-// real layers need.
+// transmitter session on one engine endpoint and a receiver session on
+// the other — the old direction tag is just an endpoint id now. Each
+// direction independently carries the full per-message guarantees
+// (ordered, exactly-once, crash-resilient), which is how the paper's
+// unidirectional data link composes into the bidirectional links real
+// layers need.
 type Peer struct {
-	role PeerRole
-	subs []PacketConn
-	s    *Sender
-	r    *Receiver
+	role      PeerRole
+	closeLink func() error // closes the engine when the peer owns it
+	s         *Sender
+	r         *Receiver
 
 	closeOnce sync.Once
 }
@@ -43,26 +44,50 @@ func NewPeer(conn PacketConn, role PeerRole, p core.Params, rcfg ReceiverConfig)
 	if role != RoleA && role != RoleB {
 		return nil, errPeerRole
 	}
-	subs, err := Split(conn, 2)
+	eng := NewEngine(conn, 2, rcfg.Metrics)
+	// Role A transmits on endpoint 0 and receives on 1; role B mirrors.
+	sendEp, err := eng.Endpoint(int(role))
 	if err != nil {
+		eng.Close()
 		return nil, err
 	}
-	// Role A transmits on sub-link 0 and receives on 1; role B mirrors.
-	sendSub := subs[int(role)]
-	recvSub := subs[1-int(role)]
-
-	s, err := NewSender(sendSub, SenderConfig{Params: p})
+	recvEp, err := eng.Endpoint(1 - int(role))
 	if err != nil {
-		subs[0].Close()
+		eng.Close()
+		return nil, err
+	}
+	return newPeer(eng.Close, sendEp, recvEp, role, p, rcfg)
+}
+
+// NewPeerOn starts a full-duplex session over a pre-wired pair of conns
+// (usually two endpoints of a shared engine — see ghm.Endpoint). The
+// peer does not own the underlying link: Close detaches the stations
+// and leaves the link up.
+func NewPeerOn(sendConn, recvConn PacketConn, role PeerRole, p core.Params, rcfg ReceiverConfig) (*Peer, error) {
+	if role != RoleA && role != RoleB {
+		return nil, errPeerRole
+	}
+	return newPeer(nil, sendConn, recvConn, role, p, rcfg)
+}
+
+func newPeer(closeLink func() error, sendConn, recvConn PacketConn, role PeerRole, p core.Params, rcfg ReceiverConfig) (*Peer, error) {
+	s, err := NewSender(sendConn, SenderConfig{Params: p, Metrics: rcfg.Metrics})
+	if err != nil {
+		if closeLink != nil {
+			closeLink()
+		}
 		return nil, err
 	}
 	rcfg.Params = p
-	r, err := NewReceiver(recvSub, rcfg)
+	r, err := NewReceiver(recvConn, rcfg)
 	if err != nil {
 		s.Close()
+		if closeLink != nil {
+			closeLink()
+		}
 		return nil, err
 	}
-	return &Peer{role: role, subs: subs, s: s, r: r}, nil
+	return &Peer{role: role, closeLink: closeLink, s: s, r: r}, nil
 }
 
 // Role returns this end's role.
@@ -91,10 +116,14 @@ func (p *Peer) SendStats() core.TxStats { return p.s.Stats() }
 // RecvStats returns the receiving direction's counters.
 func (p *Peer) RecvStats() core.RxStats { return p.r.Stats() }
 
-// Close stops both directions and the shared pump.
+// Close stops both directions, and the engine and conn when the peer
+// owns them (NewPeer); a peer on borrowed endpoints (NewPeerOn) only
+// detaches.
 func (p *Peer) Close() error {
 	p.closeOnce.Do(func() {
-		p.subs[0].Close()
+		if p.closeLink != nil {
+			p.closeLink()
+		}
 		p.s.Close()
 		p.r.Close()
 	})

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ghm/internal/core"
+	"ghm/internal/engine"
 	"ghm/internal/metrics"
 	"ghm/internal/trace"
 )
@@ -18,8 +19,10 @@ import (
 const defaultRetryInterval = 2 * time.Millisecond
 
 // deliveryBuffer is how many delivered messages Recv callers may lag
-// behind before the protocol loop applies backpressure (stops processing
-// packets, which stalls the transmitter — natural flow control).
+// behind before the station sheds inbound packets (see handlePacket):
+// with the buffer full, DATA is dropped as loss, no delivery commits, no
+// OK flows, and the stop-and-wait transmitter stalls — natural flow
+// control, paced by its retries.
 const deliveryBuffer = 16
 
 // ReceiverConfig parameterizes a Receiver session.
@@ -41,31 +44,56 @@ type ReceiverConfig struct {
 	// Metrics receives the station's runtime counters (the rx.* family);
 	// nil uses metrics.Default().
 	Metrics *metrics.Registry
+
+	// Deliver, when non-nil, replaces the Recv mailbox: every committed
+	// delivery is handed to it synchronously on the engine pump, in
+	// commit order. It must not block (a guaranteed-capacity channel
+	// push is the intended shape — pair it with Accept). Recv must not
+	// be used on a Deliver-mode receiver. This is how mux lanes feed the
+	// resequencer without a merge goroutine per lane.
+	Deliver func(msg []byte)
+	// Accept, when non-nil, gates packet processing: the handler asks it
+	// before running the protocol machine and sheds the packet as link
+	// loss on false. The default (mailbox mode) accepts while the
+	// delivery buffer has room.
+	Accept func() bool
 }
 
 // Receiver runs a protocol receiver over a PacketConn and hands delivered
 // messages to Recv in order, exactly once (up to the protocol's epsilon
 // and station crashes).
+//
+// The station has no goroutines of its own: inbound packets arrive as
+// engine-pump callbacks and the RETRY action rides the engine's shared
+// timer wheel, so lane and session counts no longer multiply goroutines.
 type Receiver struct {
-	conn PacketConn
-	tap  func(trace.Event)
-	m    receiverMetrics
+	io  stationIO
+	tap func(trace.Event)
+	m   receiverMetrics
 
-	mu   sync.Mutex // guards rx and last
-	rx   *core.Receiver
-	last core.RxStats // rx stats at the previous flush (delta baseline)
+	mu     sync.Mutex // guards rx, last, closed and the retry pacing state
+	rx     *core.Receiver
+	last   core.RxStats // rx stats at the previous flush (delta baseline)
+	closed bool
 
-	out chan []byte
+	out     chan []byte
+	deliver func([]byte)
+	accept  func() bool
 
-	arrivals atomic.Uint64 // packets seen; read by retryLoop for backoff
+	arrivals atomic.Uint64 // packets seen; read by retryTick for backoff
+
+	// Retry pacing (guarded by mu; retryTick is the only writer after New).
+	retry            *engine.Timer
+	interval         time.Duration
+	base, maxBackoff time.Duration
+	lastSeen         uint64
 
 	stop      chan struct{}
-	readDone  chan struct{}
-	retryDone chan struct{}
 	closeOnce sync.Once
 }
 
-// NewReceiver builds the receiver and starts its packet and retry loops.
+// NewReceiver builds the receiver, attaches it to conn's engine and
+// schedules its retry timer on the shared wheel.
 func NewReceiver(conn PacketConn, cfg ReceiverConfig) (*Receiver, error) {
 	rx, err := core.NewReceiver(cfg.Params)
 	if err != nil {
@@ -75,17 +103,36 @@ func NewReceiver(conn PacketConn, cfg ReceiverConfig) (*Receiver, error) {
 		cfg.RetryInterval = defaultRetryInterval
 	}
 	r := &Receiver{
-		conn:      conn,
-		tap:       cfg.Tap,
-		m:         newReceiverMetrics(cfg.Metrics),
-		rx:        rx,
-		out:       make(chan []byte, deliveryBuffer),
-		stop:      make(chan struct{}),
-		readDone:  make(chan struct{}),
-		retryDone: make(chan struct{}),
+		tap:        cfg.Tap,
+		m:          newReceiverMetrics(cfg.Metrics),
+		rx:         rx,
+		out:        make(chan []byte, deliveryBuffer),
+		deliver:    cfg.Deliver,
+		accept:     cfg.Accept,
+		interval:   cfg.RetryInterval,
+		base:       cfg.RetryInterval,
+		maxBackoff: cfg.RetryBackoffMax,
+		stop:       make(chan struct{}),
 	}
-	go r.readLoop()
-	go r.retryLoop(cfg.RetryInterval, cfg.RetryBackoffMax)
+	if r.accept == nil {
+		if r.deliver != nil {
+			r.accept = func() bool { return true }
+		} else {
+			// Single producer (the pump) means the length check cannot
+			// race into overflow: space observed here is still there at
+			// hand-off time.
+			r.accept = func() bool { return len(r.out) < cap(r.out) }
+		}
+	}
+	r.m.retryIntervalMS.Set(float64(r.interval) / float64(time.Millisecond))
+	r.io = stationEndpoint(conn, cfg.Metrics)
+	r.io.ep.SetHandler(r.handlePacket)
+	// Arm under mu: retryTick reads r.retry under the same lock, so the
+	// timer cannot observe the field before this assignment even if it
+	// fires immediately.
+	r.mu.Lock()
+	r.retry = r.io.ep.Wheel().AfterFunc(r.interval, r.retryTick)
+	r.mu.Unlock()
 	return r, nil
 }
 
@@ -125,6 +172,14 @@ func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
 		default:
 			return nil, ErrClosed
 		}
+	case <-r.io.ep.Dead():
+		// The conn died under us; drain what already committed.
+		select {
+		case m := <-r.out:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
 	}
 }
 
@@ -148,7 +203,8 @@ func (r *Receiver) Stats() core.RxStats {
 	return r.rx.Stats()
 }
 
-// Close stops both loops and waits for them.
+// Close stops the retry timer and detaches the station from its engine
+// (closing the conn when the station owns it — see stationEndpoint).
 //
 // Audit note (the symmetric check to the sender's abandoned-transfer
 // fix): the receiver keeps no waiter, so Close cannot strand one. A
@@ -159,126 +215,103 @@ func (r *Receiver) Stats() core.RxStats {
 // ever drains; those are counted as rx.deliveries_dropped.
 func (r *Receiver) Close() error {
 	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		r.retry.Stop()
 		close(r.stop)
-		r.conn.Close()
-		<-r.readDone
-		<-r.retryDone
+		r.io.close()
 	})
 	return nil
 }
 
-func (r *Receiver) readLoop() {
-	defer close(r.readDone)
-	var backoff *time.Timer // reused across transient faults (no per-error allocation)
-	defer func() {
-		if backoff != nil {
-			backoff.Stop()
-		}
-	}()
-	for {
-		p, err := r.conn.Recv()
-		if err != nil {
-			if isClosedErr(err) {
-				return
-			}
-			// Transient read fault (e.g. an ICMP-induced error while the
-			// peer host is down): indistinguishable from loss, so back off
-			// briefly and keep serving instead of dying.
-			r.m.ioRetries.Inc()
-			if backoff == nil {
-				backoff = time.NewTimer(transientIODelay)
-			} else {
-				// The timer has always fired and been drained by the time
-				// we get back here, so Reset is race-free.
-				backoff.Reset(transientIODelay)
-			}
-			select {
-			case <-backoff.C:
-				continue
-			case <-r.stop:
-				return
-			}
-		}
-		r.arrivals.Add(1)
-		r.mu.Lock()
-		out := r.rx.ReceivePacket(p)
-		r.m.packetsReceived.Inc()
-		// Deliveries are committed here, before the replies leave: a tap
-		// always observes receive_msg(m) before any OK it can cause.
-		for _, m := range out.Delivered {
-			r.emit(trace.KindReceiveMsg, string(m))
-		}
-		r.flushStats()
+// handlePacket is the engine-pump callback: one protocol round. It never
+// blocks — when the layer above has no room the packet is shed as link
+// loss before the machine runs, so no delivery commits and no OK flows;
+// the stop-and-wait transmitter stalls and its retries pace recovery.
+// (The pre-engine readLoop blocked on the session buffer instead, which
+// a shared pump cannot afford: one slow receiver would stall every
+// endpoint on the conn.)
+func (r *Receiver) handlePacket(p []byte) {
+	r.arrivals.Add(1)
+	if !r.accept() {
+		r.m.ingressShed.Inc()
+		return
+	}
+	r.mu.Lock()
+	if r.closed {
 		r.mu.Unlock()
+		return
+	}
+	out := r.rx.ReceivePacket(p)
+	r.m.packetsReceived.Inc()
+	// Deliveries are committed here, before the replies leave: a tap
+	// always observes receive_msg(m) before any OK it can cause.
+	for _, m := range out.Delivered {
+		r.emit(trace.KindReceiveMsg, string(m))
+	}
+	r.flushStats()
+	r.mu.Unlock()
 
-		for _, cp := range out.Packets {
-			if !sendTolerant(r.conn, cp) {
-				// Closed mid-reply with deliveries already committed: salvage
-				// what fits into the session buffer (post-Close Recv drains
-				// it) and count the rest as dropped, so delivered =
-				// drained + buffered + dropped still balances.
-				for i, m := range out.Delivered {
-					select {
-					case r.out <- m:
-					default:
-						r.m.deliveriesDropped.Add(int64(len(out.Delivered) - i))
-						return
-					}
-				}
-				return
-			}
+	for _, cp := range out.Packets {
+		if !sendTolerant(r.io.ep, cp) {
+			break // closed mid-reply; still hand over what committed
 		}
-		for i, m := range out.Delivered {
-			select {
-			case r.out <- m:
-			case <-r.stop:
-				// Close raced a committed delivery into the void; account
-				// for it so the books still balance (delivered =
-				// drained + buffered + dropped).
-				r.m.deliveriesDropped.Add(int64(len(out.Delivered) - i))
-				return
-			}
+	}
+	r.handoff(out.Delivered)
+}
+
+// handoff moves committed deliveries to the layer above. Accept reserved
+// the space before the machine ran (and the protocol delivers at most
+// one message per packet), so the pushes cannot block; the default
+// branch only fires if that invariant is ever broken, and keeps the
+// books balanced (delivered = drained + buffered + dropped) if it does.
+func (r *Receiver) handoff(delivered [][]byte) {
+	if r.deliver != nil {
+		for _, m := range delivered {
+			r.deliver(m)
+		}
+		return
+	}
+	for i, m := range delivered {
+		select {
+		case r.out <- m:
+		default:
+			r.m.deliveriesDropped.Add(int64(len(delivered) - i))
+			return
 		}
 	}
 }
 
-// retryLoop fires the RETRY action. With backoff disabled the interval is
-// fixed; with backoff enabled the interval doubles while the link is
-// silent (idle or blacked out) up to maxBackoff, and snaps back to base
-// on any packet arrival — retry traffic fades on dead links without
-// giving up the "infinitely often" the protocol needs.
-func (r *Receiver) retryLoop(base, maxBackoff time.Duration) {
-	defer close(r.retryDone)
-	interval := base
-	lastSeen := r.arrivals.Load()
-	timer := time.NewTimer(interval)
-	defer timer.Stop()
-	r.m.retryIntervalMS.Set(float64(interval) / float64(time.Millisecond))
-	for {
-		select {
-		case <-timer.C:
-			if n := r.arrivals.Load(); n != lastSeen {
-				lastSeen = n
-				interval = base
-			} else if maxBackoff > base {
-				interval *= 2
-				if interval > maxBackoff {
-					interval = maxBackoff
-				}
-			}
-			r.m.retries.Inc()
-			r.m.retryIntervalMS.Set(float64(interval) / float64(time.Millisecond))
-			r.mu.Lock()
-			out := r.rx.Retry()
-			r.flushStats()
-			r.mu.Unlock()
-			for _, p := range out.Packets {
-				if !sendTolerant(r.conn, p) {
-					return
-				}
-			}
-			timer.Reset(interval)
-		case <-r.stop:
+// retryTick fires the RETRY action on the engine's shared timer wheel
+// and re-arms itself. With backoff disabled the interval is fixed; with
+// backoff enabled the interval doubles while the link is silent (idle or
+// blacked out) up to maxBackoff, and snaps back to base on any packet
+// arrival — retry traffic fades on dead links without giving up the
+// "infinitely often" the protocol needs.
+func (r *Receiver) retryTick() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if n := r.arrivals.Load(); n != r.lastSeen {
+		r.lastSeen = n
+		r.interval = r.base
+	} else if r.maxBackoff > r.base {
+		r.interval *= 2
+		if r.interval > r.maxBackoff {
+			r.interval = r.maxBackoff
+		}
+	}
+	r.m.retries.Inc()
+	r.m.retryIntervalMS.Set(float64(r.interval) / float64(time.Millisecond))
+	out := r.rx.Retry()
+	r.flushStats()
+	r.retry.Reset(r.interval)
+	r.mu.Unlock()
+	for _, p := range out.Packets {
+		if !sendTolerant(r.io.ep, p) {
 			return
 		}
 	}

@@ -31,10 +31,14 @@ type SenderConfig struct {
 // exactly-once sends: Send returns nil only after the protocol's OK, i.e.
 // after the message was delivered (with probability at least 1-epsilon)
 // to the receiving station's higher layer.
+//
+// The station has no goroutine of its own: inbound packets arrive as
+// engine-pump callbacks (see stationEndpoint), so a thousand senders on
+// one conn still cost one read pump.
 type Sender struct {
-	conn PacketConn
-	tap  func(trace.Event)
-	m    senderMetrics
+	io  stationIO
+	tap func(trace.Event)
+	m   senderMetrics
 
 	mu     sync.Mutex // guards tx, waiter and last
 	tx     *core.Transmitter
@@ -44,25 +48,23 @@ type Sender struct {
 	sendMu sync.Mutex // serializes Send callers (Axiom 1)
 
 	stop      chan struct{}
-	done      chan struct{}
 	closeOnce sync.Once
 }
 
-// NewSender builds the transmitter and starts its receive loop on conn.
+// NewSender builds the transmitter and attaches it to conn's engine.
 func NewSender(conn PacketConn, cfg SenderConfig) (*Sender, error) {
 	tx, err := core.NewTransmitter(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("netlink: sender: %w", err)
 	}
 	s := &Sender{
-		conn: conn,
 		tap:  cfg.Tap,
 		m:    newSenderMetrics(cfg.Metrics),
 		tx:   tx,
 		stop: make(chan struct{}),
-		done: make(chan struct{}),
 	}
-	go s.recvLoop()
+	s.io = stationEndpoint(conn, cfg.Metrics)
+	s.io.ep.SetHandler(s.handlePacket)
 	return s, nil
 }
 
@@ -152,6 +154,16 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 	case <-s.stop:
 		s.abandon(w)
 		return ErrClosed
+	case <-s.io.ep.Closed():
+		// The endpoint was detached under us.
+		s.abandon(w)
+		return ErrClosed
+	case <-s.io.ep.Dead():
+		// The engine pump died — the conn is gone. The pre-engine loop
+		// would have left this Send parked until its context expired;
+		// surfacing ErrClosed is the strictly more live behaviour.
+		s.abandon(w)
+		return ErrClosed
 	}
 }
 
@@ -166,8 +178,8 @@ func (s *Sender) Crash() {
 	if w != nil {
 		// Whoever clears s.waiter under the lock owns the buffered channel
 		// exclusively, so this send cannot block and cannot double-resolve
-		// against a concurrent OK from recvLoop (see the interleaving tests
-		// in waiter_race_test.go).
+		// against a concurrent OK from the packet handler (see the
+		// interleaving tests in waiter_race_test.go).
 		s.m.abandoned.Inc()
 		w <- ErrCrashed
 	}
@@ -180,65 +192,39 @@ func (s *Sender) Stats() core.TxStats {
 	return s.tx.Stats()
 }
 
-// Close stops the receive loop and waits for it to exit. A pending Send
-// fails with ErrClosed and its transfer is abandoned via the same crash^T
+// Close detaches the station from its engine (closing the conn when the
+// station owns it — see stationEndpoint). A pending Send fails with
+// ErrClosed and its transfer is abandoned via the same crash^T
 // bookkeeping as a context cancellation, so no waiter survives Close to
 // be matched by a stale OK.
 func (s *Sender) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
-		s.conn.Close()
-		<-s.done
+		s.io.close()
 	})
 	return nil
 }
 
-func (s *Sender) recvLoop() {
-	defer close(s.done)
-	var backoff *time.Timer // reused across transient faults (no per-error allocation)
-	defer func() {
-		if backoff != nil {
-			backoff.Stop()
-		}
-	}()
-	for {
-		p, err := s.conn.Recv()
-		if err != nil {
-			if isClosedErr(err) {
-				return
-			}
-			// Transient read fault: back off briefly and keep serving.
-			s.m.ioRetries.Inc()
-			if backoff == nil {
-				backoff = time.NewTimer(transientIODelay)
-			} else {
-				// The timer has always fired and been drained by the time
-				// we get back here, so Reset is race-free.
-				backoff.Reset(transientIODelay)
-			}
-			select {
-			case <-backoff.C:
-				continue
-			case <-s.stop:
-				return
-			}
-		}
-		s.mu.Lock()
-		out := s.tx.ReceivePacket(p)
-		s.m.packetsReceived.Inc()
-		var w chan error
-		if out.OK {
-			s.emit(trace.KindOK, "")
-			w = s.waiter
-			s.waiter = nil
-		}
-		s.flushStats()
-		s.mu.Unlock()
+// handlePacket is the engine-pump callback: one protocol round. It must
+// not block — the waiter channel is buffered and owned exclusively by
+// whoever clears it under the lock, so the resolve cannot stall the
+// pump.
+func (s *Sender) handlePacket(p []byte) {
+	s.mu.Lock()
+	out := s.tx.ReceivePacket(p)
+	s.m.packetsReceived.Inc()
+	var w chan error
+	if out.OK {
+		s.emit(trace.KindOK, "")
+		w = s.waiter
+		s.waiter = nil
+	}
+	s.flushStats()
+	s.mu.Unlock()
 
-		s.transmit(out.Packets)
-		if w != nil {
-			w <- nil
-		}
+	s.transmit(out.Packets)
+	if w != nil {
+		w <- nil
 	}
 }
 
@@ -246,8 +232,8 @@ func (s *Sender) recvLoop() {
 // packet loss the protocol is built to tolerate.
 func (s *Sender) transmit(pkts [][]byte) {
 	for _, p := range pkts {
-		if !sendTolerant(s.conn, p) {
-			return // closed; the loop will notice
+		if !sendTolerant(s.io.ep, p) {
+			return // closed; the pump will notice
 		}
 	}
 }

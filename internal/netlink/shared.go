@@ -2,12 +2,9 @@ package netlink
 
 import (
 	"sync"
-	"time"
-)
 
-// sharedViewBuffer is how many inbound packets a view buffers before the
-// pump drops overflow — the link is lossy anyway, so drops are just loss.
-const sharedViewBuffer = 64
+	"ghm/internal/engine"
+)
 
 // SharedConn multiplexes one long-lived PacketConn across a sequence of
 // short-lived station incarnations. A station's Close tears down its conn
@@ -17,80 +14,44 @@ const sharedViewBuffer = 64
 // SharedConn keeps the real conn open and hands out lightweight views via
 // Attach; closing a view detaches it without touching the link.
 //
-// Only the most recently attached view receives inbound packets: earlier
-// incarnations are dead by definition, and the paper's crash model wants
-// their state (including queued packets) erased. WedgeCurrent simulates a
-// half-dead endpoint — the current view's sends vanish and it receives
-// nothing, while the conn itself stays healthy for the next Attach — the
-// failure mode a progress watchdog exists to catch.
+// SharedConn is a thin skin over a raw-mode runtime engine: Attach is
+// endpoint re-registration, so only the most recently attached view
+// receives inbound packets — earlier incarnations are dead by
+// definition, and the paper's crash model wants their state (including
+// queued packets) erased. WedgeCurrent simulates a half-dead endpoint —
+// the current view's sends vanish and it receives nothing, while the
+// conn itself stays healthy for the next Attach — the failure mode a
+// progress watchdog exists to catch.
 type SharedConn struct {
-	under PacketConn
+	eng *engine.Engine
 
 	mu     sync.Mutex
 	cur    *sharedView
 	closed bool
-
-	stop chan struct{}
-	done chan struct{}
 }
 
-// NewSharedConn wraps under and starts the receive pump. Close the
-// SharedConn (not the views) to release under.
+// NewSharedConn wraps under in a raw engine (one pump, no framing — the
+// wire format is untouched). Close the SharedConn (not the views) to
+// release under.
 func NewSharedConn(under PacketConn) *SharedConn {
-	s := &SharedConn{
-		under: under,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-	}
-	go s.pump()
-	return s
-}
-
-// pump moves inbound packets to the live view. A nil or wedged view — or
-// a full buffer — drops the packet: indistinguishable from link loss, and
-// the protocol is built for that.
-func (s *SharedConn) pump() {
-	defer close(s.done)
-	for {
-		p, err := s.under.Recv()
-		if err != nil {
-			if isClosedErr(err) {
-				return
-			}
-			select {
-			case <-s.stop:
-				return
-			case <-time.After(transientIODelay):
-			}
-			continue
-		}
-		s.mu.Lock()
-		v := s.cur
-		s.mu.Unlock()
-		if v == nil || v.wedged() {
-			continue
-		}
-		select {
-		case v.in <- p:
-		default: // view not draining; shed as loss
-		}
-	}
+	return &SharedConn{eng: engine.New(under, engineConfig(nil, true, 1))}
 }
 
 // Attach hands out a fresh view and routes all subsequent inbound traffic
-// to it. Any previous view stops receiving. The signature matches what a
-// supervisor's Start callback needs.
+// to it. Any previous view stops receiving (but its sends still reach the
+// conn until it is closed). The signature matches what a supervisor's
+// Start callback needs.
 func (s *SharedConn) Attach() (PacketConn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	v := &sharedView{
-		parent: s,
-		in:     make(chan []byte, sharedViewBuffer),
-		closed: make(chan struct{}),
+	ep, err := s.eng.Endpoint(0)
+	if err != nil {
+		return nil, ErrClosed
 	}
+	v := &sharedView{ep: ep}
 	s.cur = v
 	return v, nil
 }
@@ -104,7 +65,7 @@ func (s *SharedConn) WedgeCurrent() {
 	v := s.cur
 	s.mu.Unlock()
 	if v != nil {
-		v.wedge()
+		v.ep.Wedge(true)
 	}
 }
 
@@ -112,90 +73,31 @@ func (s *SharedConn) WedgeCurrent() {
 // view's Recv with ErrClosed.
 func (s *SharedConn) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		<-s.done
-		return nil
-	}
 	s.closed = true
 	s.cur = nil
 	s.mu.Unlock()
-	close(s.stop)
-	err := s.under.Close()
-	<-s.done
-	return err
+	return s.eng.Close()
 }
 
-// detach clears v as the live view if it still is.
-func (s *SharedConn) detach(v *sharedView) {
-	s.mu.Lock()
-	if s.cur == v {
-		s.cur = nil
-	}
-	s.mu.Unlock()
-}
-
-// sharedView is one incarnation's window onto the shared conn.
+// sharedView is one incarnation's window onto the shared conn: a plain
+// engine endpoint whose Close detaches instead of closing the link.
 type sharedView struct {
-	parent *SharedConn
-	in     chan []byte
-
-	mu      sync.Mutex
-	isWedge bool
-	isClose bool
-	closed  chan struct{}
+	ep *engine.Endpoint
 }
 
-func (v *sharedView) wedge() {
-	v.mu.Lock()
-	v.isWedge = true
-	v.mu.Unlock()
-}
-
-func (v *sharedView) wedged() bool {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.isWedge
-}
+var _ PacketConn = (*sharedView)(nil)
 
 // Send forwards to the shared conn; a wedged view swallows the packet
 // (loss, not error — that is the point of a wedge).
-func (v *sharedView) Send(p []byte) error {
-	v.mu.Lock()
-	closed, wedged := v.isClose, v.isWedge
-	v.mu.Unlock()
-	if closed {
-		return ErrClosed
-	}
-	if wedged {
-		return nil
-	}
-	return v.parent.under.Send(p)
-}
+func (v *sharedView) Send(p []byte) error { return v.ep.Send(p) }
 
 // Recv blocks for the next packet routed to this view.
-func (v *sharedView) Recv() ([]byte, error) {
-	select {
-	case p := <-v.in:
-		return p, nil
-	case <-v.closed:
-		return nil, ErrClosed
-	case <-v.parent.stop:
-		return nil, ErrClosed
-	}
-}
+func (v *sharedView) Recv() ([]byte, error) { return v.ep.Recv() }
 
 // Close detaches the view; the shared conn stays open for the next
 // Attach.
-func (v *sharedView) Close() error {
-	v.mu.Lock()
-	if v.isClose {
-		v.mu.Unlock()
-		return nil
-	}
-	v.isClose = true
-	close(v.closed)
-	v.mu.Unlock()
-	v.parent.detach(v)
-	return nil
-}
+func (v *sharedView) Close() error { return v.ep.Close() }
+
+// engineEndpoint lets stations built on this view attach to the engine
+// directly (see stationEndpoint).
+func (v *sharedView) engineEndpoint() *engine.Endpoint { return v.ep }

@@ -28,6 +28,24 @@ func recvWithTimeout(t *testing.T, c PacketConn) ([]byte, error) {
 	}
 }
 
+// expectSilence asserts no packet reaches c within d. The probe
+// goroutine stays parked on Recv until the test closes the conn (every
+// caller defers a close that unblocks it).
+func expectSilence(t *testing.T, c PacketConn, d time.Duration) {
+	t.Helper()
+	ch := make(chan []byte, 1)
+	go func() {
+		if p, err := c.Recv(); err == nil {
+			ch <- p
+		}
+	}()
+	select {
+	case p := <-ch:
+		t.Fatalf("expected silence, received %q", p)
+	case <-time.After(d):
+	}
+}
+
 // pumpConn drains c into a channel so one test can interleave "expect a
 // packet" and "expect silence" checks without goroutines stealing reads.
 func pumpConn(c PacketConn) <-chan []byte {
@@ -79,11 +97,7 @@ func TestSharedConnRoutesToCurrentView(t *testing.T) {
 	if p, err := recvWithTimeout(t, v2); err != nil || !bytes.Equal(p, []byte("to-v2")) {
 		t.Fatalf("second view got %q, %v", p, err)
 	}
-	select {
-	case p := <-v1.(*sharedView).in:
-		t.Fatalf("stale view received %q", p)
-	default:
-	}
+	expectSilence(t, v1, 30*time.Millisecond)
 }
 
 func TestSharedViewCloseDetachesWithoutClosingLink(t *testing.T) {
@@ -140,12 +154,7 @@ func TestSharedConnWedge(t *testing.T) {
 	if err := b.Send([]byte("unseen")); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
-	select {
-	case p := <-v1.(*sharedView).in:
-		t.Fatalf("wedged view received %q", p)
-	default:
-	}
+	expectSilence(t, v1, 30*time.Millisecond)
 
 	// A fresh Attach is unwedged in both directions.
 	v2, _ := s.Attach()

@@ -2,108 +2,71 @@ package netlink
 
 import (
 	"errors"
-	"sync"
+
+	"ghm/internal/engine"
+	"ghm/internal/metrics"
 )
 
-// MaxSplit bounds the sub-connection count of Split (the tag is one byte,
-// but small counts keep the ingress buffers honest).
+// MaxSplit bounds the sub-connection count of Split. Ids below 128 frame
+// as a single byte, so the engine's uvarint endpoint id is
+// wire-identical to the one-byte tag the pre-engine Split used.
 const MaxSplit = 64
 
 var errSplitCount = errors.New("netlink: split count must be in [1, MaxSplit]")
 
 // Split multiplexes one PacketConn into n independent sub-connections by
-// a one-byte tag prefix. Both endpoints of a link must split with the
+// an endpoint-id prefix. Both endpoints of a link must split with the
 // same n; sub-connection i of one side talks to sub-connection i of the
 // other.
 //
-// A single pump goroutine owns the underlying Recv; packets with an
-// out-of-range tag are dropped like line noise. Closing any
-// sub-connection closes the pump and the underlying conn (they share a
-// lifetime, exactly like the two ends of a Pipe).
+// The sub-connections are thin views over one runtime engine: a single
+// pump goroutine owns the underlying Recv, and packets with an
+// out-of-range id — or overflowing a sub-connection's ingress buffer —
+// are dropped like line noise, counted under link.demux_dropped /
+// link.overflow_dropped. Closing any sub-connection closes the engine
+// and the underlying conn (they share a lifetime, exactly like the two
+// ends of a Pipe).
 func Split(conn PacketConn, n int) ([]PacketConn, error) {
+	return SplitMetrics(conn, n, nil)
+}
+
+// SplitMetrics is Split with an explicit registry for the engine's drop
+// accounting (nil uses metrics.Default()).
+func SplitMetrics(conn PacketConn, n int, reg *metrics.Registry) ([]PacketConn, error) {
 	if n < 1 || n > MaxSplit {
 		return nil, errSplitCount
 	}
-	d := &splitter{
-		conn: conn,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
-	}
-	for i := 0; i < n; i++ {
-		// Per-sub-conn ingress buffer; overflow is dropped, which the
-		// protocol running above tolerates as loss.
-		d.boxes = append(d.boxes, make(chan []byte, 64))
-	}
-	go d.pump()
+	eng := NewEngine(conn, n, reg)
 	subs := make([]PacketConn, n)
 	for i := range subs {
-		subs[i] = &splitConn{d: d, tag: byte(i)}
+		ep, err := eng.Endpoint(i)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		subs[i] = &splitConn{eng: eng, ep: ep}
 	}
 	return subs, nil
 }
 
-// splitter owns the shared pump of a Split.
-type splitter struct {
-	conn  PacketConn
-	boxes []chan []byte
-	stop  chan struct{}
-	done  chan struct{}
-	once  sync.Once
-}
-
-func (d *splitter) pump() {
-	defer close(d.done)
-	for {
-		p, err := d.conn.Recv()
-		if err != nil {
-			return
-		}
-		if len(p) == 0 || int(p[0]) >= len(d.boxes) {
-			continue
-		}
-		select {
-		case d.boxes[p[0]] <- p[1:]:
-		default:
-		}
-	}
-}
-
-func (d *splitter) close() {
-	d.once.Do(func() {
-		close(d.stop)
-		d.conn.Close()
-		<-d.done
-	})
-}
-
-// splitConn is one tagged sub-connection.
+// splitConn is one sub-connection: a view over an engine endpoint.
 type splitConn struct {
-	d   *splitter
-	tag byte
+	eng *engine.Engine
+	ep  *engine.Endpoint
 }
 
 var _ PacketConn = (*splitConn)(nil)
 
 // Send implements PacketConn.
-func (s *splitConn) Send(p []byte) error {
-	tagged := make([]byte, 1+len(p))
-	tagged[0] = s.tag
-	copy(tagged[1:], p)
-	return s.d.conn.Send(tagged)
-}
+func (s *splitConn) Send(p []byte) error { return s.ep.Send(p) }
 
 // Recv implements PacketConn.
-func (s *splitConn) Recv() ([]byte, error) {
-	select {
-	case p := <-s.d.boxes[s.tag]:
-		return p, nil
-	case <-s.d.stop:
-		return nil, ErrClosed
-	}
-}
+func (s *splitConn) Recv() ([]byte, error) { return s.ep.Recv() }
 
-// Close implements PacketConn; sub-connections share the pump's lifetime.
-func (s *splitConn) Close() error {
-	s.d.close()
-	return nil
-}
+// Close implements PacketConn; sub-connections share the engine's
+// lifetime, so closing any of them closes the pump and the conn.
+func (s *splitConn) Close() error { return s.eng.Close() }
+
+// engineEndpoint lets stations built on this sub-connection attach to
+// the engine directly (see stationEndpoint).
+func (s *splitConn) engineEndpoint() *engine.Endpoint { return s.ep }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"ghm/internal/metrics"
 )
 
 func TestSplitValidation(t *testing.T) {
@@ -109,5 +111,60 @@ func TestSplitCloseCascades(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("sibling Recv did not unblock")
+	}
+}
+
+func TestSplitCountsDemuxDrops(t *testing.T) {
+	a, b := Pipe(PipeConfig{Seed: 66})
+	defer a.Close()
+	reg := metrics.New()
+	subsB, err := SplitMetrics(b, 2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subsB[0].Close()
+
+	// An out-of-range tag, an empty (unparsable) frame, then a valid
+	// packet: the garbage must be counted, not silently swallowed.
+	if err := a.Send([]byte{9, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send([]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(append([]byte{1}, []byte("good")...)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := subsB[1].Recv(); err != nil || !bytes.Equal(got, []byte("good")) {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+	waitCounter(t, reg, "link.demux_dropped", 2)
+}
+
+func TestSplitCountsOverflowDrops(t *testing.T) {
+	a, b := Pipe(PipeConfig{Seed: 67})
+	defer a.Close()
+	reg := metrics.New()
+	subsB, err := SplitMetrics(b, 2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subsB[0].Close()
+
+	// Nothing reads lane 0, so its ingress mailbox (engine default 64)
+	// fills and the excess is shed as counted link loss.
+	const n = 80
+	for i := 0; i < n; i++ {
+		if err := a.Send(append([]byte{0}, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCounter(t, reg, "link.overflow_dropped", 1)
+	snap := reg.Snapshot()
+	if g := snap.Gauges["link.ep0.overflow_dropped"]; g < 1 {
+		t.Fatalf("per-endpoint overflow gauge = %v, want >= 1", g)
+	}
+	if g := snap.Gauges["link.ep1.overflow_dropped"]; g != 0 {
+		t.Fatalf("idle endpoint overflow gauge = %v, want 0", g)
 	}
 }

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	mathrand "math/rand"
+	"testing"
+
+	"ghm/internal/bitstr"
+)
+
+// TestCodecAllocBudget pins the codec's per-packet allocation budget so
+// hot-path regressions fail loudly:
+//
+//   - AppendData/AppendCtl into a buffer with capacity: 0 allocs — the
+//     form the engine's pooled send path uses.
+//   - Encode: exactly the one output-slice allocation.
+//   - DecodeData/DecodeCtl: 2 allocs (one bit-string header each for rho
+//     and tau; Msg aliases the input).
+func TestCodecAllocBudget(t *testing.T) {
+	src := bitstr.NewMathSource(mathrand.New(mathrand.NewSource(1)))
+	rho, tau := src.Draw(64), src.Draw(64)
+	d := Data{Msg: []byte("0123456789abcdef0123456789abcdef"), Rho: rho, Tau: tau}
+	c := Ctl{Rho: rho, Tau: tau, I: 7}
+	dp, cp := d.Encode(), c.Encode()
+
+	buf := make([]byte, 0, 512)
+	check := func(name string, want float64, fn func()) {
+		t.Helper()
+		if got := testing.AllocsPerRun(200, fn); got > want {
+			t.Errorf("%s: %v allocs/op, budget %v", name, got, want)
+		}
+	}
+	check("AppendData", 0, func() { buf = AppendData(buf[:0], d) })
+	check("AppendCtl", 0, func() { buf = AppendCtl(buf[:0], c) })
+	check("Data.Encode", 1, func() { d.Encode() })
+	check("Ctl.Encode", 1, func() { c.Encode() })
+	check("DecodeData", 2, func() {
+		if _, err := DecodeData(dp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("DecodeCtl", 2, func() {
+		if _, err := DecodeCtl(cp); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Append output must byte-for-byte match Encode (one encoding per
+	// value is a protocol invariant the receiver relies on).
+	if string(AppendData(nil, d)) != string(dp) || string(AppendCtl(nil, c)) != string(cp) {
+		t.Fatal("Append and Encode disagree")
+	}
+}

@@ -58,12 +58,18 @@ type Ctl struct {
 
 // Encode serializes d.
 func (d Data) Encode() []byte {
-	buf := make([]byte, 0, d.size())
-	buf = append(buf, byte(KindData))
-	buf = appendBytes(buf, d.Msg)
-	buf = d.Rho.AppendWire(buf)
-	buf = d.Tau.AppendWire(buf)
-	return buf
+	return AppendData(make([]byte, 0, d.size()), d)
+}
+
+// AppendData appends d's encoding to dst and returns the extended slice.
+// With sufficient capacity in dst it does not allocate — the hot-path
+// form for pooled packet buffers (guarded by testing.AllocsPerRun).
+func AppendData(dst []byte, d Data) []byte {
+	dst = append(dst, byte(KindData))
+	dst = appendBytes(dst, d.Msg)
+	dst = d.Rho.AppendWire(dst)
+	dst = d.Tau.AppendWire(dst)
+	return dst
 }
 
 func (d Data) size() int {
@@ -72,12 +78,17 @@ func (d Data) size() int {
 
 // Encode serializes c.
 func (c Ctl) Encode() []byte {
-	buf := make([]byte, 0, c.size())
-	buf = append(buf, byte(KindCtl))
-	buf = c.Rho.AppendWire(buf)
-	buf = c.Tau.AppendWire(buf)
-	buf = binary.AppendUvarint(buf, c.I)
-	return buf
+	return AppendCtl(make([]byte, 0, c.size()), c)
+}
+
+// AppendCtl appends c's encoding to dst and returns the extended slice.
+// With sufficient capacity in dst it does not allocate.
+func AppendCtl(dst []byte, c Ctl) []byte {
+	dst = append(dst, byte(KindCtl))
+	dst = c.Rho.AppendWire(dst)
+	dst = c.Tau.AppendWire(dst)
+	dst = binary.AppendUvarint(dst, c.I)
+	return dst
 }
 
 func (c Ctl) size() int {
