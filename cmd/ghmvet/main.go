@@ -1,0 +1,133 @@
+// Command ghmvet runs the ghm-specific analyzers (see internal/lint)
+// over the module. It speaks two dialects:
+//
+// Standalone, for humans and CI:
+//
+//	go run ./cmd/ghmvet ./...
+//	go run ./cmd/ghmvet -only wheelclock,metricname ./internal/netlink
+//
+// And the cmd/go vettool protocol, so the same binary slots into the
+// build graph with caching and test-variant coverage:
+//
+//	go build -o ghmvet ./cmd/ghmvet
+//	go vet -vettool=$(pwd)/ghmvet ./...
+//
+// The vettool protocol (reverse-engineered from cmd/go/internal/work,
+// since this module takes no dependency on x/tools/go/analysis) has
+// three calls: `ghmvet -V=full` must print a version line ending in a
+// content buildID, `ghmvet -flags` must print a JSON description of the
+// tool's flags, and the real run is `ghmvet [vetflags] <objdir>/vet.cfg`
+// where vet.cfg is a JSON build unit. Findings go to stderr and exit
+// status 2, like vet itself.
+//
+// Exit codes, standalone mode: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghm/internal/lint"
+	"ghm/internal/lint/analysis"
+	"ghm/internal/lint/loader"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go protocol probes. These must be handled before flag parsing:
+	// cmd/go invokes them with exactly one argument.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No analyzer flags are exposed through go vet; subset selection
+		// is a standalone-mode affair.
+		fmt.Println("[]")
+		return
+	}
+
+	// Unitchecker mode: the last argument is the vet.cfg path; anything
+	// before it is vet flags cmd/go decided to pass (e.g. -unsafeptr=false
+	// for GOROOT packages), none of which concern these analyzers.
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		os.Exit(unitcheck(args[len(args)-1]))
+	}
+
+	os.Exit(standalone(args))
+}
+
+// printVersion answers `ghmvet -V=full`. cmd/go requires the form
+// `<name> version devel ... buildID=<hex>` and uses the buildID as the
+// tool's cache fingerprint, so it must change when the binary changes:
+// the sha256 of the executable is exactly that.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h.Write(data)
+		}
+	}
+	fmt.Printf("ghmvet version devel ghm-analyzers buildID=%02x\n", h.Sum(nil))
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("ghmvet", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ghmvet [-only a,b] [-list] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-20s %s\n", a.Name, summary)
+		}
+		return 0
+	}
+	if *only != "" {
+		names := strings.Split(*only, ",")
+		analyzers = lint.ByName(names)
+		if len(analyzers) != len(names) {
+			fmt.Fprintf(os.Stderr, "ghmvet: unknown analyzer in -only=%s (use -list)\n", *only)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghmvet: %v\n", err)
+		return 2
+	}
+
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(analyzers, pkg.Fset, pkg.Syntax, pkg.Types, pkg.Info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghmvet: %s: %v\n", pkg.ImportPath, err)
+			return 2
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}

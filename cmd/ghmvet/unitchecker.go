@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"ghm/internal/lint"
+	"ghm/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON build unit cmd/go writes to
+// <objdir>/vet.cfg before invoking the vet tool (see vetConfig in
+// cmd/go/internal/work/exec.go). Fields this tool does not consume are
+// omitted from the struct; encoding/json skips them on decode.
+type vetConfig struct {
+	ID          string            // package ID, e.g. "ghm/internal/engine [ghm.test]"
+	Compiler    string            // "gc"
+	Dir         string            // package directory
+	ImportPath  string            // canonical import path
+	GoFiles     []string          // absolute paths
+	ImportMap   map[string]string // source import path -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	GoVersion   string            // e.g. "go1.22"
+	VetxOnly    bool              // dependency pass: compute facts only, report nothing
+	VetxOutput  string            // where to write facts (enables cmd/go caching)
+	Standard    map[string]bool
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the suite on one build unit. Exit status follows vet:
+// 0 clean, 1 tool/typecheck error, 2 findings.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghmvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ghmvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Write the vetx output first: cmd/go caches the unit on its
+	// presence, and the ghmvet analyzers are per-package (no
+	// cross-package facts), so the file carries a constant marker.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("ghmvet vetx v1\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ghmvet: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency passes exist only to produce facts; with no facts to
+	// produce there is nothing to do. This also skips type-checking the
+	// standard library, which go vet hands us as VetxOnly units.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "ghmvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Two-layer importer, as in the x/tools unitchecker: the outer layer
+	// rewrites source import paths through ImportMap (test-variant and
+	// vendor indirection), the inner gc importer reads export data from
+	// the files cmd/go listed in PackageFile.
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImp.Import(path)
+	})
+
+	info := analysis.NewInfo()
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ghmvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.Run(lint.All(), fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghmvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ghm"
+	"ghm/internal/testutil"
 )
 
 func TestEndpointSlotsAreIndependent(t *testing.T) {
@@ -233,6 +234,7 @@ func countPumps() int {
 // conn — four conns, four pumps — where the pre-engine stack spawned
 // goroutines per lane and per station.
 func TestGoroutineBudget(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	base := countPumps()
 	baseGoroutines := runtime.NumGoroutine()
 

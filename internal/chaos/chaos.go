@@ -248,6 +248,22 @@ type Targets struct {
 	Metrics *metrics.Registry
 }
 
+// The chaos.* metric names, declared constants per the metricname
+// invariant: the conformance checks cross-check injected-vs-observed
+// counts by exact name, so a typo'd literal would silently break them.
+const (
+	mChaosCrashTInjected    = "chaos.crash_t_injected"
+	mChaosCrashRInjected    = "chaos.crash_r_injected"
+	mChaosBlackoutsInjected = "chaos.blackouts_injected"
+	mChaosLossRampsInjected = "chaos.loss_ramps_injected"
+	mChaosWedgesInjected    = "chaos.wedges_injected"
+	mChaosLossCurrent       = "chaos.loss_current"
+
+	mChaosSends     = "chaos.sends"
+	mChaosAbandoned = "chaos.abandoned"
+	mChaosDelivered = "chaos.delivered"
+)
+
 // Run executes the scenario's timeline in real time against t, returning
 // when the timeline completes or ctx ends. Actions fire in At order from
 // the moment Run is called.
@@ -257,12 +273,12 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 		reg = metrics.Default()
 	}
 	var (
-		crashTInjected   = reg.Counter("chaos.crash_t_injected")
-		crashRInjected   = reg.Counter("chaos.crash_r_injected")
-		blackoutInjected = reg.Counter("chaos.blackouts_injected")
-		rampInjected     = reg.Counter("chaos.loss_ramps_injected")
-		wedgeInjected    = reg.Counter("chaos.wedges_injected")
-		lossCurrent      = reg.Gauge("chaos.loss_current")
+		crashTInjected   = reg.Counter(mChaosCrashTInjected)
+		crashRInjected   = reg.Counter(mChaosCrashRInjected)
+		blackoutInjected = reg.Counter(mChaosBlackoutsInjected)
+		rampInjected     = reg.Counter(mChaosLossRampsInjected)
+		wedgeInjected    = reg.Counter(mChaosWedgesInjected)
+		lossCurrent      = reg.Gauge(mChaosLossCurrent)
 	)
 	lossCurrent.Set(sc.Link.Loss)
 

@@ -157,9 +157,9 @@ func Soak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 	}()
 
 	var (
-		sendsCtr     = reg.Counter("chaos.sends")
-		abandonedCtr = reg.Counter("chaos.abandoned")
-		deliveredCtr = reg.Counter("chaos.delivered")
+		sendsCtr     = reg.Counter(mChaosSends)
+		abandonedCtr = reg.Counter(mChaosAbandoned)
+		deliveredCtr = reg.Counter(mChaosDelivered)
 	)
 	var res SoakResult
 	timelineDone := false

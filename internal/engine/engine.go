@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,19 @@ var ErrClosed = errors.New("engine: closed")
 // shed as link loss (and counted), exactly what the protocol above is
 // built for.
 const defaultBuffer = 64
+
+// Engine metric name suffixes; full names are the engine's registry
+// prefix (default "link") plus one of these. They are declared constants
+// because the registry creates metrics on first use — a typo'd literal
+// silently forks a counter (enforced by the metricname analyzer).
+const (
+	mDemuxDropped    = ".demux_dropped"
+	mOverflowDropped = ".overflow_dropped"
+	mIORetries       = ".io_retries"
+	// mEpSegment builds the per-endpoint overflow gauge name:
+	// <prefix>.ep<id><mOverflowDropped>.
+	mEpSegment = ".ep"
+)
 
 // Conn is the transport an Engine owns: an unreliable datagram
 // endpoint, structurally identical to netlink.PacketConn. Send must not
@@ -148,9 +162,9 @@ func New(conn Conn, cfg Config) *Engine {
 		cfg:             cfg,
 		reg:             reg,
 		prefix:          prefix,
-		demuxDropped:    reg.Counter(prefix + ".demux_dropped"),
-		overflowDropped: reg.Counter(prefix + ".overflow_dropped"),
-		ioRetries:       reg.Counter(prefix + ".io_retries"),
+		demuxDropped:    reg.Counter(prefix + mDemuxDropped),
+		overflowDropped: reg.Counter(prefix + mOverflowDropped),
+		ioRetries:       reg.Counter(prefix + mIORetries),
 		slots:           make([]slot, cfg.MaxEndpoints),
 		stop:            make(chan struct{}),
 		dead:            make(chan struct{}),
@@ -190,7 +204,7 @@ func (e *Engine) Endpoint(id int) (*Endpoint, error) {
 	s.ep.Store(ep)
 	if !e.cfg.Raw {
 		s.gaugeOnce.Do(func() {
-			e.reg.GaugeFunc(fmt.Sprintf("%s.ep%d.overflow_dropped", e.prefix, id),
+			e.reg.GaugeFunc(e.prefix+mEpSegment+strconv.Itoa(id)+mOverflowDropped,
 				func() float64 { return float64(s.overflow.Load()) })
 		})
 	}
@@ -214,7 +228,11 @@ func (e *Engine) Close() error {
 func (e *Engine) pump() {
 	defer close(e.done)
 	defer close(e.dead)
-	var backoff *time.Timer // reused across transient faults
+	// Transient-fault backoff rides the shared wheel: one reusable wheel
+	// timer signals wake, so pacing costs no runtime timer and stays
+	// under the wheel's accounting like every other retry in the system.
+	wake := make(chan struct{}, 1)
+	var backoff *Timer // reused across transient faults
 	defer func() {
 		if backoff != nil {
 			backoff.Stop()
@@ -230,14 +248,19 @@ func (e *Engine) pump() {
 			// off briefly and keep serving instead of dying.
 			e.ioRetries.Inc()
 			if backoff == nil {
-				backoff = time.NewTimer(e.cfg.TransientDelay)
+				backoff = e.cfg.Wheel.AfterFunc(e.cfg.TransientDelay, func() {
+					select {
+					case wake <- struct{}{}:
+					default:
+					}
+				})
 			} else {
-				// The timer has always fired and been drained by the time
-				// we get back here, so Reset is race-free.
+				// The timer has always fired and wake been drained by the
+				// time we get back here, so Reset is race-free.
 				backoff.Reset(e.cfg.TransientDelay)
 			}
 			select {
-			case <-backoff.C:
+			case <-wake:
 				continue
 			case <-e.stop:
 				return

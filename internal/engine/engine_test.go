@@ -165,8 +165,8 @@ func TestDemuxDropAccounting(t *testing.T) {
 	defer e.Close()
 	dropped := reg.Counter("link.demux_dropped")
 
-	conn.in <- []byte{}                 // unparsable frame
-	conn.inject(1, []byte("no-owner")) // valid id, nothing attached
+	conn.in <- []byte{}                      // unparsable frame
+	conn.inject(1, []byte("no-owner"))       // valid id, nothing attached
 	conn.in <- binary.AppendUvarint(nil, 99) // id out of range
 	waitCounterAtLeast(t, dropped, 3)
 

@@ -1,0 +1,12 @@
+package engine
+
+import (
+	"testing"
+
+	"ghm/internal/testutil"
+)
+
+// TestMain arms the goroutine-leak guard for the whole suite: the
+// engine's reason to exist is the bounded goroutine budget, so a test
+// that leaks a pump fails the package.
+func TestMain(m *testing.M) { testutil.Main(m) }

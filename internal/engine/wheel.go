@@ -136,6 +136,7 @@ func (w *Wheel) Stop() {
 
 func (w *Wheel) run() {
 	defer close(w.done)
+	//lint:allow wheelclock the wheel's own ticker is the clock source every other timer rides
 	tk := time.NewTicker(w.tick)
 	defer tk.Stop()
 	start := time.Now()

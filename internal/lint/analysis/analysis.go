@@ -1,0 +1,215 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library because this repository takes no external dependencies. It
+// defines the Analyzer/Pass/Diagnostic vocabulary the ghmvet suite is
+// written against, plus the //lint:allow suppression directive shared by
+// every driver (the standalone ghmvet binary, the go vet -vettool
+// unitchecker mode, and the linttest fixture harness).
+//
+// The deliberate omissions relative to x/tools are cross-package facts
+// and the Requires graph: every ghmvet analyzer is a single pure
+// per-package pass, which keeps the drivers trivial and the analyzers
+// honest about what they can see.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags and
+	// //lint:allow directives. It must look like an identifier.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary,
+	// the rest explains the invariant the check enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report/Reportf. A returned error aborts the whole run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report emits a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a finding with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The ghmvet
+// analyzers enforce runtime and protocol invariants on production code;
+// tests routinely (and legitimately) sleep, block and hand-roll metric
+// names, so every analyzer exempts them uniformly through this helper.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos      token.Pos
+	line     int
+	file     string
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// AllowPrefix is the comment prefix of a suppression directive. The full
+// form is:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// It suppresses diagnostics of the named analyzer on the same line, or —
+// when the directive stands on a line of its own — on the next line.
+// The reason is mandatory: a suppression without a recorded why is how
+// invariants rot. Directives that suppress nothing are themselves
+// reported, so stale allowances cannot accumulate.
+const AllowPrefix = "//lint:allow"
+
+// parseDirectives extracts every //lint:allow directive from files.
+// Malformed directives (missing analyzer or reason) are reported
+// immediately via report.
+func parseDirectives(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*directive {
+	var ds []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintdirective",
+						Message:  "malformed directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				ds = append(ds, &directive{
+					pos:      c.Pos(),
+					line:     posn.Line,
+					file:     posn.Filename,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// Run applies every analyzer to one type-checked package and returns the
+// surviving diagnostics, sorted by position: //lint:allow directives have
+// been applied, and unused directives naming an analyzer that ran are
+// reported as findings in their own right.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+
+	directives := parseDirectives(fset, files, collect)
+
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    collect,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	// Apply suppressions: a directive covers diagnostics of its analyzer
+	// on its own line and on the following line (for directives placed
+	// above the offending statement).
+	var kept []Diagnostic
+	for _, d := range raw {
+		posn := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range directives {
+			if dir.analyzer != d.Analyzer || dir.file != posn.Filename {
+				continue
+			}
+			if dir.line == posn.Line || dir.line == posn.Line-1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	// A directive that suppressed nothing — for an analyzer that
+	// actually ran — is stale and must go.
+	for _, dir := range directives {
+		if !dir.used && ran[dir.analyzer] {
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: dir.analyzer,
+				Message:  fmt.Sprintf("unused //lint:allow %s directive (nothing to suppress here)", dir.analyzer),
+			})
+		}
+	}
+
+	sort.SliceStable(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// NewInfo returns a types.Info with every map an analyzer might consult
+// allocated, ready to hand to types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ghm/internal/lint/analysis"
+)
+
+// AtomicField catches mixed plain/atomic access to a struct field: if
+// any code in the package reaches a field through sync/atomic
+// (atomic.AddInt64(&s.f, ...)), every other access to that field must be
+// atomic too. A single plain load or store reintroduces exactly the data
+// race the atomics were bought to remove — and the race detector only
+// sees it when the schedule cooperates, which is why the rule is
+// enforced statically. Fields of type atomic.Int64 and friends are
+// immune by construction and need no checking.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: `a field accessed via sync/atomic must be accessed atomically everywhere
+
+For every field that appears as &x.f in a sync/atomic call somewhere in
+the package, any plain (non-atomic) read or write of the same field is
+reported. Mixed access is a data race the detector only finds when the
+schedule cooperates; prefer the typed atomics (atomic.Int64 etc.), which
+make mixed access unrepresentable.`,
+	Run: runAtomicField,
+}
+
+// atomicOpPrefixes match the sync/atomic package-level functions that
+// take a pointer to the word as their first argument.
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicOp(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector expression to the struct field it selects,
+// or nil when it selects something else (methods, package members).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func runAtomicField(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: collect the fields addressed by sync/atomic calls, and the
+	// exact &x.f nodes serving as their arguments (so pass 2 can tell an
+	// atomic access from a plain one without parent pointers).
+	atomicFields := make(map[*types.Var]ast.Node) // field -> one atomic-use site
+	atomicArgs := make(map[ast.Expr]bool)         // the &x.f argument nodes
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicOp(funcObjOf(info, call)) {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v := fieldOf(info, sel); v != nil {
+				if _, seen := atomicFields[v]; !seen {
+					atomicFields[v] = call
+				}
+				atomicArgs[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to those fields is a plain access.
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			v := fieldOf(info, sel)
+			if v == nil {
+				return true
+			}
+			if site, tracked := atomicFields[v]; tracked {
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed with sync/atomic at %s: mixed access races; use the atomic ops everywhere (or a typed atomic field, which makes mixed access unrepresentable)",
+					v.Name(), pass.Fset.Position(site.Pos()))
+			}
+			return true
+		})
+	}
+	return nil
+}

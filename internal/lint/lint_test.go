@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ghm/internal/lint"
+	"ghm/internal/lint/analysis"
+	"ghm/internal/lint/linttest"
+)
+
+// Each analyzer is proven twice: a flagged fixture where every
+// violation carries a `// want` expectation, and a clean fixture where
+// the same shapes done right produce zero diagnostics. The harness
+// asserts both directions — no missing findings, no false positives.
+
+func TestCryptorand(t *testing.T) {
+	a := []*analysis.Analyzer{lint.Cryptorand}
+	// Scoped analyzer: the flagged fixture runs under a protocol
+	// package path, the clean one under an exempt path with the very
+	// same constructs.
+	linttest.Run(t, a, "cryptorand_flagged", "ghm/internal/core")
+	linttest.Run(t, a, "cryptorand_clean", "ghm/internal/chaos")
+}
+
+func TestWheelclock(t *testing.T) {
+	a := []*analysis.Analyzer{lint.Wheelclock}
+	linttest.Run(t, a, "wheelclock_flagged", "ghm/internal/netlink")
+	linttest.Run(t, a, "wheelclock_clean", "ghm/internal/experiments")
+}
+
+func TestNonblockingHandler(t *testing.T) {
+	a := []*analysis.Analyzer{lint.NonblockingHandler}
+	linttest.Run(t, a, "nonblocking_flagged", "")
+	linttest.Run(t, a, "nonblocking_clean", "")
+}
+
+func TestMetricName(t *testing.T) {
+	a := []*analysis.Analyzer{lint.MetricName}
+	linttest.Run(t, a, "metricname_flagged", "")
+	linttest.Run(t, a, "metricname_clean", "")
+}
+
+func TestAtomicField(t *testing.T) {
+	a := []*analysis.Analyzer{lint.AtomicField}
+	linttest.Run(t, a, "atomicfield_flagged", "")
+	linttest.Run(t, a, "atomicfield_clean", "")
+}
+
+func TestAllowDirective(t *testing.T) {
+	a := []*analysis.Analyzer{lint.Wheelclock}
+	// Used directives silence the named analyzer on their line and the
+	// next; the fixture expects zero diagnostics.
+	linttest.Run(t, a, "allow_used", "ghm/internal/netlink")
+	// Unused and malformed directives are findings themselves.
+	linttest.Run(t, a, "allow_unused", "ghm/internal/netlink")
+}

@@ -1,0 +1,197 @@
+// Package linttest is the fixture harness for the ghmvet analyzers, in
+// the image of golang.org/x/tools/go/analysis/analysistest but built on
+// the standard library alone. A fixture is a directory of Go files under
+// internal/lint/testdata/src; expected findings are written in the
+// source as analysistest-style comments:
+//
+//	time.Sleep(d) // want "time.Sleep"
+//
+// where the quoted string is a regexp that must match a diagnostic
+// reported on that line. Every diagnostic must be wanted and every want
+// must be matched, so fixtures prove both that violations are flagged
+// and that clean idioms are not.
+//
+// Fixtures import real module packages (ghm/internal/metrics,
+// ghm/internal/engine, ...) so the analyzers' type-based matching is
+// exercised against the genuine types: the harness type-checks fixtures
+// with gc export data resolved through `go list -export`, the same
+// machinery the standalone driver uses.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"ghm/internal/lint"
+	"ghm/internal/lint/analysis"
+)
+
+// wantRe extracts the expectation regexp from a comment. It matches
+// inside larger comments too — line or block — so a //lint:allow
+// directive can carry a want for its own unused-directive diagnostic,
+// and a /* want */ block comment can precede a directive whose
+// malformedness is itself the expectation.
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+var (
+	exportsOnce sync.Once
+	exports     map[string]string
+	exportsErr  error
+)
+
+// loadExports builds the package-path -> export-data map once per test
+// process, covering the whole module plus the standard library packages
+// fixtures lean on.
+func loadExports() (map[string]string, error) {
+	exportsOnce.Do(func() {
+		args := []string{"list", "-export", "-json", "-deps",
+			"ghm/...", "time", "sync", "sync/atomic", "math/rand", "fmt", "strings"}
+		cmd := exec.Command("go", args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			exportsErr = fmt.Errorf("go list: %v\n%s", err, stderr.String())
+			return
+		}
+		exports = make(map[string]string)
+		dec := json.NewDecoder(&stdout)
+		for {
+			var p struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				exportsErr = fmt.Errorf("go list: decoding: %v", err)
+				return
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return exports, exportsErr
+}
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run type-checks the fixture directory testdata/src/<dir> (relative to
+// the caller's package, i.e. internal/lint), runs the analyzers on it
+// under pkgPath (what the path-scoped analyzers see), and asserts the
+// diagnostics equal the fixture's want comments.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+
+	exp, err := loadExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(root, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), m[1], err)
+					}
+					posn := fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", root)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exp[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (extend linttest.loadExports)", path)
+		}
+		return os.Open(f)
+	})
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check("fixture/"+dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	lint.SetPkgPathOverrideForTest(pkgPath)
+	defer lint.SetPkgPathOverrideForTest("")
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != posn.Filename || w.line != posn.Line || !w.re.MatchString(d.Message) {
+				continue
+			}
+			w.hit = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

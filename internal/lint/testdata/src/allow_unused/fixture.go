@@ -1,0 +1,14 @@
+// Fixture: stale and malformed directives are findings in their own
+// right — a suppression with nothing to suppress must be deleted, and a
+// suppression without a reason is not accepted.
+package fixture
+
+import "time"
+
+//lint:allow wheelclock nothing on the next line violates anything // want "unused //lint:allow wheelclock directive"
+func clockMath(a, b time.Time) bool {
+	return a.After(b)
+}
+
+/* want "malformed directive" */ //lint:allow wheelclock
+func alsoFine()                  {}

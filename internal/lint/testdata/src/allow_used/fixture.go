@@ -1,0 +1,15 @@
+// Fixture: //lint:allow directives must suppress the named analyzer's
+// diagnostics on their own line and on the following line — and suppress
+// nothing else. The harness runs this under ghm/internal/netlink with
+// wheelclock, so both sites below would otherwise be flagged.
+package fixture
+
+import "time"
+
+func pacing(d time.Duration) {
+	time.Sleep(d) //lint:allow wheelclock this fixture simulates a real link's wall-clock delay
+
+	//lint:allow wheelclock directive on its own line covers the next line
+	t := time.NewTimer(d)
+	defer t.Stop()
+}

@@ -1,0 +1,24 @@
+// Fixture: typed atomics, consistently-atomic fields and plain-only
+// fields must all pass the atomicfield analyzer.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits   atomic.Int64 // typed: mixed access is unrepresentable
+	rounds int64        // atomic everywhere
+	label  string       // plain everywhere
+}
+
+func hit(c *counters) {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.rounds, 1)
+}
+
+func snapshot(c *counters) (int64, int64, string) {
+	return c.hits.Load(), atomic.LoadInt64(&c.rounds), c.label
+}
+
+func rename(c *counters, s string) {
+	c.label = s
+}

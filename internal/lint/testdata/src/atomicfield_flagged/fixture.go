@@ -1,0 +1,24 @@
+// Fixture: the atomicfield analyzer must flag plain access to a field
+// that sync/atomic reaches anywhere in the package.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+func hit(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func snapshot(c *counters) int64 {
+	return c.hits // want "plain access to field hits"
+}
+
+func reset(c *counters) {
+	c.hits = 0 // want "plain access to field hits"
+	// misses is never touched atomically, so plain access is fine.
+	c.misses = 0
+}

@@ -1,0 +1,15 @@
+// Fixture: the identical constructs are fine outside protocol scope
+// (the harness runs this under ghm/internal/chaos, a simulation
+// package): seeded randomness is exactly what fault injection needs.
+package fixture
+
+import (
+	"math/rand"
+
+	"ghm/internal/bitstr"
+)
+
+func seededSource(seed int64) bitstr.Source {
+	r := rand.New(rand.NewSource(seed))
+	return bitstr.NewMathSource(r)
+}

@@ -1,0 +1,20 @@
+// Fixture: the cryptorand analyzer must flag math/rand imports and
+// bitstr.NewMathSource calls when the package path is in protocol scope
+// (the harness runs this under ghm/internal/core).
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand in protocol package"
+
+	"ghm/internal/bitstr"
+)
+
+func predictableSource(seed int64) bitstr.Source {
+	r := rand.New(rand.NewSource(seed))
+	return bitstr.NewMathSource(r) // want "bitstr.NewMathSource in protocol package"
+}
+
+// NewCryptoSource is the sanctioned source and must not be flagged.
+func properSource() bitstr.Source {
+	return bitstr.NewCryptoSource()
+}

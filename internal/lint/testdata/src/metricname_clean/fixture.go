@@ -1,0 +1,33 @@
+// Fixture: declared constants in the family grammar, prefix-built names
+// from constant parts, and same-named methods on foreign types must all
+// pass the metricname analyzer.
+package fixture
+
+import (
+	"strconv"
+
+	"ghm/internal/metrics"
+)
+
+const (
+	mSends   = "tx.send_msgs"
+	mHealth  = "session.health"
+	mDropped = ".dropped"
+	mEp      = ".ep"
+)
+
+func register(reg *metrics.Registry, prefix string, id int) {
+	reg.Counter(mSends)
+	reg.Gauge(mHealth)
+	// Dynamic names assembled from declared constant parts.
+	reg.Counter(prefix + mEp + strconv.Itoa(id) + mDropped)
+}
+
+// otherRegistry is not the metrics registry; its Counter takes any name.
+type otherRegistry struct{}
+
+func (otherRegistry) Counter(name string) {}
+
+func foreign(r otherRegistry) {
+	r.Counter("anything goes here")
+}

@@ -1,0 +1,43 @@
+// Fixture: the shedding idioms the engine contract prescribes must pass
+// the nonblockinghandler analyzer untouched.
+package fixture
+
+import (
+	"sync"
+
+	"ghm/internal/engine"
+)
+
+type station struct {
+	mu  sync.Mutex
+	ep  *engine.Endpoint
+	out chan []byte
+	seq int
+}
+
+func wire(s *station, ep *engine.Endpoint) {
+	ep.SetHandler(s.handle)
+}
+
+func (s *station) handle(p []byte) {
+	// Shed on a full mailbox: the protocol models this as link loss.
+	select {
+	case s.out <- p:
+	default:
+	}
+	// Locks released before I/O are fine.
+	s.mu.Lock()
+	s.seq++
+	s.mu.Unlock()
+	s.ep.Send(p)
+	// Goroutines spawned by the handler block on their own time.
+	go func() {
+		s.out <- p
+	}()
+}
+
+// blockingElsewhere is NOT registered as a handler; its blocking send is
+// outside the analyzer's contract.
+func (s *station) blockingElsewhere(p []byte) {
+	s.out <- p
+}

@@ -1,0 +1,53 @@
+// Fixture: the nonblockinghandler analyzer must flag blocking behaviour
+// in functions registered as engine push handlers or wheel callbacks —
+// including functions they statically call — and mutex-held conn I/O.
+package fixture
+
+import (
+	"sync"
+	"time"
+
+	"ghm/internal/engine"
+)
+
+type station struct {
+	mu   sync.Mutex
+	ep   *engine.Endpoint
+	out  chan []byte
+	done chan struct{}
+}
+
+func wire(s *station, ep *engine.Endpoint) {
+	ep.SetHandler(s.handle)
+	ep.Wheel().AfterFunc(time.Second, s.tick)
+	ep.SetHandler(func(p []byte) {
+		s.out <- p // want "channel send in push handler literal"
+	})
+}
+
+func (s *station) handle(p []byte) {
+	s.out <- p // want "channel send in handle"
+	<-s.done   // want "blocking channel receive in handle"
+	select {   // want "select without default in handle"
+	case s.out <- p:
+	case <-s.done:
+	}
+	for q := range s.out { // want "range over channel in handle"
+		_ = q
+	}
+	s.forward(p)
+}
+
+// forward is reachable from the handler, so its sends count too.
+func (s *station) forward(p []byte) {
+	s.out <- p // want "channel send in forward"
+}
+
+// tick is a wheel callback: conn I/O while holding the station mutex
+// serializes every other wheel timer behind the lock.
+func (s *station) tick() {
+	s.mu.Lock()
+	s.ep.Send(nil) // want "Send on .* while holding a mutex in tick"
+	s.mu.Unlock()
+	s.ep.Send(nil) // lock released: not flagged
+}

@@ -1,0 +1,11 @@
+// Fixture: outside wheel territory (the harness runs this under
+// ghm/internal/experiments) runtime timers are fine — experiments and
+// simulations pace real wall-clock work.
+package fixture
+
+import "time"
+
+func wallClockPacing(d time.Duration) {
+	time.Sleep(d)
+	<-time.After(d)
+}

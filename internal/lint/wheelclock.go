@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ghm/internal/lint/analysis"
+)
+
+// wheelclockScope is the set of runtime packages whose pacing must ride
+// the shared timer wheel. The engine owns the wheel; the netlink
+// stations and the session supervisor are its clients. Simulation-side
+// packages (chaos, transport, sim) schedule real wall-clock faults and
+// are deliberately out of scope.
+var wheelclockScope = map[string]bool{
+	"ghm/internal/engine":    true,
+	"ghm/internal/netlink":   true,
+	"ghm/internal/supervise": true,
+}
+
+// wheelclockBanned are the runtime-timer constructors and blockers that
+// bypass the wheel. Each one either spawns a runtime timer per call
+// (After/Tick leak them until they fire) or parks the calling goroutine
+// — and in engine push handlers the calling goroutine is the shared
+// pump.
+var wheelclockBanned = map[string]string{
+	"After":     "time.After leaks a runtime timer per call and blocks the goroutine",
+	"Tick":      "time.Tick leaks a ticker",
+	"Sleep":     "time.Sleep parks the goroutine (on the pump path, every endpoint on the conn)",
+	"NewTimer":  "runtime timers bypass the shared wheel's pacing and accounting",
+	"NewTicker": "runtime tickers bypass the shared wheel",
+	"AfterFunc": "time.AfterFunc spawns a goroutine per firing outside the wheel",
+}
+
+// Wheelclock enforces PR 4's runtime-layering rule: inside the engine,
+// the netlink stations and the supervisor, all pacing arms the shared
+// hashed timer wheel (engine.Wheel) instead of creating runtime timers.
+// The wheel is one goroutine and one ticker for any number of timers,
+// its clock-derived catch-up keeps pacing faithful under load (the
+// wheel-lag bug), and per-station runtime timers are exactly the
+// goroutine-per-lane cost the engine rewrite removed.
+var Wheelclock = &analysis.Analyzer{
+	Name: "wheelclock",
+	Doc: `forbid runtime timers (time.After/Sleep/NewTimer/...) in wheel territory
+
+In ghm/internal/engine, ghm/internal/netlink and ghm/internal/supervise,
+retry and backoff pacing must arm the shared timer wheel
+(engine.Wheel.AfterFunc / Timer.Reset). time.After, time.Tick,
+time.Sleep, time.NewTimer, time.NewTicker and time.AfterFunc are
+reported. The wheel's own ticker and the impairment simulators (which
+model real links, not protocol pacing) carry //lint:allow wheelclock
+directives.`,
+	Run: runWheelclock,
+}
+
+func runWheelclock(pass *analysis.Pass) error {
+	if !wheelclockScope[passPath(pass)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObjOf(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods like time.Time.After are fine
+			}
+			if why, banned := wheelclockBanned[fn.Name()]; banned {
+				pass.Reportf(call.Pos(),
+					"time.%s in %s: %s; arm the shared timer wheel (engine.Wheel) instead",
+					fn.Name(), passPath(pass), why)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package netlink
 import (
 	"container/heap"
 	"math"
+	//lint:allow cryptorand impairment simulation needs seeded, reproducible randomness, not protocol randomness
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -239,6 +240,7 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 		bad       bool      // Gilbert–Elliott state
 		lastTxEnd time.Time // serialization clock for Bandwidth
 	)
+	//lint:allow wheelclock the impairment scheduler models a real link's wall-clock delays, not protocol pacing
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 

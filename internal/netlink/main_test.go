@@ -1,0 +1,12 @@
+package netlink
+
+import (
+	"testing"
+
+	"ghm/internal/testutil"
+)
+
+// TestMain arms the goroutine-leak guard for the whole suite (including
+// the external parity tests in netlink_test, which share this binary): a
+// station or engine torn down by a test must take its goroutines with it.
+func TestMain(m *testing.M) { testutil.Main(m) }

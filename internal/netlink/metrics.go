@@ -13,6 +13,51 @@ import (
 // same prefix, so with both directions of a link on one registry the
 // counters report link totals.
 
+// The names are declared as constants (not inline literals) so the full
+// inventory is greppable and a typo cannot silently fork a metric — the
+// metricname analyzer in internal/lint enforces this.
+const (
+	mTxSendMsgs         = "tx.send_msgs"
+	mTxOKs              = "tx.oks"
+	mTxCrashes          = "tx.crashes"
+	mTxAbandoned        = "tx.abandoned"
+	mTxPacketsSent      = "tx.packets_sent"
+	mTxPacketsReceived  = "tx.packets_received"
+	mTxErrorsCounted    = "tx.errors_counted"
+	mTxTagExtensions    = "tx.tag_extensions"
+	mTxReplayRejections = "tx.replay_rejections"
+	mTxIORetries        = "tx.io_retries"
+	mTxOKLatencyMS      = "tx.ok_latency_ms"
+)
+
+const (
+	mRxDelivered         = "rx.delivered"
+	mRxCrashes           = "rx.crashes"
+	mRxPacketsSent       = "rx.packets_sent"
+	mRxPacketsReceived   = "rx.packets_received"
+	mRxErrorsCounted     = "rx.errors_counted"
+	mRxChallengeExts     = "rx.challenge_extensions"
+	mRxReplayRejections  = "rx.replay_rejections"
+	mRxRetries           = "rx.retries"
+	mRxIORetries         = "rx.io_retries"
+	mRxDeliveriesDropped = "rx.deliveries_dropped"
+	mRxIngressShed       = "rx.ingress_shed"
+	mRxRetryIntervalMS   = "rx.retry_interval_ms"
+)
+
+// Link names are suffixes: each impaired link appends them to its
+// registered prefix ("link" by default).
+const (
+	mLinkSent         = ".sent"
+	mLinkDelivered    = ".delivered"
+	mLinkDuplicated   = ".duplicated"
+	mLinkDelayed      = ".delayed"
+	mLinkDropIID      = ".drop_iid"
+	mLinkDropBurst    = ".drop_burst"
+	mLinkDropBlackout = ".drop_blackout"
+	mLinkDropQueue    = ".drop_queue"
+)
+
 // senderMetrics are the transmitting station's registry hooks.
 type senderMetrics struct {
 	sendMsgs         *metrics.Counter // send_msg actions accepted
@@ -33,17 +78,17 @@ func newSenderMetrics(r *metrics.Registry) senderMetrics {
 		r = metrics.Default()
 	}
 	return senderMetrics{
-		sendMsgs:         r.Counter("tx.send_msgs"),
-		oks:              r.Counter("tx.oks"),
-		crashes:          r.Counter("tx.crashes"),
-		abandoned:        r.Counter("tx.abandoned"),
-		packetsSent:      r.Counter("tx.packets_sent"),
-		packetsReceived:  r.Counter("tx.packets_received"),
-		errorsCounted:    r.Counter("tx.errors_counted"),
-		tagExtensions:    r.Counter("tx.tag_extensions"),
-		replayRejections: r.Counter("tx.replay_rejections"),
-		ioRetries:        r.Counter("tx.io_retries"),
-		okLatencyMS:      r.Histogram("tx.ok_latency_ms"),
+		sendMsgs:         r.Counter(mTxSendMsgs),
+		oks:              r.Counter(mTxOKs),
+		crashes:          r.Counter(mTxCrashes),
+		abandoned:        r.Counter(mTxAbandoned),
+		packetsSent:      r.Counter(mTxPacketsSent),
+		packetsReceived:  r.Counter(mTxPacketsReceived),
+		errorsCounted:    r.Counter(mTxErrorsCounted),
+		tagExtensions:    r.Counter(mTxTagExtensions),
+		replayRejections: r.Counter(mTxReplayRejections),
+		ioRetries:        r.Counter(mTxIORetries),
+		okLatencyMS:      r.Histogram(mTxOKLatencyMS),
 	}
 }
 
@@ -68,18 +113,18 @@ func newReceiverMetrics(r *metrics.Registry) receiverMetrics {
 		r = metrics.Default()
 	}
 	return receiverMetrics{
-		delivered:         r.Counter("rx.delivered"),
-		crashes:           r.Counter("rx.crashes"),
-		packetsSent:       r.Counter("rx.packets_sent"),
-		packetsReceived:   r.Counter("rx.packets_received"),
-		errorsCounted:     r.Counter("rx.errors_counted"),
-		challengeExts:     r.Counter("rx.challenge_extensions"),
-		replayRejections:  r.Counter("rx.replay_rejections"),
-		retries:           r.Counter("rx.retries"),
-		ioRetries:         r.Counter("rx.io_retries"),
-		deliveriesDropped: r.Counter("rx.deliveries_dropped"),
-		ingressShed:       r.Counter("rx.ingress_shed"),
-		retryIntervalMS:   r.Gauge("rx.retry_interval_ms"),
+		delivered:         r.Counter(mRxDelivered),
+		crashes:           r.Counter(mRxCrashes),
+		packetsSent:       r.Counter(mRxPacketsSent),
+		packetsReceived:   r.Counter(mRxPacketsReceived),
+		errorsCounted:     r.Counter(mRxErrorsCounted),
+		challengeExts:     r.Counter(mRxChallengeExts),
+		replayRejections:  r.Counter(mRxReplayRejections),
+		retries:           r.Counter(mRxRetries),
+		ioRetries:         r.Counter(mRxIORetries),
+		deliveriesDropped: r.Counter(mRxDeliveriesDropped),
+		ingressShed:       r.Counter(mRxIngressShed),
+		retryIntervalMS:   r.Gauge(mRxRetryIntervalMS),
 	}
 }
 
@@ -104,13 +149,13 @@ func newLinkMetrics(r *metrics.Registry, prefix string) linkMetrics {
 		prefix = "link"
 	}
 	return linkMetrics{
-		sent:         r.Counter(prefix + ".sent"),
-		delivered:    r.Counter(prefix + ".delivered"),
-		duplicated:   r.Counter(prefix + ".duplicated"),
-		delayed:      r.Counter(prefix + ".delayed"),
-		dropIID:      r.Counter(prefix + ".drop_iid"),
-		dropBurst:    r.Counter(prefix + ".drop_burst"),
-		dropBlackout: r.Counter(prefix + ".drop_blackout"),
-		dropQueue:    r.Counter(prefix + ".drop_queue"),
+		sent:         r.Counter(prefix + mLinkSent),
+		delivered:    r.Counter(prefix + mLinkDelivered),
+		duplicated:   r.Counter(prefix + mLinkDuplicated),
+		delayed:      r.Counter(prefix + mLinkDelayed),
+		dropIID:      r.Counter(prefix + mLinkDropIID),
+		dropBurst:    r.Counter(prefix + mLinkDropBurst),
+		dropBlackout: r.Counter(prefix + mLinkDropBlackout),
+		dropQueue:    r.Counter(prefix + mLinkDropQueue),
 	}
 }

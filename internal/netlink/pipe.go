@@ -1,6 +1,7 @@
 package netlink
 
 import (
+	//lint:allow cryptorand pipe fault injection needs seeded, reproducible randomness, not protocol randomness
 	"math/rand"
 	"sync"
 	"time"
@@ -121,6 +122,7 @@ func newPipeDir(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) *pipeDir {
 func (d *pipeDir) run(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) {
 	defer close(d.done)
 	var held [][]byte
+	//lint:allow wheelclock the pipe's release pacing simulates link latency, not protocol pacing
 	ticker := time.NewTicker(cfg.ReleaseEvery)
 	defer ticker.Stop()
 

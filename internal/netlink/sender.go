@@ -224,6 +224,7 @@ func (s *Sender) handlePacket(p []byte) {
 
 	s.transmit(out.Packets)
 	if w != nil {
+		//lint:allow nonblockinghandler the waiter channel is buffered (cap 1) and exclusively owned: this send cannot block
 		w <- nil
 	}
 }

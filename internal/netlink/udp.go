@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"time"
 )
 
 // maxUDPPacket bounds received datagrams. Protocol packets are a few
@@ -66,24 +65,20 @@ func (u *UDPConn) Send(p []byte) error {
 // Recv implements PacketConn. Datagrams from addresses other than the
 // peer are dropped: the data link is a two-station system. Transient read
 // errors (e.g. ICMP-induced ECONNREFUSED while the peer host is down —
-// exactly the crash scenario the protocol exists for) look like loss and
-// are retried; only a persistent failure or a closed socket returns.
+// exactly the crash scenario the protocol exists for) are returned
+// unwrapped-as-closed: the engine pump classifies them via IsFatal,
+// counts an io_retry and paces the retry on the shared timer wheel, so
+// this goroutine never sleeps. Only a closed socket returns ErrClosed.
 func (u *UDPConn) Recv() ([]byte, error) {
 	buf := make([]byte, maxUDPPacket)
-	consecutive := 0
 	for {
 		n, from, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil, ErrClosed
 			}
-			if consecutive++; consecutive > 100 {
-				return nil, fmt.Errorf("netlink: udp read: %w", err)
-			}
-			time.Sleep(transientIODelay)
-			continue
+			return nil, fmt.Errorf("netlink: udp read: %w", err)
 		}
-		consecutive = 0
 		if from == nil || !from.IP.Equal(u.peer.IP) && !u.peer.IP.IsUnspecified() {
 			continue
 		}

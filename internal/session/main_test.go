@@ -1,0 +1,12 @@
+package session
+
+import (
+	"testing"
+
+	"ghm/internal/testutil"
+)
+
+// TestMain arms the goroutine-leak guard for the whole suite: sessions
+// stack a supervisor, an outbox and a station per rig, and a leaked
+// supervision loop would silently restart stations forever.
+func TestMain(m *testing.M) { testutil.Main(m) }

@@ -69,6 +69,13 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// The session's own metric names (the supervisor adds the rest of the
+// session.* family); declared constants per the metricname invariant.
+const (
+	mSessionResubmits = "session.resubmits"
+	mSessionBacklog   = "session.backlog"
+)
+
 // Stats snapshots a Session's counters.
 type Stats struct {
 	Enqueued      int    // payloads accepted
@@ -109,7 +116,7 @@ func New(cfg Config) (*Session, error) {
 	if reg == nil {
 		reg = metrics.Default()
 	}
-	s := &Session{cfg: cfg, resubmits: reg.Counter("session.resubmits")}
+	s := &Session{cfg: cfg, resubmits: reg.Counter(mSessionResubmits)}
 
 	sup, err := supervise.New(supervise.Config[*netlink.Sender]{
 		Start:            s.start,
@@ -147,7 +154,7 @@ func New(cfg Config) (*Session, error) {
 	}
 	s.q = q
 
-	reg.GaugeFunc("session.backlog", func() float64 {
+	reg.GaugeFunc(mSessionBacklog, func() float64 {
 		return float64(q.Stats().Pending)
 	})
 

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ghm/internal/engine"
 	"ghm/internal/metrics"
 )
 
@@ -127,6 +128,11 @@ type Config[S any] struct {
 
 	// Seed fixes the backoff jitter for reproducible tests (0 = clock).
 	Seed int64
+	// Wheel paces the watchdog poll, the backoff sleeps and the breaker
+	// cooldown (default engine.DefaultWheel()). Sharing the process-wide
+	// wheel keeps supervisors off runtime timers, like every other retry
+	// in the runtime.
+	Wheel *engine.Wheel
 	// Metrics receives the session.* family; nil uses metrics.Default().
 	Metrics *metrics.Registry
 	// OnTransition, when non-nil, observes every health change. It is
@@ -167,6 +173,9 @@ func (c Config[S]) withDefaults() Config[S] {
 	}
 	if c.PartitionAfter <= 0 {
 		c.PartitionAfter = 2
+	}
+	if c.Wheel == nil {
+		c.Wheel = engine.DefaultWheel()
 	}
 	return c
 }
@@ -212,6 +221,11 @@ type Supervisor[S any] struct {
 	stop      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// sleep's reusable wheel timer and its wake signal. Owned by the run
+	// goroutine; the buffered channel absorbs a firing no one awaits.
+	wake  chan struct{}
+	timer *engine.Timer
 }
 
 // New builds a supervisor. It does not start anything: call Run once the
@@ -236,6 +250,7 @@ func New[S any](cfg Config[S]) (*Supervisor[S], error) {
 		},
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+		wake: make(chan struct{}, 1),
 	}
 	s.m.health.Set(float64(Healthy))
 	s.markProgress()
@@ -395,7 +410,11 @@ func (s *Supervisor[S]) uninstall() {
 	s.mu.Unlock()
 }
 
-// sleep waits d, returning false if the supervisor is closed meanwhile.
+// sleep waits d on the shared wheel, returning false if the supervisor
+// is closed meanwhile. Only the run goroutine calls it, so the one
+// reusable timer and wake channel need no locking; a sleep abandoned via
+// s.stop may leave a stale firing behind, which the pre-arm drain (and
+// the channel's buffer) absorbs.
 func (s *Supervisor[S]) sleep(d time.Duration) bool {
 	if d <= 0 {
 		select {
@@ -405,10 +424,22 @@ func (s *Supervisor[S]) sleep(d time.Duration) bool {
 			return true
 		}
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-s.wake:
+	default:
+	}
+	if s.timer == nil {
+		s.timer = s.cfg.Wheel.AfterFunc(d, func() {
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+		})
+	} else {
+		s.timer.Reset(d)
+	}
+	select {
+	case <-s.wake:
 		return true
 	case <-s.stop:
 		return false
@@ -435,6 +466,11 @@ func (s *Supervisor[S]) recordFailure(consecutive int, cause string) {
 // watch it, tear it down when wedged, back off, repeat.
 func (s *Supervisor[S]) run() {
 	defer close(s.done)
+	defer func() {
+		if s.timer != nil {
+			s.timer.Stop()
+		}
+	}()
 	consecutive := 0 // fruitless restarts in a row (backoff exponent)
 	for {
 		// Breaker gate: while open, sleep out the cooldown in slices so
@@ -525,6 +561,20 @@ func (s *Supervisor[S]) run() {
 	}
 }
 
+// The supervisor's session.* metric names, as declared constants: the
+// registry creates metrics on first use, so a typo'd literal would
+// silently fork a counter (enforced by the metricname analyzer).
+const (
+	mSessionRestarts      = "session.restarts"
+	mSessionStartFailures = "session.start_failures"
+	mSessionWedges        = "session.wedges"
+	mSessionBreakerOpens  = "session.breaker_opens"
+	mSessionBreakerProbes = "session.breaker_probes"
+	mSessionBreakerCloses = "session.breaker_closes"
+	mSessionTransitions   = "session.health_transitions"
+	mSessionHealth        = "session.health"
+)
+
 // supMetrics are the supervisor's registry hooks (the session.* family).
 type supMetrics struct {
 	restarts      *metrics.Counter // incarnations rebuilt after the first
@@ -542,13 +592,13 @@ func newSupMetrics(r *metrics.Registry) supMetrics {
 		r = metrics.Default()
 	}
 	return supMetrics{
-		restarts:      r.Counter("session.restarts"),
-		startFailures: r.Counter("session.start_failures"),
-		wedges:        r.Counter("session.wedges"),
-		breakerOpens:  r.Counter("session.breaker_opens"),
-		breakerProbes: r.Counter("session.breaker_probes"),
-		breakerCloses: r.Counter("session.breaker_closes"),
-		transitions:   r.Counter("session.health_transitions"),
-		health:        r.Gauge("session.health"),
+		restarts:      r.Counter(mSessionRestarts),
+		startFailures: r.Counter(mSessionStartFailures),
+		wedges:        r.Counter(mSessionWedges),
+		breakerOpens:  r.Counter(mSessionBreakerOpens),
+		breakerProbes: r.Counter(mSessionBreakerProbes),
+		breakerCloses: r.Counter(mSessionBreakerCloses),
+		transitions:   r.Counter(mSessionTransitions),
+		health:        r.Gauge(mSessionHealth),
 	}
 }

@@ -1,6 +1,7 @@
 package ghm
 
 import (
+	//lint:allow cryptorand WithSeed is the documented deterministic-mode escape hatch; see its doc comment
 	"math/rand"
 	"time"
 
@@ -39,6 +40,7 @@ func (o options) params() core.Params {
 		Bound:   o.bound,
 	}
 	if o.hasSeed {
+		//lint:allow cryptorand WithSeed deliberately trades the ε-bounds for reproducibility; its doc says tests only
 		p.Source = bitstr.NewMathSource(rand.New(rand.NewSource(o.seed)))
 	}
 	return p
