@@ -22,8 +22,10 @@ import (
 	"time"
 
 	"ghm/internal/core"
+	"ghm/internal/metrics"
 	"ghm/internal/mux"
 	"ghm/internal/netlink"
+	"ghm/internal/relay"
 )
 
 // laneResult is one lane configuration's measurement.
@@ -36,12 +38,26 @@ type laneResult struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
 
+// relayResult is the multi-hop relay mesh's datapoint: end-to-end
+// throughput and delivery-latency quantiles across the canonical
+// five-node mesh over perfect links — the runtime cost of the relay
+// layer itself, with no faults in the way.
+type relayResult struct {
+	Nodes        int     `json:"nodes"`
+	Routes       int     `json:"routes"`
+	Messages     int     `json:"messages"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	P50DeliverMS float64 `json:"p50_deliver_ms"`
+	P99DeliverMS float64 `json:"p99_deliver_ms"`
+}
+
 // benchReport is the BENCH_<label>.json document.
 type benchReport struct {
 	Label     string       `json:"label"`
 	Timestamp string       `json:"timestamp"`
 	GoVersion string       `json:"go_version"`
 	Runs      []laneResult `json:"runs"`
+	Relay     *relayResult `json:"relay,omitempty"`
 }
 
 func parseLanes(spec string) ([]int, error) {
@@ -76,6 +92,13 @@ func runBench(label, laneSpec string, msgs int, dir string, out io.Writer) error
 		fmt.Fprintf(out, "bench %s: lanes=%-3d %10.0f msgs/s  p50=%.3fms p99=%.3fms  allocs/op=%.1f\n",
 			label, n, r.MsgsPerSec, r.P50ConfirmMS, r.P99ConfirmMS, r.AllocsPerOp)
 	}
+	rr, err := benchRelay(msgs)
+	if err != nil {
+		return fmt.Errorf("bench relay: %w", err)
+	}
+	rep.Relay = &rr
+	fmt.Fprintf(out, "bench %s: relay %d-node/%d-route %8.0f msgs/s  p50=%.3fms p99=%.3fms\n",
+		label, rr.Nodes, rr.Routes, rr.MsgsPerSec, rr.P50DeliverMS, rr.P99DeliverMS)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -86,6 +109,94 @@ func runBench(label, laneSpec string, msgs int, dir string, out io.Writer) error
 	}
 	fmt.Fprintf(out, "bench: wrote %s\n", path)
 	return nil
+}
+
+// benchRelay drives msgs payloads through the canonical five-node relay
+// mesh — three link-disjoint two-hop routes over perfect pipes — and
+// measures end-to-end throughput and submit-to-delivery latency.
+func benchRelay(msgs int) (relayResult, error) {
+	topo := relay.Topology{
+		Nodes: 5,
+		Links: []relay.Link{
+			{A: 0, B: 1}, {A: 1, B: 4},
+			{A: 0, B: 2}, {A: 2, B: 4},
+			{A: 0, B: 3}, {A: 3, B: 4},
+		},
+	}
+	var links []relay.LinkConns
+	for i := range topo.Links {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: int64(i + 1)})
+		links = append(links, relay.LinkConns{A: a, B: b})
+	}
+	mesh, err := relay.New(relay.Config{
+		Topology: topo,
+		Links:    links,
+		Source:   0,
+		Dest:     4,
+		Routes:   3,
+		Seed:     1,
+		Metrics:  metrics.New(),
+	})
+	if err != nil {
+		return relayResult{}, err
+	}
+	defer mesh.Close()
+
+	// Tag each payload with its index so the drain can attribute delivery
+	// times; dispersal reorders arrivals across routes.
+	submitted := make([]time.Time, msgs)
+	lat := make([]float64, msgs)
+	drained := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			p, ok := <-mesh.Delivered()
+			if !ok {
+				drained <- fmt.Errorf("delivery channel closed after %d messages", i)
+				return
+			}
+			var idx int
+			if _, err := fmt.Sscanf(string(p), "relay-%d", &idx); err != nil || idx < 0 || idx >= msgs {
+				drained <- fmt.Errorf("unexpected payload %q", p)
+				return
+			}
+			lat[idx] = float64(time.Since(submitted[idx])) / float64(time.Millisecond)
+		}
+		drained <- nil
+	}()
+
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		submitted[i] = time.Now()
+		if _, err := mesh.Submit([]byte(fmt.Sprintf("relay-%08d", i))); err != nil {
+			return relayResult{}, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := mesh.Flush(ctx); err != nil {
+		return relayResult{}, err
+	}
+	if err := <-drained; err != nil {
+		return relayResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	return relayResult{
+		Nodes:        topo.Nodes,
+		Routes:       3,
+		Messages:     msgs,
+		MsgsPerSec:   float64(msgs) / elapsed.Seconds(),
+		P50DeliverMS: q(0.50),
+		P99DeliverMS: q(0.99),
+	}, nil
 }
 
 // benchLanes drives msgs confirmed transfers through an n-lane mux over

@@ -84,6 +84,14 @@ func TestRunBenchWritesJSON(t *testing.T) {
 			P99ConfirmMS float64 `json:"p99_confirm_ms"`
 			AllocsPerOp  float64 `json:"allocs_per_op"`
 		} `json:"runs"`
+		Relay struct {
+			Nodes        int     `json:"nodes"`
+			Routes       int     `json:"routes"`
+			Messages     int     `json:"messages"`
+			MsgsPerSec   float64 `json:"msgs_per_sec"`
+			P50DeliverMS float64 `json:"p50_deliver_ms"`
+			P99DeliverMS float64 `json:"p99_deliver_ms"`
+		} `json:"relay"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not JSON: %v\n%s", err, data)
@@ -95,6 +103,11 @@ func TestRunBenchWritesJSON(t *testing.T) {
 		if r.Messages != 50 || r.MsgsPerSec <= 0 || r.P99ConfirmMS < r.P50ConfirmMS || r.AllocsPerOp <= 0 {
 			t.Errorf("implausible lane result: %+v", r)
 		}
+	}
+	rr := rep.Relay
+	if rr.Nodes != 5 || rr.Routes != 3 || rr.Messages != 50 ||
+		rr.MsgsPerSec <= 0 || rr.P99DeliverMS < rr.P50DeliverMS {
+		t.Errorf("implausible relay result: %+v", rr)
 	}
 }
 

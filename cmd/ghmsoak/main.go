@@ -28,6 +28,17 @@
 //
 //	ghmsoak -chaos -supervised -seed 42 -messages 200
 //
+// With -relay the soak runs a five-node relay mesh instead of a single
+// link: a seeded scenario impairs a minority of the links (blackouts,
+// loss ramps) and crashes one intermediate relay node outright while
+// payloads flow source to destination over link-disjoint routes. The run
+// demands exactly-once end-to-end delivery and clean per-hop live
+// conformance, and the scenario JSON — topology included — replays with
+// -scenario exactly like the single-link modes.
+//
+//	ghmsoak -relay -seed 42 -messages 200
+//	ghmsoak -relay -scenario mesh-repro.json
+//
 // Liveness note: completion is demanded only of mixes where Theorem 9
 // actually promises it — fair channels without recurring crashes or
 // forgery. Recurring crash^R resets the retry counter the transmitter's
@@ -71,6 +82,7 @@ func run(args []string, out io.Writer) error {
 
 		chaosMode   = fs.Bool("chaos", false, "run a live-station chaos soak instead of simulator mixes")
 		supervised  = fs.Bool("supervised", false, "chaos: drive a self-healing supervised session (adds a wedge action)")
+		relayMode   = fs.Bool("relay", false, "run a multi-hop relay-mesh chaos soak (five nodes, faulty links, a node crash)")
 		chaosMsgs   = fs.Int("messages", 500, "unique messages per chaos soak")
 		scenarioIn  = fs.String("scenario", "", "chaos: replay a scenario JSON file instead of generating one")
 		scenarioOut = fs.String("scenario-out", "", "chaos: write the scenario JSON to this file")
@@ -98,6 +110,12 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
+	if *relayMode {
+		return runRelay(out, chaosOptions{
+			seed: *seed, messages: *chaosMsgs, eps: *eps, budget: *duration,
+			scenarioIn: *scenarioIn, scenarioOut: *scenarioOut, verbose: *verbose,
+		})
+	}
 	if *chaosMode {
 		return runChaos(out, chaosOptions{
 			seed: *seed, messages: *chaosMsgs, eps: *eps, budget: *duration,
@@ -280,6 +298,85 @@ func runSupervised(ctx context.Context, out io.Writer, sc chaos.Scenario, o chao
 	fmt.Fprintf(out, "conformance: %s\n", res.Report)
 	if !res.Report.Clean() {
 		return fmt.Errorf("%d conformance violations in a supervised execution", res.Report.Violations())
+	}
+	if len(res.Missing) > 0 {
+		return fmt.Errorf("%d enqueued payloads never delivered", len(res.Missing))
+	}
+	return nil
+}
+
+// runRelay executes one multi-hop relay-mesh chaos soak: generate (or
+// replay) a mesh scenario, drive its fault timeline — link blackouts,
+// loss ramps, a whole relay-node crash and restart — against a live
+// five-node mesh, and fail unless every payload arrives exactly once
+// with every hop's live conformance clean.
+func runRelay(out io.Writer, o chaosOptions) error {
+	var sc chaos.Scenario
+	if o.scenarioIn != "" {
+		data, err := os.ReadFile(o.scenarioIn)
+		if err != nil {
+			return err
+		}
+		sc, err = chaos.ParseScenario(data)
+		if err != nil {
+			return err
+		}
+		if sc.Mesh == nil {
+			return fmt.Errorf("scenario %s has no mesh spec; generate one with -relay -scenario-out", o.scenarioIn)
+		}
+		fmt.Fprintf(out, "relay: replaying %s (seed %d)\n", o.scenarioIn, sc.Seed)
+	} else {
+		sc = chaos.GenerateMesh(o.seed, chaos.MeshGenConfig{})
+		fmt.Fprintf(out, "relay: seed %d (rerun with -relay -seed %d)\n", o.seed, o.seed)
+	}
+	if o.scenarioOut != "" {
+		if err := os.WriteFile(o.scenarioOut, []byte(sc.JSON()+"\n"), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "relay: scenario written to %s\n", o.scenarioOut)
+	}
+	if o.verbose {
+		fmt.Fprintln(out, sc.JSON())
+	}
+	fmt.Fprintf(out, "relay: %d nodes, %d links, %d disjoint routes %d->%d; %d node crashes, %d link blackouts, %d loss ramps over %v\n",
+		sc.Mesh.Topology.Nodes, len(sc.Mesh.Topology.Links), sc.Mesh.Routes,
+		sc.Mesh.Source, sc.Mesh.Dest,
+		sc.Count(chaos.CrashNode), sc.Count(chaos.BlackoutStart),
+		sc.Count(chaos.SetLoss), sc.Duration)
+
+	walDir, err := os.MkdirTemp("", "ghmsoak-relay-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.budget)
+	defer cancel()
+	res, err := chaos.MeshSoak(ctx, chaos.MeshSoakConfig{
+		Scenario: sc,
+		Messages: o.messages,
+		Epsilon:  o.eps,
+		WALDir:   walDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	st := res.Stats
+	fmt.Fprintf(out, "done: %d/%d payloads delivered exactly once end-to-end, %v elapsed\n",
+		res.Enqueued-len(res.Missing), res.Enqueued, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "mesh: hops=%d reroutes=%d dup-suppressed=%d node-restarts=%d routes-usable=%d/%d\n",
+		st.Hops, st.Reroutes, st.DupSuppressed, st.NodeRestarts, st.RoutesUsable, st.Routes)
+	for id, rep := range res.HopReports {
+		if o.verbose || !rep.Clean() {
+			fmt.Fprintf(out, "hop %s: %s\n", id, rep)
+		}
+	}
+	if res.HopViolations > 0 {
+		return fmt.Errorf("%d per-hop conformance violations in a live mesh execution", res.HopViolations)
+	}
+	if res.Duplicates > 0 {
+		return fmt.Errorf("exactly-once violated: %d duplicate end-to-end deliveries", res.Duplicates)
 	}
 	if len(res.Missing) > 0 {
 		return fmt.Errorf("%d enqueued payloads never delivered", len(res.Missing))

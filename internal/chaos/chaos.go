@@ -44,6 +44,18 @@ const (
 	// sends vanish silently, no error surfaces — detectable only by a
 	// progress watchdog. Requires a Targets.Shared; no-op otherwise.
 	WedgeSender ActionKind = "wedge_sender"
+
+	// CrashNode crashes the entire relay node Action.Node: every session,
+	// receiver and in-memory forwarding ledger it hosts is torn down at
+	// once, not just one link. Requires Targets.Nodes; no-op otherwise.
+	CrashNode ActionKind = "crash_node"
+	// RestartNode rebuilds a previously crashed relay node.
+	RestartNode ActionKind = "restart_node"
+	// NodeBlackoutStart partitions every link adjacent to Action.Node —
+	// the node is alive but unreachable.
+	NodeBlackoutStart ActionKind = "node_blackout_start"
+	// NodeBlackoutEnd lifts a node-level partition.
+	NodeBlackoutEnd ActionKind = "node_blackout_end"
 )
 
 // Action is one scheduled fault, At after scenario start.
@@ -51,6 +63,12 @@ type Action struct {
 	At   time.Duration `json:"at"`
 	Kind ActionKind    `json:"kind"`
 	Loss float64       `json:"loss,omitempty"` // for SetLoss
+	// Node is the relay node a node-level action targets (CrashNode,
+	// RestartNode, NodeBlackoutStart/End).
+	Node int `json:"node,omitempty"`
+	// Link narrows BlackoutStart/End and SetLoss to one link of
+	// Targets.Links, 1-based; 0 keeps the legacy every-link behavior.
+	Link int `json:"link,omitempty"`
 }
 
 // LinkSpec is the impairment profile of the scenario's link, applied
@@ -74,6 +92,10 @@ type Scenario struct {
 	Duration time.Duration `json:"duration"`
 	Link     LinkSpec      `json:"link"`
 	Actions  []Action      `json:"actions"`
+	// Mesh, when set, makes the scenario a multi-hop one: MeshSoak builds
+	// this relay topology (every link with the Link profile above) and
+	// the actions may target whole nodes. Single-hop runners ignore it.
+	Mesh *MeshSpec `json:"mesh,omitempty"`
 }
 
 // Count returns how many scheduled actions have the given kind.
@@ -190,14 +212,17 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 			Action{At: inWindow(), Kind: CrashReceiver})
 	}
 
-	// Blackouts get one non-overlapping slot each.
-	slot := d / time.Duration(cfg.Blackouts+1)
-	for i := 0; i < cfg.Blackouts; i++ {
-		start := slot*time.Duration(i) + slot/4 + time.Duration(rng.Int63n(int64(slot/4)))
-		length := cfg.MaxBlackout/4 + time.Duration(rng.Int63n(int64(3*cfg.MaxBlackout/4)))
-		sc.Actions = append(sc.Actions,
-			Action{At: start, Kind: BlackoutStart},
-			Action{At: start + length, Kind: BlackoutEnd})
+	// Blackouts get one non-overlapping slot each. (A negative count
+	// skips them entirely — the mesh generator schedules its own.)
+	if cfg.Blackouts > 0 {
+		slot := d / time.Duration(cfg.Blackouts+1)
+		for i := 0; i < cfg.Blackouts; i++ {
+			start := slot*time.Duration(i) + slot/4 + time.Duration(rng.Int63n(int64(slot/4)))
+			length := cfg.MaxBlackout/4 + time.Duration(rng.Int63n(int64(3*cfg.MaxBlackout/4)))
+			sc.Actions = append(sc.Actions,
+				Action{At: start, Kind: BlackoutStart},
+				Action{At: start + length, Kind: BlackoutEnd})
+		}
 	}
 
 	for i := 0; i < cfg.LossRamps; i++ {
@@ -233,12 +258,25 @@ type Controllable interface {
 // netlink.SharedConn satisfies it.
 type Wedger interface{ WedgeCurrent() }
 
+// NodeTarget is one relay node a scenario can act on as a whole: crash
+// it, rebuild it, or partition every link it touches. The mesh soak
+// adapts relay nodes (plus their adjacent impaired links) into this.
+type NodeTarget interface {
+	CrashNode()
+	RestartNode()
+	// SetNodeBlackout partitions (or restores) every adjacent link.
+	SetNodeBlackout(on bool)
+}
+
 // Targets are the live objects a scenario acts on. Nil stations and empty
 // link lists are allowed; the matching actions become no-ops.
 type Targets struct {
 	Sender   Crasher
 	Receiver Crasher
 	Links    []Controllable
+	// Nodes are the relay nodes node-level actions index by Action.Node;
+	// nil or out-of-range makes those actions no-ops.
+	Nodes []NodeTarget
 	// Shared is the sending side's shared link, target of WedgeSender
 	// actions (supervised scenarios only).
 	Shared Wedger
@@ -259,6 +297,10 @@ const (
 	mChaosWedgesInjected    = "chaos.wedges_injected"
 	mChaosLossCurrent       = "chaos.loss_current"
 
+	mChaosNodeCrashesInjected   = "chaos.node_crashes_injected"
+	mChaosNodeRestartsInjected  = "chaos.node_restarts_injected"
+	mChaosNodeBlackoutsInjected = "chaos.node_blackouts_injected"
+
 	mChaosSends     = "chaos.sends"
 	mChaosAbandoned = "chaos.abandoned"
 	mChaosDelivered = "chaos.delivered"
@@ -273,14 +315,35 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 		reg = metrics.Default()
 	}
 	var (
-		crashTInjected   = reg.Counter(mChaosCrashTInjected)
-		crashRInjected   = reg.Counter(mChaosCrashRInjected)
-		blackoutInjected = reg.Counter(mChaosBlackoutsInjected)
-		rampInjected     = reg.Counter(mChaosLossRampsInjected)
-		wedgeInjected    = reg.Counter(mChaosWedgesInjected)
-		lossCurrent      = reg.Gauge(mChaosLossCurrent)
+		crashTInjected       = reg.Counter(mChaosCrashTInjected)
+		crashRInjected       = reg.Counter(mChaosCrashRInjected)
+		blackoutInjected     = reg.Counter(mChaosBlackoutsInjected)
+		rampInjected         = reg.Counter(mChaosLossRampsInjected)
+		wedgeInjected        = reg.Counter(mChaosWedgesInjected)
+		nodeCrashInjected    = reg.Counter(mChaosNodeCrashesInjected)
+		nodeRestartInjected  = reg.Counter(mChaosNodeRestartsInjected)
+		nodeBlackoutInjected = reg.Counter(mChaosNodeBlackoutsInjected)
+		lossCurrent          = reg.Gauge(mChaosLossCurrent)
 	)
 	lossCurrent.Set(sc.Link.Loss)
+
+	// linksFor resolves an action's link selector: one specific link
+	// (1-based) or, at zero, every link — the legacy behavior.
+	linksFor := func(a Action) []Controllable {
+		if a.Link > 0 {
+			if a.Link > len(t.Links) {
+				return nil
+			}
+			return t.Links[a.Link-1 : a.Link]
+		}
+		return t.Links
+	}
+	nodeFor := func(a Action) NodeTarget {
+		if a.Node < 0 || a.Node >= len(t.Nodes) {
+			return nil
+		}
+		return t.Nodes[a.Node]
+	}
 
 	actions := append([]Action(nil), sc.Actions...)
 	sort.SliceStable(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
@@ -313,23 +376,42 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 			}
 		case BlackoutStart:
 			blackoutInjected.Inc()
-			for _, l := range t.Links {
+			for _, l := range linksFor(a) {
 				l.SetBlackout(true)
 			}
 		case BlackoutEnd:
-			for _, l := range t.Links {
+			for _, l := range linksFor(a) {
 				l.SetBlackout(false)
 			}
 		case SetLoss:
 			rampInjected.Inc()
 			lossCurrent.Set(a.Loss)
-			for _, l := range t.Links {
+			for _, l := range linksFor(a) {
 				l.SetLoss(a.Loss)
 			}
 		case WedgeSender:
 			wedgeInjected.Inc()
 			if t.Shared != nil {
 				t.Shared.WedgeCurrent()
+			}
+		case CrashNode:
+			nodeCrashInjected.Inc()
+			if n := nodeFor(a); n != nil {
+				n.CrashNode()
+			}
+		case RestartNode:
+			nodeRestartInjected.Inc()
+			if n := nodeFor(a); n != nil {
+				n.RestartNode()
+			}
+		case NodeBlackoutStart:
+			nodeBlackoutInjected.Inc()
+			if n := nodeFor(a); n != nil {
+				n.SetNodeBlackout(true)
+			}
+		case NodeBlackoutEnd:
+			if n := nodeFor(a); n != nil {
+				n.SetNodeBlackout(false)
 			}
 		default:
 			return fmt.Errorf("chaos: unknown action kind %q", a.Kind)

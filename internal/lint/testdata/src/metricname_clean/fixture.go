@@ -12,6 +12,7 @@ import (
 const (
 	mSends   = "tx.send_msgs"
 	mHealth  = "session.health"
+	mRelay   = "relay.reroutes"
 	mDropped = ".dropped"
 	mEp      = ".ep"
 )
@@ -19,6 +20,7 @@ const (
 func register(reg *metrics.Registry, prefix string, id int) {
 	reg.Counter(mSends)
 	reg.Gauge(mHealth)
+	reg.Counter(mRelay)
 	// Dynamic names assembled from declared constant parts.
 	reg.Counter(prefix + mEp + strconv.Itoa(id) + mDropped)
 }

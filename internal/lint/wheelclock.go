@@ -9,13 +9,14 @@ import (
 
 // wheelclockScope is the set of runtime packages whose pacing must ride
 // the shared timer wheel. The engine owns the wheel; the netlink
-// stations and the session supervisor are its clients. Simulation-side
-// packages (chaos, transport, sim) schedule real wall-clock faults and
-// are deliberately out of scope.
+// stations, the session supervisor and the relay mesh are its clients.
+// Simulation-side packages (chaos, transport, sim) schedule real
+// wall-clock faults and are deliberately out of scope.
 var wheelclockScope = map[string]bool{
 	"ghm/internal/engine":    true,
 	"ghm/internal/netlink":   true,
 	"ghm/internal/supervise": true,
+	"ghm/internal/relay":     true,
 }
 
 // wheelclockBanned are the runtime-timer constructors and blockers that
@@ -43,8 +44,9 @@ var Wheelclock = &analysis.Analyzer{
 	Name: "wheelclock",
 	Doc: `forbid runtime timers (time.After/Sleep/NewTimer/...) in wheel territory
 
-In ghm/internal/engine, ghm/internal/netlink and ghm/internal/supervise,
-retry and backoff pacing must arm the shared timer wheel
+In ghm/internal/engine, ghm/internal/netlink, ghm/internal/supervise and
+ghm/internal/relay, retry and backoff pacing must arm the shared timer
+wheel
 (engine.Wheel.AfterFunc / Timer.Reset). time.After, time.Tick,
 time.Sleep, time.NewTimer, time.NewTicker and time.AfterFunc are
 reported. The wheel's own ticker and the impairment simulators (which

@@ -1,0 +1,111 @@
+package relay
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame kinds. Data frames carry a payload from Src toward Dst along
+// Route; ack frames confirm one (Src, ID) end to end, travelling the
+// reversed route back to the original source.
+const (
+	frameData byte = 1
+	frameAck  byte = 2
+)
+
+// maxRouteLen bounds the hop count a frame may carry; routes are node
+// paths inside one mesh, so a byte is plenty.
+const maxRouteLen = 255
+
+// frame is one mesh-layer envelope. Every hop transfers the encoded
+// frame as an opaque session payload; only relay nodes look inside.
+//
+// Wire layout (all integers uvarint unless noted):
+//
+//	kind(1B) | src(1B) | dst(1B) | id | attempt | routeLen(1B) | route... | payload
+//
+// Route is the full node path source..destination (never popped), so the
+// destination can reverse it for the ack and any node can locate its
+// successor without per-node state.
+type frame struct {
+	Kind    byte
+	Src     byte
+	Dst     byte
+	ID      uint64
+	Attempt uint32
+	Route   []byte
+	Payload []byte
+}
+
+// key identifies one end-to-end transfer attempt; per-hop forwarding
+// dedup keys on it so a session-level resubmission (the same attempt
+// delivered twice by one hop) is suppressed while a deliberate
+// re-dispatch (a new attempt, possibly over a route sharing this node)
+// still propagates.
+type key struct {
+	kind    byte
+	src     byte
+	dst     byte
+	id      uint64
+	attempt uint32
+}
+
+func (f frame) key() key {
+	return key{kind: f.Kind, src: f.Src, dst: f.Dst, id: f.ID, attempt: f.Attempt}
+}
+
+// endKey identifies one end-to-end payload regardless of attempt; the
+// destination dedups on it for exactly-once delivery.
+type endKey struct {
+	src byte
+	id  uint64
+}
+
+func (f frame) endKey() endKey { return endKey{src: f.Src, id: f.ID} }
+
+// appendFrame encodes f onto b append-style.
+func appendFrame(b []byte, f frame) []byte {
+	b = append(b, f.Kind, f.Src, f.Dst)
+	b = binary.AppendUvarint(b, f.ID)
+	b = binary.AppendUvarint(b, uint64(f.Attempt))
+	b = append(b, byte(len(f.Route)))
+	b = append(b, f.Route...)
+	b = append(b, f.Payload...)
+	return b
+}
+
+// parseFrame decodes one frame. The returned Route and Payload alias p.
+func parseFrame(p []byte) (frame, error) {
+	var f frame
+	if len(p) < 3 {
+		return f, fmt.Errorf("relay: frame too short (%d bytes)", len(p))
+	}
+	f.Kind, f.Src, f.Dst = p[0], p[1], p[2]
+	if f.Kind != frameData && f.Kind != frameAck {
+		return f, fmt.Errorf("relay: unknown frame kind %d", f.Kind)
+	}
+	rest := p[3:]
+	id, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return f, fmt.Errorf("relay: truncated frame id")
+	}
+	rest = rest[n:]
+	attempt, n := binary.Uvarint(rest)
+	if n <= 0 || attempt > 1<<32-1 {
+		return f, fmt.Errorf("relay: bad frame attempt")
+	}
+	rest = rest[n:]
+	if len(rest) < 1 {
+		return f, fmt.Errorf("relay: truncated route length")
+	}
+	rl := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < rl {
+		return f, fmt.Errorf("relay: truncated route (%d of %d hops)", len(rest), rl)
+	}
+	f.ID = id
+	f.Attempt = uint32(attempt)
+	f.Route = rest[:rl]
+	f.Payload = rest[rl:]
+	return f, nil
+}

@@ -1,0 +1,79 @@
+package relay
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := frame{
+		Kind:    frameData,
+		Src:     0,
+		Dst:     4,
+		ID:      1<<40 + 17,
+		Attempt: 3,
+		Route:   []byte{0, 2, 4},
+		Payload: []byte("relay payload"),
+	}
+	enc := appendFrame(nil, in)
+	out, err := parseFrame(enc)
+	if err != nil {
+		t.Fatalf("parseFrame: %v", err)
+	}
+	if out.Kind != in.Kind || out.Src != in.Src || out.Dst != in.Dst ||
+		out.ID != in.ID || out.Attempt != in.Attempt {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if !bytes.Equal(out.Route, in.Route) || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("route/payload mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestFrameEmptyPayloadAndRoute(t *testing.T) {
+	enc := appendFrame(nil, frame{Kind: frameAck, Src: 1, Dst: 0, ID: 9})
+	out, err := parseFrame(enc)
+	if err != nil {
+		t.Fatalf("parseFrame: %v", err)
+	}
+	if len(out.Route) != 0 || len(out.Payload) != 0 {
+		t.Fatalf("expected empty route and payload, got %+v", out)
+	}
+}
+
+func TestFrameParseErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{frameData},
+		{frameData, 0, 1},          // missing id
+		{42, 0, 1, 1, 1, 0},        // unknown kind
+		{frameData, 0, 1, 1, 1, 5}, // route length overruns
+		{frameData, 0, 1, 0x80},    // truncated uvarint id
+		{frameData, 0, 1, 1, 0x80}, // truncated uvarint attempt
+	}
+	for i, c := range cases {
+		if _, err := parseFrame(c); err == nil {
+			t.Errorf("case %d: expected error for % x", i, c)
+		}
+	}
+}
+
+func TestFrameKeys(t *testing.T) {
+	f := frame{Kind: frameData, Src: 0, Dst: 4, ID: 7, Attempt: 1}
+	resub := f // same attempt redelivered by a hop: same key
+	if f.key() != resub.key() {
+		t.Fatal("identical frames must share a hop key")
+	}
+	redispatch := f
+	redispatch.Attempt = 2 // deliberate re-dispatch: new key, same endKey
+	if f.key() == redispatch.key() {
+		t.Fatal("a re-dispatch must get a fresh hop key")
+	}
+	if f.endKey() != redispatch.endKey() {
+		t.Fatal("re-dispatch must keep the end-to-end key")
+	}
+	ack := f
+	ack.Kind = frameAck // acks dedup separately from data
+	if f.key() == ack.key() {
+		t.Fatal("ack and data frames must not share a hop key")
+	}
+}

@@ -1,0 +1,12 @@
+package relay
+
+import (
+	"testing"
+
+	"ghm/internal/testutil"
+)
+
+// TestMain wires the goroutine-leak guard over the whole relay suite: a
+// mesh owns many sessions, receivers and engines, and every one of them
+// must be gone when a test closes its mesh.
+func TestMain(m *testing.M) { testutil.Main(m) }

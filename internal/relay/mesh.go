@@ -1,0 +1,760 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghm/internal/core"
+	"ghm/internal/engine"
+	"ghm/internal/metrics"
+	"ghm/internal/netlink"
+	"ghm/internal/supervise"
+	"ghm/internal/verify"
+)
+
+// ErrClosed reports use of a closed Mesh.
+var ErrClosed = errors.New("relay: mesh closed")
+
+// The relay.* metric family, declared constants per the metricname
+// invariant.
+const (
+	mRelayHops          = "relay.hops"           // frames forwarded by intermediate nodes
+	mRelayDelivered     = "relay.delivered"      // distinct payloads delivered at the destination
+	mRelayDupSuppressed = "relay.dup_suppressed" // duplicates suppressed (per-hop and end-to-end)
+	mRelayReroutes      = "relay.reroutes"       // health- or timeout-driven re-dispatches
+	mRelayAcks          = "relay.acks"           // end-to-end acks received back at the source
+	mRelayDropped       = "relay.dropped"        // frames dropped (decode/route errors, dying hops)
+	mRelayParked        = "relay.parked"         // gauge: payloads parked with no usable route
+	mRelayRoutesUsable  = "relay.routes_usable"  // gauge: routes with every hop healthy
+	mRelayNodeRestarts  = "relay.node_restarts"  // relay-node incarnations rebuilt
+)
+
+// relayMetrics is the registry hookup for the relay.* family.
+type relayMetrics struct {
+	hops          *metrics.Counter
+	delivered     *metrics.Counter
+	dupSuppressed *metrics.Counter
+	reroutes      *metrics.Counter
+	acks          *metrics.Counter
+	dropped       *metrics.Counter
+	parked        *metrics.Gauge
+	routesUsable  *metrics.Gauge
+	nodeRestarts  *metrics.Counter
+}
+
+func newRelayMetrics(r *metrics.Registry) relayMetrics {
+	return relayMetrics{
+		hops:          r.Counter(mRelayHops),
+		delivered:     r.Counter(mRelayDelivered),
+		dupSuppressed: r.Counter(mRelayDupSuppressed),
+		reroutes:      r.Counter(mRelayReroutes),
+		acks:          r.Counter(mRelayAcks),
+		dropped:       r.Counter(mRelayDropped),
+		parked:        r.Gauge(mRelayParked),
+		routesUsable:  r.Gauge(mRelayRoutesUsable),
+		nodeRestarts:  r.Counter(mRelayNodeRestarts),
+	}
+}
+
+// LinkConns is the pair of PacketConn halves realizing one topology
+// link; A belongs to Link.A's node, B to Link.B's. The mesh owns both:
+// Mesh.Close closes them.
+type LinkConns struct {
+	A, B netlink.PacketConn
+}
+
+// Config parameterizes a Mesh. Topology, Links, Source and Dest are
+// required; everything else defaults sanely.
+type Config struct {
+	// Topology is the relay graph; Links realizes it, one conn pair per
+	// topology link, in the same order.
+	Topology Topology
+	Links    []LinkConns
+	// Source and Dest are the end-to-end endpoints: Submit injects at
+	// Source, Delivered drains at Dest.
+	Source, Dest int
+	// Routes is how many link-disjoint routes to disperse over (default
+	// 2, clamped to what the topology offers; at least one must exist).
+	Routes int
+
+	// Epsilon is the per-hop per-message error probability (0 = protocol
+	// default).
+	Epsilon float64
+	// RetryInterval / RetryBackoffMax pace each hop's receiver (defaults
+	// 300µs / 32ms — in-process scale; raise them for real networks).
+	RetryInterval   time.Duration
+	RetryBackoffMax time.Duration
+	// WatchdogWindow is each hop session's no-progress window (default
+	// 250ms); Degraded/Partitioned/Down transitions drive failover.
+	WatchdogWindow time.Duration
+	// RestartBackoff / RestartBackoffMax bound hop-session rebuild
+	// pacing (defaults 5ms / 80ms).
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+	// BreakerThreshold / BreakerCooldown configure each hop's restart
+	// breaker (defaults 25 / 250ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// AckTimeout is the end-to-end re-dispatch backstop: a payload whose
+	// ack has not returned within it is re-dispatched (default 1s). This
+	// is what survives a relay-node crash that swallowed a frame between
+	// hop delivery and next-hop enqueue.
+	AckTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per payload (0 = unlimited);
+	// exhausting it is a sticky fatal error, like an outbox giving up.
+	MaxAttempts int
+	// WALDir, when set, gives every directed hop a forwarding WAL so a
+	// restarted node resubmits the frames its previous incarnation had
+	// accepted but not yet pushed onward.
+	WALDir string
+	// DeliveryBuffer is the Delivered channel capacity (default 256).
+	DeliveryBuffer int
+
+	// Seed fixes hop-session jitter for reproducible tests (0 = clock).
+	Seed int64
+	// Metrics receives the relay.* family plus every hop's session.*,
+	// tx.*, rx.* and link.* counters; nil uses metrics.Default().
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Routes <= 0 {
+		c.Routes = 2
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 300 * time.Microsecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 32 * time.Millisecond
+	}
+	if c.WatchdogWindow <= 0 {
+		c.WatchdogWindow = 250 * time.Millisecond
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 5 * time.Millisecond
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = 80 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 25
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = time.Second
+	}
+	if c.DeliveryBuffer <= 0 {
+		c.DeliveryBuffer = 256
+	}
+	return c
+}
+
+// hopID names a directed hop.
+type hopID struct {
+	From, To int
+}
+
+// String renders "0->1" for reports and logs.
+func (h hopID) String() string { return fmt.Sprintf("%d->%d", h.From, h.To) }
+
+// hop is one directed hop's permanent identity: its link and its live
+// conformance checker, shared across node incarnations (exactly as the
+// supervised soak shares one checker across station incarnations).
+type hop struct {
+	id   hopID
+	link int
+	live *verify.Live
+}
+
+// entry is one in-flight end-to-end payload at the source router.
+type entry struct {
+	id       uint64
+	payload  []byte
+	attempt  uint32
+	routeIdx int
+	deadline time.Time
+	parked   bool
+}
+
+// Stats snapshots a Mesh's counters.
+type Stats struct {
+	Submitted     int   // payloads accepted at the source
+	Acked         int   // payloads confirmed end-to-end
+	Pending       int   // submitted but not yet acked
+	Parked        int   // pending with no usable route right now
+	Delivered     int64 // distinct payloads handed to the destination's higher layer
+	Hops          int64 // frames forwarded by intermediate nodes
+	Reroutes      int64 // re-dispatches (health-driven failover + ack timeouts)
+	DupSuppressed int64 // duplicates suppressed per hop and at the destination
+	NodeRestarts  int64 // node incarnations rebuilt
+	RoutesUsable  int   // routes currently fully healthy
+	Routes        int   // link-disjoint routes the mesh dispersed over
+}
+
+// Mesh is a multi-hop relay network: every edge a supervised session per
+// direction, source routing over link-disjoint routes, per-hop dedup,
+// end-to-end acks and health-driven failover. See the package comment
+// for the guarantee layering. Create with New; always Close.
+type Mesh struct {
+	cfg    Config
+	reg    *metrics.Registry
+	mt     relayMetrics
+	topo   Topology
+	routes [][]int
+	wheel  *engine.Wheel
+
+	engines []*engine.Engine // one per conn half, mesh-owned
+	nodes   []*node
+	hops    map[hopID]*hop
+
+	deliveredCh chan []byte
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	inflight     map[uint64]*entry
+	deliveredSet map[endKey]bool
+	hopHealth    map[hopID]supervise.Health
+	nodeUp       []bool
+	nextID       uint64
+	rr           int // round-robin route cursor
+	parked       int
+	err          error // sticky fatal (MaxAttempts exhausted)
+	closed       bool
+
+	st struct {
+		submitted, acked                atomic.Int64
+		delivered, hops, dups, reroutes atomic.Int64
+		nodeRestarts                    atomic.Int64
+	}
+
+	wake       chan struct{}
+	stop       chan struct{}
+	routerDone chan struct{}
+	timer      *engine.Timer
+	closeOnce  sync.Once
+}
+
+// New validates the topology, computes the link-disjoint routes, builds
+// every node's engines, sessions and receivers, and starts the router.
+func New(cfg Config) (*Mesh, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Links) != len(cfg.Topology.Links) {
+		return nil, fmt.Errorf("relay: %d conn pairs for %d topology links", len(cfg.Links), len(cfg.Topology.Links))
+	}
+	if cfg.Source < 0 || cfg.Source >= cfg.Topology.Nodes || cfg.Dest < 0 || cfg.Dest >= cfg.Topology.Nodes {
+		return nil, fmt.Errorf("relay: source %d / dest %d out of range [0, %d)", cfg.Source, cfg.Dest, cfg.Topology.Nodes)
+	}
+	if cfg.Source == cfg.Dest {
+		return nil, fmt.Errorf("relay: source and dest are both node %d", cfg.Source)
+	}
+	routes := cfg.Topology.DisjointRoutes(cfg.Source, cfg.Dest, cfg.Routes)
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("relay: no route from %d to %d", cfg.Source, cfg.Dest)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+
+	m := &Mesh{
+		cfg:          cfg,
+		reg:          reg,
+		mt:           newRelayMetrics(reg),
+		topo:         cfg.Topology,
+		routes:       routes,
+		wheel:        engine.DefaultWheel(),
+		hops:         make(map[hopID]*hop),
+		deliveredCh:  make(chan []byte, cfg.DeliveryBuffer),
+		inflight:     make(map[uint64]*entry),
+		deliveredSet: make(map[endKey]bool),
+		hopHealth:    make(map[hopID]supervise.Health),
+		nodeUp:       make([]bool, cfg.Topology.Nodes),
+		wake:         make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		routerDone:   make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+
+	// Permanent per-node link ends: one framed engine per conn half, two
+	// directional endpoints per link. Endpoint id 0 always carries
+	// Link.A -> Link.B, id 1 the reverse, so both sides agree on the
+	// wire tags.
+	nodes := make([]*node, cfg.Topology.Nodes)
+	for i := range nodes {
+		nodes[i] = &node{m: m, id: i}
+	}
+	for li, l := range cfg.Topology.Links {
+		engA := netlink.NewEngine(cfg.Links[li].A, 2, reg)
+		engB := netlink.NewEngine(cfg.Links[li].B, 2, reg)
+		m.engines = append(m.engines, engA, engB)
+		nodes[l.A].ends = append(nodes[l.A].ends, nodeEnd{link: li, peer: l.B, eng: engA, sendID: 0, recvID: 1})
+		nodes[l.B].ends = append(nodes[l.B].ends, nodeEnd{link: li, peer: l.A, eng: engB, sendID: 1, recvID: 0})
+		m.hops[hopID{From: l.A, To: l.B}] = &hop{id: hopID{From: l.A, To: l.B}, link: li, live: &verify.Live{}}
+		m.hops[hopID{From: l.B, To: l.A}] = &hop{id: hopID{From: l.B, To: l.A}, link: li, live: &verify.Live{}}
+	}
+	m.nodes = nodes
+
+	for _, n := range nodes {
+		if err := n.start(); err != nil {
+			for _, p := range nodes {
+				p.stop()
+			}
+			for _, e := range m.engines {
+				e.Close()
+			}
+			return nil, err
+		}
+		m.mu.Lock()
+		m.nodeUp[n.id] = true
+		m.mu.Unlock()
+	}
+
+	m.timer = m.wheel.AfterFunc(time.Hour, m.signal)
+	m.timer.Stop()
+	go m.router()
+	m.signal()
+	return m, nil
+}
+
+// params builds the per-hop protocol parameters.
+func (m *Mesh) params() core.Params { return core.Params{Epsilon: m.cfg.Epsilon} }
+
+// hopSeed derives a deterministic per-hop supervisor seed (0 stays 0:
+// clock-seeded).
+func (m *Mesh) hopSeed(nodeID, endIdx int) int64 {
+	if m.cfg.Seed == 0 {
+		return 0
+	}
+	return m.cfg.Seed + int64(nodeID)*64 + int64(endIdx) + 1
+}
+
+// signal wakes the router; safe from wheel callbacks (never blocks).
+func (m *Mesh) signal() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// addHop / addDup track mesh-local counters alongside the shared
+// registry (a registry may serve several meshes).
+func (m *Mesh) addHop() { m.st.hops.Add(1) }
+func (m *Mesh) addDup() { m.st.dups.Add(1) }
+
+// noteHopHealth records a hop transition and wakes the router: a
+// worsened hop triggers failover of in-flight payloads routed over it, a
+// recovered hop resumes parked ones.
+func (m *Mesh) noteHopHealth(h hopID, to supervise.Health) {
+	m.mu.Lock()
+	m.hopHealth[h] = to
+	m.mu.Unlock()
+	m.signal()
+}
+
+// HopHealth returns the mesh's current view of a directed hop (Healthy
+// for unknown hops).
+func (m *Mesh) HopHealth(from, to int) supervise.Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hopHealth[hopID{From: from, To: to}]
+}
+
+// Routes returns the link-disjoint node paths the mesh disperses over.
+func (m *Mesh) Routes() [][]int {
+	out := make([][]int, len(m.routes))
+	for i, r := range m.routes {
+		out[i] = append([]int(nil), r...)
+	}
+	return out
+}
+
+// HopReports returns every directed hop's live Section-2.6 conformance
+// report, keyed "from->to".
+func (m *Mesh) HopReports() map[string]verify.Report {
+	out := make(map[string]verify.Report, len(m.hops))
+	for id, h := range m.hops {
+		out[id.String()] = h.live.Report()
+	}
+	return out
+}
+
+// Delivered is the destination's higher layer: distinct payloads, each
+// exactly once, in arrival order. The channel is closed by Close.
+func (m *Mesh) Delivered() <-chan []byte { return m.deliveredCh }
+
+// Submit accepts a payload at the source for end-to-end delivery and
+// returns its mesh id. The payload is dispatched immediately over the
+// healthiest route, or parked if no route is usable right now.
+func (m *Mesh) Submit(payload []byte) (uint64, error) {
+	cp := append([]byte(nil), payload...)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	if m.err != nil {
+		return 0, m.err
+	}
+	id := m.nextID
+	m.nextID++
+	e := &entry{id: id, payload: cp}
+	m.inflight[id] = e
+	m.st.submitted.Add(1)
+	m.dispatchLocked(e, time.Now())
+	m.signal() // re-arm the ack-timeout timer around the new entry
+	return id, nil
+}
+
+// usableLocked reports whether route r is fully usable: every node on it
+// up, every hop session Healthy.
+func (m *Mesh) usableLocked(r []int) bool {
+	for _, n := range r {
+		if !m.nodeUp[n] {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(r); i++ {
+		if m.hopHealth[hopID{From: r[i], To: r[i+1]}] != supervise.Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// usableRoutesLocked lists the indexes of currently usable routes.
+func (m *Mesh) usableRoutesLocked() []int {
+	var out []int
+	for i, r := range m.routes {
+		if m.usableLocked(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dispatchLocked sends (or re-sends) one entry over the next usable
+// route, or parks it when none is usable. Caller holds m.mu.
+func (m *Mesh) dispatchLocked(e *entry, now time.Time) {
+	usable := m.usableRoutesLocked()
+	m.mt.routesUsable.Set(float64(len(usable)))
+	if len(usable) == 0 {
+		m.parkLocked(e)
+		return
+	}
+	if m.cfg.MaxAttempts > 0 && int(e.attempt) >= m.cfg.MaxAttempts {
+		m.err = fmt.Errorf("relay: payload %d exhausted %d dispatch attempts", e.id, m.cfg.MaxAttempts)
+		delete(m.inflight, e.id)
+		if e.parked {
+			e.parked = false
+			m.parked--
+			m.mt.parked.Set(float64(m.parked))
+		}
+		m.cond.Broadcast()
+		return
+	}
+
+	idx := usable[m.rr%len(usable)]
+	m.rr++
+	e.attempt++
+	e.routeIdx = idx
+	e.deadline = now.Add(m.cfg.AckTimeout)
+	if e.parked {
+		e.parked = false
+		m.parked--
+		m.mt.parked.Set(float64(m.parked))
+	}
+
+	route := m.routes[idx]
+	rb := make([]byte, len(route))
+	for i, n := range route {
+		rb[i] = byte(n)
+	}
+	f := frame{
+		Kind:    frameData,
+		Src:     byte(m.cfg.Source),
+		Dst:     byte(m.cfg.Dest),
+		ID:      e.id,
+		Attempt: e.attempt,
+		Route:   rb,
+		Payload: e.payload,
+	}
+	sess := m.nodes[m.cfg.Source].sessionTo(route[1])
+	if sess == nil {
+		m.parkLocked(e)
+		return
+	}
+	if _, err := sess.Enqueue(appendFrame(nil, f)); err != nil {
+		m.parkLocked(e)
+		return
+	}
+}
+
+// parkLocked parks an entry until some route recovers.
+func (m *Mesh) parkLocked(e *entry) {
+	if !e.parked {
+		e.parked = true
+		m.parked++
+		m.mt.parked.Set(float64(m.parked))
+	}
+	e.deadline = time.Time{}
+}
+
+// completeAck resolves one end-to-end ack at the source.
+func (m *Mesh) completeAck(id uint64) {
+	m.mu.Lock()
+	e, ok := m.inflight[id]
+	if ok {
+		delete(m.inflight, id)
+		if e.parked {
+			e.parked = false
+			m.parked--
+			m.mt.parked.Set(float64(m.parked))
+		}
+		m.st.acked.Add(1)
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	if ok {
+		m.signal()
+	}
+}
+
+// deliverLocal commits one data frame at the destination: end-to-end
+// dedup, ack back over the reversed route (re-acking duplicates, so a
+// lost ack is healed by the next re-dispatch), then hand the payload to
+// the higher layer.
+func (m *Mesh) deliverLocal(n *node, f frame) {
+	m.mu.Lock()
+	ek := f.endKey()
+	first := !m.deliveredSet[ek]
+	if first {
+		m.deliveredSet[ek] = true
+	}
+	m.mu.Unlock()
+
+	ack := frame{
+		Kind:    frameAck,
+		Src:     f.Dst,
+		Dst:     f.Src,
+		ID:      f.ID,
+		Attempt: f.Attempt,
+		Route:   reverseRoute(f.Route),
+	}
+	if next, ok := nextHop(ack.Route, n.id); ok {
+		if sess := n.sessionTo(next); sess != nil {
+			if _, err := sess.Enqueue(appendFrame(nil, ack)); err != nil {
+				m.mt.dropped.Inc()
+			}
+		}
+	}
+
+	if !first {
+		m.mt.dupSuppressed.Inc()
+		m.addDup()
+		return
+	}
+	m.mt.delivered.Inc()
+	m.st.delivered.Add(1)
+	payload := append([]byte(nil), f.Payload...)
+	select {
+	case m.deliveredCh <- payload:
+	case <-m.stop:
+	}
+}
+
+// router is the failover loop: on every wake — a health transition, an
+// ack, a submit, a node stop/restart or an ack-timeout firing — it
+// reconciles the in-flight table against route health, re-dispatching
+// entries whose route worsened or whose ack is overdue and resuming
+// parked ones, then re-arms the timeout timer.
+func (m *Mesh) router() {
+	defer close(m.routerDone)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.wake:
+		}
+		m.reconcile()
+	}
+}
+
+// reconcile is one router pass; see router.
+func (m *Mesh) reconcile() {
+	now := time.Now()
+	m.mu.Lock()
+	m.mt.routesUsable.Set(float64(len(m.usableRoutesLocked())))
+	var earliest time.Time
+	for _, e := range m.inflight {
+		if m.err != nil {
+			break
+		}
+		switch {
+		case e.parked:
+			m.dispatchLocked(e, now) // parks again if still no route
+		case !m.usableLocked(m.routes[e.routeIdx]) || !now.Before(e.deadline):
+			// Health-driven failover or ack-timeout backstop.
+			m.mt.reroutes.Inc()
+			m.st.reroutes.Add(1)
+			m.dispatchLocked(e, now)
+		}
+		if !e.parked && !e.deadline.IsZero() && (earliest.IsZero() || e.deadline.Before(earliest)) {
+			earliest = e.deadline
+		}
+	}
+	m.mu.Unlock()
+	if !earliest.IsZero() {
+		d := time.Until(earliest)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		m.timer.Reset(d)
+	}
+}
+
+// StopNode crashes a relay node: its sessions, receivers and in-memory
+// forwarding state are torn down (the links stay up). In-flight payloads
+// routed through it fail over to surviving routes; with no surviving
+// route they park until RestartNode.
+func (m *Mesh) StopNode(id int) error {
+	if id < 0 || id >= len(m.nodes) {
+		return fmt.Errorf("relay: node %d out of range [0, %d)", id, len(m.nodes))
+	}
+	m.mu.Lock()
+	m.nodeUp[id] = false
+	for _, end := range m.nodes[id].ends {
+		m.hopHealth[hopID{From: id, To: end.peer}] = supervise.Down
+	}
+	m.mu.Unlock()
+	m.nodes[id].stop()
+	m.signal()
+	return nil
+}
+
+// RestartNode rebuilds a crashed node: fresh sessions (replaying their
+// forwarding WALs, when configured) and receivers. Parked payloads
+// resume as soon as the restored routes report healthy.
+func (m *Mesh) RestartNode(id int) error {
+	if id < 0 || id >= len(m.nodes) {
+		return fmt.Errorf("relay: node %d out of range [0, %d)", id, len(m.nodes))
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	up := m.nodeUp[id]
+	m.mu.Unlock()
+	if up {
+		return fmt.Errorf("relay: node %d is already running", id)
+	}
+	if err := m.nodes[id].start(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.nodeUp[id] = true
+	m.mu.Unlock()
+	m.mt.nodeRestarts.Inc()
+	m.st.nodeRestarts.Add(1)
+	m.signal()
+	return nil
+}
+
+// NodeUp reports whether node id is currently running.
+func (m *Mesh) NodeUp(id int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return id >= 0 && id < len(m.nodeUp) && m.nodeUp[id]
+}
+
+// Flush blocks until every submitted payload is acked end-to-end, the
+// mesh fails fatally, or ctx ends. Node crashes and hop failures are not
+// fatal: Flush rides through them.
+func (m *Mesh) Flush(ctx context.Context) error {
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			m.cond.Broadcast()
+		case <-stopWatch:
+		}
+	}()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.inflight) > 0 && m.err == nil && !m.closed {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		m.cond.Wait()
+	}
+	if m.err != nil {
+		return m.err
+	}
+	if m.closed && len(m.inflight) > 0 {
+		return ErrClosed
+	}
+	return ctx.Err()
+}
+
+// Err returns the mesh's sticky fatal error, if any.
+func (m *Mesh) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Stats snapshots the mesh's counters.
+func (m *Mesh) Stats() Stats {
+	m.mu.Lock()
+	pending := len(m.inflight)
+	parked := m.parked
+	usable := len(m.usableRoutesLocked())
+	m.mu.Unlock()
+	return Stats{
+		Submitted:     int(m.st.submitted.Load()),
+		Acked:         int(m.st.acked.Load()),
+		Pending:       pending,
+		Parked:        parked,
+		Delivered:     m.st.delivered.Load(),
+		Hops:          m.st.hops.Load(),
+		Reroutes:      m.st.reroutes.Load(),
+		DupSuppressed: m.st.dups.Load(),
+		NodeRestarts:  m.st.nodeRestarts.Load(),
+		RoutesUsable:  usable,
+		Routes:        len(m.routes),
+	}
+}
+
+// Close stops the mesh: the router, every node's runtime, every engine
+// (closing the underlying conns) and the Delivered channel.
+func (m *Mesh) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.stop)
+		<-m.routerDone
+		m.timer.Stop()
+		for _, n := range m.nodes {
+			n.stop()
+		}
+		for _, e := range m.engines {
+			e.Close()
+		}
+		m.mu.Lock()
+		m.closed = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		close(m.deliveredCh)
+	})
+	return nil
+}

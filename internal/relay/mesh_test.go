@@ -1,0 +1,404 @@
+package relay
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ghm/internal/metrics"
+	"ghm/internal/netlink"
+)
+
+// testLinks realizes a topology in-process: one reordering pipe per
+// link, both halves wrapped in controllable impairment stages.
+type testLinks struct {
+	conns []LinkConns
+	// imps[i] are link i's two impairment stages: [0] wraps the A half,
+	// [1] the B half.
+	imps [][2]*netlink.ImpairedConn
+}
+
+func buildLinks(topo Topology, seed int64, reg *metrics.Registry, spec netlink.ImpairConfig) testLinks {
+	return buildLinksPer(topo, seed, reg, func(int) netlink.ImpairConfig { return spec })
+}
+
+// buildLinksPer is buildLinks with a per-link impairment profile.
+func buildLinksPer(topo Topology, seed int64, reg *metrics.Registry, specFor func(li int) netlink.ImpairConfig) testLinks {
+	var tl testLinks
+	for i := range topo.Links {
+		a, b := netlink.Pipe(netlink.PipeConfig{Seed: seed + int64(3*i) + 1})
+		spec := specFor(i)
+		ica, icb := spec, spec
+		ica.Seed, icb.Seed = seed+int64(3*i)+2, seed+int64(3*i)+3
+		ica.Metrics, icb.Metrics = reg, reg
+		ica.MetricsPrefix, icb.MetricsPrefix = "link", "link"
+		la, lb := netlink.Impair(a, ica), netlink.Impair(b, icb)
+		tl.conns = append(tl.conns, LinkConns{A: la, B: lb})
+		tl.imps = append(tl.imps, [2]*netlink.ImpairedConn{la, lb})
+	}
+	return tl
+}
+
+// drain consumes a mesh's Delivered channel into a payload->count map
+// until the channel closes.
+func drain(m *Mesh) (*sync.Mutex, map[string]int, chan struct{}) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range m.Delivered() {
+			mu.Lock()
+			got[string(p)]++
+			mu.Unlock()
+		}
+	}()
+	return &mu, got, done
+}
+
+func requireExactlyOnce(t *testing.T, mu *sync.Mutex, got map[string]int, want []string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, w := range want {
+		switch got[w] {
+		case 1:
+		case 0:
+			t.Errorf("payload %q never delivered", w)
+		default:
+			t.Errorf("payload %q delivered %d times", w, got[w])
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("delivered %d distinct payloads, want %d", len(got), len(want))
+	}
+}
+
+func requireCleanHops(t *testing.T, m *Mesh) {
+	t.Helper()
+	for id, rep := range m.HopReports() {
+		if !rep.Clean() {
+			t.Errorf("hop %s conformance violations: %v", id, rep)
+		}
+	}
+}
+
+func newTestMesh(t *testing.T, cfg Config) *Mesh {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestMeshDelivery(t *testing.T) {
+	reg := metrics.New()
+	topo := fiveNode()
+	tl := buildLinks(topo, 101, reg, netlink.ImpairConfig{})
+	m := newTestMesh(t, Config{
+		Topology: topo, Links: tl.conns,
+		Source: 0, Dest: 4, Routes: 3,
+		Seed: 101, Metrics: reg,
+	})
+	if got := len(m.Routes()); got != 3 {
+		t.Fatalf("expected 3 routes, got %d", got)
+	}
+
+	mu, got, done := drain(m)
+	var want []string
+	for i := 0; i < 50; i++ {
+		p := fmt.Sprintf("msg-%03d", i)
+		if _, err := m.Submit([]byte(p)); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		want = append(want, p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v (stats %+v)", err, m.Stats())
+	}
+	m.Close()
+	<-done
+
+	requireExactlyOnce(t, mu, got, want)
+	requireCleanHops(t, m)
+	st := m.Stats()
+	if st.Acked != 50 || st.Delivered != 50 || st.Pending != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Hops < 50 {
+		t.Fatalf("two-hop routes should forward every payload at least once: %+v", st)
+	}
+}
+
+func TestMeshFailoverOnLinkBlackout(t *testing.T) {
+	reg := metrics.New()
+	topo := fiveNode()
+	tl := buildLinks(topo, 202, reg, netlink.ImpairConfig{})
+	m := newTestMesh(t, Config{
+		Topology: topo, Links: tl.conns,
+		Source: 0, Dest: 4, Routes: 3,
+		WatchdogWindow: 80 * time.Millisecond,
+		AckTimeout:     400 * time.Millisecond,
+		Seed:           202, Metrics: reg,
+	})
+
+	mu, got, done := drain(m)
+	var want []string
+	for i := 0; i < 60; i++ {
+		p := fmt.Sprintf("msg-%03d", i)
+		if _, err := m.Submit([]byte(p)); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		want = append(want, p)
+		if i == 10 {
+			// Kill the route through node 1 in both directions; the mesh
+			// must fail its traffic over to the other two routes.
+			for _, li := range []int{0, 1} {
+				tl.imps[li][0].SetBlackout(true)
+				tl.imps[li][1].SetBlackout(true)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v (stats %+v)", err, m.Stats())
+	}
+	m.Close()
+	<-done
+
+	requireExactlyOnce(t, mu, got, want)
+	requireCleanHops(t, m)
+}
+
+// TestMeshAllRoutesDownParkAndResume covers the only-route-lost edge:
+// payloads submitted while every route is down must park (not fail) and
+// resume the moment the route comes back.
+func TestMeshAllRoutesDownParkAndResume(t *testing.T) {
+	reg := metrics.New()
+	topo := Topology{Nodes: 3, Links: []Link{{A: 0, B: 1}, {A: 1, B: 2}}}
+	tl := buildLinks(topo, 303, reg, netlink.ImpairConfig{})
+	m := newTestMesh(t, Config{
+		Topology: topo, Links: tl.conns,
+		Source: 0, Dest: 2, Routes: 1,
+		WatchdogWindow: 60 * time.Millisecond,
+		AckTimeout:     300 * time.Millisecond,
+		Seed:           303, Metrics: reg,
+	})
+	mu, got, done := drain(m)
+
+	if err := m.StopNode(1); err != nil {
+		t.Fatalf("StopNode: %v", err)
+	}
+	if m.NodeUp(1) {
+		t.Fatal("node 1 should be down")
+	}
+	var want []string
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("parked-%d", i)
+		if _, err := m.Submit([]byte(p)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		want = append(want, p)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Parked < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("payloads never parked: %+v", m.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := m.Stats(); st.RoutesUsable != 0 {
+		t.Fatalf("no route should be usable: %+v", st)
+	}
+
+	if err := m.RestartNode(1); err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatalf("Flush after recovery: %v (stats %+v)", err, m.Stats())
+	}
+	m.Close()
+	<-done
+
+	requireExactlyOnce(t, mu, got, want)
+	requireCleanHops(t, m)
+	if st := m.Stats(); st.NodeRestarts != 1 {
+		t.Fatalf("expected one node restart, got %+v", st)
+	}
+}
+
+// TestMeshSlowRouteDuplicateSuppressed covers the reroute-overlap edge:
+// a payload rerouted off a slow route is later also delivered by that
+// slow route, and the destination must suppress the straggler.
+func TestMeshSlowRouteDuplicateSuppressed(t *testing.T) {
+	reg := metrics.New()
+	topo := Topology{Nodes: 4, Links: []Link{
+		{A: 0, B: 1}, {A: 1, B: 3}, // route 0, made slow below
+		{A: 0, B: 2}, {A: 2, B: 3}, // route 1, fast
+	}}
+	// 300ms one-way latency on route 0's links: far beyond the ack
+	// timeout, so the first dispatch always loses the race.
+	tl := buildLinksPer(topo, 404, reg, func(li int) netlink.ImpairConfig {
+		if li == 0 || li == 1 {
+			return netlink.ImpairConfig{Latency: 300 * time.Millisecond}
+		}
+		return netlink.ImpairConfig{}
+	})
+	m := newTestMesh(t, Config{
+		Topology: topo, Links: tl.conns,
+		Source: 0, Dest: 3, Routes: 2,
+		AckTimeout: 100 * time.Millisecond,
+		Seed:       404, Metrics: reg,
+	})
+	mu, got, done := drain(m)
+
+	if _, err := m.Submit([]byte("raced")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v (stats %+v)", err, m.Stats())
+	}
+	if st := m.Stats(); st.Reroutes < 1 {
+		t.Fatalf("expected at least one reroute, got %+v", st)
+	}
+
+	// Wait for the slow route's straggler to arrive and be suppressed.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().DupSuppressed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("straggler never suppressed: %+v", m.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Close()
+	<-done
+
+	requireExactlyOnce(t, mu, got, []string{"raced"})
+	if st := m.Stats(); st.Delivered != 1 {
+		t.Fatalf("exactly one delivery expected: %+v", st)
+	}
+}
+
+// TestMeshNodeRestartReplaysWAL covers the crash-recovery edge: a relay
+// node that crashes with forwarding backlog in its WAL replays it on
+// restart, and end-to-end dedup keeps the replay invisible above.
+func TestMeshNodeRestartReplaysWAL(t *testing.T) {
+	reg := metrics.New()
+	dir := t.TempDir()
+	topo := Topology{Nodes: 3, Links: []Link{{A: 0, B: 1}, {A: 1, B: 2}}}
+	tl := buildLinks(topo, 505, reg, netlink.ImpairConfig{})
+	m := newTestMesh(t, Config{
+		Topology: topo, Links: tl.conns,
+		Source: 0, Dest: 2, Routes: 1,
+		WatchdogWindow: 80 * time.Millisecond,
+		AckTimeout:     2 * time.Second,
+		WALDir:         dir,
+		Seed:           505, Metrics: reg,
+	})
+	mu, got, done := drain(m)
+
+	var want []string
+	for i := 0; i < 30; i++ {
+		p := fmt.Sprintf("wal-%03d", i)
+		if _, err := m.Submit([]byte(p)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		want = append(want, p)
+		if i == 15 {
+			if err := m.StopNode(1); err != nil {
+				t.Fatalf("StopNode: %v", err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The crashed relay's forwarding WAL must exist: that file is what
+	// carries its accepted-but-unforwarded backlog across the restart.
+	wal := filepath.Join(dir, "relay-n1-to-n2.wal")
+	if fi, err := os.Stat(wal); err != nil || fi.Size() == 0 {
+		t.Fatalf("forwarding WAL missing or empty: %v", err)
+	}
+
+	if err := m.RestartNode(1); err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatalf("Flush after restart: %v (stats %+v)", err, m.Stats())
+	}
+	m.Close()
+	<-done
+
+	requireExactlyOnce(t, mu, got, want)
+	requireCleanHops(t, m)
+}
+
+func TestMeshConfigErrors(t *testing.T) {
+	topo := Topology{Nodes: 3, Links: []Link{{A: 0, B: 1}, {A: 1, B: 2}}}
+	mk := func() []LinkConns {
+		tl := buildLinks(topo, 1, metrics.New(), netlink.ImpairConfig{})
+		return tl.conns
+	}
+	closeAll := func(cs []LinkConns) {
+		for _, c := range cs {
+			c.A.Close()
+			c.B.Close()
+		}
+	}
+
+	cases := []Config{
+		{Topology: Topology{Nodes: 1}, Source: 0, Dest: 0},
+		{Topology: topo, Links: nil, Source: 0, Dest: 2},
+		{Topology: topo, Source: 0, Dest: 7},
+		{Topology: topo, Source: 1, Dest: 1},
+		{Topology: Topology{Nodes: 4, Links: []Link{{A: 0, B: 1}, {A: 2, B: 3}}}, Source: 0, Dest: 3},
+	}
+	for i, cfg := range cases {
+		if len(cfg.Links) == 0 && cfg.Topology.Nodes == topo.Nodes {
+			cfg.Links = nil
+		} else if cfg.Topology.Nodes == topo.Nodes {
+			cfg.Links = mk()
+		}
+		if cfg.Topology.Nodes == 4 {
+			tl := buildLinks(cfg.Topology, 1, metrics.New(), netlink.ImpairConfig{})
+			cfg.Links = tl.conns
+		}
+		m, err := New(cfg)
+		if err == nil {
+			m.Close()
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+		closeAll(cfg.Links)
+	}
+}
+
+func TestMeshSubmitAfterClose(t *testing.T) {
+	reg := metrics.New()
+	topo := Topology{Nodes: 2, Links: []Link{{A: 0, B: 1}}}
+	tl := buildLinks(topo, 606, reg, netlink.ImpairConfig{})
+	m := newTestMesh(t, Config{
+		Topology: topo, Links: tl.conns,
+		Source: 0, Dest: 1,
+		Seed: 606, Metrics: reg,
+	})
+	m.Close()
+	if _, err := m.Submit([]byte("late")); err != ErrClosed {
+		t.Fatalf("Submit after close: %v, want ErrClosed", err)
+	}
+}

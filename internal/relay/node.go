@@ -1,0 +1,281 @@
+package relay
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"ghm/internal/engine"
+	"ghm/internal/netlink"
+	"ghm/internal/session"
+	"ghm/internal/supervise"
+)
+
+// seenCap bounds a node's per-hop dedup ledger. When the ledger fills it
+// is cleared: a later duplicate may then be re-forwarded, which the
+// destination's end-to-end ledger still suppresses — per-hop dedup is a
+// traffic optimization, end-to-end dedup is the guarantee.
+const seenCap = 1 << 16
+
+// nodeEnd is one node's attachment to one of its links: the engine
+// owning that side's conn and the two directional endpoint ids. The
+// engine outlives node crashes — a crashed node loses its stations and
+// its forwarding state, not the physical link.
+type nodeEnd struct {
+	link   int // topology link index
+	peer   int // neighbor node id
+	eng    *engine.Engine
+	sendID int // engine endpoint carrying me -> peer
+	recvID int // engine endpoint carrying peer -> me
+}
+
+// nodeRuntime is one incarnation of a relay node: the supervised
+// sessions it sends through, the receivers it drains, and the in-memory
+// forwarding dedup ledger. StopNode discards the whole runtime (a node
+// crash erases everything but the WALs); RestartNode builds a fresh one.
+type nodeRuntime struct {
+	sessions  map[int]*session.Session // keyed by peer node id
+	receivers []*netlink.Receiver
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	seenMu sync.Mutex
+	seen   map[key]bool
+}
+
+// node is one relay-mesh participant. The node itself (identity, link
+// ends) is permanent; its runtime comes and goes with crashes.
+type node struct {
+	m    *Mesh
+	id   int
+	ends []nodeEnd
+
+	mu sync.Mutex
+	rt *nodeRuntime
+}
+
+// sessionTo returns the live session toward peer, or nil while the node
+// is down (or peer is not adjacent). Safe under Mesh.mu: node.mu is a
+// leaf lock.
+func (n *node) sessionTo(peer int) *session.Session {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rt == nil {
+		return nil
+	}
+	return n.rt.sessions[peer]
+}
+
+// walPath names the forwarding WAL for the directed hop n -> peer.
+func (n *node) walPath(peer int) string {
+	if n.m.cfg.WALDir == "" {
+		return ""
+	}
+	return filepath.Join(n.m.cfg.WALDir, fmt.Sprintf("relay-n%d-to-n%d.wal", n.id, peer))
+}
+
+// start builds a fresh runtime: one supervised session and one receiver
+// per link end, a drain goroutine per receiver and a health watcher per
+// session. With a WALDir, each session replays its forwarding backlog —
+// frames the previous incarnation accepted but had not yet pushed to the
+// next hop go out again.
+func (n *node) start() error {
+	m := n.m
+	rt := &nodeRuntime{
+		sessions: make(map[int]*session.Session, len(n.ends)),
+		seen:     make(map[key]bool),
+	}
+	var ctx context.Context
+	ctx, rt.cancel = context.WithCancel(context.Background())
+
+	fail := func(err error) error {
+		rt.cancel()
+		for _, s := range rt.sessions {
+			s.Close()
+		}
+		for _, r := range rt.receivers {
+			r.Close()
+		}
+		rt.wg.Wait()
+		return err
+	}
+
+	for i, end := range n.ends {
+		end := end
+		out := hopID{From: n.id, To: end.peer}
+		sess, err := session.New(session.Config{
+			Dial:              func() (netlink.PacketConn, error) { return end.eng.Endpoint(end.sendID) },
+			Params:            m.params(),
+			Tap:               m.hops[out].live.Observe,
+			WALPath:           n.walPath(end.peer),
+			WALSync:           false,
+			WatchdogWindow:    m.cfg.WatchdogWindow,
+			WatchdogInterval:  m.cfg.WatchdogWindow / 16,
+			RestartBackoff:    m.cfg.RestartBackoff,
+			RestartBackoffMax: m.cfg.RestartBackoffMax,
+			BreakerThreshold:  m.cfg.BreakerThreshold,
+			BreakerCooldown:   m.cfg.BreakerCooldown,
+			Seed:              m.hopSeed(n.id, i),
+			Metrics:           m.reg,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("relay: node %d session to %d: %w", n.id, end.peer, err))
+		}
+		rt.sessions[end.peer] = sess
+
+		// Health watcher: project this hop's session transitions into the
+		// mesh's route-health view. The channel closes with the session.
+		hc := sess.Subscribe()
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			for tr := range hc {
+				m.noteHopHealth(out, tr.To)
+			}
+		}()
+
+		in := hopID{From: end.peer, To: n.id}
+		conn, err := end.eng.Endpoint(end.recvID)
+		if err != nil {
+			return fail(fmt.Errorf("relay: node %d endpoint from %d: %w", n.id, end.peer, err))
+		}
+		r, err := netlink.NewReceiver(conn, netlink.ReceiverConfig{
+			Params:          m.params(),
+			RetryInterval:   m.cfg.RetryInterval,
+			RetryBackoffMax: m.cfg.RetryBackoffMax,
+			Tap:             m.hops[in].live.Observe,
+			Metrics:         m.reg,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("relay: node %d receiver from %d: %w", n.id, end.peer, err))
+		}
+		rt.receivers = append(rt.receivers, r)
+
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			for {
+				msg, err := r.Recv(ctx)
+				if err != nil {
+					return
+				}
+				n.handleFrame(rt, msg)
+			}
+		}()
+	}
+
+	n.mu.Lock()
+	n.rt = rt
+	n.mu.Unlock()
+
+	// Fresh sessions start healthy; publish that so parked traffic can
+	// resume the moment a restarted node is back.
+	for _, end := range n.ends {
+		m.noteHopHealth(hopID{From: n.id, To: end.peer}, supervise.Healthy)
+	}
+	return nil
+}
+
+// stop tears the runtime down: a deliberate node crash. Sessions and
+// receivers die (their engine endpoints detach; the links stay up for
+// the next incarnation), drain goroutines exit, and the in-memory
+// forwarding ledger is lost — exactly what a process crash would lose.
+func (n *node) stop() {
+	n.mu.Lock()
+	rt := n.rt
+	n.rt = nil
+	n.mu.Unlock()
+	if rt == nil {
+		return
+	}
+	rt.cancel()
+	for _, s := range rt.sessions {
+		s.Close()
+	}
+	for _, r := range rt.receivers {
+		// Tape crash^R before discarding: the receiving stations' memory
+		// really is erased, so the verifier must license the redeliveries
+		// the next incarnation will accept.
+		r.Crash()
+		r.Close()
+	}
+	rt.wg.Wait()
+}
+
+// handleFrame processes one inbound frame on this node: dedup, then
+// deliver (destination), complete (ack at the source) or forward.
+func (n *node) handleFrame(rt *nodeRuntime, p []byte) {
+	m := n.m
+	f, err := parseFrame(p)
+	if err != nil {
+		m.mt.dropped.Inc()
+		return
+	}
+
+	// Per-hop dedup: a session resubmission after a hop crash delivers
+	// the same attempt twice; forward it once.
+	k := f.key()
+	rt.seenMu.Lock()
+	if rt.seen[k] {
+		rt.seenMu.Unlock()
+		m.mt.dupSuppressed.Inc()
+		m.addDup()
+		return
+	}
+	if len(rt.seen) >= seenCap {
+		rt.seen = make(map[key]bool)
+	}
+	rt.seen[k] = true
+	rt.seenMu.Unlock()
+
+	if int(f.Dst) == n.id {
+		if f.Kind == frameAck {
+			m.mt.acks.Inc()
+			m.completeAck(f.ID)
+			return
+		}
+		m.deliverLocal(n, f)
+		return
+	}
+
+	// Forward toward the destination along the embedded route.
+	next, ok := nextHop(f.Route, n.id)
+	if !ok {
+		m.mt.dropped.Inc()
+		return
+	}
+	sess := n.sessionTo(next)
+	if sess == nil {
+		// The next-hop session is gone (this node is stopping); the
+		// source's ack timeout re-dispatches the payload.
+		m.mt.dropped.Inc()
+		return
+	}
+	if _, err := sess.Enqueue(p); err != nil {
+		m.mt.dropped.Inc()
+		return
+	}
+	m.mt.hops.Inc()
+	m.addHop()
+}
+
+// nextHop finds self in route and returns its successor.
+func nextHop(route []byte, self int) (int, bool) {
+	for i := 0; i+1 < len(route); i++ {
+		if int(route[i]) == self {
+			return int(route[i+1]), true
+		}
+	}
+	return 0, false
+}
+
+// reverseRoute returns a reversed copy of route (for acks).
+func reverseRoute(route []byte) []byte {
+	out := make([]byte, len(route))
+	for i, b := range route {
+		out[len(route)-1-i] = b
+	}
+	return out
+}

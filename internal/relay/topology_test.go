@@ -1,0 +1,96 @@
+package relay
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// fiveNode is the canonical soak topology: source 0, destination 4,
+// three intermediaries each linked to both ends — three link-disjoint
+// routes of two hops each.
+func fiveNode() Topology {
+	return Topology{
+		Nodes: 5,
+		Links: []Link{
+			{A: 0, B: 1}, {A: 1, B: 4},
+			{A: 0, B: 2}, {A: 2, B: 4},
+			{A: 0, B: 3}, {A: 3, B: 4},
+		},
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := fiveNode().Validate(); err != nil {
+		t.Fatalf("five-node mesh should validate: %v", err)
+	}
+	bad := []Topology{
+		{Nodes: 1},
+		{Nodes: 3, Links: []Link{{A: 0, B: 3}}},
+		{Nodes: 3, Links: []Link{{A: 1, B: 1}}},
+		{Nodes: 3, Links: []Link{{A: 0, B: 1}, {A: 1, B: 0}}},
+	}
+	for i, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, topo)
+		}
+	}
+}
+
+func TestDisjointRoutes(t *testing.T) {
+	topo := fiveNode()
+	routes := topo.DisjointRoutes(0, 4, 3)
+	if len(routes) != 3 {
+		t.Fatalf("expected 3 link-disjoint routes, got %v", routes)
+	}
+	usedLinks := map[int]bool{}
+	for _, r := range routes {
+		if r[0] != 0 || r[len(r)-1] != 4 {
+			t.Fatalf("route %v must run source to destination", r)
+		}
+		for i := 0; i+1 < len(r); i++ {
+			li := topo.linkIndex(r[i], r[i+1])
+			if li < 0 {
+				t.Fatalf("route %v uses nonexistent link %d-%d", r, r[i], r[i+1])
+			}
+			if usedLinks[li] {
+				t.Fatalf("routes share link %d-%d: %v", r[i], r[i+1], routes)
+			}
+			usedLinks[li] = true
+		}
+	}
+	// Asking for more routes than exist returns what the topology offers.
+	if got := topo.DisjointRoutes(0, 4, 10); len(got) != 3 {
+		t.Fatalf("expected 3 routes when over-asking, got %v", got)
+	}
+}
+
+func TestDisjointRoutesLine(t *testing.T) {
+	line := Topology{Nodes: 3, Links: []Link{{A: 0, B: 1}, {A: 1, B: 2}}}
+	routes := line.DisjointRoutes(0, 2, 2)
+	if !reflect.DeepEqual(routes, [][]int{{0, 1, 2}}) {
+		t.Fatalf("line topology should yield one route, got %v", routes)
+	}
+}
+
+func TestDisjointRoutesDisconnected(t *testing.T) {
+	topo := Topology{Nodes: 4, Links: []Link{{A: 0, B: 1}, {A: 2, B: 3}}}
+	if routes := topo.DisjointRoutes(0, 3, 2); routes != nil {
+		t.Fatalf("disconnected pair should yield no routes, got %v", routes)
+	}
+}
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	topo := fiveNode()
+	b, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Topology
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(topo, back) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, topo)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -275,4 +276,116 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("missing Dial accepted")
 	}
+}
+
+// TestSubscribeFanoutDuringProbeRace hammers Subscribe registration and
+// the supervisor's health fanout concurrently across a full breaker
+// cycle — open on persistent dial failure, then a probe incarnation that
+// heals. Run under -race it pins the subscriber bookkeeping: fanout
+// iterates the subscriber list from the supervisor goroutine while new
+// subscribers register from many others, right through the probe.
+func TestSubscribeFanoutDuringProbeRace(t *testing.T) {
+	a, b := netlink.Pipe(netlink.PipeConfig{Seed: 21})
+	shared := netlink.NewSharedConn(a)
+	r, err := netlink.NewReceiver(b, netlink.ReceiverConfig{Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for {
+			if _, err := r.Recv(context.Background()); err != nil {
+				return
+			}
+		}
+	}()
+
+	var dialOK atomic.Bool
+	s, err := New(Config{
+		Dial: func() (netlink.PacketConn, error) {
+			if !dialOK.Load() {
+				return nil, fmt.Errorf("no route")
+			}
+			return shared.Attach()
+		},
+		WatchdogWindow:    60 * time.Millisecond,
+		WatchdogInterval:  5 * time.Millisecond,
+		RestartBackoff:    time.Millisecond,
+		RestartBackoffMax: 2 * time.Millisecond,
+		BreakerThreshold:  3,
+		BreakerWindow:     10 * time.Second,
+		BreakerCooldown:   30 * time.Millisecond,
+		Seed:              21,
+		Metrics:           metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		s.Close()
+		r.Close()
+		shared.Close()
+		drain.Wait()
+	}()
+
+	// Subscribers churn for the whole breaker cycle: half drain until
+	// their channel closes, half abandon their channel immediately — the
+	// abandoned ones must cost nothing (non-blocking fanout).
+	stopChurn := make(chan struct{})
+	var churn, drains sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for {
+				select {
+				case <-stopChurn:
+					return
+				default:
+				}
+				c := s.Subscribe()
+				drains.Add(1)
+				go func() {
+					defer drains.Done()
+					for range c {
+					}
+				}()
+				_ = s.Subscribe() // abandoned on purpose
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	waitFor := func(what string, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !pred() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (stats %+v)", what, s.Stats())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor("breaker open", func() bool { return s.Stats().BreakerOpens >= 1 })
+
+	// Heal the link: the next admitted incarnation is the breaker's
+	// half-open probe; committing a transfer closes the breaker while the
+	// churn keeps registering subscribers.
+	dialOK.Store(true)
+	if _, err := s.Enqueue([]byte("probe-payload")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s.Flush(ctx); err != nil {
+		t.Fatalf("flush through probe: %v (stats %+v)", err, s.Stats())
+	}
+	waitFor("healthy", func() bool { return s.Health() == supervise.Healthy })
+
+	close(stopChurn)
+	churn.Wait()
+	s.Close() // closes every subscriber channel; draining goroutines exit
+	drains.Wait()
 }

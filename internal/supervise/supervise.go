@@ -540,6 +540,20 @@ func (s *Supervisor[S]) run() {
 				s.markProgress()
 				if now.Sub(born) >= s.cfg.Window {
 					consecutive = 0
+					// An idle probe earns its keep exactly like a
+					// progressing one: surviving a full window with nothing
+					// pending is the absence of the fault the breaker
+					// opened on. Without this the breaker would stay
+					// half-open with the probe ticket out forever, and a
+					// much later unrelated wedge would re-open it instantly
+					// instead of counting toward the threshold.
+					if !rewarded {
+						rewarded = true
+						if s.br.success() {
+							s.m.breakerCloses.Inc()
+							s.st.breakerClo.Add(1)
+						}
+					}
 					s.transition(Healthy, "idle")
 				}
 				continue

@@ -444,3 +444,54 @@ func TestHealthString(t *testing.T) {
 		}
 	}
 }
+
+// TestIdleProbeClosesBreaker is the probe-accounting regression: a
+// half-open probe incarnation that comes up with nothing pending must
+// still close the breaker after surviving a full idle window. Before the
+// fix the breaker stayed half-open with the probe ticket out forever,
+// and one later unrelated wedge re-opened it instantly instead of
+// counting toward the threshold.
+func TestIdleProbeClosesBreaker(t *testing.T) {
+	f := &fakeFactory{}
+	f.failNext.Store(1 << 30) // fail every Start until told otherwise
+	pending := atomic.Bool{}
+	sup, err := New(Config[*fakeStation]{
+		Start:            f.start,
+		Stop:             f.stop,
+		Pending:          pending.Load,
+		Window:           30 * time.Millisecond,
+		Interval:         3 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerWindow:    10 * time.Second,
+		BreakerCooldown:  40 * time.Millisecond,
+		Seed:             13,
+		Metrics:          metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Run()
+	defer sup.Close()
+
+	waitFor(t, "breaker open", func() bool { return sup.Stats().BreakerOpens >= 1 })
+
+	// Heal the fault. The probe incarnation builds, finds nothing
+	// pending, and must close the breaker by sitting idle a full window —
+	// no progress commit ever happens.
+	f.failNext.Store(0)
+	waitFor(t, "probe", func() bool { return sup.Stats().BreakerProbes >= 1 })
+	waitFor(t, "breaker close", func() bool { return sup.Stats().BreakerCloses >= 1 })
+	waitFor(t, "healthy", func() bool { return sup.Health() == Healthy })
+
+	// The breaker must be genuinely closed: a single later wedge counts
+	// toward the threshold instead of re-opening as a failed probe.
+	pending.Store(true)
+	waitFor(t, "wedge", func() bool { return sup.Stats().Wedges >= 1 })
+	pending.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if n := sup.Stats().BreakerOpens; n != 1 {
+		t.Fatalf("one wedge after a successful idle probe re-opened the breaker: opens=%d", n)
+	}
+}

@@ -1,0 +1,147 @@
+package ghm_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ghm"
+)
+
+// diamondMesh builds a four-node diamond 0-1-3 / 0-2-3 over lossy pipes
+// and returns the mesh plus a drain of its deliveries.
+func diamondMesh(t *testing.T, mut func(*ghm.MeshConfig)) (*ghm.Mesh, func() []string) {
+	t.Helper()
+	topo := ghm.Topology{
+		Nodes: 4,
+		Links: []ghm.Link{{A: 0, B: 1}, {A: 1, B: 3}, {A: 0, B: 2}, {A: 2, B: 3}},
+	}
+	var links []ghm.LinkConns
+	for i := range topo.Links {
+		a, b := ghm.Pipe(ghm.PipeFaults{Loss: 0.15, ReorderProb: 0.1, Seed: int64(100 + i)})
+		links = append(links, ghm.LinkConns{A: a, B: b})
+	}
+	cfg := ghm.MeshConfig{
+		Topology: topo,
+		Links:    links,
+		Source:   0,
+		Dest:     3,
+		Routes:   2,
+		Options:  []ghm.Option{ghm.WithSeed(7), ghm.WithRetryInterval(300 * time.Microsecond)},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := ghm.NewMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+
+	got := make(chan []string, 1)
+	go func() {
+		var all []string
+		for p := range m.Delivered() {
+			all = append(all, string(p))
+		}
+		got <- all
+	}()
+	return m, func() []string {
+		m.Close()
+		return <-got
+	}
+}
+
+func TestMeshDeliversExactlyOnce(t *testing.T) {
+	m, collect := diamondMesh(t, nil)
+	if len(m.Routes()) != 2 {
+		t.Fatalf("routes = %v, want 2 disjoint", m.Routes())
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := m.Submit([]byte(fmt.Sprintf("p-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(testCtx(t)); err != nil {
+		t.Fatalf("flush: %v (stats %+v)", err, m.Stats())
+	}
+	st := m.Stats()
+	if st.Submitted != n || st.Acked != n || st.Pending != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	seen := map[string]int{}
+	for _, p := range collect() {
+		seen[p]++
+	}
+	for i := 0; i < n; i++ {
+		if c := seen[fmt.Sprintf("p-%02d", i)]; c != 1 {
+			t.Errorf("payload %d delivered %d times", i, c)
+		}
+	}
+	for id, rep := range m.HopReports() {
+		if !rep.Clean() {
+			t.Errorf("hop %s: %d violations (%+v)", id, rep.Violations(), rep)
+		}
+	}
+}
+
+func TestMeshSurvivesRelayNodeCrash(t *testing.T) {
+	m, collect := diamondMesh(t, func(c *ghm.MeshConfig) {
+		c.AckTimeout = 500 * time.Millisecond
+		c.WALDir = t.TempDir()
+	})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := m.Submit([]byte(fmt.Sprintf("c-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i == 12 {
+			if err := m.StopNode(1); err != nil {
+				t.Fatal(err)
+			}
+			if m.NodeUp(1) {
+				t.Fatal("node 1 still up after StopNode")
+			}
+		}
+		if i == 25 {
+			if err := m.RestartNode(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := m.Flush(testCtx(t)); err != nil {
+		t.Fatalf("flush: %v (stats %+v)", err, m.Stats())
+	}
+	if st := m.Stats(); st.NodeRestarts != 1 || st.Acked != n {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	seen := map[string]int{}
+	for _, p := range collect() {
+		seen[p]++
+	}
+	for i := 0; i < n; i++ {
+		if c := seen[fmt.Sprintf("c-%02d", i)]; c != 1 {
+			t.Errorf("payload %d delivered %d times", i, c)
+		}
+	}
+}
+
+func TestMeshConfigValidation(t *testing.T) {
+	if _, err := ghm.NewMesh(ghm.MeshConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	a, b := ghm.Pipe(ghm.PipeFaults{})
+	defer a.Close()
+	defer b.Close()
+	_, err := ghm.NewMesh(ghm.MeshConfig{
+		Topology: ghm.Topology{Nodes: 2, Links: []ghm.Link{{A: 0, B: 1}}},
+		Links:    []ghm.LinkConns{{A: a, B: b}},
+		Source:   0, Dest: 0,
+	})
+	if err == nil {
+		t.Error("source == dest accepted")
+	}
+}

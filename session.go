@@ -177,11 +177,16 @@ func (s *Session) Subscribe() <-chan HealthTransition {
 	go func() {
 		defer close(out)
 		for tr := range in {
-			out <- HealthTransition{
+			// Non-blocking, like the internal fanout: a subscriber that
+			// stopped draining must not pin this goroutine past Close.
+			select {
+			case out <- HealthTransition{
 				From:  Health(tr.From),
 				To:    Health(tr.To),
 				Cause: tr.Cause,
 				At:    tr.At,
+			}:
+			default:
 			}
 		}
 	}()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ghm"
+	"ghm/internal/testutil"
 )
 
 // sessionRig wires a supervised Session to a plain Receiver over a
@@ -180,5 +181,60 @@ func TestHealthStrings(t *testing.T) {
 		if got := h.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", int(h), got, want)
 		}
+	}
+}
+
+// TestSessionSubscribeAbandonedDoesNotLeak is the late-unsubscribe leak
+// regression: a subscriber that stops draining while transitions keep
+// flowing must not pin the wrapper's forwarding goroutine past Close.
+// Before the fix the wrapper forwarded with a blocking send, so once the
+// abandoned channel's buffer filled the goroutine hung forever.
+func TestSessionSubscribeAbandonedDoesNotLeak(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := newSessionRig(t, func(c *ghm.SessionConfig) {
+		c.WatchdogWindow = 50 * time.Millisecond
+		c.WatchdogInterval = 5 * time.Millisecond
+	})
+	// Warm up so the first incarnation has demonstrably attached its link
+	// view — Wedge targets the current view.
+	if _, err := g.s.Enqueue([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	abandoned := g.s.Subscribe()
+	_ = abandoned // registered, never drained
+
+	// Drive well over a buffer's worth of transitions: every wedge/heal
+	// cycle degrades and recovers the session's health. The flush at the
+	// end of each cycle proves the successor incarnation attached a live
+	// view, which is what the next Wedge targets.
+	for i := 0; i < 12; i++ {
+		before := g.s.Stats().Wedges
+		g.link.Wedge()
+		if _, err := g.s.Enqueue([]byte(fmt.Sprintf("wedge-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for g.s.Stats().Wedges == before {
+			if time.Now().After(deadline) {
+				t.Fatalf("watchdog never fired on cycle %d (stats %+v)", i, g.s.Stats())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := g.s.Flush(testCtx(t)); err != nil {
+			t.Fatalf("flush cycle %d: %v (stats %+v)", i, err, g.s.Stats())
+		}
+	}
+	g.s.Close() // must close the abandoned channel and reap its forwarder
+	select {
+	case _, ok := <-abandoned:
+		if ok {
+			return // buffered transition; fine — channel closes behind it
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned subscription never closed")
 	}
 }
