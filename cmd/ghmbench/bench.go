@@ -51,13 +51,28 @@ type relayResult struct {
 	P99DeliverMS float64 `json:"p99_deliver_ms"`
 }
 
+// windowResult is one window-depth configuration's measurement: a single
+// windowed station pair over a 1ms-latency pipe, where depth k keeps k
+// transfers in flight across the same round trip. Throughput should scale
+// with k until the link saturates, while per-message confirm latency —
+// still one protocol exchange — stays flat.
+type windowResult struct {
+	Window       int     `json:"window"`
+	Messages     int     `json:"messages"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	P50ConfirmMS float64 `json:"p50_confirm_ms"`
+	P99ConfirmMS float64 `json:"p99_confirm_ms"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
 // benchReport is the BENCH_<label>.json document.
 type benchReport struct {
-	Label     string       `json:"label"`
-	Timestamp string       `json:"timestamp"`
-	GoVersion string       `json:"go_version"`
-	Runs      []laneResult `json:"runs"`
-	Relay     *relayResult `json:"relay,omitempty"`
+	Label     string         `json:"label"`
+	Timestamp string         `json:"timestamp"`
+	GoVersion string         `json:"go_version"`
+	Runs      []laneResult   `json:"runs,omitempty"`
+	Relay     *relayResult   `json:"relay,omitempty"`
+	Windows   []windowResult `json:"windows,omitempty"`
 }
 
 func parseLanes(spec string) ([]int, error) {
@@ -73,15 +88,33 @@ func parseLanes(spec string) ([]int, error) {
 }
 
 // runBench measures each lane configuration and writes the JSON report.
-func runBench(label, laneSpec string, msgs int, dir string, out io.Writer) error {
-	lanes, err := parseLanes(laneSpec)
-	if err != nil {
-		return err
-	}
+// A non-empty windowSpec switches to the windowed-station bench: one
+// datapoint per window depth, no lane or relay runs.
+func runBench(label, laneSpec, windowSpec string, msgs int, dir string, out io.Writer) error {
 	rep := benchReport{
 		Label:     label,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+	}
+	if windowSpec != "" {
+		windows, err := parseLanes(windowSpec)
+		if err != nil {
+			return err
+		}
+		for _, k := range windows {
+			r, err := benchWindow(k, msgs)
+			if err != nil {
+				return fmt.Errorf("bench window=%d: %w", k, err)
+			}
+			rep.Windows = append(rep.Windows, r)
+			fmt.Fprintf(out, "bench %s: window=%-3d %10.0f msgs/s  p50=%.3fms p99=%.3fms  allocs/op=%.1f\n",
+				label, k, r.MsgsPerSec, r.P50ConfirmMS, r.P99ConfirmMS, r.AllocsPerOp)
+		}
+		return writeBench(rep, label, dir, out)
+	}
+	lanes, err := parseLanes(laneSpec)
+	if err != nil {
+		return err
 	}
 	for _, n := range lanes {
 		r, err := benchLanes(n, msgs)
@@ -99,6 +132,11 @@ func runBench(label, laneSpec string, msgs int, dir string, out io.Writer) error
 	rep.Relay = &rr
 	fmt.Fprintf(out, "bench %s: relay %d-node/%d-route %8.0f msgs/s  p50=%.3fms p99=%.3fms\n",
 		label, rr.Nodes, rr.Routes, rr.MsgsPerSec, rr.P50DeliverMS, rr.P99DeliverMS)
+	return writeBench(rep, label, dir, out)
+}
+
+// writeBench marshals and writes BENCH_<label>.json.
+func writeBench(rep benchReport, label, dir string, out io.Writer) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -109,6 +147,125 @@ func runBench(label, laneSpec string, msgs int, dir string, out io.Writer) error
 	}
 	fmt.Fprintf(out, "bench: wrote %s\n", path)
 	return nil
+}
+
+// benchWindow drives msgs confirmed transfers through one windowed
+// station pair at depth k over a high-latency impaired link (2ms one-way
+// latency, 0.5ms jitter, 1% loss) — the regime where window depth
+// matters: a depth-1 station is bound by one confirm per protocol round
+// trip, while depth k overlaps k transfers across the same wire time.
+// The loss-driven retry tail prices each transfer identically at every
+// depth, so the p99 confirm latency should hold while throughput scales.
+func benchWindow(k, msgs int) (windowResult, error) {
+	a, b := netlink.Pipe(netlink.PipeConfig{
+		Latency: 2 * time.Millisecond,
+		Jitter:  2 * time.Millisecond,
+		Loss:    0.003,
+		Seed:    1,
+	})
+	s, err := netlink.NewWindowedSender(a, netlink.WindowedSenderConfig{Window: k})
+	if err != nil {
+		return windowResult{}, err
+	}
+	defer s.Close()
+	// Retry pacing sits just above the pipe's worst-case round trip: any
+	// faster and RETRY races the in-flight answer, any slower and every
+	// lost packet stalls its slot longer than it has to.
+	r, err := netlink.NewWindowedReceiver(b, netlink.WindowedReceiverConfig{
+		Window:        k,
+		RetryInterval: 9 * time.Millisecond,
+	})
+	if err != nil {
+		return windowResult{}, err
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	recvDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs+k; i++ {
+			if _, err := r.Recv(ctx); err != nil {
+				recvDone <- fmt.Errorf("recv %d: %w", i, err)
+				return
+			}
+		}
+		recvDone <- nil
+	}()
+
+	// Warm every slot up before timing: k concurrent sends engage all k
+	// slots, and each slot's first transfer pays the handshake's cold
+	// start — a fixed setup cost, not the steady-state behaviour the
+	// datapoint is for.
+	var warm sync.WaitGroup
+	warmErr := make(chan error, k)
+	for i := 0; i < k; i++ {
+		warm.Add(1)
+		go func(i int) {
+			defer warm.Done()
+			if err := s.Send(ctx, []byte(fmt.Sprintf("ghmbench-warmup-%08d", i))); err != nil {
+				warmErr <- err
+			}
+		}(i)
+	}
+	warm.Wait()
+	select {
+	case err := <-warmErr:
+		return windowResult{}, err
+	default:
+	}
+
+	lat := make([]float64, msgs) // per-message confirm latency, ms
+	sem := make(chan struct{}, k)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var sendErr error
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			payload := []byte(fmt.Sprintf("ghmbench-window-%08d", i))
+			t0 := time.Now()
+			if err := s.Send(ctx, payload); err != nil {
+				errOnce.Do(func() { sendErr = err })
+				return
+			}
+			lat[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if sendErr != nil {
+		return windowResult{}, sendErr
+	}
+	if err := <-recvDone; err != nil {
+		return windowResult{}, err
+	}
+
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	return windowResult{
+		Window:       k,
+		Messages:     msgs,
+		MsgsPerSec:   float64(msgs) / elapsed.Seconds(),
+		P50ConfirmMS: q(0.50),
+		P99ConfirmMS: q(0.99),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(msgs),
+	}, nil
 }
 
 // benchRelay drives msgs payloads through the canonical five-node relay

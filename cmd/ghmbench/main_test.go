@@ -117,3 +117,39 @@ func TestRunBenchBadLanes(t *testing.T) {
 		t.Error("lane count 0 accepted")
 	}
 }
+
+func TestRunBenchWindowsWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-bench", "wsmoke", "-bench-windows", "1,2", "-bench-msgs", "40", "-bench-out", dir}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_wsmoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Label   string `json:"label"`
+		Runs    []any  `json:"runs"`
+		Windows []struct {
+			Window       int     `json:"window"`
+			Messages     int     `json:"messages"`
+			MsgsPerSec   float64 `json:"msgs_per_sec"`
+			P50ConfirmMS float64 `json:"p50_confirm_ms"`
+			P99ConfirmMS float64 `json:"p99_confirm_ms"`
+			AllocsPerOp  float64 `json:"allocs_per_op"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	if rep.Label != "wsmoke" || len(rep.Windows) != 2 || len(rep.Runs) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for i, w := range rep.Windows {
+		if w.Window != i+1 || w.Messages != 40 || w.MsgsPerSec <= 0 ||
+			w.P99ConfirmMS < w.P50ConfirmMS || w.AllocsPerOp <= 0 {
+			t.Errorf("implausible window result: %+v", w)
+		}
+	}
+}

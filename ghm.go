@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"ghm/internal/core"
 	"ghm/internal/netlink"
 )
 
@@ -200,19 +201,50 @@ func DialUDP(laddr, raddr string) (PacketConn, error) {
 	return netlink.DialUDP(laddr, raddr)
 }
 
-// Sender is the transmitting station: it accepts one message at a time and
-// confirms delivery. Create with NewSender; always Close.
+// txStation is the transmitting station behind a Sender: the single-slot
+// netlink.Sender, or a netlink.WindowedSender when WithWindow raises the
+// depth.
+type txStation interface {
+	Send(ctx context.Context, msg []byte) error
+	Crash()
+	Stats() core.TxStats
+	Close() error
+}
+
+// rxStation is the receiving station behind a Receiver.
+type rxStation interface {
+	Recv(ctx context.Context) ([]byte, error)
+	Crash()
+	Stats() core.RxStats
+	Close() error
+}
+
+// Sender is the transmitting station: it accepts up to WithWindow
+// messages at a time (default one) and confirms each delivery. Create
+// with NewSender; always Close.
 type Sender struct {
-	s *netlink.Sender
+	s txStation
 }
 
 // NewSender starts a transmitting station on conn.
 func NewSender(conn PacketConn, opts ...Option) (*Sender, error) {
 	o := applyOptions(opts)
-	s, err := netlink.NewSender(conn, netlink.SenderConfig{
-		Params: o.params(),
-		Tap:    tapToTrace(o.tap),
-	})
+	var s txStation
+	var err error
+	if k := o.windowDepth(); k > 1 {
+		s, err = netlink.NewWindowedSender(conn, netlink.WindowedSenderConfig{
+			Window: k,
+			Params: o.params(),
+			Tap:    tapToTrace(o.tap),
+		})
+	} else if k != 1 {
+		err = fmt.Errorf("window depth must be in [1, %d], got %d", MaxWindow, k)
+	} else {
+		s, err = netlink.NewSender(conn, netlink.SenderConfig{
+			Params: o.params(),
+			Tap:    tapToTrace(o.tap),
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ghm: %w", err)
 	}
@@ -250,20 +282,35 @@ func (s *Sender) Stats() SenderStats {
 func (s *Sender) Close() error { return s.s.Close() }
 
 // Receiver is the receiving station: it hands over delivered messages in
-// order, exactly once. Create with NewReceiver; always Close.
+// order, exactly once. Create with NewReceiver; always Close. Its
+// WithWindow depth must match the sender's.
 type Receiver struct {
-	r *netlink.Receiver
+	r rxStation
 }
 
 // NewReceiver starts a receiving station on conn.
 func NewReceiver(conn PacketConn, opts ...Option) (*Receiver, error) {
 	o := applyOptions(opts)
-	r, err := netlink.NewReceiver(conn, netlink.ReceiverConfig{
-		Params:          o.params(),
-		RetryInterval:   o.retryInterval,
-		RetryBackoffMax: o.retryBackoff,
-		Tap:             tapToTrace(o.tap),
-	})
+	var r rxStation
+	var err error
+	if k := o.windowDepth(); k > 1 {
+		r, err = netlink.NewWindowedReceiver(conn, netlink.WindowedReceiverConfig{
+			Window:          k,
+			Params:          o.params(),
+			RetryInterval:   o.retryInterval,
+			RetryBackoffMax: o.retryBackoff,
+			Tap:             tapToTrace(o.tap),
+		})
+	} else if k != 1 {
+		err = fmt.Errorf("window depth must be in [1, %d], got %d", MaxWindow, k)
+	} else {
+		r, err = netlink.NewReceiver(conn, netlink.ReceiverConfig{
+			Params:          o.params(),
+			RetryInterval:   o.retryInterval,
+			RetryBackoffMax: o.retryBackoff,
+			Tap:             tapToTrace(o.tap),
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ghm: %w", err)
 	}

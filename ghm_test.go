@@ -118,6 +118,12 @@ func TestOptionsValidation(t *testing.T) {
 	if _, err := ghm.NewReceiver(right, ghm.WithEpsilon(-1)); err == nil {
 		t.Error("NewReceiver accepted epsilon -1")
 	}
+	if _, err := ghm.NewSender(left, ghm.WithWindow(-3)); err == nil {
+		t.Error("NewSender accepted window -3")
+	}
+	if _, err := ghm.NewReceiver(right, ghm.WithWindow(ghm.MaxWindow+1)); err == nil {
+		t.Errorf("NewReceiver accepted window %d", ghm.MaxWindow+1)
+	}
 }
 
 func TestWithScheduleAndSeed(t *testing.T) {

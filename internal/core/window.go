@@ -1,0 +1,314 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxWindow bounds the window depth: the slot id is a uvarint prefix on
+// every packet and stays a single byte on the wire below 128; 64 mirrors
+// the mux lane bound and is far past the point of diminishing returns
+// (one window fills one RTT's worth of pipeline).
+const MaxWindow = 64
+
+// ErrWindowFull is returned by WindowedTransmitter.SendMsg when every
+// slot has a message in flight. The layer above (netlink.WindowedSender)
+// serializes admissions with slot tokens, so it never sees this; it
+// exists for direct users of the state machine.
+var ErrWindowFull = errors.New("core: window full")
+
+// A window composes k independent instances of the paper's verified
+// state machines — one per slot — behind a slot-framing layer: every
+// packet on the wire carries a uvarint slot id prefix, and each slot
+// runs its own challenge/response exchange with its own tags and
+// challenges. Correctness per slot is exactly the single-machine
+// argument (the slots share nothing but the link); what the window adds
+// is the shared crash model — crash^T and crash^R erase every slot at
+// once, the way a power cycle erases one station's whole memory — and
+// that is what keeps the composition honest: there is no reachable
+// state where some slots remember the past and others do not.
+//
+// This is the "bounded capacity" window of the self-stabilizing ARQ
+// line of work (Dolev–Hanemann–Schiller–Sharma): at most k exchanges
+// concurrently in flight, over a channel that may lose, duplicate and
+// reorder, with per-slot freshness rather than per-window sequence
+// numbers doing the work sequence numbers cannot do under crashes.
+
+// frameSlot prefixes p with slot's uvarint id.
+func frameSlot(slot int, p []byte) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, len(p)+1), uint64(slot))
+	return append(out, p...)
+}
+
+// unframeSlot splits a slot-framed packet; ok is false when the frame is
+// malformed or names a slot outside [0, k).
+func unframeSlot(p []byte, k int) (int, []byte, bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 || v >= uint64(k) {
+		return 0, nil, false
+	}
+	return int(v), p[n:], true
+}
+
+// WinTxOutput collects the output actions of one windowed-transmitter
+// input event.
+type WinTxOutput struct {
+	// Packets are slot-framed DATA packets for the T->R channel.
+	Packets [][]byte
+	// OKs lists the slots whose in-flight message completed on this
+	// event (at most one per inbound packet).
+	OKs []int
+}
+
+// WindowedTransmitter is a k-deep sliding-window transmitter: k per-slot
+// Transmitter state machines with a shared crash model. Methods must be
+// called from one goroutine at a time; the type performs no locking or
+// I/O of its own.
+type WindowedTransmitter struct {
+	k     int
+	slots []*Transmitter
+	// ignored counts window-level drops (malformed slot frames,
+	// out-of-window slot ids); folded into Stats.
+	ignored int
+}
+
+// NewWindowedTransmitter builds a window of `window` transmitter slots,
+// each in its post-crash initial state.
+func NewWindowedTransmitter(window int, p Params) (*WindowedTransmitter, error) {
+	if window < 1 || window > MaxWindow {
+		return nil, fmt.Errorf("core: window must be in [1, %d], got %d", MaxWindow, window)
+	}
+	w := &WindowedTransmitter{k: window}
+	for i := 0; i < window; i++ {
+		tx, err := NewTransmitter(p)
+		if err != nil {
+			return nil, err
+		}
+		w.slots = append(w.slots, tx)
+	}
+	return w, nil
+}
+
+// Window returns the window depth k.
+func (w *WindowedTransmitter) Window() int { return w.k }
+
+// InFlight returns the number of busy slots.
+func (w *WindowedTransmitter) InFlight() int {
+	n := 0
+	for _, tx := range w.slots {
+		if tx.Busy() {
+			n++
+		}
+	}
+	return n
+}
+
+// SlotBusy reports whether slot has a message in flight.
+func (w *WindowedTransmitter) SlotBusy(slot int) bool {
+	return slot >= 0 && slot < w.k && w.slots[slot].Busy()
+}
+
+// FreeSlot returns the lowest idle slot, or -1 when the window is full.
+func (w *WindowedTransmitter) FreeSlot() int {
+	for i, tx := range w.slots {
+		if !tx.Busy() {
+			return i
+		}
+	}
+	return -1
+}
+
+// SendMsg admits msg into the given slot (the paper's send_msg action on
+// that slot's machine). It returns ErrBusy if the slot is occupied and
+// ErrWindowFull if slot is negative (meaning "any slot") and none is
+// free.
+func (w *WindowedTransmitter) SendMsg(slot int, msg []byte) (WinTxOutput, error) {
+	if slot < 0 {
+		if slot = w.FreeSlot(); slot < 0 {
+			return WinTxOutput{}, ErrWindowFull
+		}
+	}
+	if slot >= w.k {
+		return WinTxOutput{}, fmt.Errorf("core: slot %d out of window [0, %d)", slot, w.k)
+	}
+	out, err := w.slots[slot].SendMsg(msg)
+	if err != nil {
+		return WinTxOutput{}, err
+	}
+	return w.frameOut(slot, out), nil
+}
+
+// ReceivePacket demultiplexes one slot-framed CTL packet to its slot
+// machine. Malformed frames and out-of-window slot ids are ignored (the
+// runtime substrate may hand us anything).
+func (w *WindowedTransmitter) ReceivePacket(p []byte) WinTxOutput {
+	slot, body, ok := unframeSlot(p, w.k)
+	if !ok {
+		w.ignored++
+		return WinTxOutput{}
+	}
+	return w.frameOut(slot, w.slots[slot].ReceivePacket(body))
+}
+
+// frameOut slot-frames a slot machine's output packets and lifts its OK.
+func (w *WindowedTransmitter) frameOut(slot int, out TxOutput) WinTxOutput {
+	var wout WinTxOutput
+	for _, p := range out.Packets {
+		wout.Packets = append(wout.Packets, frameSlot(slot, p))
+	}
+	if out.OK {
+		wout.OKs = append(wout.OKs, slot)
+	}
+	return wout
+}
+
+// Crash models crash^T with the window's shared crash semantics: every
+// slot's memory is erased at once. A crash can never wipe some slots and
+// not others — the slots live in one station's memory.
+func (w *WindowedTransmitter) Crash() {
+	for _, tx := range w.slots {
+		tx.Crash()
+	}
+	w.ignored = 0
+}
+
+// Completed returns the total OK count across slots since construction
+// or the last crash.
+func (w *WindowedTransmitter) Completed() int {
+	n := 0
+	for _, tx := range w.slots {
+		n += tx.Completed()
+	}
+	return n
+}
+
+// Stats sums the per-slot counters; window-level frame drops count as
+// Ignored.
+func (w *WindowedTransmitter) Stats() TxStats {
+	var st TxStats
+	for _, tx := range w.slots {
+		s := tx.Stats()
+		st.PacketsSent += s.PacketsSent
+		st.OKs += s.OKs
+		st.ErrorsCounted += s.ErrorsCounted
+		st.Extensions += s.Extensions
+		st.Ignored += s.Ignored
+	}
+	st.Ignored += w.ignored
+	return st
+}
+
+// SlotMsg is one windowed delivery: the slot it arrived on and the
+// message handed to the higher layer.
+type SlotMsg struct {
+	Slot int
+	Msg  []byte
+}
+
+// WinRxOutput collects the output actions of one windowed-receiver input
+// event.
+type WinRxOutput struct {
+	// Delivered holds the receive_msg actions, tagged with their slot.
+	Delivered []SlotMsg
+	// Packets are slot-framed CTL packets for the R->T channel.
+	Packets [][]byte
+}
+
+// WindowedReceiver is the receiving half of a k-deep window: k per-slot
+// Receiver state machines with a shared crash model. In-order release
+// across slots is the runtime layer's job (netlink.WindowedReceiver
+// resequences by the sender's admission number); this type only
+// guarantees each slot's own exactly-once delivery.
+type WindowedReceiver struct {
+	k       int
+	slots   []*Receiver
+	ignored int
+}
+
+// NewWindowedReceiver builds a window of `window` receiver slots, each
+// in its post-crash initial state.
+func NewWindowedReceiver(window int, p Params) (*WindowedReceiver, error) {
+	if window < 1 || window > MaxWindow {
+		return nil, fmt.Errorf("core: window must be in [1, %d], got %d", MaxWindow, window)
+	}
+	w := &WindowedReceiver{k: window}
+	for i := 0; i < window; i++ {
+		rx, err := NewReceiver(p)
+		if err != nil {
+			return nil, err
+		}
+		w.slots = append(w.slots, rx)
+	}
+	return w, nil
+}
+
+// Window returns the window depth k.
+func (w *WindowedReceiver) Window() int { return w.k }
+
+// ReceivePacket demultiplexes one slot-framed DATA packet to its slot
+// machine. Malformed frames and out-of-window slot ids are ignored.
+func (w *WindowedReceiver) ReceivePacket(p []byte) WinRxOutput {
+	slot, body, ok := unframeSlot(p, w.k)
+	if !ok {
+		w.ignored++
+		return WinRxOutput{}
+	}
+	out := w.slots[slot].ReceivePacket(body)
+	var wout WinRxOutput
+	for _, m := range out.Delivered {
+		wout.Delivered = append(wout.Delivered, SlotMsg{Slot: slot, Msg: m})
+	}
+	for _, cp := range out.Packets {
+		wout.Packets = append(wout.Packets, frameSlot(slot, cp))
+	}
+	return wout
+}
+
+// Retry fires the RETRY action on every slot and returns the whole
+// window's CTL packets in one batch — the runtime flushes them with a
+// single conn write per wheel firing.
+func (w *WindowedReceiver) Retry() WinRxOutput {
+	var wout WinRxOutput
+	for slot, rx := range w.slots {
+		for _, p := range rx.Retry().Packets {
+			wout.Packets = append(wout.Packets, frameSlot(slot, p))
+		}
+	}
+	return wout
+}
+
+// Crash models crash^R with shared crash semantics: every slot's memory
+// is erased at once.
+func (w *WindowedReceiver) Crash() {
+	for _, rx := range w.slots {
+		rx.Crash()
+	}
+	w.ignored = 0
+}
+
+// Delivered returns the total receive_msg count across slots since
+// construction or the last crash.
+func (w *WindowedReceiver) Delivered() int {
+	n := 0
+	for _, rx := range w.slots {
+		n += rx.Delivered()
+	}
+	return n
+}
+
+// Stats sums the per-slot counters; window-level frame drops count as
+// Ignored.
+func (w *WindowedReceiver) Stats() RxStats {
+	var st RxStats
+	for _, rx := range w.slots {
+		s := rx.Stats()
+		st.PacketsSent += s.PacketsSent
+		st.Delivered += s.Delivered
+		st.ErrorsCounted += s.ErrorsCounted
+		st.Extensions += s.Extensions
+		st.Ignored += s.Ignored
+	}
+	st.Ignored += w.ignored
+	return st
+}

@@ -59,6 +59,15 @@ type Conn interface {
 	Close() error
 }
 
+// BatchConn is optionally implemented by conns that can accept several
+// packets in one call (sendmmsg-shaped). Endpoint.SendBatch detects it
+// and flushes a whole burst — a windowed station's wheel firing, a
+// handler invocation's replies — in one conn call instead of one per
+// packet. SendBatch must not retain pkts or any element.
+type BatchConn interface {
+	SendBatch(pkts [][]byte) error
+}
+
 // Config parameterizes New.
 type Config struct {
 	// Raw disables endpoint-id framing: the engine carries exactly one
@@ -395,6 +404,68 @@ func (ep *Endpoint) Send(p []byte) error {
 	buf := binary.AppendUvarint((*bufp)[:0], uint64(ep.id))
 	buf = append(buf, p...)
 	err := ep.eng.conn.Send(buf)
+	*bufp = buf[:0]
+	framePool.Put(bufp)
+	return err
+}
+
+// SendBatch sends a burst of packets with at most one conn call when the
+// underlying conn supports batching (BatchConn), and degrades to a Send
+// loop when it does not. Framing shares one pooled buffer across the
+// whole burst, so a k-deep window's flush costs one buffer round-trip
+// instead of k. A nil or empty burst is a no-op.
+func (ep *Endpoint) SendBatch(pkts [][]byte) error {
+	switch len(pkts) {
+	case 0:
+		return nil
+	case 1:
+		return ep.Send(pkts[0])
+	}
+	if ep.isClosed() {
+		return ep.eng.cfg.ClosedErr
+	}
+	if ep.wedged.Load() {
+		return nil
+	}
+	bc, batched := ep.eng.conn.(BatchConn)
+	if ep.eng.cfg.Raw {
+		if batched {
+			return bc.SendBatch(pkts)
+		}
+		for _, p := range pkts {
+			if err := ep.eng.conn.Send(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Framed mode: build every frame in one pooled buffer. Offsets are
+	// recorded during the appends and the frames subsliced only after the
+	// last append — append growth may reallocate, which would invalidate
+	// subslices taken earlier.
+	bufp := framePool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	offs := make([]int, 0, len(pkts)+1)
+	for _, p := range pkts {
+		offs = append(offs, len(buf))
+		buf = binary.AppendUvarint(buf, uint64(ep.id))
+		buf = append(buf, p...)
+	}
+	offs = append(offs, len(buf))
+	var err error
+	if batched {
+		frames := make([][]byte, len(pkts))
+		for i := range pkts {
+			frames[i] = buf[offs[i]:offs[i+1]]
+		}
+		err = bc.SendBatch(frames)
+	} else {
+		for i := range pkts {
+			if err = ep.eng.conn.Send(buf[offs[i]:offs[i+1]]); err != nil {
+				break
+			}
+		}
+	}
 	*bufp = buf[:0]
 	framePool.Put(bufp)
 	return err

@@ -11,6 +11,7 @@ import (
 
 const (
 	mSends   = "tx.send_msgs"
+	mWindow  = "tx.window_admitted"
 	mHealth  = "session.health"
 	mRelay   = "relay.reroutes"
 	mDropped = ".dropped"
@@ -19,6 +20,7 @@ const (
 
 func register(reg *metrics.Registry, prefix string, id int) {
 	reg.Counter(mSends)
+	reg.Counter(mWindow)
 	reg.Gauge(mHealth)
 	reg.Counter(mRelay)
 	// Dynamic names assembled from declared constant parts.

@@ -50,18 +50,26 @@ var (
 	// ErrClosed reports use of a closed mux session.
 	ErrClosed = errors.New("mux: closed")
 	errLanes  = errors.New("mux: lane count must be in [1, MaxLanes]")
+	errWindow = errors.New("mux: window depth must be in [1, core.MaxWindow]")
 )
 
+// laneSender is the transmitting station a lane runs: the single-slot
+// netlink.Sender or, with a window knob, a netlink.WindowedSender.
+type laneSender interface {
+	Send(ctx context.Context, msg []byte) error
+	Close() error
+}
+
 // Sender pipelines messages across several transmitter lanes. Up to
-// `lanes` Send calls proceed concurrently; each blocks until its own
-// message is confirmed.
+// `lanes × window` Send calls proceed concurrently; each blocks until
+// its own message is confirmed.
 type Sender struct {
 	eng   *engine.Engine
-	lanes []*netlink.Sender
+	lanes []laneSender
 
 	mu   sync.Mutex
 	seq  uint64
-	free chan int // indices of idle lanes
+	free chan int // indices of idle lanes (each lane appears `window` times)
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -70,13 +78,24 @@ type Sender struct {
 // NewSender starts `lanes` transmitter sessions over conn, one engine
 // endpoint each.
 func NewSender(conn netlink.PacketConn, lanes int, p core.Params) (*Sender, error) {
+	return NewSenderWindow(conn, lanes, 1, p)
+}
+
+// NewSenderWindow starts `lanes` transmitter sessions of window depth
+// `window` over conn: up to lanes×window messages in flight. Window 1 is
+// exactly NewSender; deeper windows put a WindowedSender under each lane,
+// multiplying the in-flight budget without multiplying engine endpoints.
+func NewSenderWindow(conn netlink.PacketConn, lanes, window int, p core.Params) (*Sender, error) {
 	if lanes < 1 || lanes > MaxLanes {
 		return nil, errLanes
+	}
+	if window < 1 || window > core.MaxWindow {
+		return nil, errWindow
 	}
 	eng := netlink.NewEngine(conn, lanes, nil)
 	s := &Sender{
 		eng:    eng,
-		free:   make(chan int, lanes),
+		free:   make(chan int, lanes*window),
 		closed: make(chan struct{}),
 	}
 	for i := 0; i < lanes; i++ {
@@ -85,28 +104,38 @@ func NewSender(conn netlink.PacketConn, lanes int, p core.Params) (*Sender, erro
 			s.fail()
 			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
 		}
-		ls, err := netlink.NewSender(ep, netlink.SenderConfig{Params: p})
+		var ls laneSender
+		if window == 1 {
+			ls, err = netlink.NewSender(ep, netlink.SenderConfig{Params: p})
+		} else {
+			ls, err = netlink.NewWindowedSender(ep, netlink.WindowedSenderConfig{Window: window, Params: p})
+		}
 		if err != nil {
 			s.fail()
 			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
 		}
 		s.lanes = append(s.lanes, ls)
-		s.free <- i
+		for t := 0; t < window; t++ {
+			s.free <- i
+		}
 	}
 	return s, nil
 }
 
-// fail tears down a partially built sender.
+// fail tears down a partially built sender: lanes first, while their
+// engine endpoints are still live (closing the engine first would have
+// each lane detach from a dead engine — and strand any station teardown
+// that still writes to the conn), then the engine and conn.
 func (s *Sender) fail() {
-	s.eng.Close()
 	for _, l := range s.lanes {
 		l.Close()
 	}
+	s.eng.Close()
 }
 
 // Send assigns msg the next global sequence number, transfers it on an
 // idle lane and blocks until that lane confirms delivery. Run up to
-// `lanes` Sends concurrently for pipelining.
+// `lanes × window` Sends concurrently for pipelining.
 func (s *Sender) Send(ctx context.Context, msg []byte) error {
 	var lane int
 	select {
@@ -116,6 +145,13 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 	case <-s.closed:
 		return ErrClosed
 	}
+	// The token goes back on every path, success and failure alike: free
+	// has capacity lanes×window and each token is held by exactly one
+	// Send, so the return can never block — and a conditional return
+	// (select/default) would silently shrink the window on the day that
+	// invariant broke, which is strictly worse than blocking loudly.
+	defer func() { s.free <- lane }()
+
 	s.mu.Lock()
 	seq := s.seq
 	s.seq++
@@ -123,26 +159,22 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 
 	framed := binary.AppendUvarint(nil, seq)
 	framed = append(framed, msg...)
-	err := s.lanes[lane].Send(ctx, framed)
-
-	select {
-	case s.free <- lane:
-	default:
-	}
-	if err != nil {
+	if err := s.lanes[lane].Send(ctx, framed); err != nil {
 		return fmt.Errorf("mux: seq %d: %w", seq, err)
 	}
 	return nil
 }
 
-// Close stops every lane, the engine pump and the conn.
+// Close stops every lane — while their engine endpoints are still live,
+// so pending Sends settle their crash bookkeeping against a working
+// conn — then the engine pump and the conn.
 func (s *Sender) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.eng.Close()
 		for _, l := range s.lanes {
 			l.Close()
 		}
+		s.eng.Close()
 	})
 	return nil
 }
@@ -153,10 +185,18 @@ type item struct {
 	msg []byte
 }
 
+// laneReceiver is the receiving station a lane runs: the single-slot
+// netlink.Receiver or, with a window knob, a netlink.WindowedReceiver.
+// Both push committed deliveries through the shared Deliver callback, so
+// the merge path only needs teardown from the lane itself.
+type laneReceiver interface {
+	Close() error
+}
+
 // Receiver merges lane deliveries back into one ordered stream.
 type Receiver struct {
 	eng   *engine.Engine
-	lanes []*netlink.Receiver
+	lanes []laneReceiver
 
 	merged chan item
 	out    chan []byte
@@ -175,27 +215,62 @@ type Receiver struct {
 // as link loss instead of blocking the pump), and a single resequencer
 // goroutine releases them in global order.
 func NewReceiver(conn netlink.PacketConn, lanes int, cfg netlink.ReceiverConfig) (*Receiver, error) {
+	return NewReceiverWindow(conn, lanes, 1, cfg)
+}
+
+// NewReceiverWindow starts `lanes` receiver sessions of window depth
+// `window` over conn; lanes and window must match the sender's. Window 1
+// is exactly NewReceiver.
+func NewReceiverWindow(conn netlink.PacketConn, lanes, window int, cfg netlink.ReceiverConfig) (*Receiver, error) {
 	if lanes < 1 || lanes > MaxLanes {
 		return nil, errLanes
+	}
+	if window < 1 || window > core.MaxWindow {
+		return nil, errWindow
+	}
+	// A plain lane releases exactly one message per accepted packet; a
+	// windowed lane can release a burst — the gap-filling delivery plus
+	// every parked successor (netlink.WindowReleaseBound). The Accept gate
+	// reserves the worst-case burst so laneDeliver stays non-blocking, and
+	// the merge channel is sized so the reservation never starves a
+	// single-lane session.
+	burst := 1
+	if window > 1 {
+		burst = netlink.WindowReleaseBound(window)
 	}
 	eng := netlink.NewEngine(conn, lanes, nil)
 	r := &Receiver{
 		eng:    eng,
-		merged: make(chan item, lanes*laneDeliveryBuffer),
-		out:    make(chan []byte, lanes),
+		merged: make(chan item, lanes*laneDeliveryBuffer*window+burst-1),
+		out:    make(chan []byte, lanes*window),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
-	lcfg := cfg
-	lcfg.Accept = func() bool { return len(r.merged) < cap(r.merged) }
-	lcfg.Deliver = r.laneDeliver
+	accept := func() bool { return cap(r.merged)-len(r.merged) >= burst }
 	for i := 0; i < lanes; i++ {
 		ep, err := eng.Endpoint(i)
 		if err != nil {
 			r.fail()
 			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
 		}
-		lr, err := netlink.NewReceiver(ep, lcfg)
+		var lr laneReceiver
+		if window == 1 {
+			lcfg := cfg
+			lcfg.Accept = accept
+			lcfg.Deliver = r.laneDeliver
+			lr, err = netlink.NewReceiver(ep, lcfg)
+		} else {
+			lr, err = netlink.NewWindowedReceiver(ep, netlink.WindowedReceiverConfig{
+				Window:          window,
+				Params:          cfg.Params,
+				RetryInterval:   cfg.RetryInterval,
+				RetryBackoffMax: cfg.RetryBackoffMax,
+				Tap:             cfg.Tap,
+				Metrics:         cfg.Metrics,
+				Accept:          accept,
+				Deliver:         r.laneDeliver,
+			})
+		}
 		if err != nil {
 			r.fail()
 			return nil, fmt.Errorf("mux: lane %d: %w", i, err)
@@ -206,12 +281,13 @@ func NewReceiver(conn netlink.PacketConn, lanes int, cfg netlink.ReceiverConfig)
 	return r, nil
 }
 
-// fail tears down a partially built receiver.
+// fail tears down a partially built receiver: lanes first, while their
+// engine endpoints are still live, then the engine and conn.
 func (r *Receiver) fail() {
-	r.eng.Close()
 	for _, l := range r.lanes {
 		l.Close()
 	}
+	r.eng.Close()
 }
 
 // laneDeliver runs on the engine pump for every committed lane delivery.
@@ -245,14 +321,16 @@ func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
 	}
 }
 
-// Close stops every lane, the engine pump, the conn and the resequencer.
+// Close stops every lane — while their engine endpoints are still live,
+// so lane teardown (retry-timer stops, final CTL flushes) runs against a
+// working conn — then the engine pump, the conn and the resequencer.
 func (r *Receiver) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.stop)
-		r.eng.Close()
 		for _, l := range r.lanes {
 			l.Close()
 		}
+		r.eng.Close()
 		<-r.done
 	})
 	return nil

@@ -53,6 +53,23 @@ func sendTolerant(conn PacketConn, p []byte) bool {
 	return !isClosedErr(err)
 }
 
+// batchSender is the send-batching surface of an engine endpoint (or any
+// conn offering one); sendBatchTolerant needs only this.
+type batchSender interface {
+	SendBatch(pkts [][]byte) error
+}
+
+// sendBatchTolerant flushes a burst of packets with the same error
+// semantics as sendTolerant: transient errors are the loss the protocol
+// tolerates; only a permanently closed conn returns false.
+func sendBatchTolerant(conn batchSender, pkts [][]byte) bool {
+	err := conn.SendBatch(pkts)
+	if err == nil {
+		return true
+	}
+	return !isClosedErr(err)
+}
+
 // PacketConn is one endpoint of an unreliable datagram link. The link may
 // lose, duplicate and reorder packets but never corrupts them (the model's
 // causality assumption; over real networks a checksumming layer below

@@ -30,6 +30,19 @@ const (
 	mTxOKLatencyMS      = "tx.ok_latency_ms"
 )
 
+// Windowed-station metrics (the k-deep sliding-window stations; see
+// internal/netlink/window.go). tx.* / rx.* base families are shared with
+// the single-slot stations — a windowed station is the same station,
+// k slots deep.
+const (
+	mTxWindowAdmitted   = "tx.window_admitted"    // messages admitted into window slots
+	mTxWindowInflight   = "tx.window_inflight"    // gauge: slots currently occupied
+	mTxWindowWiped      = "tx.window_wiped"       // in-flight messages wiped by a window crash^T
+	mRxWindowPending    = "rx.window_pending"     // gauge: deliveries held for in-order release
+	mRxWindowReleased   = "rx.window_released"    // deliveries released in admission order
+	mRxWindowDupDropped = "rx.window_dup_dropped" // resubmission duplicates dropped by seq
+)
+
 const (
 	mRxDelivered         = "rx.delivered"
 	mRxCrashes           = "rx.crashes"
@@ -125,6 +138,49 @@ func newReceiverMetrics(r *metrics.Registry) receiverMetrics {
 		deliveriesDropped: r.Counter(mRxDeliveriesDropped),
 		ingressShed:       r.Counter(mRxIngressShed),
 		retryIntervalMS:   r.Gauge(mRxRetryIntervalMS),
+	}
+}
+
+// windowSenderMetrics extend senderMetrics with the window-layer
+// counters; a windowed sender shares the base tx.* family with the
+// single-slot station.
+type windowSenderMetrics struct {
+	senderMetrics
+	windowAdmitted *metrics.Counter // messages admitted into slots
+	windowInflight *metrics.Gauge   // slots currently occupied
+	windowWiped    *metrics.Counter // in-flight messages lost to a window wipe
+}
+
+func newWindowSenderMetrics(r *metrics.Registry) windowSenderMetrics {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return windowSenderMetrics{
+		senderMetrics:  newSenderMetrics(r),
+		windowAdmitted: r.Counter(mTxWindowAdmitted),
+		windowInflight: r.Gauge(mTxWindowInflight),
+		windowWiped:    r.Counter(mTxWindowWiped),
+	}
+}
+
+// windowReceiverMetrics extend receiverMetrics with the in-order release
+// bookkeeping.
+type windowReceiverMetrics struct {
+	receiverMetrics
+	windowPending    *metrics.Gauge   // deliveries parked for resequencing
+	windowReleased   *metrics.Counter // deliveries released in admission order
+	windowDupDropped *metrics.Counter // resubmission duplicates dropped by seq
+}
+
+func newWindowReceiverMetrics(r *metrics.Registry) windowReceiverMetrics {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return windowReceiverMetrics{
+		receiverMetrics:  newReceiverMetrics(r),
+		windowPending:    r.Gauge(mRxWindowPending),
+		windowReleased:   r.Counter(mRxWindowReleased),
+		windowDupDropped: r.Counter(mRxWindowDupDropped),
 	}
 }
 

@@ -200,6 +200,26 @@ func (e *pipeEnd) Send(p []byte) error {
 	}
 }
 
+// SendBatch implements engine.BatchConn: one closure check for the whole
+// burst, then per-packet enqueue with the same full-ingress drop
+// semantics as Send.
+func (e *pipeEnd) SendBatch(pkts [][]byte) error {
+	select {
+	case <-e.p.stop:
+		return ErrClosed
+	default:
+	}
+	for _, p := range pkts {
+		cp := append([]byte(nil), p...)
+		select {
+		case e.send.in <- cp:
+		default:
+			// Ingress full: drop, as a congested link would.
+		}
+	}
+	return nil
+}
+
 // Recv implements PacketConn.
 func (e *pipeEnd) Recv() ([]byte, error) {
 	select {

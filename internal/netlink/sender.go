@@ -101,19 +101,37 @@ func (s *Sender) crashLocked() {
 	s.emit(trace.KindCrashT, "")
 }
 
-// abandon resolves an interrupted Send: if the transfer is still pending,
+// settle resolves an interrupted Send. If the transfer is still pending,
 // the station crashes itself — the model offers no "cancel" action, so an
 // abandoned transfer is accounted as crash^T, and wiping the transmitter
-// guarantees a stale OK arriving later cannot match it. If the OK raced
-// ahead and already resolved the waiter there is nothing to abandon.
-func (s *Sender) abandon(w chan error) {
+// guarantees a stale OK arriving later cannot match it — and settle
+// reports nothing to drain. If the resolution raced ahead and already
+// cleared the waiter, its buffered result is guaranteed to arrive
+// promptly (the resolver only has a conn write between clearing the
+// waiter and sending); settle drains it and hands it back, so a transfer
+// whose OK beat the cancellation is reported delivered, never failed.
+func (s *Sender) settle(w chan error) (error, bool) {
 	s.mu.Lock()
 	if s.waiter == w {
 		s.waiter = nil
 		s.m.abandoned.Inc()
 		s.crashLocked()
+		s.mu.Unlock()
+		return nil, false
 	}
 	s.mu.Unlock()
+	return <-w, true
+}
+
+// finish translates a waiter result into Send's return, observing the
+// confirm latency for delivered transfers — including a late OK drained
+// by settle after losing the race to a cancellation.
+func (s *Sender) finish(start time.Time, err error) error {
+	if err == nil {
+		s.m.okLatencyMS.ObserveSince(start)
+		return nil
+	}
+	return err
 }
 
 // Send transfers msg and blocks until the protocol confirms delivery (OK),
@@ -144,25 +162,30 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 
 	select {
 	case err := <-w:
-		if err == nil {
-			s.m.okLatencyMS.ObserveSince(start)
-		}
-		return err
+		return s.finish(start, err)
 	case <-ctx.Done():
-		s.abandon(w)
+		if res, ok := s.settle(w); ok {
+			return s.finish(start, res)
+		}
 		return ctx.Err()
 	case <-s.stop:
-		s.abandon(w)
+		if res, ok := s.settle(w); ok {
+			return s.finish(start, res)
+		}
 		return ErrClosed
 	case <-s.io.ep.Closed():
 		// The endpoint was detached under us.
-		s.abandon(w)
+		if res, ok := s.settle(w); ok {
+			return s.finish(start, res)
+		}
 		return ErrClosed
 	case <-s.io.ep.Dead():
 		// The engine pump died — the conn is gone. The pre-engine loop
 		// would have left this Send parked until its context expired;
 		// surfacing ErrClosed is the strictly more live behaviour.
-		s.abandon(w)
+		if res, ok := s.settle(w); ok {
+			return s.finish(start, res)
+		}
 		return ErrClosed
 	}
 }

@@ -175,6 +175,100 @@ func TestCloseAbandonsPendingTransfer(t *testing.T) {
 	}
 }
 
+// TestCancelVsOKDeliveredWins is the regression test for the
+// delivered-but-reported-failed Send race: when the OK resolves the
+// waiter concurrently with a context cancellation, the select could take
+// the cancellation arm and discard the buffered nil — Send returned
+// ctx.Err() for a transfer the protocol had confirmed delivered. After
+// the fix, settle drains the raced resolution and Send reports success.
+//
+// The script pins the interleaving: the OK is committed (tx.oks
+// observed) before cancel fires, so the old code failed whenever the
+// select preferred the ready ctx.Done arm — roughly half of these
+// iterations, and deterministically when cancel lands in the gap between
+// the waiter being cleared and the buffered send.
+func TestCancelVsOKDeliveredWins(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		conn := newScriptConn()
+		reg := metrics.New()
+		var mu sync.Mutex
+		var events []trace.Kind
+		s, err := NewSender(conn, SenderConfig{
+			Tap: func(e trace.Event) {
+				mu.Lock()
+				events = append(events, e.Kind)
+				mu.Unlock()
+			},
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() { errc <- s.Send(ctx, []byte("racer")) }()
+		waitCounter(t, reg, "tx.send_msgs", 1)
+
+		// Challenge in, DATA out: the transfer's tag is on the wire.
+		rho := bitstr.MustBinary("10110011")
+		conn.feed(t, wire.Ctl{Rho: rho, Tau: bitstr.Empty(), I: 1}.Encode())
+		var tau bitstr.Str
+		select {
+		case p := <-conn.sent:
+			d, err := wire.DecodeData(p)
+			if err != nil {
+				t.Fatalf("station emitted junk: %v", err)
+			}
+			tau = d.Tau
+		case <-time.After(5 * time.Second):
+			t.Fatal("no DATA packet for the challenge")
+		}
+
+		// A valid ack: the OK commits (counter flushed under the station
+		// lock, so once tx.oks reads 1 the waiter has been claimed by the
+		// handler) — and only then does the cancellation land.
+		conn.feed(t, wire.Ctl{Rho: bitstr.MustBinary("01011100"), Tau: tau, I: 2}.Encode())
+		waitCounter(t, reg, "tx.oks", 1)
+		cancel()
+
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("iter %d: Send = %v for a transfer whose OK committed first — delivered but reported failed", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: Send never resolved", i)
+		}
+
+		mu.Lock()
+		var okCount, crashCount int
+		for _, k := range events {
+			switch k {
+			case trace.KindOK:
+				okCount++
+			case trace.KindCrashT:
+				crashCount++
+			}
+		}
+		mu.Unlock()
+		if okCount != 1 || crashCount != 0 {
+			t.Fatalf("iter %d: tape has %d OKs, %d crashes; want exactly one OK and no crash", i, okCount, crashCount)
+		}
+		snap := reg.Snapshot()
+		if snap.Counters["tx.abandoned"] != 0 {
+			t.Fatalf("iter %d: delivered transfer counted abandoned", i)
+		}
+		// The drained late-OK must be observed by the latency histogram
+		// (the handler fast path and the settle path both land in finish).
+		if h, ok := snap.Histograms["tx.ok_latency_ms"]; !ok || h.Count != 1 {
+			t.Fatalf("iter %d: ok_latency histogram count = %+v, want 1 observation", i, snap.Histograms["tx.ok_latency_ms"])
+		}
+		close(conn.release)
+		s.Close()
+	}
+}
+
 // raceSession builds a Sender/Receiver pair on a perfect pipe with a tap
 // recording the sender's events.
 func raceSession(t *testing.T, seed int64, events *[]trace.Kind, mu *sync.Mutex) (*Sender, *Receiver) {

@@ -26,6 +26,13 @@ type Config struct {
 	WALSync bool
 	// MaxAttempts bounds resubmissions per message (0 = unlimited).
 	MaxAttempts int
+	// Window is the number of concurrent send workers (default 1). Each
+	// worker claims the oldest unclaimed backlog message, so dispatch
+	// follows enqueue order; more than one worker only helps when Send
+	// admits concurrent transfers (a windowed station, whose receiver
+	// restores admission order — with a plain stop-and-wait station the
+	// extra workers just serialize on it).
+	Window int
 }
 
 // Stats counts queue activity.
@@ -36,14 +43,23 @@ type Stats struct {
 	Pending   int // messages not yet confirmed
 }
 
+// entry is one backlog message plus its dispatch state.
+type entry struct {
+	id       uint64
+	msg      []byte
+	claimed  bool // held by a worker's in-flight Send
+	attempts int  // failed Sends so far
+}
+
 // Queue is the buffering higher layer: enqueue at will, messages go out
-// one at a time in order, crashes cause resubmission.
+// in order — one at a time by default, up to Window at a time with
+// concurrent workers — and crashes cause resubmission.
 type Queue struct {
 	cfg Config
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	backlog []walEntry
+	backlog []*entry
 	nextID  uint64
 	log     *wal
 	stats   Stats
@@ -56,10 +72,13 @@ type Queue struct {
 }
 
 // New opens the queue (replaying the WAL backlog if configured) and
-// starts its worker.
+// starts its workers.
 func New(cfg Config) (*Queue, error) {
 	if cfg.Send == nil {
 		return nil, fmt.Errorf("outbox: Send is required")
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 1
 	}
 	q := &Queue{cfg: cfg, done: make(chan struct{})}
 	q.cond = sync.NewCond(&q.mu)
@@ -71,11 +90,24 @@ func New(cfg Config) (*Queue, error) {
 			return nil, err
 		}
 		q.log = log
-		q.backlog = backlog
+		for _, e := range backlog {
+			q.backlog = append(q.backlog, &entry{id: e.id, msg: e.msg})
+		}
 		q.nextID = nextID
 		q.stats.Pending = len(backlog)
 	}
-	go q.worker()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Window; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.worker()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(q.done)
+	}()
 	return q, nil
 }
 
@@ -99,7 +131,7 @@ func (q *Queue) Enqueue(msg []byte) (uint64, error) {
 			return 0, err
 		}
 	}
-	q.backlog = append(q.backlog, walEntry{id: id, msg: cp})
+	q.backlog = append(q.backlog, &entry{id: id, msg: cp})
 	q.stats.Enqueued++
 	q.stats.Pending++
 	q.cond.Broadcast()
@@ -172,56 +204,82 @@ func (q *Queue) Close() error {
 	return q.log.close()
 }
 
-// worker drains the backlog in order.
+// claim returns the oldest unclaimed backlog entry, or nil. Call with
+// q.mu held.
+func (q *Queue) claim() *entry {
+	for _, e := range q.backlog {
+		if !e.claimed {
+			e.claimed = true
+			return e
+		}
+	}
+	return nil
+}
+
+// remove drops a confirmed entry from the backlog. Call with q.mu held.
+func (q *Queue) remove(id uint64) {
+	for i, e := range q.backlog {
+		if e.id == id {
+			q.backlog = append(q.backlog[:i], q.backlog[i+1:]...)
+			return
+		}
+	}
+}
+
+// worker claims backlog messages in enqueue order and drives each
+// through Send. With Window workers, up to Window claims are in flight
+// at once; a failed retryable Send unclaims its message, so any worker
+// — not necessarily the same one — resubmits it, byte-identical (which
+// is what lets a windowed station's receiver drop the duplicate by its
+// reused admission seq).
 func (q *Queue) worker() {
-	defer close(q.done)
 	for {
 		q.mu.Lock()
-		for len(q.backlog) == 0 && !q.closed && q.err == nil {
+		var head *entry
+		for {
+			if head = q.claim(); head != nil || q.closed || q.err != nil {
+				break
+			}
 			q.cond.Wait()
 		}
 		if q.closed || q.err != nil {
 			q.mu.Unlock()
 			return
 		}
-		head := q.backlog[0]
 		q.mu.Unlock()
 
-		attempts := 0
-		for {
-			err := q.cfg.Send(q.ctx, head.msg)
-			if err == nil {
-				break
-			}
-			if q.ctx.Err() != nil {
-				return // closing
-			}
-			attempts++
-			if q.cfg.Retryable != nil && q.cfg.Retryable(err) &&
-				(q.cfg.MaxAttempts == 0 || attempts < q.cfg.MaxAttempts) {
-				q.mu.Lock()
-				q.stats.Resubmits++
-				q.mu.Unlock()
-				continue
-			}
+		err := q.cfg.Send(q.ctx, head.msg)
+		if err == nil {
 			q.mu.Lock()
-			q.err = fmt.Errorf("outbox: message %d: %w", head.id, err)
+			q.remove(head.id)
+			q.stats.Sent++
+			q.stats.Pending--
+			if q.log != nil {
+				if werr := q.log.appendDone(head.id); werr != nil && q.err == nil {
+					q.err = werr
+				}
+			}
 			q.cond.Broadcast()
 			q.mu.Unlock()
-			return
+			continue
+		}
+		if q.ctx.Err() != nil {
+			return // closing
 		}
 
 		q.mu.Lock()
-		// The head cannot have moved: this worker is the only consumer.
-		q.backlog = q.backlog[1:]
-		q.stats.Sent++
-		q.stats.Pending--
-		if q.log != nil {
-			if err := q.log.appendDone(head.id); err != nil && q.err == nil {
-				q.err = err
-			}
+		head.attempts++
+		if q.cfg.Retryable != nil && q.cfg.Retryable(err) &&
+			(q.cfg.MaxAttempts == 0 || head.attempts < q.cfg.MaxAttempts) {
+			head.claimed = false
+			q.stats.Resubmits++
+			q.cond.Broadcast()
+			q.mu.Unlock()
+			continue
 		}
+		q.err = fmt.Errorf("outbox: message %d: %w", head.id, err)
 		q.cond.Broadcast()
 		q.mu.Unlock()
+		return
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghm/internal/core"
@@ -52,6 +53,14 @@ type Config struct {
 	WALPath     string
 	WALSync     bool
 	MaxAttempts int
+
+	// Window is the station's sliding-window depth (default 1). Depths
+	// above 1 build each incarnation as a netlink.WindowedSender and run
+	// as many outbox workers, so up to Window payloads are in flight at
+	// once; the windowed receiver releases them in admission order, and
+	// the outbox's byte-identical resubmission after a wipe is exactly
+	// the contract the window's exactly-once dedup needs.
+	Window int
 
 	// Watchdog, backoff and breaker knobs; see supervise.Config.
 	WatchdogWindow    time.Duration
@@ -90,14 +99,29 @@ type Stats struct {
 	Health        supervise.Health
 }
 
+// station is one transmitting incarnation: the single-slot
+// netlink.Sender or, with Config.Window above 1, a
+// netlink.WindowedSender.
+type station interface {
+	Send(ctx context.Context, msg []byte) error
+	Crash()
+	Close() error
+}
+
 // Session is the supervised endpoint; see the package comment. Create
 // with New, always Close.
 type Session struct {
 	cfg Config
-	sup *supervise.Supervisor[*netlink.Sender]
+	sup *supervise.Supervisor[station]
 	q   *outbox.Queue
 
 	resubmits *metrics.Counter
+
+	// epoch numbers windowed-station incarnations. Each rebuild frames a
+	// higher epoch into its admission seqs, so a long-lived remote
+	// windowed receiver adopts the fresh stream instead of dropping the
+	// restarted seq space as duplicates.
+	epoch atomic.Uint64
 
 	subMu  sync.Mutex
 	subs   []chan supervise.Transition
@@ -118,9 +142,9 @@ func New(cfg Config) (*Session, error) {
 	}
 	s := &Session{cfg: cfg, resubmits: reg.Counter(mSessionResubmits)}
 
-	sup, err := supervise.New(supervise.Config[*netlink.Sender]{
+	sup, err := supervise.New(supervise.Config[station]{
 		Start:            s.start,
-		Stop:             func(st *netlink.Sender) { st.Close() },
+		Stop:             func(st station) { st.Close() },
 		Pending:          s.pending,
 		Window:           cfg.WatchdogWindow,
 		Interval:         cfg.WatchdogInterval,
@@ -147,6 +171,7 @@ func New(cfg Config) (*Session, error) {
 		WALPath:     cfg.WALPath,
 		WALSync:     cfg.WALSync,
 		MaxAttempts: cfg.MaxAttempts,
+		Window:      cfg.Window,
 	})
 	if err != nil {
 		sup.Close()
@@ -167,7 +192,7 @@ func New(cfg Config) (*Session, error) {
 // start dials and builds one station incarnation. The tap wrapper feeds
 // every OK to the watchdog as progress before forwarding to the caller's
 // tap.
-func (s *Session) start() (*netlink.Sender, error) {
+func (s *Session) start() (station, error) {
 	conn, err := s.cfg.Dial()
 	if err != nil {
 		return nil, err
@@ -180,11 +205,22 @@ func (s *Session) start() (*netlink.Sender, error) {
 			s.cfg.Tap(e)
 		}
 	}
-	st, err := netlink.NewSender(conn, netlink.SenderConfig{
-		Params:  s.cfg.Params,
-		Tap:     tap,
-		Metrics: s.cfg.Metrics,
-	})
+	var st station
+	if s.cfg.Window > 1 {
+		st, err = netlink.NewWindowedSender(conn, netlink.WindowedSenderConfig{
+			Window:  s.cfg.Window,
+			Epoch:   s.epoch.Add(1),
+			Params:  s.cfg.Params,
+			Tap:     tap,
+			Metrics: s.cfg.Metrics,
+		})
+	} else {
+		st, err = netlink.NewSender(conn, netlink.SenderConfig{
+			Params:  s.cfg.Params,
+			Tap:     tap,
+			Metrics: s.cfg.Metrics,
+		})
+	}
 	if err != nil {
 		conn.Close()
 		return nil, err

@@ -389,3 +389,115 @@ func TestSubscribeFanoutDuringProbeRace(t *testing.T) {
 	s.Close() // closes every subscriber channel; draining goroutines exit
 	drains.Wait()
 }
+
+// TestWindowedSessionSurvivesCrashesAndRestart runs a Window>1 session
+// against a long-lived windowed receiver, with protocol crashes and a
+// wedge-forced station rebuild in the middle. The rebuild is the hard
+// part: the fresh incarnation's admission seqs restart at zero, and only
+// the incarnation epoch keeps the surviving receiver from dropping the
+// whole new stream as duplicates (the session would wedge forever).
+// Delivery across restarts is at-least-once, so the assertion is every
+// payload delivered one or more times, and nothing else.
+func TestWindowedSessionSurvivesCrashesAndRestart(t *testing.T) {
+	const window, n = 4, 40
+	a, b := netlink.Pipe(netlink.PipeConfig{Seed: 7})
+	shared := netlink.NewSharedConn(a)
+	defer shared.Close()
+
+	r, err := netlink.NewWindowedReceiver(b, netlink.WindowedReceiverConfig{
+		Window:        window,
+		RetryInterval: 200 * time.Microsecond,
+		Metrics:       metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var mu sync.Mutex
+	got := map[string]int{}
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for {
+			msg, err := r.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			got[string(msg)]++
+			mu.Unlock()
+		}
+	}()
+
+	s, err := New(Config{
+		Dial:              shared.Attach,
+		Window:            window,
+		WatchdogWindow:    150 * time.Millisecond,
+		WatchdogInterval:  10 * time.Millisecond,
+		RestartBackoff:    5 * time.Millisecond,
+		RestartBackoffMax: 40 * time.Millisecond,
+		BreakerThreshold:  50,
+		BreakerWindow:     10 * time.Second,
+		BreakerCooldown:   100 * time.Millisecond,
+		Seed:              43,
+		Metrics:           metrics.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Confirm one payload first so the incarnation is demonstrably live
+	// before faults are injected (Crash and WedgeCurrent no-op while the
+	// supervisor is still dialing).
+	if _, err := s.Enqueue([]byte("w-warmup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Enqueue([]byte(fmt.Sprintf("w-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		switch i {
+		case 10:
+			s.Crash() // crash^T: the whole window's slots wiped at once
+		case 20:
+			shared.WedgeCurrent() // force a watchdog rebuild mid-stream
+		case 30:
+			s.Crash()
+		}
+	}
+	if err := s.Flush(testCtx(t)); err != nil {
+		t.Fatalf("flush: %v (stats %+v)", err, s.Stats())
+	}
+	if st := s.Stats(); st.Sent != n+1 || st.Pending != 0 || st.Restarts < 1 {
+		t.Fatalf("stats: %+v (want Sent=%d, a restart)", st, n+1)
+	}
+
+	// The last OK can precede the drain pickup; wait for the counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		c := len(got)
+		mu.Unlock()
+		if c >= n+1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("w-%02d", i)
+		if got[key] < 1 {
+			t.Errorf("payload %q never delivered", key)
+		}
+	}
+	if len(got) != n+1 { // the n payloads plus the warmup
+		t.Errorf("delivered %d distinct payloads, want %d", len(got), n+1)
+	}
+}

@@ -16,6 +16,7 @@ type jsonEvent struct {
 	PktID  int64  `json:"pktId,omitempty"`
 	PktLen int    `json:"pktLen,omitempty"`
 	Msg    string `json:"msg,omitempty"`
+	Slot   int    `json:"slot,omitempty"`
 }
 
 var kindToJSON = map[Kind]string{
@@ -55,7 +56,7 @@ func WriteJSONL(w io.Writer, events []Event) error {
 		if !ok {
 			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
 		}
-		je := jsonEvent{Step: e.Step, Kind: kind, Msg: e.Msg}
+		je := jsonEvent{Step: e.Step, Kind: kind, Msg: e.Msg, Slot: e.Slot}
 		if e.Kind == KindSendPkt || e.Kind == KindDeliverPkt {
 			je.Dir = dirToJSON[e.Dir]
 			je.PktID = e.PktID
@@ -88,7 +89,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		if !ok {
 			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, je.Kind)
 		}
-		e := Event{Step: je.Step, Kind: kind, Msg: je.Msg, PktID: je.PktID, PktLen: je.PktLen}
+		e := Event{Step: je.Step, Kind: kind, Msg: je.Msg, PktID: je.PktID, PktLen: je.PktLen, Slot: je.Slot}
 		if je.Dir != "" {
 			d, ok := jsonToDir[je.Dir]
 			if !ok {

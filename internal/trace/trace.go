@@ -80,6 +80,11 @@ type Event struct {
 	PktID  int64  // set for packet events: the channel-assigned identifier
 	PktLen int    // set for packet events: length in bytes
 	Msg    string // set for send_msg / receive_msg: the unique message id
+	// Slot indexes windowed stations' actions: which of the k concurrent
+	// exchanges a send_msg/OK/receive_msg belongs to. Single-slot stations
+	// leave it 0, which is also windowed slot 0 — a window of depth 1
+	// produces exactly a single-slot trace.
+	Slot int
 }
 
 // String implements fmt.Stringer.

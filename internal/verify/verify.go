@@ -12,9 +12,15 @@
 //   - no duplication: m is not delivered twice without an intervening
 //     crash^R.
 //   - no replay: a delivery of m is a replay when m was already completed
-//     (OK'd, or abandoned by crash^T) before the receiver's most recent
-//     refresh point (its last receive_msg or crash^R), which is exactly
-//     the M_alpha formulation of Theorem 7.
+//     (OK'd, or abandoned by crash^T) before the delivering slot's most
+//     recent refresh point (that slot's last receive_msg, or any crash^R),
+//     which is the M_alpha formulation of Theorem 7. The refresh point is
+//     per slot because it models the receiving session's challenge
+//     freshness: on a windowed receiver, slot 5 delivering does not
+//     refresh slot 3's challenge, so a straggler delivery on slot 3 from
+//     an attempt crash^T abandoned mid-flight is the licensed M_alpha
+//     case, not a replay. Single-slot traces put everything on slot 0,
+//     where the per-slot rule reduces to the original global one.
 //
 // The conditions are per *attempt*, not per payload: the buffering higher
 // layer that Axiom 1 assumes may legitimately resubmit a payload whose
@@ -26,6 +32,14 @@
 // to k times before a refresh point; only the k+1-th is a violation.
 // When every payload is sent once, the rules reduce exactly to the
 // original per-payload conditions.
+//
+// Windowed stations (ghm/internal/core's WindowedTransmitter) run k
+// slots of the protocol at once; their events carry the slot index, and
+// the checker keys its in-flight attempts by slot so each OK is matched
+// to its own slot's send_msg. Single-slot stations emit slot 0, which is
+// also windowed slot 0 — a window of depth 1 verifies identically to the
+// original checker. One crash^T completes every slot's in-flight attempt
+// at once: the model's crash erases the whole station, never part of it.
 //
 // Liveness is a property of infinite executions; the simulator reports it
 // as "completed within the step budget" instead.
@@ -92,13 +106,17 @@ func (r Report) String() string {
 type Checker struct {
 	r Report
 
-	idx         int
-	msgs        map[string]*msgState
-	lastCrashR  int
-	lastRefresh int
-	inFlight    string
-	hasInFlight bool
-	init        bool
+	idx        int
+	msgs       map[string]*msgState
+	lastCrashR int
+	// refreshed holds each receiver slot's last receive_msg index: the
+	// slot's session moved on, so older abandoned attempts on that slot
+	// can no longer deliver without a fresh handshake. crash^R refreshes
+	// every slot at once (the whole station redraws its randomness), so a
+	// slot's effective refresh point is max(refreshed[slot], lastCrashR).
+	refreshed map[int]int
+	inFlight  map[int]string // slot -> payload awaiting its OK
+	init      bool
 }
 
 // msgState tracks one payload across all of its send attempts.
@@ -115,9 +133,19 @@ func (c *Checker) ensure() {
 		return
 	}
 	c.msgs = make(map[string]*msgState)
+	c.inFlight = make(map[int]string)
+	c.refreshed = make(map[int]int)
 	c.lastCrashR = -1
-	c.lastRefresh = -1
 	c.init = true
+}
+
+// complete grants one attempt-completion (OK or crash^T wipe) to a
+// payload, capped at its send count.
+func (c *Checker) complete(st *msgState, i int) {
+	if st.completions < st.sends {
+		st.completions++
+		st.lastCompletedAt = i
+	}
 }
 
 func (c *Checker) state(m string) *msgState {
@@ -141,7 +169,7 @@ func (c *Checker) Observe(e trace.Event) {
 		st := c.state(e.Msg)
 		st.sends++
 		st.lastSentAt = i
-		c.inFlight, c.hasInFlight = e.Msg, true
+		c.inFlight[e.Slot] = e.Msg
 
 	case trace.KindReceiveMsg:
 		c.r.Delivered++
@@ -160,22 +188,28 @@ func (c *Checker) Observe(e trace.Event) {
 			c.r.DuplicationExamples = addExample(c.r.DuplicationExamples, e.Msg)
 		}
 
+		refresh := c.lastCrashR
+		if r, ok := c.refreshed[e.Slot]; ok && r > refresh {
+			refresh = r
+		}
 		if st.completions >= st.sends && st.completions > 0 &&
-			st.lastCompletedAt <= c.lastRefresh {
-			// Every attempt was completed before the receiver's last
-			// refresh: the receiver had drawn a fresh challenge since, so
-			// this is the replay Theorem 7 makes improbable.
+			st.lastCompletedAt <= refresh {
+			// Every attempt was completed before this slot's last refresh:
+			// the slot's session had drawn a fresh challenge since, so this
+			// is the replay Theorem 7 makes improbable. The refresh point is
+			// per slot — a windowed receiver's other slots delivering says
+			// nothing about this slot's challenge freshness.
 			c.r.Replay++
 			c.r.ReplayExamples = addExample(c.r.ReplayExamples, e.Msg)
 		}
 
 		st.deliveredAt = append(st.deliveredAt, i)
-		c.lastRefresh = i
+		c.refreshed[e.Slot] = i
 
 	case trace.KindOK:
 		c.r.OKs++
-		if c.hasInFlight {
-			st := c.state(c.inFlight)
+		if m, live := c.inFlight[e.Slot]; live {
+			st := c.state(m)
 			ok := false
 			for _, d := range st.deliveredAt {
 				if d > st.lastSentAt && d < i {
@@ -185,31 +219,25 @@ func (c *Checker) Observe(e trace.Event) {
 			}
 			if !ok {
 				c.r.Order++
-				c.r.OrderExamples = addExample(c.r.OrderExamples, c.inFlight)
+				c.r.OrderExamples = addExample(c.r.OrderExamples, m)
 			}
-			if st.completions < st.sends {
-				st.completions++
-				st.lastCompletedAt = i
-			}
-			c.hasInFlight = false
+			c.complete(st, i)
+			delete(c.inFlight, e.Slot)
 		}
 
 	case trace.KindCrashT:
 		c.r.CrashT++
-		if c.hasInFlight {
-			// send_msg followed by crash^T: the attempt joins M_alpha.
-			st := c.state(c.inFlight)
-			if st.completions < st.sends {
-				st.completions++
-				st.lastCompletedAt = i
-			}
-			c.hasInFlight = false
+		// crash^T erases the whole station: every slot's in-flight attempt
+		// joins M_alpha at once (the shared crash model of windowed
+		// stations; a single-slot station has at most slot 0 live).
+		for slot, m := range c.inFlight {
+			c.complete(c.state(m), i)
+			delete(c.inFlight, slot)
 		}
 
 	case trace.KindCrashR:
 		c.r.CrashR++
 		c.lastCrashR = i
-		c.lastRefresh = i
 	}
 }
 

@@ -8,11 +8,20 @@ import (
 )
 
 // ev builds a minimal event list from a compact spec: "s:m1" send, "r:m1"
-// receive, "ok", "ct" crash^T, "cr" crash^R.
+// receive, "ok", "ct" crash^T, "cr" crash^R. Windowed stations address
+// slots with a digit: "s2:m1" sends on slot 2, "ok2" confirms slot 2,
+// "r2:m1" delivers from slot 2; the undecorated forms are slot 0.
 func ev(specs ...string) []trace.Event {
 	var out []trace.Event
 	for i, s := range specs {
 		e := trace.Event{Step: i}
+		if len(s) > 1 && s[1] >= '0' && s[1] <= '9' && (s[0] == 's' || s[0] == 'r') {
+			e.Slot = int(s[1] - '0')
+			s = s[:1] + s[2:]
+		} else if strings.HasPrefix(s, "ok") && len(s) == 3 {
+			e.Slot = int(s[2] - '0')
+			s = "ok"
+		}
 		switch {
 		case strings.HasPrefix(s, "s:"):
 			e.Kind, e.Msg = trace.KindSendMsg, s[2:]
@@ -210,6 +219,76 @@ func TestResubmissionThirdDeliveryIsDuplication(t *testing.T) {
 	}
 }
 
+func TestWindowedCleanExecution(t *testing.T) {
+	// Three slots in flight at once; OKs land out of slot order and each
+	// is matched to its own slot's send, so the run is clean.
+	r := Check(ev(
+		"s0:a", "s1:b", "s2:c",
+		"r1:b", "ok1",
+		"r0:a", "ok0",
+		"r2:c", "ok2",
+	))
+	if !r.Clean() {
+		t.Fatalf("clean windowed run flagged: %v", r)
+	}
+	if r.Sent != 3 || r.Delivered != 3 || r.OKs != 3 {
+		t.Errorf("counts: %+v", r)
+	}
+}
+
+func TestWindowedOKMatchedToOwnSlot(t *testing.T) {
+	// Slot 1's message was delivered; slot 0's was not. An OK on slot 0
+	// must not be satisfied by slot 1's delivery: the order violation is
+	// attributed to slot 0's payload.
+	r := Check(ev("s0:a", "s1:b", "r1:b", "ok1", "ok0"))
+	if r.Order != 1 {
+		t.Fatalf("Order = %d, want 1 (%v)", r.Order, r)
+	}
+	if len(r.OrderExamples) != 1 || r.OrderExamples[0] != "a" {
+		t.Errorf("order examples: %v", r.OrderExamples)
+	}
+}
+
+func TestWindowedCrashTCompletesWholeWindow(t *testing.T) {
+	// One crash^T abandons every in-flight slot at once (the shared
+	// crash model): after the receiver refreshes, a delivery of either
+	// payload is a replay.
+	r := Check(ev("s0:a", "s1:b", "s2:c", "ct", "cr", "r0:a", "r2:c"))
+	if r.Replay != 2 {
+		t.Fatalf("Replay = %d, want 2 (%v)", r.Replay, r)
+	}
+}
+
+func TestWindowedResubmissionAfterWipeIsClean(t *testing.T) {
+	// The wipe abandons both slots; both payloads are resubmitted
+	// (possibly on different slots) and confirmed: k sends license k
+	// deliveries, clean end to end.
+	r := Check(ev(
+		"s0:a", "s1:b", "ct",
+		"s1:a", "s0:b",
+		"r1:a", "ok1", "r0:b", "ok0",
+	))
+	if !r.Clean() {
+		t.Fatalf("windowed resubmission flagged: %v", r)
+	}
+	if r.Sent != 4 || r.OKs != 2 || r.CrashT != 1 {
+		t.Errorf("counts: %+v", r)
+	}
+}
+
+func TestWindowedStaleSlotOKHasNoAttempt(t *testing.T) {
+	// An OK on a slot with nothing in flight (stale, post-wipe) is
+	// counted but attributed to no attempt — same contract as the
+	// single-slot checker's unmatched OK.
+	r := Check(ev("s0:a", "ct", "ok0"))
+	if r.OKs != 1 {
+		t.Fatalf("OKs = %d, want 1 (%v)", r.OKs, r)
+	}
+	if r.Order != 0 {
+		t.Fatalf("stale OK raised an order violation: %v", r)
+	}
+}
+
 func TestResubmissionReplayAfterAllAttemptsComplete(t *testing.T) {
 	// Both attempts of a complete, the receiver refreshes (r:b), and a
 	// third copy of a arrives: every attempt was already completed before
@@ -220,5 +299,30 @@ func TestResubmissionReplayAfterAllAttemptsComplete(t *testing.T) {
 	}
 	if r.Duplication != 1 {
 		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+}
+
+func TestWindowedStragglerDeliveryIsNotReplay(t *testing.T) {
+	// Slot 1's attempt is abandoned by crash^T with its data already in
+	// flight; slot 2 keeps delivering, then slot 1's straggler lands.
+	// Other slots' deliveries do not refresh slot 1's challenge, so this
+	// is the licensed M_alpha delivery, not a replay.
+	r := Check(ev("s1:a", "ct", "s2:b", "r2:b", "ok2", "r1:a"))
+	if !r.Clean() {
+		t.Fatalf("cross-slot straggler flagged: %v", r)
+	}
+
+	// The same straggler after the slot's own session moved on IS a
+	// replay: slot 1 delivered a newer transfer first.
+	r = Check(ev("s1:a", "ct", "s1:b", "r1:b", "ok1", "r1:a"))
+	if r.Replay != 1 {
+		t.Fatalf("Replay = %d, want 1 (%v)", r.Replay, r)
+	}
+
+	// crash^R refreshes every slot at once: the whole station redraws its
+	// randomness, so the straggler is a replay on any slot afterwards.
+	r = Check(ev("s1:a", "ct", "cr", "r1:a"))
+	if r.Replay != 1 {
+		t.Fatalf("Replay after crash^R = %d, want 1 (%v)", r.Replay, r)
 	}
 }

@@ -26,10 +26,11 @@ type MuxSender struct {
 }
 
 // NewMuxSender starts `lanes` transmitter sessions over conn. Both sides
-// must use the same lane count.
+// must use the same lane count. WithWindow deepens every lane: up to
+// lanes×window messages in flight on one link.
 func NewMuxSender(conn PacketConn, lanes int, opts ...Option) (*MuxSender, error) {
 	o := applyOptions(opts)
-	m, err := mux.NewSender(conn, lanes, o.params())
+	m, err := mux.NewSenderWindow(conn, lanes, o.windowDepth(), o.params())
 	if err != nil {
 		return nil, fmt.Errorf("ghm: %w", err)
 	}
@@ -53,10 +54,11 @@ type MuxReceiver struct {
 	m *mux.Receiver
 }
 
-// NewMuxReceiver starts `lanes` receiver sessions over conn.
+// NewMuxReceiver starts `lanes` receiver sessions over conn. Lane count
+// and WithWindow depth must match the sender's.
 func NewMuxReceiver(conn PacketConn, lanes int, opts ...Option) (*MuxReceiver, error) {
 	o := applyOptions(opts)
-	m, err := mux.NewReceiver(conn, lanes, netlink.ReceiverConfig{
+	m, err := mux.NewReceiverWindow(conn, lanes, o.windowDepth(), netlink.ReceiverConfig{
 		Params:          o.params(),
 		RetryInterval:   o.retryInterval,
 		RetryBackoffMax: o.retryBackoff,

@@ -1,10 +1,12 @@
 package ghm_test
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"testing"
+	"time"
 
 	"ghm"
 )
@@ -50,6 +52,69 @@ func TestMetricsObservesTraffic(t *testing.T) {
 	var parsed ghm.MetricsSnapshot
 	if err := json.Unmarshal([]byte(after.JSON()), &parsed); err != nil {
 		t.Errorf("snapshot JSON does not parse: %v", err)
+	}
+}
+
+// TestSendAccountingConsistency pins the station's send bookkeeping
+// identity: every admitted transfer ends as exactly one of OK or
+// abandoned (tx.send_msgs == tx.oks + tx.abandoned), and every OK — the
+// handler fast path and a late OK drained after a lost cancellation race
+// alike — lands one observation in the confirm-latency histogram.
+func TestSendAccountingConsistency(t *testing.T) {
+	before := ghm.Metrics()
+
+	// Confirmed transfers.
+	left, right := ghm.Pipe(ghm.PipeFaults{Seed: 78})
+	s, err := ghm.NewSender(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := ghm.NewReceiver(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := testCtx(t)
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := s.Send(ctx, []byte("accounted")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// An abandoned transfer: no receiver ever answers, the context ends,
+	// the station crashes itself.
+	lone, other := ghm.Pipe(ghm.PipeFaults{Seed: 79})
+	defer other.Close()
+	s2, err := ghm.NewSender(lone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if err := s2.Send(cctx, []byte("doomed")); err == nil {
+		t.Fatal("Send with no receiver succeeded")
+	}
+
+	after := ghm.Metrics()
+	sends := after.Counters["tx.send_msgs"] - before.Counters["tx.send_msgs"]
+	oks := after.Counters["tx.oks"] - before.Counters["tx.oks"]
+	abandoned := after.Counters["tx.abandoned"] - before.Counters["tx.abandoned"]
+	if sends != oks+abandoned {
+		t.Errorf("tx.send_msgs grew %d, tx.oks %d + tx.abandoned %d = %d — an admission leaked out of the books",
+			sends, oks, abandoned, oks+abandoned)
+	}
+	if sends != n+1 || oks != n || abandoned != 1 {
+		t.Errorf("deltas send=%d oks=%d abandoned=%d, want %d/%d/1", sends, oks, abandoned, n+1, n)
+	}
+	histGrew := after.Histograms["tx.ok_latency_ms"].Count - before.Histograms["tx.ok_latency_ms"].Count
+	if histGrew != oks {
+		t.Errorf("ok latency histogram grew %d, want one observation per OK (%d)", histGrew, oks)
 	}
 }
 

@@ -23,6 +23,16 @@ type options struct {
 	size          func(t int) int
 	bound         func(t int) int
 	tap           func(Event)
+	window        int
+}
+
+// windowDepth resolves the window option: 0 (unset) means depth 1; any
+// other value is passed through for the constructors to validate.
+func (o options) windowDepth() int {
+	if o.window == 0 {
+		return 1
+	}
+	return o.window
 }
 
 func applyOptions(opts []Option) options {
@@ -100,6 +110,29 @@ func (s seedOption) apply(o *options) {
 	o.seed = int64(s)
 	o.hasSeed = true
 }
+
+// MaxWindow is the largest sliding-window depth WithWindow accepts.
+const MaxWindow = core.MaxWindow
+
+type windowOption int
+
+// WithWindow sets the station's sliding-window depth k (1..MaxWindow,
+// default 1): up to k Send calls proceed concurrently on one station,
+// each confirmed by its own slot of the protocol, and the receiving
+// station releases deliveries to Recv in admission order, exactly once.
+// Both stations must use the same depth. The stop-and-wait protocol
+// confirms one message per link round trip; a window of k confirms up to
+// k per round trip on latency-bound links.
+//
+// One crash model covers the whole window: cancelling any in-flight Send
+// (or Crash) erases the entire station, failing every concurrent Send
+// with ErrCrashed. Every wiped payload must be resubmitted byte-identical
+// or the receiver's in-order release stalls at the hole — NewSession does
+// this automatically; manual callers own that contract, exactly as with
+// lane multiplexing.
+func WithWindow(k int) Option { return windowOption(k) }
+
+func (w windowOption) apply(o *options) { o.window = int(w) }
 
 type scheduleOption struct {
 	size  func(t int) int

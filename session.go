@@ -121,6 +121,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("ghm: session: Dial is required")
 	}
 	o := applyOptions(cfg.Options)
+	if k := o.windowDepth(); k < 1 || k > MaxWindow {
+		return nil, fmt.Errorf("ghm: session: window depth must be in [1, %d], got %d", MaxWindow, k)
+	}
 	dial := func() (netlink.PacketConn, error) { return cfg.Dial() }
 	var seed int64
 	if o.hasSeed {
@@ -135,6 +138,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		WALPath:           cfg.WAL,
 		WALSync:           cfg.WALSync,
 		MaxAttempts:       cfg.MaxAttempts,
+		Window:            o.windowDepth(),
 		WatchdogWindow:    cfg.WatchdogWindow,
 		WatchdogInterval:  cfg.WatchdogInterval,
 		RestartBackoff:    cfg.RestartBackoff,

@@ -50,6 +50,9 @@ type Event struct {
 	Kind EventKind
 	// Msg is the message payload for EventSendMsg and EventReceiveMsg.
 	Msg []byte
+	// Slot is the window slot that performed the action on a windowed
+	// station (WithWindow); single-slot stations report 0.
+	Slot int
 }
 
 // tapToTrace adapts a public tap callback to the internal trace schema
@@ -74,6 +77,6 @@ func tapToTrace(fn func(Event)) func(trace.Event) {
 		default:
 			return
 		}
-		fn(Event{Kind: k, Msg: []byte(e.Msg)})
+		fn(Event{Kind: k, Msg: []byte(e.Msg), Slot: e.Slot})
 	}
 }
