@@ -236,6 +236,7 @@ func NewSender(conn PacketConn, opts ...Option) (*Sender, error) {
 			Window: k,
 			Params: o.params(),
 			Tap:    tapToTrace(o.tap),
+			Epoch:  o.epoch,
 		})
 	} else if k != 1 {
 		err = fmt.Errorf("window depth must be in [1, %d], got %d", MaxWindow, k)

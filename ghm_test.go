@@ -126,6 +126,60 @@ func TestOptionsValidation(t *testing.T) {
 	}
 }
 
+// TestWindowedSenderRebuildWithEpoch rebuilds a windowed Sender against
+// a long-lived windowed Receiver through the public API. The rebuilt
+// incarnation's sequence numbers restart at zero, which sit below the
+// receiver's release cursor; only a higher ghm.WithEpoch lets its stream
+// through instead of being silently dropped as a replay — without the
+// option threaded, the second generation's Recvs would hang.
+func TestWindowedSenderRebuildWithEpoch(t *testing.T) {
+	const k, per = 4, 8
+	left, right := ghm.Pipe(ghm.PipeFaults{Seed: 21})
+	link := ghm.Share(left)
+	defer link.Close()
+	r, err := ghm.NewReceiver(right,
+		ghm.WithWindow(k), ghm.WithRetryInterval(300*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := testCtx(t)
+
+	incarnation := func(epoch uint64, prefix string) {
+		t.Helper()
+		conn, err := link.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ghm.NewSender(conn, ghm.WithWindow(k), ghm.WithEpoch(epoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		got := make(map[string]int, per)
+		for i := 0; i < per; i++ {
+			msg := []byte(fmt.Sprintf("%s-%02d", prefix, i))
+			if err := s.Send(ctx, msg); err != nil {
+				t.Fatalf("%s Send %d: %v", prefix, i, err)
+			}
+			m, err := r.Recv(ctx)
+			if err != nil {
+				t.Fatalf("%s Recv %d: %v", prefix, i, err)
+			}
+			got[string(m)]++
+		}
+		for i := 0; i < per; i++ {
+			msg := fmt.Sprintf("%s-%02d", prefix, i)
+			if got[msg] != 1 {
+				t.Errorf("%s payload %q delivered %d times, want 1", prefix, msg, got[msg])
+			}
+		}
+	}
+
+	incarnation(1, "gen1")
+	incarnation(2, "gen2")
+}
+
 func TestWithScheduleAndSeed(t *testing.T) {
 	sizeCalls := 0
 	opts := []ghm.Option{

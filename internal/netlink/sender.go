@@ -107,8 +107,8 @@ func (s *Sender) crashLocked() {
 // guarantees a stale OK arriving later cannot match it — and settle
 // reports nothing to drain. If the resolution raced ahead and already
 // cleared the waiter, its buffered result is guaranteed to arrive
-// promptly (the resolver only has a conn write between clearing the
-// waiter and sending); settle drains it and hands it back, so a transfer
+// promptly (the resolver sends before touching the conn — see
+// handlePacket); settle drains it and hands it back, so a transfer
 // whose OK beat the cancellation is reported delivered, never failed.
 func (s *Sender) settle(w chan error) (error, bool) {
 	s.mu.Lock()
@@ -245,11 +245,15 @@ func (s *Sender) handlePacket(p []byte) {
 	s.flushStats()
 	s.mu.Unlock()
 
-	s.transmit(out.Packets)
+	// Resolve before the conn write: settle's drain of a cleared waiter is
+	// then bounded by lock handoff alone, never by how long a PacketConn
+	// implementation blocks in Send. The replies tolerate the reordering —
+	// they cross an unreliable link anyway.
 	if w != nil {
 		//lint:allow nonblockinghandler the waiter channel is buffered (cap 1) and exclusively owned: this send cannot block
 		w <- nil
 	}
+	s.transmit(out.Packets)
 }
 
 // transmit sends protocol packets, treating transient conn errors as the

@@ -32,9 +32,12 @@ import (
 //     (shared crash model), the wiped payloads are resubmitted by the
 //     layer above, and an attempt that had already delivered before the
 //     wipe is dropped by its reused seq instead of delivering twice;
-//   - the sender's wiped map (payload bytes -> seq), which makes that
-//     reuse happen: a resubmitted payload identical to a wiped one takes
-//     the wiped attempt's seq.
+//   - the sender's wiped map (payload bytes -> multiset of seqs), which
+//     makes that reuse happen: a resubmitted payload identical to a wiped
+//     one takes one of the wiped attempts' seqs. A multiset, not a single
+//     seq: two byte-identical payloads can be in flight on different
+//     slots when a crash lands, and each wiped attempt's seq must survive
+//     to be reclaimed or the release cursor stalls on the lost one.
 //
 // The stream contract this buys: every payload admitted before a wipe
 // must be resubmitted (byte-identical) for the stream to keep releasing
@@ -105,7 +108,7 @@ type WindowedSender struct {
 	slotMsg [][]byte     // per slot: raw payload in flight (nil when idle)
 	slotSeq []uint64     // per slot: admission seq of the in-flight payload
 	nextSeq uint64
-	wiped   map[string]uint64 // payload bytes -> seq, for resubmission reuse
+	wiped   map[string][]uint64 // payload bytes -> wiped seqs, for resubmission reuse
 	last    core.TxStats      // stats at the previous flush (delta baseline)
 
 	free chan int // slot tokens; admission waits here, bounding in-flight at k
@@ -132,7 +135,7 @@ func NewWindowedSender(conn PacketConn, cfg WindowedSenderConfig) (*WindowedSend
 		waiters: make([]chan error, cfg.Window),
 		slotMsg: make([][]byte, cfg.Window),
 		slotSeq: make([]uint64, cfg.Window),
-		wiped:   make(map[string]uint64),
+		wiped:   make(map[string][]uint64),
 		free:    make(chan int, cfg.Window),
 		stop:    make(chan struct{}),
 	}
@@ -176,7 +179,10 @@ func (s *WindowedSender) crashLocked() {
 	s.flushStats()
 	for i := range s.slotMsg {
 		if s.slotMsg[i] != nil {
-			s.wiped[string(s.slotMsg[i])] = s.slotSeq[i]
+			// Append, never assign: byte-identical payloads on different
+			// slots each contribute their own seq to the multiset.
+			key := string(s.slotMsg[i])
+			s.wiped[key] = append(s.wiped[key], s.slotSeq[i])
 			s.slotMsg[i] = nil
 			s.m.windowWiped.Inc()
 		}
@@ -209,9 +215,9 @@ func (s *WindowedSender) settle(slot int, w chan error) (error, bool) {
 		return nil, false
 	}
 	s.mu.Unlock()
-	// Whoever cleared the waiter owns the buffered channel and has either
-	// already sent or will send without blocking on anything but a conn
-	// write; this receive is prompt.
+	// Whoever cleared the waiter owns the buffered channel and sends the
+	// result before touching the conn (see handlePacket), so this receive
+	// is bounded by lock handoff, not by conn-write latency.
 	return <-w, true
 }
 
@@ -252,9 +258,26 @@ func (s *WindowedSender) Send(ctx context.Context, msg []byte) error {
 	defer func() { s.free <- slot }()
 
 	s.mu.Lock()
-	seq, reused := s.wiped[string(msg)]
-	if reused {
-		delete(s.wiped, string(msg))
+	var seq uint64
+	var reused bool
+	if seqs := s.wiped[string(msg)]; len(seqs) > 0 {
+		// Pop the lowest wiped seq first: identical payloads are
+		// interchangeable for correctness, but lowest-first lets a caller
+		// resubmitting sequentially in admission order (the outbox's
+		// pattern) see each release before issuing the next attempt,
+		// instead of parking the early ones behind a seq still unsent.
+		mi := 0
+		for j, q := range seqs {
+			if q < seqs[mi] {
+				mi = j
+			}
+		}
+		seq, reused = seqs[mi], true
+		if len(seqs) == 1 {
+			delete(s.wiped, string(msg))
+		} else {
+			s.wiped[string(msg)] = append(seqs[:mi], seqs[mi+1:]...)
+		}
 	} else {
 		seq = s.nextSeq
 		s.nextSeq++
@@ -265,7 +288,7 @@ func (s *WindowedSender) Send(ctx context.Context, msg []byte) error {
 		// free slot); roll the seq back so a stray failure cannot poison the
 		// stream with a hole.
 		if reused {
-			s.wiped[string(msg)] = seq
+			s.wiped[string(msg)] = append(s.wiped[string(msg)], seq)
 		} else {
 			s.nextSeq--
 		}
@@ -361,11 +384,15 @@ func (s *WindowedSender) handlePacket(p []byte) {
 	s.flushStats()
 	s.mu.Unlock()
 
-	s.transmit(out.Packets)
+	// Resolve before the conn write: settle's drain of a cleared waiter is
+	// then bounded by lock handoff alone, never by how long a PacketConn
+	// implementation blocks in Send. The replies tolerate the reordering —
+	// they cross an unreliable link anyway.
 	for _, w := range resolved {
 		//lint:allow nonblockinghandler the waiter channel is buffered (cap 1) and exclusively owned: this send cannot block
 		w <- nil
 	}
+	s.transmit(out.Packets)
 }
 
 // transmit flushes protocol packets in one batched conn call, treating
@@ -436,6 +463,7 @@ type WindowedReceiver struct {
 	accept  func() bool
 
 	arrivals atomic.Uint64
+	parked   atomic.Int64 // len(pending) mirror, readable without mu by the accept gate
 
 	retry            *engine.Timer
 	interval         time.Duration
@@ -476,11 +504,13 @@ func NewWindowedReceiver(conn PacketConn, cfg WindowedReceiverConfig) (*Windowed
 	// One accepted packet commits at most one protocol delivery, which
 	// grows buffered-plus-parked by at most one; keeping that sum below
 	// the buffer capacity guarantees a release burst (1 + drained
-	// pending) always fits without blocking the pump. Only the pump
-	// mutates pending, so the unlocked reads cannot race. A user Accept
-	// narrows this gate, never replaces it — the parked-set bound is what
-	// keeps release bursts under WindowReleaseBound for the layer above.
-	base := func() bool { return len(r.out)+len(r.pending) < cap(r.out) }
+	// pending) always fits without blocking the pump. The gate runs on
+	// the pump before r.mu is taken, while Close (another goroutine) may
+	// be resetting the pending map under r.mu — so it reads the atomic
+	// parked mirror, never the map. A user Accept narrows this gate,
+	// never replaces it — the parked-set bound is what keeps release
+	// bursts under WindowReleaseBound for the layer above.
+	base := func() bool { return len(r.out)+int(r.parked.Load()) < cap(r.out) }
 	if user := cfg.Accept; user != nil {
 		r.accept = func() bool { return base() && user() }
 	} else {
@@ -572,6 +602,7 @@ func (r *WindowedReceiver) Close() error {
 		r.closed = true
 		parked := len(r.pending)
 		r.pending = make(map[uint64][]byte)
+		r.parked.Store(0)
 		r.mu.Unlock()
 		if parked > 0 {
 			r.m.deliveriesDropped.Add(int64(parked))
@@ -630,6 +661,7 @@ func (r *WindowedReceiver) handlePacket(p []byte) {
 			if n := len(r.pending); n > 0 {
 				r.m.deliveriesDropped.Add(int64(n))
 				r.pending = make(map[uint64][]byte)
+				r.parked.Store(0)
 			}
 		}
 		release = append(release, r.commitSeq(seq, msg)...)
@@ -657,6 +689,7 @@ func (r *WindowedReceiver) commitSeq(seq uint64, msg []byte) [][]byte {
 	}
 	if seq != r.nextSeq {
 		r.pending[seq] = msg
+		r.parked.Add(1)
 		return nil
 	}
 	release := [][]byte{msg}
@@ -667,6 +700,7 @@ func (r *WindowedReceiver) commitSeq(seq uint64, msg []byte) [][]byte {
 			break
 		}
 		delete(r.pending, r.nextSeq)
+		r.parked.Add(-1)
 		release = append(release, m)
 		r.nextSeq++
 	}

@@ -378,6 +378,130 @@ func TestWindowedConfigValidation(t *testing.T) {
 	}
 }
 
+// TestWindowedCrashTwinPayloadsEachReclaimSeq pins the wiped-map shape:
+// two byte-identical payloads in flight on different slots when the
+// crash lands must each keep their own admission seq. A map keyed by
+// payload alone overwrites one of them, so one resubmission would mint
+// a fresh seq, leave a permanent hole at the receiver's release cursor,
+// and stall the stream forever.
+func TestWindowedCrashTwinPayloadsEachReclaimSeq(t *testing.T) {
+	const k = 2
+	reg := metrics.New()
+	a, b := Pipe(PipeConfig{Seed: 18})
+	ia := Impair(a, ImpairConfig{})
+	s, err := NewWindowedSender(ia, WindowedSenderConfig{Window: k, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := NewWindowedReceiver(b, WindowedReceiverConfig{Window: k, RetryInterval: testRetry, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := testCtx(t)
+
+	// Black out the data direction so both admissions stay in flight.
+	ia.SetBlackout(true)
+	twin := []byte("twin")
+	done := make(chan error, k)
+	for i := 0; i < k; i++ {
+		go func() { done <- s.Send(ctx, twin) }()
+	}
+	for {
+		s.mu.Lock()
+		inflight := 0
+		for _, m := range s.slotMsg {
+			if m != nil {
+				inflight++
+			}
+		}
+		s.mu.Unlock()
+		if inflight == k {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("admissions never both in flight")
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	s.Crash()
+	for i := 0; i < k; i++ {
+		if err := <-done; !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crashed Send returned %v, want ErrCrashed", err)
+		}
+	}
+	s.mu.Lock()
+	wipedSeqs := len(s.wiped[string(twin)])
+	s.mu.Unlock()
+	if wipedSeqs != k {
+		t.Fatalf("wiped multiset holds %d seqs for the twin payload, want %d", wipedSeqs, k)
+	}
+
+	// Heal the link and resubmit both byte-identical attempts
+	// sequentially, in the outbox's admission-order lockstep: each must
+	// reclaim one distinct wiped seq, lowest first, so every release
+	// arrives before the next attempt is even issued and the cursor
+	// sweeps 0..k with no hole.
+	ia.SetBlackout(false)
+	for i := 0; i < k; i++ {
+		if err := s.Send(ctx, twin); err != nil {
+			t.Fatalf("resubmit %d: %v", i, err)
+		}
+		m, err := r.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d: %v (release stalled — wiped seq lost or reused out of order)", i, err)
+		}
+		if !bytes.Equal(m, twin) {
+			t.Fatalf("Recv %d = %q, want %q", i, m, twin)
+		}
+	}
+	s.mu.Lock()
+	next, leftover := s.nextSeq, len(s.wiped)
+	s.mu.Unlock()
+	if next != k || leftover != 0 {
+		t.Errorf("sender nextSeq=%d, leftover wiped entries=%d, want %d/0 (no fresh seq minted, every wiped seq reclaimed)", next, leftover, k)
+	}
+	r.mu.Lock()
+	cursor, parked := r.nextSeq, len(r.pending)
+	r.mu.Unlock()
+	if cursor != k || parked != 0 {
+		t.Errorf("release cursor=%d parked=%d, want %d/0", cursor, parked, k)
+	}
+}
+
+// TestWindowedReceiverCloseDuringIngress closes a windowed receiver
+// while traffic is still arriving on the engine pump: the accept gate
+// runs before r.mu is taken, so it must read the atomic parked mirror,
+// not the pending map Close is swapping out — the race detector pins
+// the regression.
+func TestWindowedReceiverCloseDuringIngress(t *testing.T) {
+	const k, total = 4, 200
+	s, r := newWindowedSession(t, k, PipeConfig{Seed: 19}, nil)
+	ctx, cancel := context.WithTimeout(testCtx(t), 200*time.Millisecond)
+	defer cancel()
+	go func() {
+		for {
+			if _, err := r.Recv(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	msgs := make([][]byte, total)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("close-%03d", i))
+	}
+	done := make(chan []error, 1)
+	go func() { done <- sendAll(ctx, s, msgs) }()
+	time.Sleep(2 * time.Millisecond)
+	r.Close()
+	// Sends racing the teardown may have completed, crashed or timed out;
+	// any of those is fine — what the test pins is that the accept gate
+	// and Close never touch the pending map concurrently.
+	<-done
+}
+
 // TestWindowedEpochAdoptionAcrossSenderRebuild replays the supervised
 // session's restart scenario: a fresh WindowedSender, whose admission
 // seqs restart at zero, attaches to the same link a long-lived

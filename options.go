@@ -24,6 +24,7 @@ type options struct {
 	bound         func(t int) int
 	tap           func(Event)
 	window        int
+	epoch         uint64
 }
 
 // windowDepth resolves the window option: 0 (unset) means depth 1; any
@@ -130,9 +131,32 @@ type windowOption int
 // or the receiver's in-order release stalls at the hole — NewSession does
 // this automatically; manual callers own that contract, exactly as with
 // lane multiplexing.
+//
+// A windowed Receiver outliving its Sender needs WithEpoch on each
+// rebuilt Sender: a fresh Sender restarts its internal sequence numbers,
+// and without a higher epoch the receiver's in-order release treats the
+// restarted stream as a replay and silently drops it.
 func WithWindow(k int) Option { return windowOption(k) }
 
 func (w windowOption) apply(o *options) { o.window = int(w) }
+
+type epochOption uint64
+
+// WithEpoch identifies a windowed Sender's incarnation (default 0) to a
+// windowed Receiver that outlives it. Each Sender restarts its internal
+// admission sequence numbers at zero; the receiver distinguishes a
+// rebuilt sender from a replay of the old one only by the epoch, adopting
+// the highest it sees and resetting its release cursor for it. Pass a
+// strictly higher epoch each time a new Sender is attached to a
+// long-lived windowed Receiver — reusing an epoch makes the receiver
+// silently drop the new stream as duplicates while Send reports success.
+// A pair built and torn down together can leave it 0. Raising the epoch
+// abandons the previous incarnation's dedup state, so delivery across a
+// rebuild is at-least-once. Receivers and single-slot (window 1) stations
+// ignore this option; NewSession manages epochs automatically.
+func WithEpoch(epoch uint64) Option { return epochOption(epoch) }
+
+func (e epochOption) apply(o *options) { o.epoch = uint64(e) }
 
 type scheduleOption struct {
 	size  func(t int) int
