@@ -39,6 +39,25 @@
 //	ghmsoak -relay -seed 42 -messages 200
 //	ghmsoak -relay -scenario mesh-repro.json
 //
+// With -adversary the soak mounts an adaptive attacker-in-the-middle on
+// the live link: seeded strategies that observe packet identifiers,
+// lengths and timing (the paper's oblivious model) and key replay
+// floods, duplication bursts, crashes and blackouts to the protocol
+// phases those lengths leak. The attack rides on top of the usual chaos
+// timeline, the attacker's own counters are reported, and the scenario
+// JSON — strategies included — replays with -scenario.
+//
+//	ghmsoak -adversary -seed 42 -messages 300
+//	ghmsoak -adversary -scenario attack-repro.json
+//
+// With -sweep the run measures the empirical security model instead of
+// soaking: the realized per-message failure probability under the full
+// adversary mix at every default Params point (which must stay at or
+// below the promised epsilon), plus the E8-style schedule auto-tuner's
+// proposal. -sweep-out archives the JSON artifact.
+//
+//	ghmsoak -sweep -seed 42 -sweep-out secmodel.json
+//
 // Liveness note: completion is demanded only of mixes where Theorem 9
 // actually promises it — fair channels without recurring crashes or
 // forgery. Recurring crash^R resets the retry counter the transmitter's
@@ -60,6 +79,7 @@ import (
 	"ghm/internal/chaos"
 	"ghm/internal/core"
 	"ghm/internal/metrics"
+	"ghm/internal/secmodel"
 	"ghm/internal/sim"
 	"ghm/internal/trace"
 )
@@ -83,6 +103,9 @@ func run(args []string, out io.Writer) error {
 		chaosMode   = fs.Bool("chaos", false, "run a live-station chaos soak instead of simulator mixes")
 		supervised  = fs.Bool("supervised", false, "chaos: drive a self-healing supervised session (adds a wedge action)")
 		relayMode   = fs.Bool("relay", false, "run a multi-hop relay-mesh chaos soak (five nodes, faulty links, a node crash)")
+		advMode     = fs.Bool("adversary", false, "run a live-station soak with an adaptive attacker-in-the-middle mounted on the link")
+		sweepMode   = fs.Bool("sweep", false, "run the empirical security-model sweep and auto-tuner instead of a soak")
+		sweepOut    = fs.String("sweep-out", "", "sweep: write the combined sweep+tuner JSON artifact to this file")
 		chaosMsgs   = fs.Int("messages", 500, "unique messages per chaos soak")
 		scenarioIn  = fs.String("scenario", "", "chaos: replay a scenario JSON file instead of generating one")
 		scenarioOut = fs.String("scenario-out", "", "chaos: write the scenario JSON to this file")
@@ -110,6 +133,15 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
+	if *sweepMode {
+		return runSweep(out, *seed, *sweepOut)
+	}
+	if *advMode {
+		return runAdversary(out, chaosOptions{
+			seed: *seed, messages: *chaosMsgs, eps: *eps, budget: *duration,
+			scenarioIn: *scenarioIn, scenarioOut: *scenarioOut, verbose: *verbose,
+		})
+	}
 	if *relayMode {
 		return runRelay(out, chaosOptions{
 			seed: *seed, messages: *chaosMsgs, eps: *eps, budget: *duration,
@@ -301,6 +333,116 @@ func runSupervised(ctx context.Context, out io.Writer, sc chaos.Scenario, o chao
 	}
 	if len(res.Missing) > 0 {
 		return fmt.Errorf("%d enqueued payloads never delivered", len(res.Missing))
+	}
+	return nil
+}
+
+// runSweep executes the empirical security-model sweep (realized failure
+// probability vs epsilon at every default Params point) plus the
+// schedule auto-tuner, prints both, and fails if any swept point's
+// realized failure probability exceeds its epsilon. With -sweep-out the
+// combined JSON artifact is archived for diffing across revisions.
+func runSweep(out io.Writer, seed int64, artifact string) error {
+	sweep, err := secmodel.Sweep(secmodel.SweepConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, p := range sweep.Points {
+		fmt.Fprintf(out, "sweep: %s eps=%g — %d violations / %d messages (realized %.2g, 95%% upper %.2g) within-eps=%v\n",
+			p.Point.Label(), p.Point.Epsilon, p.Violations, p.Messages,
+			p.Realized, p.RealizedUpper, p.WithinEpsilon)
+	}
+	tune, err := secmodel.Tune(secmodel.TuneConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, c := range tune.Candidates {
+		fmt.Fprintf(out, "tune: %-16s %d violations / %d messages, %.1f packets/msg, max rho %d — admissible=%v\n",
+			c.Schedule.Label(), c.Measured.Violations, c.Measured.Messages,
+			c.CostPerMsg, c.Measured.MaxRhoBits, c.Admissible)
+	}
+	fmt.Fprintf(out, "tune: proposed schedule %q for eps=%g\n", tune.Proposed, tune.Epsilon)
+
+	if artifact != "" {
+		combined := fmt.Sprintf("{\n\"sweep\": %s,\n\"tune\": %s\n}\n", sweep.JSON(), tune.JSON())
+		if err := os.WriteFile(artifact, []byte(combined), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "sweep: artifact written to %s\n", artifact)
+	}
+	if !sweep.AllWithinEpsilon() {
+		return fmt.Errorf("realized failure probability exceeded epsilon at a swept point")
+	}
+	if tune.Proposed == "" {
+		return fmt.Errorf("auto-tuner found no admissible schedule")
+	}
+	return nil
+}
+
+// runAdversary executes one live-station adversary soak: generate (or
+// replay) a scenario carrying an adaptive attacker spec, mount the
+// attacker-in-the-middle on the link while the fault timeline executes,
+// and fail on any live conformance violation. The whole attack replays
+// from the scenario JSON alone.
+func runAdversary(out io.Writer, o chaosOptions) error {
+	var sc chaos.Scenario
+	if o.scenarioIn != "" {
+		data, err := os.ReadFile(o.scenarioIn)
+		if err != nil {
+			return err
+		}
+		sc, err = chaos.ParseScenario(data)
+		if err != nil {
+			return err
+		}
+		if sc.Adversary == nil {
+			return fmt.Errorf("scenario %s has no adversary spec; generate one with -adversary -scenario-out", o.scenarioIn)
+		}
+		fmt.Fprintf(out, "adversary: replaying %s (seed %d)\n", o.scenarioIn, sc.Seed)
+	} else {
+		sc = chaos.GenerateAdversary(o.seed, chaos.GenConfig{})
+		fmt.Fprintf(out, "adversary: seed %d (rerun with -adversary -seed %d)\n", o.seed, o.seed)
+	}
+	if o.scenarioOut != "" {
+		if err := os.WriteFile(o.scenarioOut, []byte(sc.JSON()+"\n"), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "adversary: scenario written to %s\n", o.scenarioOut)
+	}
+	if o.verbose {
+		fmt.Fprintln(out, sc.JSON())
+	}
+	kinds := make([]string, 0, len(sc.Adversary.Strategies))
+	for _, st := range sc.Adversary.Strategies {
+		kinds = append(kinds, st.Kind)
+	}
+	fmt.Fprintf(out, "adversary: strategies %v on top of %d crashes^T, %d crashes^R, %d blackouts, %d loss ramps over %v\n",
+		kinds, sc.Count(chaos.CrashSender), sc.Count(chaos.CrashReceiver),
+		sc.Count(chaos.BlackoutStart), sc.Count(chaos.SetLoss), sc.Duration)
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.budget)
+	defer cancel()
+	res, err := chaos.AdversarySoak(ctx, chaos.SoakConfig{
+		Scenario: sc,
+		Messages: o.messages,
+		Epsilon:  o.eps,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "done: %d messages delivered, %d sends wiped by crash^T and reissued, %v elapsed\n",
+		res.Delivered, res.Abandoned, res.Elapsed.Round(time.Millisecond))
+	st := res.Attacker
+	fmt.Fprintf(out, "attacker: %d packets observed, %d captured; %d attacks mounted, %d landed, %d suppressed (%d replays, %d crashes, %d blackouts)\n",
+		st.Observed, st.Captured, st.Mounted, st.Landed, st.Suppressed,
+		st.Replayed, st.Crashes, st.Blackouts)
+	fmt.Fprintf(out, "conformance: %s\n", res.Report)
+	if !res.Report.Clean() {
+		return fmt.Errorf("%d conformance violations in an attacked live execution", res.Report.Violations())
+	}
+	if st.Mounted == 0 {
+		return fmt.Errorf("adversary mounted no attacks — the soak tested nothing")
 	}
 	return nil
 }

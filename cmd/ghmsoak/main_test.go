@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,6 +49,92 @@ func TestChaosModeRunsAndReplays(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "replaying") || !strings.Contains(out.String(), " clean") {
 		t.Errorf("replay output unexpected:\n%s", out.String())
+	}
+}
+
+func TestAdversaryModeRunsAndReplays(t *testing.T) {
+	scenario := filepath.Join(t.TempDir(), "attack.json")
+	var out strings.Builder
+	err := run([]string{
+		"-adversary", "-seed", "42", "-messages", "120",
+		"-duration", "60s", "-scenario-out", scenario,
+	}, &out)
+	if err != nil {
+		t.Fatalf("adversary soak failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"adversary: seed 42", "replay_under_bound", "extension_burst", "crash_timer",
+		"attacker: ", "attacks mounted", "conformance:", " clean",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	// The written scenario — attack strategies included — must replay.
+	out.Reset()
+	err = run([]string{
+		"-adversary", "-scenario", scenario, "-messages", "60", "-duration", "60s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("adversary replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replaying") || !strings.Contains(out.String(), " clean") {
+		t.Errorf("replay output unexpected:\n%s", out.String())
+	}
+}
+
+func TestSweepModeEmitsArtifactAndVerdicts(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "secmodel.json")
+	var out strings.Builder
+	err := run([]string{"-sweep", "-seed", "42", "-sweep-out", artifact}, &out)
+	if err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"within-eps=true", "tune: proposed schedule", "reckless-size2", "admissible=false",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatalf("artifact missing: %v", err)
+	}
+	var combined struct {
+		Sweep struct {
+			Points []json.RawMessage `json:"points"`
+		} `json:"sweep"`
+		Tune struct {
+			Proposed string `json:"proposed"`
+		} `json:"tune"`
+	}
+	if err := json.Unmarshal(data, &combined); err != nil {
+		t.Fatalf("artifact is not JSON: %v\n%s", err, data)
+	}
+	if len(combined.Sweep.Points) == 0 || combined.Tune.Proposed == "" {
+		t.Errorf("artifact incomplete: %s", data)
+	}
+}
+
+func TestAdversaryModeRejectsSpeclessScenario(t *testing.T) {
+	// A plain chaos scenario file has no adversary spec; -adversary must
+	// say so rather than attack with nothing.
+	var out strings.Builder
+	scenario := filepath.Join(t.TempDir(), "plain.json")
+	if err := run([]string{
+		"-chaos", "-seed", "7", "-messages", "20", "-duration", "60s",
+		"-scenario-out", scenario,
+	}, &out); err != nil {
+		t.Fatalf("chaos soak failed: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	err := run([]string{"-adversary", "-scenario", scenario}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no adversary spec") {
+		t.Errorf("spec-less scenario accepted: %v", err)
 	}
 }
 

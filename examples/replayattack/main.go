@@ -6,19 +6,27 @@
 // freshly crashed receiver: once history holds more distinct nonces than
 // 2^l0, some old packet matches the fresh challenge and an old message is
 // delivered again. The full protocol under the same attack extends its
-// challenge after the very first suspicious packet, and the attack dies.
+// challenge after `bound(t)` suspicious packets, and the attack dies.
 //
-// This example drives the model-level machinery (internal packages), the
-// same stack the experiment suite uses.
+// The attack is mounted through the repository's adaptive adversary
+// strategies (internal/adversary, SECURITY_MODEL.md vectors V1/V2/V4):
+// raw history replays, a replay flood paced to ride just under the
+// extension trigger, duplication bursts timed at extension boundaries,
+// and a crash^R loop handing the replays a fresh receiver over and over.
+// Both protocols face the identical seeded campaign; the Section 2.6
+// checker (internal/verify) scores the outcome.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
 
+	"ghm/internal/adversary"
 	"ghm/internal/baseline"
 	"ghm/internal/core"
 	"ghm/internal/sim"
+	"ghm/internal/trace"
 )
 
 func main() {
@@ -27,71 +35,62 @@ func main() {
 	}
 }
 
+const (
+	messages  = 120 // messages pushed through each protocol
+	naiveBits = 7   // strawman nonce size: 2^7 = 128 possible values
+	seed      = 2026
+)
+
 func run() error {
-	const (
-		historySize = 100 // clean exchanges recorded by the adversary
-		rounds      = 40  // crash^R + replay-everything rounds
-		naiveBits   = 7   // strawman nonce size: 2^7 = 128 possible values
-	)
+	fmt.Printf("mounting the same seeded replay campaign against both protocols:\n")
+	fmt.Printf("  raw replays + replay-under-bound flood + extension-boundary bursts\n")
+	fmt.Printf("  + crash^R every 400 steps, %d messages each\n\n", messages)
 
-	fmt.Printf("recording %d clean exchanges of each protocol...\n\n", historySize)
-
-	naiveHits, naiveExt := attack(baseline.NaiveNonceParams(naiveBits), historySize, rounds)
+	naive, _ := attack(baseline.NaiveNonceParams(naiveBits))
 	fmt.Printf("strawman (fixed %d-bit nonce, no extensions):\n", naiveBits)
-	fmt.Printf("  replayed deliveries: %d in %d rounds  <- the Section 3 attack works\n\n",
-		naiveHits, rounds)
+	fmt.Printf("  replayed deliveries: %d, duplications: %d  <- the Section 3 attack works\n",
+		naive.Report.Replay, naive.Report.Duplication)
+	fmt.Printf("  receiver storage never grew past %d bits; the raw history replays\n", naive.MaxRxBits)
+	fmt.Printf("  alone break it (the paced flood sees no extensions to ride under)\n\n")
 
-	ghmHits, ghmExt := attack(core.Params{Epsilon: 1.0 / (1 << 16)}, historySize, rounds)
+	ghm, ghmMounted := attack(core.Params{Epsilon: 1.0 / (1 << 16)})
 	fmt.Printf("full protocol (eps = 2^-16, bound/size extensions):\n")
-	fmt.Printf("  replayed deliveries: %d in %d rounds\n", ghmHits, rounds)
-	fmt.Printf("  challenge extensions forced by the flood: %d  <- the defence at work\n\n", ghmExt)
+	fmt.Printf("  replayed deliveries: %d, duplications: %d in %d messages\n",
+		ghm.Report.Replay, ghm.Report.Duplication, ghm.Attempted)
+	fmt.Printf("  receiver storage peaked at %d bits  <- the defence at work (%d attack packets mounted)\n\n",
+		ghm.MaxRxBits, ghmMounted)
 
-	fmt.Println("why: the strawman receiver keeps one fixed challenge, so the whole")
-	fmt.Println("recorded history gets tested against it after every crash; the full")
-	fmt.Println("protocol counts the first same-length mismatch, extends its challenge,")
-	fmt.Println("and instantly invalidates every packet the adversary ever recorded.")
-	_ = naiveExt
+	fmt.Println("why: the strawman receiver keeps one fixed challenge, so the recorded")
+	fmt.Println("history gets tested against it after every crash; the full protocol")
+	fmt.Println("counts same-length mismatches, extends its challenge, and invalidates")
+	fmt.Println("every packet the adversary ever recorded — the under-bound flood that")
+	fmt.Println("avoids triggering extensions is priced into size(t, eps) instead.")
 	return nil
 }
 
-// attack builds a clean history for the protocol and mounts the
-// record-crash-replay attack, returning replayed deliveries and the
-// challenge extensions the flood provoked.
-func attack(p core.Params, history, rounds int) (hits, extensions int) {
-	gtx, grx, err := sim.NewGHMPair(p, 2026)
+// attack runs one protocol under the adaptive replay campaign and returns
+// the verified result plus the attack packets the strategies mounted.
+func attack(p core.Params) (sim.Result, int64) {
+	rng := func(i int64) *rand.Rand { return rand.New(rand.NewSource(seed + i)) }
+	underBound := adversary.NewReplayUnderBound(rng(2), adversary.ReplayUnderBoundConfig{Rate: 2})
+	burst := adversary.NewExtensionBurst(rng(3), adversary.ExtensionBurstConfig{Rate: 4})
+	adv := adversary.Compose(
+		adversary.NewFair(rng(0), adversary.FairConfig{}),
+		adversary.NewReplay(rng(1), trace.DirTR, 3),
+		underBound,
+		burst,
+		&adversary.CrashLoop{EveryR: 400},
+	)
+
+	res, err := sim.RunGHM(sim.Config{
+		Messages:  messages,
+		MaxSteps:  4_000_000,
+		Adversary: adv,
+	}, p, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Record every DATA packet of `history` clean exchanges.
-	var recorded [][]byte
-	for i := 0; i < history; i++ {
-		if _, err := gtx.SendMsg([]byte(fmt.Sprintf("secret-%03d", i))); err != nil {
-			log.Fatal(err)
-		}
-		for gtx.Busy() {
-			for _, c := range grx.Retry() {
-				pkts, _ := gtx.ReceivePacket(c)
-				for _, dp := range pkts {
-					recorded = append(recorded, dp)
-					_, acks := grx.ReceivePacket(dp)
-					for _, a := range acks {
-						gtx.ReceivePacket(a)
-					}
-				}
-			}
-		}
-	}
-
-	// The attack: crash the receiver, replay everything, repeat.
-	gtx.Crash()
-	for r := 0; r < rounds; r++ {
-		grx.Crash()
-		for _, pkt := range recorded {
-			delivered, _ := grx.ReceivePacket(pkt)
-			hits += len(delivered)
-		}
-		extensions += grx.R.Stats().Extensions
-	}
-	return hits, extensions
+	ubM, _ := underBound.AttackStats()
+	bM, _ := burst.AttackStats()
+	return res, ubM + bM
 }

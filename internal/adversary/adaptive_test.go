@@ -1,0 +1,207 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghm/internal/trace"
+)
+
+func TestLenWatchClassifiesTransitions(t *testing.T) {
+	var w lenWatch
+	steps := []struct {
+		length int
+		want   int
+	}{
+		{10, 0}, // first observation: no transition
+		{10, 0}, // steady
+		{14, 1}, // growth
+		{14, 0}, // steady at the new length
+		{6, -1}, // shrink (restart)
+		{10, 1}, // growth again
+	}
+	for i, s := range steps {
+		if got := w.observe(s.length); got != s.want {
+			t.Fatalf("step %d: observe(%d) = %d, want %d", i, s.length, got, s.want)
+		}
+	}
+}
+
+func TestReplayUnderBoundPacesToBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// bound(t) = 4 for every level: the strategy may spend 3 per level.
+	a := NewReplayUnderBound(rng, ReplayUnderBoundConfig{
+		Bound: func(int) int { return 4 },
+		Rate:  10,
+	})
+
+	// Two same-length DATA packets to draw from.
+	a.OnNewPacket(trace.DirTR, 0, 20)
+	a.OnNewPacket(trace.DirTR, 1, 20)
+
+	acts := a.Next(0)
+	if len(acts) != 3 {
+		t.Fatalf("replays at level 1 = %d, want 3 (= bound-1)", len(acts))
+	}
+	for _, act := range acts {
+		if act.Kind != ActDeliver || act.Dir != trace.DirTR {
+			t.Fatalf("unexpected action %+v", act)
+		}
+	}
+	if acts = a.Next(1); len(acts) != 0 {
+		t.Fatalf("budget exhausted but %d more replays mounted", len(acts))
+	}
+
+	// A CTL length growth marks the extension boundary: the victim
+	// levelled up and the spend resets.
+	a.OnNewPacket(trace.DirRT, 100, 8)
+	a.OnNewPacket(trace.DirRT, 101, 12)
+	if acts = a.Next(2); len(acts) != 3 {
+		t.Fatalf("replays after extension = %d, want 3", len(acts))
+	}
+
+	// A CTL shrink is a receiver restart: back to level 1, fresh budget.
+	a.OnNewPacket(trace.DirRT, 102, 5)
+	if acts = a.Next(3); len(acts) != 3 {
+		t.Fatalf("replays after restart = %d, want 3", len(acts))
+	}
+
+	mounted, suppressed := a.AttackStats()
+	if mounted != 9 {
+		t.Errorf("mounted = %d, want 9", mounted)
+	}
+	if suppressed == 0 {
+		t.Errorf("suppressed = 0, want > 0 (rate 10 against budget 3)")
+	}
+}
+
+func TestReplayUnderBoundZeroBudgetHoldsFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// The paper's bound(1) = 0: at level 1 any same-length mismatch
+	// triggers an extension, so riding under it means total silence.
+	a := NewReplayUnderBound(rng, ReplayUnderBoundConfig{})
+	a.OnNewPacket(trace.DirTR, 0, 16)
+	if acts := a.Next(0); len(acts) != 0 {
+		t.Fatalf("level-1 replays under bound(1)=0: got %d, want 0", len(acts))
+	}
+}
+
+func TestExtensionBurstFiresOnlyAtBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewExtensionBurst(rng, ExtensionBurstConfig{Rate: 5, Steps: 2, Keep: 4})
+
+	a.OnNewPacket(trace.DirTR, 0, 30)
+	a.OnNewPacket(trace.DirTR, 1, 30)
+	if acts := a.Next(0); len(acts) != 0 {
+		t.Fatalf("burst before any boundary: %d actions", len(acts))
+	}
+
+	// Steady CTL lengths: still no boundary.
+	a.OnNewPacket(trace.DirRT, 50, 8)
+	a.OnNewPacket(trace.DirRT, 51, 8)
+	if acts := a.Next(1); len(acts) != 0 {
+		t.Fatalf("burst without length growth: %d actions", len(acts))
+	}
+
+	// Growth: the receiver extended. Two burst steps of five dups each.
+	a.OnNewPacket(trace.DirRT, 52, 12)
+	for step := 2; step <= 3; step++ {
+		acts := a.Next(step)
+		if len(acts) != 5 {
+			t.Fatalf("burst step %d: %d actions, want 5", step, len(acts))
+		}
+		for _, act := range acts {
+			if act.Kind != ActDeliver || act.Dir != trace.DirTR {
+				t.Fatalf("unexpected action %+v", act)
+			}
+		}
+	}
+	if acts := a.Next(4); len(acts) != 0 {
+		t.Fatalf("burst outlived its window: %d actions", len(acts))
+	}
+
+	mounted, _ := a.AttackStats()
+	if mounted != 10 {
+		t.Errorf("mounted = %d, want 10", mounted)
+	}
+}
+
+func TestExtensionBurstRingBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewExtensionBurst(rng, ExtensionBurstConfig{Keep: 3})
+	for i := int64(0); i < 100; i++ {
+		a.OnNewPacket(trace.DirTR, i, 30)
+	}
+	if len(a.recent) != 3 {
+		t.Fatalf("ring holds %d ids, want 3", len(a.recent))
+	}
+	if a.recent[0] != 97 {
+		t.Fatalf("ring kept stale ids: %v", a.recent)
+	}
+}
+
+func TestCrashTimerKeyedToTransitions(t *testing.T) {
+	a := NewCrashTimer(CrashTimerConfig{
+		Watch:    trace.DirTR,
+		OnGrow:   true,
+		CrashR:   true,
+		Blackout: 7,
+		Cooldown: 10,
+	})
+
+	a.OnNewPacket(trace.DirTR, 0, 20)
+	if acts := a.Next(0); len(acts) != 0 {
+		t.Fatalf("fired before any transition: %v", acts)
+	}
+
+	// DATA length growth: the transmitter extended its tag. The timer
+	// fires a crash^R plus a blackout.
+	a.OnNewPacket(trace.DirTR, 1, 26)
+	acts := a.Next(1)
+	if len(acts) != 2 {
+		t.Fatalf("actions at boundary = %d, want 2 (%v)", len(acts), acts)
+	}
+	if acts[0].Kind != ActCrashR {
+		t.Errorf("first action %+v, want crash^R", acts[0])
+	}
+	if acts[1].Kind != ActBlackout || acts[1].Dur != 7 {
+		t.Errorf("second action %+v, want blackout dur=7", acts[1])
+	}
+
+	// Another growth inside the cooldown arms but does not fire...
+	a.OnNewPacket(trace.DirTR, 2, 33)
+	if acts := a.Next(5); len(acts) != 0 {
+		t.Fatalf("fired inside cooldown: %v", acts)
+	}
+	// ...until the cooldown elapses.
+	if acts := a.Next(11); len(acts) != 2 {
+		t.Fatalf("cooldown elapsed but fired %d actions", len(acts))
+	}
+}
+
+func TestCrashTimerRespectsMax(t *testing.T) {
+	a := NewCrashTimer(CrashTimerConfig{Max: 1, Cooldown: 1})
+	a.OnNewPacket(trace.DirTR, 0, 10)
+	a.OnNewPacket(trace.DirTR, 1, 20)
+	if acts := a.Next(0); len(acts) == 0 {
+		t.Fatal("first trigger did not fire")
+	}
+	a.OnNewPacket(trace.DirTR, 2, 30)
+	if acts := a.Next(100); len(acts) != 0 {
+		t.Fatalf("fired beyond Max: %v", acts)
+	}
+}
+
+func TestCrashTimerShrinkTrigger(t *testing.T) {
+	a := NewCrashTimer(CrashTimerConfig{OnShrink: true, OnGrow: false, CrashT: true})
+	a.OnNewPacket(trace.DirTR, 0, 20)
+	a.OnNewPacket(trace.DirTR, 1, 28) // growth: ignored
+	if acts := a.Next(0); len(acts) != 0 {
+		t.Fatalf("shrink-only timer fired on growth: %v", acts)
+	}
+	a.OnNewPacket(trace.DirTR, 2, 9) // shrink: a station restarted
+	acts := a.Next(1)
+	if len(acts) != 1 || acts[0].Kind != ActCrashT {
+		t.Fatalf("actions = %v, want one crash^T", acts)
+	}
+}

@@ -30,6 +30,12 @@ const (
 	ActCrashT
 	// ActCrashR erases the receiving station's memory.
 	ActCrashR
+	// ActBlackout suppresses all deliveries for the next Dur steps: the
+	// link goes dark and everything released during the window is lost.
+	// Dropping packets is always within the adversary's power (Section
+	// 2.4 only obliges it to Axiom 3 fairness), so a blackout can stall
+	// liveness but never threatens safety.
+	ActBlackout
 )
 
 // Action is one adversary decision.
@@ -37,6 +43,7 @@ type Action struct {
 	Kind ActionKind
 	Dir  trace.Dir // for ActDeliver
 	ID   int64     // for ActDeliver
+	Dur  int       // for ActBlackout: steps the link stays dark
 }
 
 // Adversary observes new packets and decides deliveries and crashes. The

@@ -96,6 +96,10 @@ type Scenario struct {
 	// this relay topology (every link with the Link profile above) and
 	// the actions may target whole nodes. Single-hop runners ignore it.
 	Mesh *MeshSpec `json:"mesh,omitempty"`
+	// Adversary, when set, mounts an adaptive attacker-in-the-middle on
+	// the link for the scenario's whole run (see AdversarySoak). Runners
+	// without attacker support ignore it.
+	Adversary *AdversarySpec `json:"adversary,omitempty"`
 }
 
 // Count returns how many scheduled actions have the given kind.

@@ -9,12 +9,12 @@ import (
 )
 
 // metricFamilyGrammar is the documented metric-name grammar: a family
-// prefix (tx., rx., link., chaos., session., relay.) followed by
-// snake_case segments. Dynamic per-endpoint names
+// prefix (tx., rx., link., chaos., session., relay., adversary.)
+// followed by snake_case segments. Dynamic per-endpoint names
 // (link.ep3.overflow_dropped) are built at runtime from declared
 // constant parts and fall outside the constant check; the literal check
 // still covers their building blocks.
-var metricFamilyGrammar = regexp.MustCompile(`^(tx|rx|link|chaos|session|relay)\.[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+var metricFamilyGrammar = regexp.MustCompile(`^(tx|rx|link|chaos|session|relay|adversary)\.[a-z0-9_]+(\.[a-z0-9_]+)*$`)
 
 // metricRegistryMethods are the Registry entry points whose name
 // argument the analyzer vets.
@@ -39,7 +39,8 @@ var MetricName = &analysis.Analyzer{
 Every string reaching Registry.Counter/Gauge/GaugeFunc/Histogram must be
 composed of declared string constants (no raw literals at the call), and
 when the full name is a compile-time constant it must match
-(tx|rx|link|chaos|session|relay).snake_case. Raw literals silently fork
+(tx|rx|link|chaos|session|relay|adversary).snake_case. Raw literals
+silently fork
 a counter on the first typo; constants make the namespace greppable.`,
 	Run: runMetricName,
 }
@@ -82,7 +83,7 @@ func runMetricName(pass *analysis.Pass) error {
 				name := constant.StringVal(tv.Value)
 				if !metricFamilyGrammar.MatchString(name) {
 					pass.Reportf(arg.Pos(),
-						"metric name %q does not match the family grammar (tx|rx|link|chaos|session|relay).snake_case",
+						"metric name %q does not match the family grammar (tx|rx|link|chaos|session|relay|adversary).snake_case",
 						name)
 				}
 			}

@@ -14,6 +14,7 @@ const (
 	mWindow  = "tx.window_admitted"
 	mHealth  = "session.health"
 	mRelay   = "relay.reroutes"
+	mMounted = "adversary.attacks_mounted"
 	mDropped = ".dropped"
 	mEp      = ".ep"
 )
@@ -23,6 +24,7 @@ func register(reg *metrics.Registry, prefix string, id int) {
 	reg.Counter(mWindow)
 	reg.Gauge(mHealth)
 	reg.Counter(mRelay)
+	reg.Counter(mMounted)
 	// Dynamic names assembled from declared constant parts.
 	reg.Counter(prefix + mEp + strconv.Itoa(id) + mDropped)
 }

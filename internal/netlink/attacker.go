@@ -1,0 +1,360 @@
+package netlink
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghm/internal/adversary"
+	"ghm/internal/metrics"
+	"ghm/internal/trace"
+)
+
+// AttackerConfig configures an Attacker. The zero value observes without
+// attacking (no strategy, no interception).
+type AttackerConfig struct {
+	// Strategy decides the attack: it observes every packet crossing the
+	// attacker (identifier, direction and length only — the oblivious
+	// model) and its Next actions are executed against the live link.
+	// nil observes and forwards only.
+	Strategy adversary.Adversary
+	// Tick is the wall-clock duration of one adversary step; every tick
+	// the strategy's Next fires. Zero disables the internal clock — the
+	// caller advances the attacker explicitly with Step, which is how
+	// deterministic tests and the fuzzer drive it.
+	Tick time.Duration
+	// Capture bounds how many packets per direction stay replayable
+	// (default DefaultAttackerCapture). Older captures are evicted;
+	// replaying an evicted identifier counts as a suppressed attack.
+	Capture int
+	// MaxPacket bounds the size of a captured packet (default
+	// DefaultAttackerMaxPacket). Larger packets are observed — the
+	// strategy still learns id and length — but not retained, so they
+	// cannot be replayed: the attacker's storage is finite even if the
+	// victim's packets are not.
+	MaxPacket int
+	// Intercept, when set, withholds every original packet instead of
+	// forwarding it: only the strategy's ActDeliver releases captures, so
+	// the strategy fully owns delivery, delay, duplication and reordering
+	// — the runtime twin of the simulator's passive channel. Without it
+	// packets forward immediately and ActDeliver injects extra copies.
+	Intercept bool
+	// OnCrashT / OnCrashR are invoked for the strategy's crash actions,
+	// wired by the chaos layer to the stations' Crash methods. A crash
+	// action with no hook counts as suppressed.
+	OnCrashT, OnCrashR func()
+	// Metrics receives the adversary.* counters; nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+}
+
+// DefaultAttackerCapture is the per-direction capture-ring capacity when
+// AttackerConfig.Capture is zero.
+const DefaultAttackerCapture = 256
+
+// DefaultAttackerMaxPacket is the capture size cutoff when
+// AttackerConfig.MaxPacket is zero.
+const DefaultAttackerMaxPacket = 1 << 16
+
+// AttackerStats counts the attacker's activity since creation.
+type AttackerStats struct {
+	Observed   int64 // packets that crossed the attacker
+	Captured   int64 // packets retained for replay
+	Mounted    int64 // attack actions emitted by the strategy
+	Landed     int64 // attack actions executed against the link
+	Suppressed int64 // attack actions that could not be executed
+	Replayed   int64 // captured packets re-injected (landed deliveries)
+	Crashes    int64 // crash hooks invoked
+	Blackouts  int64 // blackout windows applied
+}
+
+// Attacker is an attacker-in-the-middle for a bidirectional netlink link:
+// both directions' AttackerConn wrappers feed one shared strategy, which
+// sees exactly what the paper's Section 2.4 adversary sees — packet
+// identifiers, lengths and timing, never contents (captures are held as
+// opaque bytes) — and can capture, delay, duplicate, replay, crash and
+// black out. Wrap each endpoint's egress with Wrap, mirroring how
+// ImpairedConn wraps one direction each.
+//
+// The adaptive strategies in ghm/internal/adversary run unchanged against
+// the simulator and, through this wrapper, against the real runtime.
+type Attacker struct {
+	cfg AttackerConfig
+	m   adversaryMetrics
+
+	mu       sync.Mutex
+	strategy adversary.Adversary
+	rings    map[trace.Dir]*captureRing
+	conns    map[trace.Dir]*AttackerConn
+	nextID   int64
+	step     int
+	darkTil  int // first step after the current blackout window
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+
+	observed, captured, mounted  atomic.Int64
+	landed, suppressed, replayed atomic.Int64
+	crashes, blackouts           atomic.Int64
+}
+
+// captureRing retains the most recent captured packets of one direction.
+type captureRing struct {
+	cap  int
+	ids  []int64
+	pkts map[int64][]byte
+}
+
+func (r *captureRing) add(id int64, p []byte) {
+	if len(r.ids) >= r.cap {
+		delete(r.pkts, r.ids[0])
+		r.ids = r.ids[1:]
+	}
+	r.ids = append(r.ids, id)
+	r.pkts[id] = p
+}
+
+// NewAttacker builds an attacker for one link. Call Wrap for each
+// direction, and Close when done (stops the step clock; wrapped conns are
+// closed by their own Close calls).
+func NewAttacker(cfg AttackerConfig) *Attacker {
+	if cfg.Capture <= 0 {
+		cfg.Capture = DefaultAttackerCapture
+	}
+	if cfg.MaxPacket <= 0 {
+		cfg.MaxPacket = DefaultAttackerMaxPacket
+	}
+	a := &Attacker{
+		cfg:      cfg,
+		m:        newAdversaryMetrics(cfg.Metrics),
+		strategy: cfg.Strategy,
+		rings: map[trace.Dir]*captureRing{
+			trace.DirTR: {cap: cfg.Capture, pkts: make(map[int64][]byte)},
+			trace.DirRT: {cap: cfg.Capture, pkts: make(map[int64][]byte)},
+		},
+		conns: make(map[trace.Dir]*AttackerConn),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if cfg.Tick > 0 {
+		go a.run()
+	} else {
+		close(a.done)
+	}
+	return a
+}
+
+// Wrap returns conn with this attacker interposed on its Send path for the
+// given direction. Wrapping the same direction twice replaces the target
+// the attacker injects into; the latest wrapper wins.
+func (a *Attacker) Wrap(conn PacketConn, dir trace.Dir) *AttackerConn {
+	c := &AttackerConn{att: a, conn: conn, dir: dir}
+	a.mu.Lock()
+	a.conns[dir] = c
+	a.mu.Unlock()
+	return c
+}
+
+// Step advances the adversary clock by one step and executes the
+// strategy's actions. With a zero Tick this is the only driver; with a
+// ticker it may still be called (steps interleave).
+func (a *Attacker) Step() {
+	a.mu.Lock()
+	a.step++
+	step := a.step
+	var acts []adversary.Action
+	if a.strategy != nil {
+		acts = a.strategy.Next(step)
+	}
+	type replay struct {
+		conn *AttackerConn
+		p    []byte
+	}
+	var replays []replay
+	var crashT, crashR int
+	onCrashT, onCrashR := a.cfg.OnCrashT, a.cfg.OnCrashR
+	for _, act := range acts {
+		a.mounted.Add(1)
+		a.m.mounted.Inc()
+		switch act.Kind {
+		case adversary.ActDeliver:
+			p, ok := a.rings[act.Dir].pkts[act.ID]
+			conn := a.conns[act.Dir]
+			if !ok || conn == nil || step < a.darkTil {
+				// Evicted capture, unwrapped direction, or the attacker's
+				// own blackout swallowing its replay: the attack fizzles.
+				a.suppress()
+				continue
+			}
+			replays = append(replays, replay{conn, p})
+		case adversary.ActCrashT:
+			if onCrashT == nil {
+				a.suppress()
+				continue
+			}
+			crashT++
+		case adversary.ActCrashR:
+			if onCrashR == nil {
+				a.suppress()
+				continue
+			}
+			crashR++
+		case adversary.ActBlackout:
+			if until := step + act.Dur; until > a.darkTil {
+				a.darkTil = until
+			}
+			a.blackouts.Add(1)
+			a.m.blackouts.Inc()
+			a.land()
+		default:
+			a.suppress()
+		}
+	}
+	a.mu.Unlock()
+
+	// Injections and crash hooks run outside the lock: the underlying
+	// conns and the stations' Crash methods take their own locks.
+	for _, r := range replays {
+		// A closing conn loses the replay like any other packet.
+		_ = r.conn.conn.Send(r.p)
+		a.replayed.Add(1)
+		a.m.replayed.Inc()
+		a.land()
+	}
+	for i := 0; i < crashT; i++ {
+		onCrashT()
+		a.crashes.Add(1)
+		a.m.crashes.Inc()
+		a.land()
+	}
+	for i := 0; i < crashR; i++ {
+		onCrashR()
+		a.crashes.Add(1)
+		a.m.crashes.Inc()
+		a.land()
+	}
+}
+
+func (a *Attacker) land() {
+	a.landed.Add(1)
+	a.m.landed.Inc()
+}
+
+func (a *Attacker) suppress() {
+	a.suppressed.Add(1)
+	a.m.suppressed.Inc()
+}
+
+// observe is the Send-path tap: capture, notify the strategy, and decide
+// whether the original forwards now.
+func (a *Attacker) observe(dir trace.Dir, p []byte) (forward bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := a.nextID
+	a.nextID++
+	a.observed.Add(1)
+	a.m.observed.Inc()
+	if len(p) <= a.cfg.MaxPacket {
+		a.rings[dir].add(id, append([]byte(nil), p...))
+		a.captured.Add(1)
+		a.m.captured.Inc()
+	}
+	if a.strategy != nil {
+		a.strategy.OnNewPacket(dir, id, len(p))
+	}
+	if a.cfg.Intercept || a.step < a.darkTil {
+		return false
+	}
+	return true
+}
+
+// SetCrashHooks installs or replaces the crash hooks at runtime. The
+// chaos layer uses it to wire the strategy's crash actions to freshly
+// (re)built stations: the hooks cannot exist before the stations the
+// attacker sits between do.
+func (a *Attacker) SetCrashHooks(onCrashT, onCrashR func()) {
+	a.mu.Lock()
+	a.cfg.OnCrashT, a.cfg.OnCrashR = onCrashT, onCrashR
+	a.mu.Unlock()
+}
+
+// Stats returns the attacker's counters so far. When the strategy keeps
+// its own pacing accounts (adversary.AttackStats), its self-suppressed
+// attacks are included in Suppressed.
+func (a *Attacker) Stats() AttackerStats {
+	s := AttackerStats{
+		Observed:   a.observed.Load(),
+		Captured:   a.captured.Load(),
+		Mounted:    a.mounted.Load(),
+		Landed:     a.landed.Load(),
+		Suppressed: a.suppressed.Load(),
+		Replayed:   a.replayed.Load(),
+		Crashes:    a.crashes.Load(),
+		Blackouts:  a.blackouts.Load(),
+	}
+	a.mu.Lock()
+	st, ok := a.strategy.(adversary.AttackStats)
+	a.mu.Unlock()
+	if ok {
+		_, withheld := st.AttackStats()
+		s.Suppressed += withheld
+	}
+	return s
+}
+
+// Close stops the attacker's step clock. Wrapped conns remain usable as
+// plain pass-throughs of their underlying conns.
+func (a *Attacker) Close() error {
+	a.closeOnce.Do(func() {
+		close(a.stop)
+		<-a.done
+	})
+	return nil
+}
+
+// run is the step clock: one goroutine owns the cadence so strategies see
+// monotone steps.
+func (a *Attacker) run() {
+	defer close(a.done)
+	//lint:allow wheelclock the attacker's step clock models the adversary's real-time cadence, not protocol pacing
+	t := time.NewTicker(a.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			a.Step()
+		case <-a.stop:
+			return
+		}
+	}
+}
+
+// AttackerConn interposes an Attacker on one direction's Send path, in
+// the style of ImpairedConn: wrap each endpoint's egress. Recv reads the
+// underlying conn directly — injected replays arrive there like any
+// other packet.
+type AttackerConn struct {
+	att  *Attacker
+	conn PacketConn
+	dir  trace.Dir
+}
+
+var _ PacketConn = (*AttackerConn)(nil)
+
+// Send implements PacketConn: the packet is observed (and possibly
+// captured) by the attacker, then forwarded unless intercepted or inside
+// a blackout window.
+func (c *AttackerConn) Send(p []byte) error {
+	if c.att.observe(c.dir, p) {
+		return c.conn.Send(p)
+	}
+	return nil
+}
+
+// Recv implements PacketConn.
+func (c *AttackerConn) Recv() ([]byte, error) { return c.conn.Recv() }
+
+// Close implements PacketConn by closing the underlying conn. The shared
+// Attacker is closed separately (it spans both directions).
+func (c *AttackerConn) Close() error { return c.conn.Close() }

@@ -1,0 +1,103 @@
+package netlink
+
+import (
+	"bytes"
+	"testing"
+
+	"ghm/internal/adversary"
+	"ghm/internal/metrics"
+	"ghm/internal/trace"
+)
+
+// FuzzAttackerCaptureReplay stresses the attacker's packet capture and
+// replay path with hostile inputs: truncated, oversized and bit-flipped
+// packets are captured and replayed under arbitrary identifiers, crash
+// hooks re-enter the Send path, and blackout windows interleave. The
+// attacker must never panic, and the package's TestMain leak guard
+// verifies no goroutine outlives the run.
+func FuzzAttackerCaptureReplay(f *testing.F) {
+	f.Add([]byte("hello, world"), int64(0), uint8(3), false)
+	f.Add([]byte{}, int64(99), uint8(1), true)
+	f.Add(bytes.Repeat([]byte{0xFF}, 4096), int64(-7), uint8(6), false)
+	f.Add([]byte{0x00}, int64(1<<40), uint8(0), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, id int64, steps uint8, intercept bool) {
+		// A schedule replaying arbitrary (often dangling) identifiers on
+		// both directions, with crashes and blackouts mixed in.
+		sched := make(map[int][]adversary.Action)
+		for i := 0; i <= int(steps); i++ {
+			sched[i+1] = []adversary.Action{
+				{Kind: adversary.ActDeliver, Dir: trace.DirTR, ID: id + int64(i)},
+				{Kind: adversary.ActDeliver, Dir: trace.DirRT, ID: id - int64(i)},
+				{Kind: adversary.ActBlackout, Dur: i % 3},
+				{Kind: adversary.ActCrashT},
+				{Kind: adversary.ActCrashR},
+			}
+		}
+		att := NewAttacker(AttackerConfig{
+			Strategy:  &adversary.Scripted{Schedule: sched},
+			Capture:   4, // tiny ring: evictions on nearly every input
+			MaxPacket: 1024,
+			Intercept: intercept,
+			Metrics:   metrics.New(),
+		})
+		defer att.Close()
+
+		l, r := Pipe(PipeConfig{})
+		left := att.Wrap(l, trace.DirTR)
+		right := att.Wrap(r, trace.DirRT)
+		defer left.Close() // closing one endpoint shuts down the pipe
+
+		// Crash hooks that re-enter the Send path, as a station's Crash
+		// plausibly would (it emits packets on its next incarnation).
+		att.SetCrashHooks(
+			func() { _ = left.Send([]byte("crash-t")) },
+			func() { _ = right.Send([]byte("crash-r")) },
+		)
+
+		// Drain both ends until the pipe closes, so replays and
+		// pass-throughs never back up.
+		drained := make(chan struct{}, 2)
+		go func() {
+			defer func() { drained <- struct{}{} }()
+			for {
+				if _, err := right.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer func() { drained <- struct{}{} }()
+			for {
+				if _, err := left.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+
+		// The original, a truncation, and a bit-flip of the fuzz input,
+		// plus an oversized variant past MaxPacket.
+		pkts := [][]byte{data}
+		if len(data) > 0 {
+			flip := append([]byte(nil), data...)
+			flip[0] ^= 0x80
+			pkts = append(pkts, data[:len(data)/2], flip)
+		}
+		pkts = append(pkts, bytes.Repeat([]byte{0xA5}, 2048))
+		for _, p := range pkts {
+			if err := left.Send(p); err != nil {
+				t.Fatalf("left send: %v", err)
+			}
+			if err := right.Send(p); err != nil {
+				t.Fatalf("right send: %v", err)
+			}
+		}
+		for i := 0; i <= int(steps); i++ {
+			att.Step()
+		}
+
+		left.Close()
+		<-drained
+		<-drained
+	})
+}

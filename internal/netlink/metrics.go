@@ -58,6 +58,20 @@ const (
 	mRxRetryIntervalMS   = "rx.retry_interval_ms"
 )
 
+// Adversary metrics (the attacker-in-the-middle; see
+// internal/netlink/attacker.go): attacks mounted by the strategy,
+// suppressed by circumstance, and landed on the wire.
+const (
+	mAdvObserved   = "adversary.packets_observed"   // packets that crossed the attacker
+	mAdvCaptured   = "adversary.packets_captured"   // packets retained for replay
+	mAdvMounted    = "adversary.attacks_mounted"    // attack actions emitted
+	mAdvLanded     = "adversary.attacks_landed"     // attack actions executed
+	mAdvSuppressed = "adversary.attacks_suppressed" // attack actions that fizzled
+	mAdvReplayed   = "adversary.replays_injected"   // captured packets re-sent
+	mAdvCrashes    = "adversary.crashes_injected"   // crash hooks invoked
+	mAdvBlackouts  = "adversary.blackouts_injected" // blackout windows applied
+)
+
 // Link names are suffixes: each impaired link appends them to its
 // registered prefix ("link" by default).
 const (
@@ -181,6 +195,34 @@ func newWindowReceiverMetrics(r *metrics.Registry) windowReceiverMetrics {
 		windowPending:    r.Gauge(mRxWindowPending),
 		windowReleased:   r.Counter(mRxWindowReleased),
 		windowDupDropped: r.Counter(mRxWindowDupDropped),
+	}
+}
+
+// adversaryMetrics are an Attacker's registry hooks.
+type adversaryMetrics struct {
+	observed   *metrics.Counter // packets that crossed the attacker
+	captured   *metrics.Counter // packets retained for replay
+	mounted    *metrics.Counter // attack actions emitted by the strategy
+	landed     *metrics.Counter // attack actions executed against the link
+	suppressed *metrics.Counter // attack actions that could not execute
+	replayed   *metrics.Counter // captured packets re-injected
+	crashes    *metrics.Counter // crash hooks invoked
+	blackouts  *metrics.Counter // blackout windows applied
+}
+
+func newAdversaryMetrics(r *metrics.Registry) adversaryMetrics {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return adversaryMetrics{
+		observed:   r.Counter(mAdvObserved),
+		captured:   r.Counter(mAdvCaptured),
+		mounted:    r.Counter(mAdvMounted),
+		landed:     r.Counter(mAdvLanded),
+		suppressed: r.Counter(mAdvSuppressed),
+		replayed:   r.Counter(mAdvReplayed),
+		crashes:    r.Counter(mAdvCrashes),
+		blackouts:  r.Counter(mAdvBlackouts),
 	}
 }
 

@@ -1,0 +1,258 @@
+// Package secmodel measures the protocol's empirical security model: the
+// realized per-message failure probability under a fixed hostile workload,
+// swept across the Params space (epsilon and the size/bound schedule),
+// compared against the epsilon each point promises.
+//
+// The theorems bound the probability that any Section 2.6 condition is
+// violated for a message by epsilon; the sweep turns that bound into a
+// measurement. Each swept point runs seeded simulations under an
+// adversary mix combining the adaptive strategies of ghm/internal/
+// adversary (replay floods riding under bound(t), duplication bursts at
+// extension boundaries, length-keyed crash timing) with blind same-length
+// floods and crash loops, counts violations over attempted messages, and
+// reports the realized rate next to the promised epsilon. Results are
+// JSON artifacts, so sweeps archive and diff across revisions.
+//
+// The companion Tune (see tune.go) is the E8-style auto-tuner: it runs
+// candidate size/bound schedules — including deliberately weakened ones —
+// through the same instrument and proposes the cheapest schedule whose
+// measured error rate still honors epsilon.
+package secmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"ghm/internal/adversary"
+	"ghm/internal/core"
+	"ghm/internal/sim"
+	"ghm/internal/trace"
+)
+
+// Schedule is a JSON-serializable size/bound schedule selector. The zero
+// value is the paper's Figure 3 schedule; the constant overrides carve
+// out the simple schedule families the E8 ablation studies.
+type Schedule struct {
+	// Name labels the schedule in artifacts ("paper" when empty).
+	Name string `json:"name,omitempty"`
+	// BoundConst, when positive, replaces bound(t) with this constant:
+	// small = eager extension, large = lazy.
+	BoundConst int `json:"boundConst,omitempty"`
+	// SizeConst, when positive, replaces size(t) with this constant for
+	// t > 1 (the level-1 draw keeps the paper's size so the initial
+	// strings stay honest): small = thin strings, cheap and weak.
+	SizeConst int `json:"sizeConst,omitempty"`
+	// SizeConstAll, when positive, replaces size(t) with this constant at
+	// every level including the first — the deliberately reckless family
+	// the tuner uses to probe where the empirical model actually breaks.
+	SizeConstAll int `json:"sizeConstAll,omitempty"`
+}
+
+// Label returns the schedule's display name.
+func (s Schedule) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "paper"
+}
+
+// Params realizes the schedule at the given epsilon.
+func (s Schedule) Params(eps float64) core.Params {
+	p := core.Params{Epsilon: eps}
+	if s.BoundConst > 0 {
+		b := s.BoundConst
+		p.Bound = func(int) int { return b }
+	}
+	if s.SizeConstAll > 0 {
+		n := s.SizeConstAll
+		p.Size = func(int) int { return n }
+	} else if s.SizeConst > 0 {
+		n := s.SizeConst
+		p.Size = func(t int) int {
+			if t == 1 {
+				return core.DefaultSize(1, eps)
+			}
+			return n
+		}
+	}
+	return p
+}
+
+// Point is one swept coordinate: a schedule at an epsilon.
+type Point struct {
+	Schedule
+	Epsilon float64 `json:"epsilon"`
+}
+
+// SweepConfig bounds a sweep. Zero fields take the defaults noted.
+type SweepConfig struct {
+	// Points are the Params-space coordinates to measure (default
+	// DefaultPoints()).
+	Points []Point
+	// Messages per trial (default 120).
+	Messages int
+	// Trials per point; violations aggregate across trials (default 3).
+	Trials int
+	// MaxSteps bounds each trial (default 6_000_000 — the floods make
+	// progress slow, not uncertain).
+	MaxSteps int
+	// Seed makes the whole sweep reproducible.
+	Seed int64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Points) == 0 {
+		c.Points = DefaultPoints()
+	}
+	if c.Messages <= 0 {
+		c.Messages = 120
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 6_000_000
+	}
+	return c
+}
+
+// DefaultPoints is the standard grid: the paper's schedule at a spread of
+// epsilons. Every default point is a sound schedule, so a clean sweep is
+// the expected outcome; weakened schedules belong to the tuner's
+// candidate list, not the conformance grid.
+func DefaultPoints() []Point {
+	return []Point{
+		{Epsilon: 1.0 / (1 << 6)},
+		{Epsilon: 1.0 / (1 << 12)},
+		{Epsilon: 1.0 / (1 << 20)},
+	}
+}
+
+// PointResult is the measurement at one swept point.
+type PointResult struct {
+	Point Point `json:"point"`
+	// Messages is the total attempted messages across trials — the
+	// denominator of Realized.
+	Messages int `json:"messages"`
+	// Violations counts Section 2.6 condition violations across trials.
+	Violations int `json:"violations"`
+	// Realized is Violations/Messages: the empirical per-message failure
+	// probability under the sweep's adversary mix.
+	Realized float64 `json:"realized"`
+	// RealizedUpper is a crude 95% upper confidence bound on the failure
+	// probability: (Violations+3)/Messages (the rule of three extended to
+	// nonzero counts). A clean run of n messages still only certifies
+	// failure rates above 3/n.
+	RealizedUpper float64 `json:"realizedUpper"`
+	// WithinEpsilon reports Realized <= Epsilon — the sweep's conformance
+	// verdict at this point.
+	WithinEpsilon bool `json:"withinEpsilon"`
+	// DataPerMsg / CtlPerMsg are the protocol's measured cost at this
+	// point (packets per completed message).
+	DataPerMsg float64 `json:"dataPerMsg"`
+	CtlPerMsg  float64 `json:"ctlPerMsg"`
+	// MaxRhoBits is the receiver-storage high-water mark.
+	MaxRhoBits int `json:"maxRhoBits"`
+	// Completed counts messages that finished with OK within the step
+	// budget (floods may stall the tail without voiding the measurement).
+	Completed int `json:"completed"`
+}
+
+// SweepResult is the whole sweep: one JSON artifact.
+type SweepResult struct {
+	Seed     int64         `json:"seed"`
+	Messages int           `json:"messagesPerTrial"`
+	Trials   int           `json:"trials"`
+	Points   []PointResult `json:"points"`
+}
+
+// AllWithinEpsilon reports whether every swept point's realized failure
+// probability honored its epsilon.
+func (r SweepResult) AllWithinEpsilon() bool {
+	for _, p := range r.Points {
+		if !p.WithinEpsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// JSON renders the sweep as an indented JSON artifact.
+func (r SweepResult) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("{%q:%q}", "error", err.Error())
+	}
+	return string(b)
+}
+
+// attack builds the sweep's fixed hostile workload: the adaptive
+// strategies plus blind same-length floods, raw replays, loss and crash
+// loops. Everything is seeded — the same seed measures every point under
+// the same attack schedule modulo the protocol's own behavior.
+func attack(seed int64) adversary.Adversary {
+	rng := func(i int64) *rand.Rand { return rand.New(rand.NewSource(seed + i)) }
+	return adversary.Compose(
+		adversary.NewFair(rng(1), adversary.FairConfig{Loss: 0.15}),
+		adversary.NewGuessFlood(rng(2), trace.DirTR, 3),
+		adversary.NewGuessFlood(rng(3), trace.DirRT, 3),
+		adversary.NewReplay(rng(4), trace.DirTR, 2),
+		adversary.NewReplayUnderBound(rng(5), adversary.ReplayUnderBoundConfig{Rate: 2}),
+		adversary.NewExtensionBurst(rng(6), adversary.ExtensionBurstConfig{Rate: 4}),
+		adversary.NewCrashTimer(adversary.CrashTimerConfig{CrashR: true, Cooldown: 512, Max: 8}),
+		&adversary.CrashLoop{EveryT: 1733, EveryR: 301},
+	)
+}
+
+// Sweep measures the realized per-message failure probability at every
+// configured point. The result is a pure function of cfg.
+func Sweep(cfg SweepConfig) (SweepResult, error) {
+	cfg = cfg.withDefaults()
+	res := SweepResult{Seed: cfg.Seed, Messages: cfg.Messages, Trials: cfg.Trials}
+	for pi, pt := range cfg.Points {
+		pr, err := measure(pt, cfg, int64(pi))
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, pr)
+	}
+	return res, nil
+}
+
+// measure runs one point's trials and aggregates the verdict.
+func measure(pt Point, cfg SweepConfig, salt int64) (PointResult, error) {
+	pr := PointResult{Point: pt}
+	var packetsTR, packetsRT int
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.Seed*1_000_003 + salt*997 + int64(trial)
+		r, err := sim.RunGHM(sim.Config{
+			Messages:  cfg.Messages,
+			MaxSteps:  cfg.MaxSteps,
+			Adversary: attack(seed),
+		}, pt.Params(pt.Epsilon), seed+1)
+		if err != nil {
+			return pr, fmt.Errorf("secmodel: point %s eps=%g: %w", pt.Label(), pt.Epsilon, err)
+		}
+		pr.Messages += r.Attempted
+		pr.Violations += r.Report.Violations()
+		pr.Completed += r.Completed
+		packetsTR += r.PacketsTR
+		packetsRT += r.PacketsRT
+		for _, pm := range r.PerMessage {
+			if pm.MaxRxBits > pr.MaxRhoBits {
+				pr.MaxRhoBits = pm.MaxRxBits
+			}
+		}
+	}
+	if pr.Messages > 0 {
+		pr.Realized = float64(pr.Violations) / float64(pr.Messages)
+		pr.RealizedUpper = (float64(pr.Violations) + 3) / float64(pr.Messages)
+	}
+	if pr.Completed > 0 {
+		pr.DataPerMsg = float64(packetsTR) / float64(pr.Completed)
+		pr.CtlPerMsg = float64(packetsRT) / float64(pr.Completed)
+	}
+	pr.WithinEpsilon = pr.Realized <= pt.Epsilon
+	return pr, nil
+}

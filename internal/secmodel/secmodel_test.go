@@ -1,0 +1,142 @@
+package secmodel
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ghm/internal/core"
+)
+
+// small keeps unit-test sweeps fast; the CI smoke and EXPERIMENTS runs
+// use larger samples.
+var small = SweepConfig{Messages: 60, Trials: 2, MaxSteps: 2_000_000, Seed: 42}
+
+func TestScheduleParamsOverrides(t *testing.T) {
+	eps := 1.0 / (1 << 12)
+
+	if p := (Schedule{}).Params(eps); p.Bound != nil || p.Size != nil {
+		t.Error("zero schedule must keep the paper's functions (nil overrides)")
+	}
+	p := Schedule{BoundConst: 7, SizeConst: 9}.Params(eps)
+	if p.Bound(1) != 7 || p.Bound(30) != 7 {
+		t.Errorf("BoundConst not applied: bound(1)=%d bound(30)=%d", p.Bound(1), p.Bound(30))
+	}
+	if got, want := p.Size(1), core.DefaultSize(1, eps); got != want {
+		t.Errorf("SizeConst must keep the level-1 draw honest: size(1)=%d want %d", got, want)
+	}
+	if p.Size(5) != 9 {
+		t.Errorf("SizeConst not applied above level 1: size(5)=%d", p.Size(5))
+	}
+	pa := Schedule{SizeConstAll: 3}.Params(eps)
+	if pa.Size(1) != 3 || pa.Size(5) != 3 {
+		t.Errorf("SizeConstAll must apply at every level: size(1)=%d size(5)=%d", pa.Size(1), pa.Size(5))
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a, err := Sweep(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JSON() != b.JSON() {
+		t.Fatalf("same config produced different sweeps:\n%s\n--\n%s", a.JSON(), b.JSON())
+	}
+}
+
+// TestEpsilonSweepSmokeTwoPoints is the CI epsilon-sweep smoke: at two
+// Params points the realized per-message failure probability under the
+// full adversary mix must stay at or below the promised epsilon.
+func TestEpsilonSweepSmokeTwoPoints(t *testing.T) {
+	cfg := small
+	cfg.Points = []Point{
+		{Epsilon: 1.0 / (1 << 6)},
+		{Epsilon: 1.0 / (1 << 12)},
+	}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("swept %d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		t.Logf("eps=%g: %d violations / %d messages (realized %.6f, upper %.6f)",
+			p.Point.Epsilon, p.Violations, p.Messages, p.Realized, p.RealizedUpper)
+		if p.Messages == 0 {
+			t.Errorf("eps=%g: no messages attempted", p.Point.Epsilon)
+		}
+		if !p.WithinEpsilon {
+			t.Errorf("eps=%g: realized failure probability %.6f exceeds epsilon",
+				p.Point.Epsilon, p.Realized)
+		}
+	}
+	if !res.AllWithinEpsilon() {
+		t.Error("AllWithinEpsilon disagrees with the per-point verdicts")
+	}
+}
+
+func TestSweepJSONArtifactRoundTrips(t *testing.T) {
+	res, err := Sweep(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal([]byte(res.JSON()), &back); err != nil {
+		t.Fatalf("sweep artifact is not valid JSON: %v", err)
+	}
+	if back.JSON() != res.JSON() {
+		t.Error("sweep artifact does not round-trip")
+	}
+	if len(back.Points) != len(DefaultPoints()) {
+		t.Errorf("artifact has %d points, want %d", len(back.Points), len(DefaultPoints()))
+	}
+}
+
+// TestTuneProposesCheapestSoundSchedule exercises the auto-tuner end to
+// end: the deliberately weakened candidates must be measured as broken
+// (that is what calibrates the instrument), the sound ones must all stay
+// within epsilon, and the proposal must be the cheapest admissible one.
+func TestTuneProposesCheapestSoundSchedule(t *testing.T) {
+	res, err := Tune(TuneConfig{Messages: 60, Trials: 2, MaxSteps: 2_000_000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("proposed %q\n%s", res.Proposed, res.JSON())
+
+	prop := res.Proposal()
+	if prop == nil {
+		t.Fatal("tuner proposed nothing")
+	}
+	sawBroken := false
+	for _, c := range res.Candidates {
+		weak := c.Schedule.SizeConstAll > 0
+		if weak {
+			if c.Admissible {
+				t.Errorf("weakened schedule %s measured admissible — the instrument has no teeth", c.Schedule.Label())
+			}
+			if c.Measured.Violations > 0 {
+				sawBroken = true
+			}
+			continue
+		}
+		if !c.Admissible {
+			t.Errorf("sound schedule %s measured inadmissible: %d violations / %d messages",
+				c.Schedule.Label(), c.Measured.Violations, c.Measured.Messages)
+		}
+		if c.CostPerMsg < prop.CostPerMsg {
+			t.Errorf("proposal %s (cost %.1f) is not the cheapest admissible: %s costs %.1f",
+				prop.Schedule.Label(), prop.CostPerMsg, c.Schedule.Label(), c.CostPerMsg)
+		}
+	}
+	if !sawBroken {
+		t.Error("no weakened candidate produced violations: the empirical model was never stressed")
+	}
+	var back TuneResult
+	if err := json.Unmarshal([]byte(res.JSON()), &back); err != nil {
+		t.Fatalf("tune artifact is not valid JSON: %v", err)
+	}
+}

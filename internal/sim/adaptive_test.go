@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ghm/internal/adversary"
+	"ghm/internal/core"
+)
+
+// The adaptive strategies are the sharpest oblivious attacks the model
+// admits; these tests run each against the real protocol and require the
+// Section 2.6 report to stay clean. Liveness is asserted only when the
+// composition includes Fair (Axiom 3); the unfair compositions assert
+// safety alone.
+
+func TestReplayUnderBoundStaysSafe(t *testing.T) {
+	adv := adversary.Compose(
+		fair(11, adversary.FairConfig{}),
+		adversary.NewReplayUnderBound(rand.New(rand.NewSource(12)), adversary.ReplayUnderBoundConfig{
+			// An aggressive misreading of the victim's schedule: permit 8
+			// replays per level regardless of t, far over the real bound at
+			// low levels, to stress the error counters too.
+			Bound: func(int) int { return 9 },
+			Rate:  3,
+		}),
+	)
+	res, err := RunGHM(Config{Messages: 40, MaxSteps: 400_000, Adversary: adv}, core.Params{}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("did not complete under replay-under-bound: %+v", res.Report)
+	}
+	if !res.Report.Clean() {
+		t.Fatalf("violations: %v", res.Report)
+	}
+}
+
+func TestReplayUnderBoundPaperScheduleStaysSafe(t *testing.T) {
+	// With the victim's true schedule the flood paces itself below every
+	// extension trigger — the attack the tuner must price in.
+	rub := adversary.NewReplayUnderBound(rand.New(rand.NewSource(21)), adversary.ReplayUnderBoundConfig{Rate: 4})
+	adv := adversary.Compose(fair(22, adversary.FairConfig{Loss: 0.2}), rub)
+	res, err := RunGHM(Config{Messages: 40, MaxSteps: 400_000, Adversary: adv}, core.Params{}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || !res.Report.Clean() {
+		t.Fatalf("Done=%v report=%v", res.Done, res.Report)
+	}
+}
+
+func TestExtensionBurstStaysSafe(t *testing.T) {
+	// Loss forces retransmissions and extensions, giving the burst its
+	// boundaries to aim at.
+	adv := adversary.Compose(
+		fair(31, adversary.FairConfig{Loss: 0.3}),
+		adversary.NewExtensionBurst(rand.New(rand.NewSource(32)), adversary.ExtensionBurstConfig{
+			Rate:  8,
+			Steps: 6,
+		}),
+	)
+	res, err := RunGHM(Config{Messages: 40, MaxSteps: 400_000, Adversary: adv}, core.Params{}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("did not complete under extension bursts: %+v", res.Report)
+	}
+	if !res.Report.Clean() {
+		t.Fatalf("violations: %v", res.Report)
+	}
+}
+
+func TestCrashTimerStaysSafe(t *testing.T) {
+	adv := adversary.Compose(
+		fair(41, adversary.FairConfig{}),
+		adversary.NewCrashTimer(adversary.CrashTimerConfig{
+			OnGrow:   true,
+			OnShrink: true,
+			CrashT:   true,
+			CrashR:   true,
+			Cooldown: 200,
+			Max:      8,
+		}),
+	)
+	res, err := RunGHM(Config{Messages: 40, MaxSteps: 600_000, Adversary: adv}, core.Params{}, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("did not complete under length-keyed crashes: %+v", res.Report)
+	}
+	if !res.Report.Clean() {
+		t.Fatalf("violations: %v", res.Report)
+	}
+	if res.Report.CrashT == 0 && res.Report.CrashR == 0 {
+		t.Fatalf("crash timer never fired: %v", res.Report)
+	}
+}
+
+func TestAdaptiveGauntletStaysSafe(t *testing.T) {
+	// All three adaptive strategies at once, plus a lossy fair floor. The
+	// combined adversary is unfair in bursts but fair overall, so the run
+	// must complete and must stay clean.
+	adv := adversary.Compose(
+		fair(51, adversary.FairConfig{Loss: 0.2, DupProb: 0.2}),
+		adversary.NewReplayUnderBound(rand.New(rand.NewSource(52)), adversary.ReplayUnderBoundConfig{Rate: 2}),
+		adversary.NewExtensionBurst(rand.New(rand.NewSource(53)), adversary.ExtensionBurstConfig{Rate: 4}),
+		adversary.NewCrashTimer(adversary.CrashTimerConfig{
+			CrashR:   true,
+			Blackout: 50,
+			Cooldown: 500,
+			Max:      4,
+		}),
+	)
+	res, err := RunGHM(Config{Messages: 50, MaxSteps: 1_000_000, Adversary: adv}, core.Params{}, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("gauntlet stalled: %+v", res.Report)
+	}
+	if !res.Report.Clean() {
+		t.Fatalf("violations: %v", res.Report)
+	}
+}
+
+func TestBlackoutStallsButStaysSafe(t *testing.T) {
+	// A permanent blackout from step 100 on: nothing delivers afterwards,
+	// so the run cannot complete — but losing every packet is within the
+	// adversary's rights and no condition is violated.
+	adv := adversary.Compose(
+		fair(61, adversary.FairConfig{}),
+		&adversary.Scripted{Schedule: map[int][]adversary.Action{
+			100: {{Kind: adversary.ActBlackout, Dur: 1 << 30}},
+		}},
+	)
+	res, err := RunGHM(Config{Messages: 1_000, MaxSteps: 20_000, Adversary: adv}, core.Params{}, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done {
+		t.Fatal("completed 1000 messages through a permanent blackout")
+	}
+	if !res.Report.Clean() {
+		t.Fatalf("blackout broke safety: %v", res.Report)
+	}
+}
+
+func TestBlackoutExpires(t *testing.T) {
+	// A finite blackout only delays: deliveries resume when it lifts.
+	adv := adversary.Compose(
+		fair(71, adversary.FairConfig{}),
+		&adversary.Scripted{Schedule: map[int][]adversary.Action{
+			10: {{Kind: adversary.ActBlackout, Dur: 300}},
+		}},
+	)
+	res, err := RunGHM(Config{Messages: 20, MaxSteps: 200_000, Adversary: adv}, core.Params{}, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || !res.Report.Clean() {
+		t.Fatalf("Done=%v report=%v", res.Done, res.Report)
+	}
+}

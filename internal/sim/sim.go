@@ -151,6 +151,9 @@ type runner struct {
 	res     Result
 	step    int
 	cur     int // index into PerMessage of the in-flight message, -1 if none
+	// blackoutUntil is the first step at which deliveries resume after an
+	// ActBlackout; releases attempted during the window are lost.
+	blackoutUntil int
 }
 
 // record streams an event to the verifier and, when requested, the log.
@@ -244,6 +247,9 @@ func (s *runner) inject(fg adversary.Forgery) {
 func (s *runner) apply(act adversary.Action) {
 	switch act.Kind {
 	case adversary.ActDeliver:
+		if s.step < s.blackoutUntil {
+			return // the link is dark: the release is a loss
+		}
 		switch act.Dir {
 		case trace.DirTR:
 			p, ok := s.chTR.Deliver(act.ID)
@@ -282,6 +288,11 @@ func (s *runner) apply(act adversary.Action) {
 	case adversary.ActCrashR:
 		s.rx.Crash()
 		s.record(trace.Event{Step: s.step, Kind: trace.KindCrashR})
+
+	case adversary.ActBlackout:
+		if until := s.step + act.Dur; until > s.blackoutUntil {
+			s.blackoutUntil = until
+		}
 	}
 }
 

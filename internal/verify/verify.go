@@ -10,7 +10,14 @@
 //   - order: every OK for message m has a receive_msg(m) between the
 //     send_msg(m) and the OK.
 //   - no duplication: m is not delivered twice without an intervening
-//     crash^R.
+//     crash^R. Like the replay rule, this is checked per receiver slot:
+//     each send_msg on a slot licenses one delivery there, and each
+//     crash^R additionally licenses one redelivery on each slot that had
+//     m delivered before it — a windowed receiver's slot j redelivering
+//     after the crash says nothing about a fresh attempt's first
+//     delivery on slot i, because attempts never migrate between slots
+//     (the slot index is framed into every packet). At k=1 everything
+//     lands on slot 0 and the rule is the original global one.
 //   - no replay: a delivery of m is a replay when m was already completed
 //     (OK'd, or abandoned by crash^T) before the delivering slot's most
 //     recent refresh point (that slot's last receive_msg, or any crash^R),
@@ -119,13 +126,22 @@ type Checker struct {
 	init      bool
 }
 
-// msgState tracks one payload across all of its send attempts.
+// msgState tracks one payload across all of its send attempts. Sends and
+// deliveries are additionally keyed by slot: the slot index is framed
+// into every packet, so an attempt admitted on slot s can only ever be
+// delivered by the receiver's slot-s machine, and the no-duplication
+// allowance (k slot-s sends license k slot-s deliveries, plus one
+// crash^R redelivery) is a per-slot budget.
 type msgState struct {
-	sends           int   // send_msg events for this payload
-	lastSentAt      int   // index of the most recent send_msg
-	deliveredAt     []int // indices of every receive_msg
-	completions     int   // OK or crash^T completions granted
-	lastCompletedAt int   // index of the most recent completion
+	sends           int         // send_msg events for this payload
+	slotSends       map[int]int // send_msg events per slot
+	lastSentAt      int         // index of the most recent send_msg
+	deliveredAt     []int       // indices of every receive_msg
+	slotDelivered   map[int][]int
+	slotSendUsed    map[int]int // send licenses consumed per slot
+	slotCrashUsed   map[int]int // index of the last crash^R license consumed per slot
+	completions     int         // OK or crash^T completions granted
+	lastCompletedAt int         // index of the most recent completion
 }
 
 func (c *Checker) ensure() {
@@ -151,7 +167,14 @@ func (c *Checker) complete(st *msgState, i int) {
 func (c *Checker) state(m string) *msgState {
 	st, ok := c.msgs[m]
 	if !ok {
-		st = &msgState{lastSentAt: -1, lastCompletedAt: -1}
+		st = &msgState{
+			lastSentAt:      -1,
+			lastCompletedAt: -1,
+			slotSends:       make(map[int]int),
+			slotDelivered:   make(map[int][]int),
+			slotSendUsed:    make(map[int]int),
+			slotCrashUsed:   make(map[int]int),
+		}
 		c.msgs[m] = st
 	}
 	return st
@@ -168,6 +191,7 @@ func (c *Checker) Observe(e trace.Event) {
 		c.r.Sent++
 		st := c.state(e.Msg)
 		st.sends++
+		st.slotSends[e.Slot]++
 		st.lastSentAt = i
 		c.inFlight[e.Slot] = e.Msg
 
@@ -180,10 +204,25 @@ func (c *Checker) Observe(e trace.Event) {
 			c.r.CausalityExamples = addExample(c.r.CausalityExamples, e.Msg)
 		}
 
-		if prev := st.deliveredAt; len(prev) >= st.sends && len(prev) > 0 &&
-			c.lastCrashR < prev[len(prev)-1] {
-			// Delivered more times than it was sent, with no crash^R since
-			// the previous delivery.
+		// No-duplication: every delivery must be licensed, either by a
+		// crash^R that postdates this slot's previous delivery of the
+		// payload (the old packet re-accepted against the fresh challenge —
+		// one redelivery per crash) or by a send_msg on this slot (each
+		// attempt licenses one delivery). The crash license is consumed
+		// first: it expires at the next crash^R or never recurs, while send
+		// licenses keep, so the greedy order never rejects a legal trace. A
+		// crash^R-licensed redelivery on another slot does not touch this
+		// slot's budget (attempts never migrate slots — the slot index is
+		// framed into every packet); with a single slot everything lands on
+		// slot 0 and the rule is the original global one.
+		prev := st.slotDelivered[e.Slot]
+		switch {
+		case len(prev) > 0 && c.lastCrashR > prev[len(prev)-1] &&
+			st.slotCrashUsed[e.Slot] < c.lastCrashR:
+			st.slotCrashUsed[e.Slot] = c.lastCrashR
+		case st.slotSendUsed[e.Slot] < st.slotSends[e.Slot]:
+			st.slotSendUsed[e.Slot]++
+		case len(prev) > 0:
 			c.r.Duplication++
 			c.r.DuplicationExamples = addExample(c.r.DuplicationExamples, e.Msg)
 		}
@@ -204,6 +243,7 @@ func (c *Checker) Observe(e trace.Event) {
 		}
 
 		st.deliveredAt = append(st.deliveredAt, i)
+		st.slotDelivered[e.Slot] = append(st.slotDelivered[e.Slot], i)
 		c.refreshed[e.Slot] = i
 
 	case trace.KindOK:

@@ -326,3 +326,84 @@ func TestWindowedStragglerDeliveryIsNotReplay(t *testing.T) {
 		t.Fatalf("Replay after crash^R = %d, want 1 (%v)", r.Replay, r)
 	}
 }
+
+func TestWindowedCrashRedeliveryPlusFreshAttemptNotDup(t *testing.T) {
+	// The windowed chaos-flake trace: attempt 1 of a (slot 2) delivers,
+	// crash^R leaves its DATA packet facing a fresh tau_crash challenge,
+	// crash^T wipes the window and the payload is resubmitted on slot 4.
+	// Slot 2 then redelivers (licensed by the crash^R) and slot 4's fresh
+	// attempt delivers for the first time. Three deliveries, two sends —
+	// but per slot every delivery is licensed: slot 2 consumed its own
+	// crash^R allowance, and slot 4's first delivery never needed one.
+	r := Check(ev("s2:a", "r2:a", "cr", "ct", "s4:a", "r2:a", "r4:a"))
+	if r.Duplication != 0 {
+		t.Fatalf("Duplication = %d, want 0 (%v)", r.Duplication, r)
+	}
+	if !r.Clean() {
+		t.Fatalf("licensed windowed trace flagged: %v", r)
+	}
+
+	// Order independence: the fresh attempt may land before the straggler.
+	r = Check(ev("s2:a", "r2:a", "cr", "ct", "s4:a", "r4:a", "r2:a"))
+	if !r.Clean() {
+		t.Fatalf("licensed windowed trace (swapped) flagged: %v", r)
+	}
+}
+
+func TestCrashRedeliveryThenResubmissionSameSlotNotDup(t *testing.T) {
+	// Same-slot variant of the chaos flake: attempt 1 delivers, crash^R
+	// licenses a redelivery, crash^T wipes the window and the payload is
+	// resubmitted on the SAME slot, whose delivery then lands after the
+	// redelivery. Three deliveries = two sends + one crash^R license; the
+	// redelivery must consume the crash license, not the second send's.
+	r := Check(ev("s1:a", "r1:a", "cr", "r1:a", "ct", "s1:a", "r1:a"))
+	if r.Duplication != 0 {
+		t.Fatalf("Duplication = %d, want 0 (%v)", r.Duplication, r)
+	}
+
+	// With the redelivery and the fresh delivery swapped the trace is
+	// equally legal (the crash license has no expiry before the next
+	// crash^R).
+	r = Check(ev("s1:a", "r1:a", "cr", "ct", "s1:a", "r1:a", "r1:a"))
+	if r.Duplication != 0 {
+		t.Fatalf("Duplication (swapped) = %d, want 0 (%v)", r.Duplication, r)
+	}
+
+	// A fourth delivery exceeds every license: duplication.
+	r = Check(ev("s1:a", "r1:a", "cr", "r1:a", "ct", "s1:a", "r1:a", "r1:a"))
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication beyond budget = %d, want 1 (%v)", r.Duplication, r)
+	}
+}
+
+func TestConsecutiveCrashRsGrantOneLicense(t *testing.T) {
+	// Two crash^Rs with no delivery between them license only one
+	// redelivery: after the first post-crash acceptance the receiver's
+	// challenge has moved on, so a second win is the improbable event.
+	r := Check(ev("s:a", "r:a", "cr", "cr", "r:a", "r:a"))
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+
+	// A crash^R after each delivery licenses one redelivery each.
+	r = Check(ev("s:a", "r:a", "cr", "r:a", "cr", "r:a"))
+	if r.Duplication != 0 {
+		t.Fatalf("Duplication with per-crash licenses = %d, want 0 (%v)", r.Duplication, r)
+	}
+}
+
+func TestWindowedPerSlotDupStillCaught(t *testing.T) {
+	// The per-slot budget does not weaken the condition inside a slot: a
+	// second slot-2 delivery with no crash^R between is a duplication.
+	r := Check(ev("s2:a", "r2:a", "r2:a"))
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication = %d, want 1 (%v)", r.Duplication, r)
+	}
+
+	// One crash^R licenses one redelivery per slot, not two: the third
+	// slot-2 delivery after a single crash is a duplication again.
+	r = Check(ev("s2:a", "r2:a", "cr", "r2:a", "r2:a"))
+	if r.Duplication != 1 {
+		t.Fatalf("Duplication after exhausted crash budget = %d, want 1 (%v)", r.Duplication, r)
+	}
+}
