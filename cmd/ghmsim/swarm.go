@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ghm/internal/swarm"
+)
+
+// runSwarm handles `ghmsim -swarm`: a virtual-time soak of a large
+// station population on the in-memory fabric.
+func runSwarm(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ghmsim -swarm", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 10_000, "stations to boot (wired into n/2 pairs)")
+		virtual    = fs.Duration("virtual", 60*time.Second, "virtual soak length")
+		seed       = fs.Int64("seed", 1, "seed for the whole run (stations, links, faults)")
+		msgEvery   = fs.Duration("msg-every", 2*time.Second, "per-pair message submission interval")
+		retryEvery = fs.Duration("retry-every", time.Second, "per-receiver RETRY interval")
+		loss       = fs.Float64("loss", 0.1, "baseline packet loss probability per direction")
+		dup        = fs.Float64("dup", 0.05, "packet duplication probability")
+		latency    = fs.Duration("latency", 5*time.Millisecond, "fixed link latency")
+		jitter     = fs.Duration("jitter", 5*time.Millisecond, "uniform extra delay (reorders packets)")
+		faultEvery = fs.Duration("fault-every", 25*time.Millisecond, "fault injection interval (negative disables)")
+		sample     = fs.Int("sample", 64, "pairs under full Section 2.6 verification")
+		reproOut   = fs.String("swarm-repro", "", "write the seeded repro JSON here")
+		benchOut   = fs.String("bench-out", "", "write the BENCH_swarm.json capacity datapoint here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := swarm.Config{
+		Stations:   *n,
+		Duration:   *virtual,
+		Seed:       *seed,
+		MsgEvery:   *msgEvery,
+		RetryEvery: *retryEvery,
+		Link: swarm.LinkProfile{
+			Loss:    *loss,
+			DupProb: *dup,
+			Latency: *latency,
+			Jitter:  *jitter,
+		},
+		Faults: swarm.FaultProfile{Every: *faultEvery},
+		Sample: *sample,
+	}
+	res, err := swarm.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "swarm      %d stations (%d pairs), %.0fs virtual in %.2fs wall\n",
+		res.Stations, res.Pairs, res.VirtualSeconds, res.WallSeconds)
+	fmt.Fprintf(out, "capacity   %.0f station-virtual-seconds per wall-second\n", res.Rate)
+	fmt.Fprintf(out, "messages   attempted=%d completed=%d delivered=%d\n",
+		res.Attempted, res.Completed, res.Delivered)
+	fmt.Fprintf(out, "faults     crashT=%d crashR=%d blackouts=%d loss-pulses=%d\n",
+		res.CrashT, res.CrashR, res.Blackouts, res.Pulses)
+	fmt.Fprintf(out, "packets    sent=%d delivered=%d dropped=%d (instants=%d)\n",
+		res.PacketsSent, res.PacketsDelivered, res.PacketsDropped, res.Instants)
+	fmt.Fprintf(out, "trace      %s (seed %d)\n", res.TraceHash, *seed)
+	clean := 0
+	for _, s := range res.Sampled {
+		if s.Clean {
+			clean++
+		}
+	}
+	fmt.Fprintf(out, "verify     %d/%d sampled pairs clean\n", clean, len(res.Sampled))
+	for _, s := range res.Sampled {
+		if !s.Clean {
+			fmt.Fprintf(out, "  pair %d: %s\n", s.Pair, s.Report)
+		}
+	}
+
+	if *reproOut != "" {
+		repro := struct {
+			Config swarm.Config  `json:"config"`
+			Result *swarm.Result `json:"result"`
+		}{cfg, res}
+		if err := writeJSON(*reproOut, repro); err != nil {
+			return fmt.Errorf("swarm-repro: %w", err)
+		}
+		fmt.Fprintf(out, "repro      written to %s\n", *reproOut)
+	}
+	if *benchOut != "" {
+		if err := writeJSON(*benchOut, res); err != nil {
+			return fmt.Errorf("bench-out: %w", err)
+		}
+		fmt.Fprintf(out, "bench      written to %s\n", *benchOut)
+	}
+	if !res.Clean {
+		return fmt.Errorf("swarm: sampled stations violated the correctness conditions")
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSwarm(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "bench.json")
+	repro := filepath.Join(dir, "repro.json")
+	var out strings.Builder
+	err := run([]string{
+		"-swarm", "-n", "200", "-virtual", "5s", "-seed", "3",
+		"-bench-out", bench, "-swarm-repro", repro,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"swarm      200 stations", "capacity", "sampled pairs clean"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b struct {
+		Stations int     `json:"stations"`
+		Rate     float64 `json:"station_virtual_seconds_per_wall_second"`
+		Clean    bool    `json:"clean"`
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("bench JSON: %v", err)
+	}
+	if b.Stations != 200 || b.Rate <= 0 || !b.Clean {
+		t.Fatalf("bench datapoint = %+v", b)
+	}
+	var r struct {
+		Config struct {
+			Seed int64 `json:"seed"`
+		} `json:"config"`
+	}
+	raw, err = os.ReadFile(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("repro JSON: %v", err)
+	}
+	if r.Config.Seed != 3 {
+		t.Fatalf("repro seed = %d, want 3", r.Config.Seed)
+	}
+}

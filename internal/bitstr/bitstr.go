@@ -342,6 +342,35 @@ func (s *mathSource) Draw(n int) Str {
 	return fromRaw(raw, n)
 }
 
+// seededSource draws from a SplitMix64 stream: deterministic like the
+// math source but a single word of state where math/rand.Rand carries
+// ~5KB — at swarm scale (two sources per station pair, hundreds of
+// thousands of stations) that footprint is the difference between the
+// population fitting in memory or not.
+type seededSource struct{ s uint64 }
+
+// NewSeededSource returns a deterministic Source seeded with seed,
+// sized for very large simulated populations.
+func NewSeededSource(seed int64) Source { return &seededSource{s: uint64(seed)} }
+
+func (s *seededSource) Draw(n int) Str {
+	if n <= 0 {
+		return Str{}
+	}
+	raw := make([]byte, byteLen(n))
+	for i := 0; i < len(raw); i += 8 {
+		s.s += 0x9e3779b97f4a7c15
+		z := s.s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < len(raw); j++ {
+			raw[i+j] = byte(z >> (8 * j))
+		}
+	}
+	return fromRaw(raw, n)
+}
+
 type cryptoSource struct{}
 
 // NewCryptoSource returns a Source backed by crypto/rand, suitable for

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/metrics"
 	"ghm/internal/netlink"
 )
@@ -284,6 +285,10 @@ type Targets struct {
 	// Shared is the sending side's shared link, target of WedgeSender
 	// actions (supervised scenarios only).
 	Shared Wedger
+	// Clock paces the fault timeline (nil = wall clock). Under a virtual
+	// clock the scheduled At offsets fire in virtual time, aligned with
+	// the components under attack.
+	Clock clock.Clock
 	// Metrics counts the injected faults (the chaos.*_injected family),
 	// so a run's reported numbers can be cross-checked against what the
 	// instrumented links and stations observed. Nil uses metrics.Default().
@@ -349,21 +354,25 @@ func Run(ctx context.Context, sc Scenario, t Targets) error {
 		return t.Nodes[a.Node]
 	}
 
+	clk := t.Clock
+	if clk == nil {
+		clk = clock.System()
+	}
 	actions := append([]Action(nil), sc.Actions...)
 	sort.SliceStable(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
-	start := time.Now()
-	timer := time.NewTimer(time.Hour)
+	start := clk.Now()
+	timer := clk.NewTimer(time.Hour)
 	defer timer.Stop()
 	for _, a := range actions {
 		if !timer.Stop() {
 			select {
-			case <-timer.C:
+			case <-timer.C():
 			default:
 			}
 		}
-		timer.Reset(time.Until(start.Add(a.At)))
+		timer.Reset(start.Add(a.At).Sub(clk.Now()))
 		select {
-		case <-timer.C:
+		case <-timer.C():
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"time"
+
+	"ghm/internal/clock"
+	"ghm/internal/fabric"
+	"ghm/internal/metrics"
+)
+
+// FabricLinks is a LinkBuilder backed by the in-memory fabric: the same
+// impairment model as the default pipe (loss, duplication, burst loss,
+// latency, jitter, bandwidth, queue caps) but with no goroutines of its
+// own — every delivery is a clock event. Under a *clock.Virtual the
+// whole link runs in virtual time, which is what the differential tests
+// exercise: a scenario soaked on real pipes and on the virtual fabric
+// must deliver the same payloads and verify equally clean.
+//
+// The fabric has no explicit reorder stage; scenarios that ask for
+// reordering get it from jitter (independent per-packet delays invert),
+// with a floor of twice the link latency so a reorder-only scenario
+// still reorders.
+func FabricLinks(sc Scenario, reg *metrics.Registry, clk clock.Clock) (SoakLinks, error) {
+	jitter := sc.Link.Jitter
+	if sc.Link.ReorderProb > 0 {
+		if floor := 2*sc.Link.Latency + time.Millisecond; jitter < floor {
+			jitter = floor
+		}
+	}
+	f := fabric.New(fabric.Config{Clock: clk, Seed: sc.Seed + 1})
+	a, b := f.Link(fabric.LinkConfig{
+		Loss:      sc.Link.Loss,
+		DupProb:   sc.Link.DupProb,
+		Burst:     sc.Link.Burst,
+		Latency:   sc.Link.Latency,
+		Jitter:    jitter,
+		Bandwidth: sc.Link.Bandwidth,
+		Queue:     sc.Link.Queue,
+	})
+	return SoakLinks{
+		TR: a, RT: b,
+		CtrlTR: a, CtrlRT: b,
+		StatsTR: a.Stats, StatsRT: b.Stats,
+	}, nil
+}

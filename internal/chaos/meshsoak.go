@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/metrics"
 	"ghm/internal/netlink"
 	"ghm/internal/relay"
@@ -165,6 +166,11 @@ type MeshSoakConfig struct {
 	// Metrics receives the whole run's counters, including the relay.*
 	// family. Nil uses metrics.Default().
 	Metrics *metrics.Registry
+	// Clock virtualizes the soak: link schedules, hop sessions, ack
+	// deadlines, the submission pace and the fault timeline all ride it
+	// (nil = wall clock). A *clock.Virtual needs a driver goroutine
+	// advancing it (clock.Virtual.Run).
+	Clock clock.Clock
 }
 
 // MeshResult summarizes a multi-hop chaos soak.
@@ -232,6 +238,10 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 	if reg == nil {
 		reg = metrics.Default()
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System()
+	}
 	start := time.Now()
 
 	// Realize the topology: per link one reordering pipe, both halves
@@ -246,6 +256,7 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 		a, b := netlink.Pipe(netlink.PipeConfig{
 			ReorderProb: sc.Link.ReorderProb,
 			Seed:        sc.Seed + int64(3*li) + 1,
+			Clock:       cfg.Clock,
 		})
 		ic := netlink.ImpairConfig{
 			Loss:          sc.Link.Loss,
@@ -257,6 +268,7 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 			Queue:         sc.Link.Queue,
 			Metrics:       reg,
 			MetricsPrefix: "link",
+			Clock:         cfg.Clock,
 		}
 		ia, ib := ic, ic
 		ia.Seed, ib.Seed = sc.Seed+int64(3*li)+2, sc.Seed+int64(3*li)+3
@@ -279,6 +291,7 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 		AckTimeout:      cfg.AckTimeout,
 		WALDir:          cfg.WALDir,
 		Seed:            sc.Seed + 1000,
+		Clock:           cfg.Clock,
 		Metrics:         reg,
 	})
 	if err != nil {
@@ -325,6 +338,7 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 		timeline <- Run(ctx, sc, Targets{
 			Links:   ctls,
 			Nodes:   nodes,
+			Clock:   cfg.Clock,
 			Metrics: reg,
 		})
 	}()
@@ -338,6 +352,8 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 	}
 	var enqueued []string
 	timelineDone := false
+	pt := clk.NewTimer(pace)
+	defer pt.Stop()
 	for i := 0; i < cfg.Messages || !timelineDone; i++ {
 		msg := fmt.Sprintf("mesh-%08d", i)
 		if _, err := mesh.Submit([]byte(msg)); err != nil {
@@ -351,7 +367,8 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 					return res, fmt.Errorf("chaos: timeline: %w", err)
 				}
 				timelineDone = true
-			case <-time.After(pace):
+			case <-pt.C():
+				pt.Reset(pace)
 			}
 		}
 	}
@@ -376,7 +393,9 @@ func MeshSoak(ctx context.Context, cfg MeshSoakConfig) (MeshResult, error) {
 		if n == len(enqueued) || ctx.Err() != nil {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
+		// Clock-driven wait: under a virtual clock this poll consumes
+		// virtual time only, instead of busy-spinning real CPU.
+		clock.Wait(clk, 2*time.Millisecond, ctx.Done())
 	}
 
 	res.Stats = mesh.Stats()

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/core"
+	"ghm/internal/engine"
 	"ghm/internal/metrics"
 	"ghm/internal/netlink"
 	"ghm/internal/session"
@@ -35,6 +37,63 @@ type SupervisedSoakConfig struct {
 	// Metrics receives the whole run's counters, including the session.*
 	// family. Nil uses metrics.Default().
 	Metrics *metrics.Registry
+	// Clock virtualizes the soak: link fault schedules, station retries,
+	// watchdog windows, the enqueue pace and the fault timeline all ride
+	// it (nil = wall clock). A *clock.Virtual needs a driver goroutine
+	// advancing it (clock.Virtual.Run) for the soak to make progress.
+	Clock clock.Clock
+	// Links overrides the default Pipe+Impair link pair — the seam the
+	// fabric-backed differential tests and the swarm harness plug into.
+	// Nil builds the classic in-process pipe with the scenario's
+	// impairments.
+	Links LinkBuilder
+}
+
+// SoakLinks is one bidirectional chaos link as a soak consumes it: the
+// sender-side (TR) and receiver-side (RT) conns, the per-direction
+// chaos-controllable handles, and the fate counters for the result.
+type SoakLinks struct {
+	TR, RT         netlink.PacketConn
+	CtrlTR, CtrlRT Controllable
+	StatsTR        func() netlink.ImpairStats
+	StatsRT        func() netlink.ImpairStats
+}
+
+// LinkBuilder builds a soak's link pair for a scenario. Implementations
+// must honor the scenario's link impairments and seed so runs stay
+// reproducible, and must put any internal pacing on clk.
+type LinkBuilder func(sc Scenario, reg *metrics.Registry, clk clock.Clock) (SoakLinks, error)
+
+// pipeLinks is the default LinkBuilder: the same pipe-plus-impairment
+// topology Soak uses, with reordering in the pipe and every controllable
+// impairment in the Impair stage where it is counted.
+func pipeLinks(sc Scenario, reg *metrics.Registry, clk clock.Clock) (SoakLinks, error) {
+	a, b := netlink.Pipe(netlink.PipeConfig{
+		ReorderProb: sc.Link.ReorderProb,
+		Seed:        sc.Seed + 1,
+		Clock:       clk,
+	})
+	ic := netlink.ImpairConfig{
+		Loss:          sc.Link.Loss,
+		DupProb:       sc.Link.DupProb,
+		Burst:         sc.Link.Burst,
+		Latency:       sc.Link.Latency,
+		Jitter:        sc.Link.Jitter,
+		Bandwidth:     sc.Link.Bandwidth,
+		Queue:         sc.Link.Queue,
+		Metrics:       reg,
+		MetricsPrefix: "link",
+		Clock:         clk,
+	}
+	ia, ib := ic, ic
+	ia.Seed, ib.Seed = sc.Seed+2, sc.Seed+3
+	la := netlink.Impair(a, ia)
+	lb := netlink.Impair(b, ib)
+	return SoakLinks{
+		TR: la, RT: lb,
+		CtrlTR: la, CtrlRT: lb,
+		StatsTR: la.Stats, StatsRT: lb.Stats,
+	}, nil
 }
 
 // SupervisedResult summarizes a supervised chaos soak.
@@ -88,36 +147,44 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 	}
 	sc := cfg.Scenario
 	start := time.Now()
-
-	// Same link topology as Soak: reordering in the pipe, every
-	// controllable impairment in the Impair stage where it is counted.
-	a, b := netlink.Pipe(netlink.PipeConfig{
-		ReorderProb: sc.Link.ReorderProb,
-		Seed:        sc.Seed + 1,
-	})
-	ic := netlink.ImpairConfig{
-		Loss:          sc.Link.Loss,
-		DupProb:       sc.Link.DupProb,
-		Burst:         sc.Link.Burst,
-		Latency:       sc.Link.Latency,
-		Jitter:        sc.Link.Jitter,
-		Bandwidth:     sc.Link.Bandwidth,
-		Queue:         sc.Link.Queue,
-		Metrics:       reg,
-		MetricsPrefix: "link",
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System()
 	}
-	ia, ib := ic, ic
-	ia.Seed, ib.Seed = sc.Seed+2, sc.Seed+3
-	la := netlink.Impair(a, ia)
-	lb := netlink.Impair(b, ib)
+	// Under an injected clock every engine in the soak shares one wheel
+	// riding it; on the wall clock the process-wide default wheel serves,
+	// as before.
+	var wheel *engine.Wheel
+	if cfg.Clock != nil {
+		wheel = engine.NewWheelOn(cfg.Clock, 0, 0)
+	}
+
+	build := cfg.Links
+	if build == nil {
+		build = pipeLinks
+	}
+	links, err := build(sc, reg, cfg.Clock)
+	if err != nil {
+		return SupervisedResult{}, fmt.Errorf("chaos: links: %w", err)
+	}
 
 	// The sending side goes behind a SharedConn: station incarnations
 	// attach views, WedgeSender half-kills the live one, and the
 	// supervisor's redial attaches a fresh one.
-	shared := netlink.NewSharedConn(la)
+	shared := netlink.NewSharedConnOn(links.TR, wheel)
+
+	// The receiving side rides the same wheel via its own single-view
+	// shared conn, so its retry pacing and timestamps follow the clock.
+	rshared := netlink.NewSharedConnOn(links.RT, wheel)
+	rconn, err := rshared.Attach()
+	if err != nil {
+		shared.Close()
+		rshared.Close()
+		return SupervisedResult{}, fmt.Errorf("chaos: %w", err)
+	}
 
 	live := &verify.Live{}
-	r, err := netlink.NewReceiver(lb, netlink.ReceiverConfig{
+	r, err := netlink.NewReceiver(rconn, netlink.ReceiverConfig{
 		Params:          core.Params{Epsilon: cfg.Epsilon},
 		RetryInterval:   cfg.RetryInterval,
 		RetryBackoffMax: cfg.RetryBackoffMax,
@@ -126,6 +193,7 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 	})
 	if err != nil {
 		shared.Close()
+		rshared.Close()
 		return SupervisedResult{}, fmt.Errorf("chaos: %w", err)
 	}
 
@@ -141,17 +209,20 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 		BreakerWindow:     30 * time.Second,
 		BreakerCooldown:   250 * time.Millisecond,
 		Seed:              sc.Seed + 4,
+		Clock:             cfg.Clock,
 		Metrics:           reg,
 	})
 	if err != nil {
 		r.Close()
 		shared.Close()
+		rshared.Close()
 		return SupervisedResult{}, fmt.Errorf("chaos: %w", err)
 	}
 	defer func() {
 		sess.Close()
 		r.Close()
 		shared.Close()
+		rshared.Close()
 	}()
 
 	var res SupervisedResult
@@ -193,8 +264,9 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 		timeline <- Run(ctx, sc, Targets{
 			Sender:   sess,
 			Receiver: r,
-			Links:    []Controllable{la, lb},
+			Links:    []Controllable{links.CtrlTR, links.CtrlRT},
 			Shared:   shared,
+			Clock:    cfg.Clock,
 			Metrics:  reg,
 		})
 	}()
@@ -207,6 +279,8 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 	}
 	var enqueued []string
 	timelineDone := false
+	pt := clk.NewTimer(pace)
+	defer pt.Stop()
 	for i := 0; i < cfg.Messages || !timelineDone; i++ {
 		msg := fmt.Sprintf("sm-%08d", i)
 		if _, err := sess.Enqueue([]byte(msg)); err != nil {
@@ -220,7 +294,8 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 					return res, fmt.Errorf("chaos: timeline: %w", err)
 				}
 				timelineDone = true
-			case <-time.After(pace):
+			case <-pt.C():
+				pt.Reset(pace)
 			}
 		}
 	}
@@ -245,7 +320,9 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 		if n == len(enqueued) || ctx.Err() != nil {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
+		// Clock-driven wait: under a virtual clock this poll consumes
+		// virtual time only, instead of busy-spinning real CPU.
+		clock.Wait(clk, 2*time.Millisecond, ctx.Done())
 	}
 
 	res.Stats = sess.Stats()
@@ -264,8 +341,8 @@ func SupervisedSoak(ctx context.Context, cfg SupervisedSoakConfig) (SupervisedRe
 		}
 	}
 	mu.Unlock()
-	res.LinkTR = la.Stats()
-	res.LinkRT = lb.Stats()
+	res.LinkTR = links.StatsTR()
+	res.LinkRT = links.StatsRT()
 	res.Report = live.Report()
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -13,7 +13,7 @@ func newWindowPair(t *testing.T, k int, seed int64) (*WindowedTransmitter, *Wind
 	if err != nil {
 		t.Fatalf("NewWindowedTransmitter: %v", err)
 	}
-	wr, err := NewWindowedReceiver(k, testParams(seed + 1000))
+	wr, err := NewWindowedReceiver(k, testParams(seed+1000))
 	if err != nil {
 		t.Fatalf("NewWindowedReceiver: %v", err)
 	}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/metrics"
 )
 
@@ -98,9 +99,15 @@ type Config struct {
 	// <prefix>.ep<id>.overflow_dropped in framed mode.
 	Metrics       *metrics.Registry
 	MetricsPrefix string
-	// Wheel is the timer wheel endpoints hand to layers above (default
-	// DefaultWheel()).
+	// Wheel is the timer wheel endpoints hand to layers above. Nil picks
+	// a wheel for Clock: DefaultWheel() when Clock is also nil (the wall
+	// clock), or a wheel built on Clock otherwise.
 	Wheel *Wheel
+	// Clock is the engine's time source when no Wheel is given. A
+	// *clock.Virtual costs nothing extra (a virtual wheel has no
+	// goroutine); other non-nil clocks spawn a wheel goroutine per
+	// engine, so real-clock callers should share a Wheel instead.
+	Clock clock.Clock
 }
 
 // Engine owns one physical conn: one pump goroutine reads it and
@@ -156,7 +163,11 @@ func New(conn Conn, cfg Config) *Engine {
 		cfg.TransientDelay = time.Millisecond
 	}
 	if cfg.Wheel == nil {
-		cfg.Wheel = DefaultWheel()
+		if cfg.Clock != nil {
+			cfg.Wheel = NewWheelOn(cfg.Clock, 0, 0)
+		} else {
+			cfg.Wheel = DefaultWheel()
+		}
 	}
 	reg := cfg.Metrics
 	if reg == nil {

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"time"
+
+	"ghm/internal/clock"
 )
 
 // Wheel defaults: a 100µs tick keeps retry pacing faithful down to the
@@ -22,8 +24,18 @@ const (
 //
 // Callbacks run sequentially on the wheel goroutine and must not block;
 // a blocking callback stalls every other timer on the wheel.
+//
+// The wheel rides an injected clock.Clock. On the wall clock it ticks a
+// real ticker exactly as before. On a *clock.Virtual it does not tick at
+// all: each timer delegates to the virtual clock's event heap (rounded
+// to the wheel grid), so a 60-second virtual soak costs thousands of
+// events rather than 600k empty ticks, and callbacks run inline on the
+// advancing goroutine in deterministic order — the same "sequential, do
+// not block" contract as the wheel goroutine.
 type Wheel struct {
 	tick time.Duration
+	clk  clock.Clock
+	virt bool // timers delegate to the virtual clock's heap
 
 	mu     sync.Mutex
 	slots  []map[*Timer]struct{}
@@ -34,16 +46,31 @@ type Wheel struct {
 	stopOnce sync.Once
 }
 
-// NewWheel starts a wheel. Zero tick or slots pick the defaults.
+// NewWheel starts a wheel on the wall clock. Zero tick or slots pick the
+// defaults.
 func NewWheel(tick time.Duration, slots int) *Wheel {
+	return NewWheelOn(clock.System(), tick, slots)
+}
+
+// NewWheelOn starts a wheel on clk. A *clock.Virtual wheel spawns no
+// goroutine (see Wheel); any other clock gets the classic ticker loop
+// driven by that clock's ticker and Now.
+func NewWheelOn(clk clock.Clock, tick time.Duration, slots int) *Wheel {
+	if clk == nil {
+		clk = clock.System()
+	}
 	if tick <= 0 {
 		tick = defaultWheelTick
 	}
 	if slots <= 0 {
 		slots = defaultWheelSlots
 	}
+	if _, ok := clk.(*clock.Virtual); ok {
+		return &Wheel{tick: tick, clk: clk, virt: true}
+	}
 	w := &Wheel{
 		tick:  tick,
+		clk:   clk,
 		slots: make([]map[*Timer]struct{}, slots),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -54,6 +81,12 @@ func NewWheel(tick time.Duration, slots int) *Wheel {
 	go w.run()
 	return w
 }
+
+// Clock returns the clock the wheel rides. Components holding a wheel
+// (directly or via an engine endpoint) derive every timestamp from it,
+// so injecting a clock at the wheel is enough to virtualize a whole
+// station.
+func (w *Wheel) Clock() clock.Clock { return w.clk }
 
 var (
 	defaultWheelOnce sync.Once
@@ -76,7 +109,10 @@ type Timer struct {
 	w  *Wheel
 	fn func()
 
-	// All three fields are guarded by w.mu.
+	// Virtual-wheel mode: the clock-heap timer this one delegates to.
+	ct clock.Timer
+
+	// All three fields are guarded by w.mu (ticker mode only).
 	rounds  int
 	slot    int
 	stopped bool
@@ -94,19 +130,29 @@ func (w *Wheel) AfterFunc(d time.Duration, fn func()) *Timer {
 // fired or been stopped. Safe to call from the timer's own callback.
 func (t *Timer) Reset(d time.Duration) {
 	w := t.w
-	ticks := int((d + w.tick - 1) / w.tick)
+	ticks := int64((d + w.tick - 1) / w.tick)
 	if ticks < 1 {
 		ticks = 1
+	}
+	if w.virt {
+		// Delegate to the virtual clock's heap, on the wheel grid.
+		d := time.Duration(ticks) * w.tick
+		if t.ct == nil {
+			t.ct = w.clk.AfterFunc(d, t.fn)
+		} else {
+			t.ct.Reset(d)
+		}
+		return
 	}
 	w.mu.Lock()
 	if !t.stopped {
 		delete(w.slots[t.slot], t)
 	}
 	t.stopped = false
-	t.slot = (w.cursor + ticks) % len(w.slots)
+	t.slot = (w.cursor + int(ticks)) % len(w.slots)
 	// The slot is first scanned ticks%len(slots) ticks from now; every
 	// further full revolution decrements rounds once.
-	t.rounds = (ticks - 1) / len(w.slots)
+	t.rounds = int(ticks-1) / len(w.slots)
 	w.slots[t.slot][t] = struct{}{}
 	w.mu.Unlock()
 }
@@ -115,6 +161,12 @@ func (t *Timer) Reset(d time.Duration) {
 // stopped timer's callback is never invoked again until Reset.
 func (t *Timer) Stop() bool {
 	w := t.w
+	if w.virt {
+		if t.ct == nil {
+			return false
+		}
+		return t.ct.Stop()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if t.stopped {
@@ -126,8 +178,12 @@ func (t *Timer) Stop() bool {
 }
 
 // Stop halts the wheel goroutine; pending timers never fire. The default
-// wheel is never stopped.
+// wheel is never stopped. A virtual wheel has no goroutine; its pending
+// timers simply stay on the clock's heap, so Stop is a no-op there.
 func (w *Wheel) Stop() {
+	if w.virt {
+		return
+	}
 	w.stopOnce.Do(func() {
 		close(w.stop)
 		<-w.done
@@ -136,15 +192,14 @@ func (w *Wheel) Stop() {
 
 func (w *Wheel) run() {
 	defer close(w.done)
-	//lint:allow wheelclock the wheel's own ticker is the clock source every other timer rides
-	tk := time.NewTicker(w.tick)
+	tk := w.clk.NewTicker(w.tick)
 	defer tk.Stop()
-	start := time.Now()
+	start := w.clk.Now()
 	var processed int64 // ticks advanced so far
 	var due []func()
 	for {
 		select {
-		case now := <-tk.C:
+		case now := <-tk.C():
 			// A ticker this fast drops ticks whenever the process stalls
 			// (its channel buffers one), so wheel time is derived from the
 			// clock: advance however many ticks really elapsed, scanning

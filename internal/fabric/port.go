@@ -1,0 +1,326 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghm/internal/netlink"
+)
+
+// Port is one end of a fabric link: a netlink.PacketConn whose Send
+// path carries the link's impairment model toward the peer port, with
+// the same runtime controls as netlink.ImpairedConn (SetBlackout,
+// SetLoss) so chaos schedules drive it unchanged.
+//
+// Ingress has two modes. By default deliveries land in a bounded
+// mailbox drained by Recv (goroutine mode; under a virtual clock each
+// mailbox packet holds the quiescence barrier until collected). A
+// station simulated without goroutines instead calls SetHandler: the
+// handler runs inline at the packet's virtual delivery instant, on the
+// clock's advancing goroutine.
+type Port struct {
+	f    *Fabric
+	cfg  LinkConfig
+	peer *Port
+	seed int64
+
+	// Egress state: the impairment model for packets this port sends.
+	// Guarded by mu; under the single-threaded swarm harness the lock is
+	// uncontended and costs nanoseconds.
+	mu        sync.Mutex
+	rng       prng
+	bad       bool // Gilbert–Elliott state
+	lastTxEnd time.Time
+	loss      float64
+	blackout  bool
+	inflight  int // scheduled, not yet delivered to the peer
+
+	// Ingress state. down is mu-guarded and set before closed is
+	// closed, so an ingress holding mu can never enqueue (and hold the
+	// barrier) after closeSelf has drained the mailbox. queue is
+	// allocated on first use under mu: a handler-mode port never pays
+	// for a mailbox, which at swarm scale (hundreds of thousands of
+	// ports) is the difference of gigabytes.
+	handler  func(p []byte)
+	queue    chan []byte
+	down     bool
+	closed   chan struct{}
+	closeOne sync.Once
+
+	stats portStats
+}
+
+// portStats mirrors netlink.ImpairStats with atomic fields.
+type portStats struct {
+	sent, delivered, duplicated atomic.Int64
+	dropIID, dropBurst          atomic.Int64
+	dropBlackout, dropQueue     atomic.Int64
+}
+
+func newPort(f *Fabric, cfg LinkConfig, seed int64) *Port {
+	p := &Port{
+		f:      f,
+		cfg:    cfg,
+		seed:   seed,
+		rng:    prng{s: uint64(seed)},
+		loss:   cfg.Loss,
+		closed: make(chan struct{}),
+	}
+	return p
+}
+
+// Seed returns this direction's resolved schedule seed for repro output.
+func (p *Port) Seed() int64 { return p.seed }
+
+// SetLoss replaces the i.i.d. loss probability of this port's egress at
+// runtime (chaos "loss ramp").
+func (p *Port) SetLoss(v float64) {
+	p.mu.Lock()
+	p.loss = v
+	p.mu.Unlock()
+}
+
+// SetBlackout partitions this port's egress while on: packets entering
+// the link are dropped; packets already in flight still arrive, as on a
+// real link.
+func (p *Port) SetBlackout(on bool) {
+	p.mu.Lock()
+	p.blackout = on
+	p.mu.Unlock()
+}
+
+// Stats snapshots this port's egress fate counters, in the same shape
+// as an impaired conn's so soak results read identically.
+func (p *Port) Stats() netlink.ImpairStats {
+	return netlink.ImpairStats{
+		Sent:         p.stats.sent.Load(),
+		Delivered:    p.stats.delivered.Load(),
+		Duplicated:   p.stats.duplicated.Load(),
+		DropIID:      p.stats.dropIID.Load(),
+		DropBurst:    p.stats.dropBurst.Load(),
+		DropBlackout: p.stats.dropBlackout.Load(),
+		DropQueue:    p.stats.dropQueue.Load(),
+	}
+}
+
+// SetHandler switches this port's ingress to inline mode: fn runs at
+// each packet's delivery instant on the clock's driving goroutine, and
+// must not block. Set it before traffic starts; packets already in the
+// mailbox are drained through fn first.
+func (p *Port) SetHandler(fn func(pkt []byte)) {
+	p.mu.Lock()
+	p.handler = fn
+	q := p.queue
+	p.mu.Unlock()
+	for q != nil {
+		select {
+		case pkt := <-q:
+			if p.f.virt != nil {
+				p.f.virt.Release()
+			}
+			fn(pkt)
+		default:
+			return
+		}
+	}
+}
+
+func (p *Port) isClosed() bool {
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Send implements netlink.PacketConn: the packet's fate is resolved
+// inline against this port's egress model and, if it survives, delivery
+// to the peer is scheduled as a clock event.
+func (p *Port) Send(pkt []byte) error {
+	if p.isClosed() {
+		return ErrClosed
+	}
+	p.mu.Lock()
+	p.stats.sent.Add(1)
+	if p.blackout {
+		p.stats.dropBlackout.Add(1)
+		p.mu.Unlock()
+		return nil
+	}
+	if ge := p.cfg.Burst; ge != nil {
+		if p.bad {
+			if p.rng.float64() < ge.PBadGood {
+				p.bad = false
+			}
+		} else if p.rng.float64() < ge.PGoodBad {
+			p.bad = true
+		}
+		stateLoss := ge.LossGood
+		if p.bad {
+			stateLoss = ge.LossBad
+		}
+		if p.rng.float64() < stateLoss {
+			p.stats.dropBurst.Add(1)
+			p.mu.Unlock()
+			return nil
+		}
+	}
+	if p.rng.float64() < p.loss {
+		p.stats.dropIID.Add(1)
+		p.mu.Unlock()
+		return nil
+	}
+	copies := 1
+	if p.cfg.DupProb > 0 && p.rng.float64() < p.cfg.DupProb {
+		copies = 2
+		p.stats.duplicated.Add(1)
+	}
+	now := p.f.clk.Now()
+	var delays [2]time.Duration
+	n := 0
+	for i := 0; i < copies; i++ {
+		if p.inflight >= p.cfg.Queue {
+			p.stats.dropQueue.Add(1)
+			continue
+		}
+		start := now
+		if p.cfg.Bandwidth > 0 {
+			if p.lastTxEnd.After(start) {
+				start = p.lastTxEnd
+			}
+			tx := time.Duration(float64(len(pkt)) / float64(p.cfg.Bandwidth) * float64(time.Second))
+			p.lastTxEnd = start.Add(tx)
+			start = p.lastTxEnd
+		}
+		release := start.Add(p.cfg.Latency)
+		if p.cfg.Jitter > 0 {
+			release = release.Add(time.Duration(p.rng.int63n(int64(p.cfg.Jitter))))
+		}
+		p.inflight++
+		delays[n] = release.Sub(now)
+		n++
+	}
+	p.mu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	cp := append([]byte(nil), pkt...)
+	for i := 0; i < n; i++ {
+		d := delays[i]
+		p.f.clk.AfterFunc(d, func() { p.land(cp) })
+	}
+	return nil
+}
+
+// SendBatch implements engine.BatchConn by resolving each packet's fate
+// in turn — the fate draws must stay per-packet for Impair parity.
+func (p *Port) SendBatch(pkts [][]byte) error {
+	for _, pkt := range pkts {
+		if err := p.Send(pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// land completes one flight: the packet arrives at the peer port.
+func (p *Port) land(pkt []byte) {
+	p.mu.Lock()
+	p.inflight--
+	p.mu.Unlock()
+	p.stats.delivered.Add(1)
+	p.peer.ingress(pkt)
+}
+
+// ingress hands an arrived packet to this port's consumer.
+func (p *Port) ingress(pkt []byte) {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return
+	}
+	if h := p.handler; h != nil {
+		p.mu.Unlock()
+		h(pkt)
+		return
+	}
+	if p.queue == nil {
+		p.queue = make(chan []byte, p.cfg.Queue)
+	}
+	select {
+	case p.queue <- pkt:
+		if p.f.virt != nil {
+			// The mailbox packet is in flight between goroutines: hold
+			// the virtual clock until Recv collects it.
+			p.f.virt.Hold()
+		}
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		// Mailbox overflow is charged to the sending direction, like the
+		// impaired conn's queue cap.
+		p.peer.stats.dropQueue.Add(1)
+	}
+}
+
+// mailbox returns the lazily created Recv queue.
+func (p *Port) mailbox() chan []byte {
+	p.mu.Lock()
+	if p.queue == nil {
+		p.queue = make(chan []byte, p.cfg.Queue)
+	}
+	q := p.queue
+	p.mu.Unlock()
+	return q
+}
+
+// Recv implements netlink.PacketConn (mailbox mode).
+func (p *Port) Recv() ([]byte, error) {
+	select {
+	case pkt := <-p.mailbox():
+		if p.f.virt != nil {
+			p.f.virt.Release()
+		}
+		return pkt, nil
+	case <-p.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements netlink.PacketConn: it closes both ports of the
+// link (closing one end of a pipe kills the pipe). In-flight clock
+// events landing later find the ports closed and vanish, as do
+// undrained mailbox packets — the link died under them, a fate the
+// protocol already tolerates.
+func (p *Port) Close() error {
+	p.closeSelf()
+	p.peer.closeSelf()
+	return nil
+}
+
+func (p *Port) closeSelf() {
+	p.closeOne.Do(func() {
+		p.mu.Lock()
+		p.down = true
+		close(p.closed)
+		// Discard stranded mailbox packets, releasing their barrier
+		// holds; ingress checks down under mu, so nothing can re-arm a
+		// hold after this drain.
+		for p.queue != nil {
+			select {
+			case <-p.queue:
+				if p.f.virt != nil {
+					p.f.virt.Release()
+				}
+				continue
+			default:
+			}
+			break
+		}
+		p.mu.Unlock()
+	})
+}
+
+var _ netlink.PacketConn = (*Port)(nil)

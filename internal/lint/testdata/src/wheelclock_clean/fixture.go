@@ -9,3 +9,8 @@ func wallClockPacing(d time.Duration) {
 	time.Sleep(d)
 	<-time.After(d)
 }
+
+func wallClockStamps(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}

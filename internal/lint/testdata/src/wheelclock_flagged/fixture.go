@@ -29,3 +29,11 @@ func timeMath(deadline time.Time, now time.Time) bool {
 func goodPacing(d time.Duration, fire func()) *engine.Timer {
 	return engine.DefaultWheel().AfterFunc(d, fire)
 }
+
+// Wall-clock reads split the component's notion of time from the clock
+// that paces it; timestamps must come from the injected clock.
+func badStamps(start time.Time) time.Duration {
+	now := time.Now() // want "time.Now"
+	_ = now
+	return time.Since(start) // want "time.Since"
+}

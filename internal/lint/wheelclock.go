@@ -7,23 +7,29 @@ import (
 	"ghm/internal/lint/analysis"
 )
 
-// wheelclockScope is the set of runtime packages whose pacing must ride
-// the shared timer wheel. The engine owns the wheel; the netlink
-// stations, the session supervisor and the relay mesh are its clients.
-// Simulation-side packages (chaos, transport, sim) schedule real
-// wall-clock faults and are deliberately out of scope.
+// wheelclockScope is the set of runtime packages whose pacing and
+// timestamps must ride the injected clock (and its shared timer wheel).
+// The engine owns the wheel; the netlink stations, the session layer,
+// the supervisor and the relay mesh are its clients. Simulation-side
+// packages (chaos, transport, sim) schedule real wall-clock work and
+// are deliberately out of scope, as is ghm/internal/clock itself — it
+// is the one place allowed to touch the runtime clock.
 var wheelclockScope = map[string]bool{
 	"ghm/internal/engine":    true,
 	"ghm/internal/netlink":   true,
 	"ghm/internal/supervise": true,
+	"ghm/internal/session":   true,
 	"ghm/internal/relay":     true,
 }
 
-// wheelclockBanned are the runtime-timer constructors and blockers that
-// bypass the wheel. Each one either spawns a runtime timer per call
-// (After/Tick leak them until they fire) or parks the calling goroutine
-// — and in engine push handlers the calling goroutine is the shared
-// pump.
+// wheelclockBanned are the runtime-timer constructors, blockers and
+// wall-clock reads that bypass the injected clock. The timer forms
+// either spawn a runtime timer per call (After/Tick leak them until
+// they fire) or park the calling goroutine — and in engine push
+// handlers the calling goroutine is the shared pump. The read forms
+// (Now/Since) split the component's notion of time from the clock that
+// paces it, which under a virtual clock silently mixes frozen virtual
+// timestamps with advancing wall ones.
 var wheelclockBanned = map[string]string{
 	"After":     "time.After leaks a runtime timer per call and blocks the goroutine",
 	"Tick":      "time.Tick leaks a ticker",
@@ -31,6 +37,8 @@ var wheelclockBanned = map[string]string{
 	"NewTimer":  "runtime timers bypass the shared wheel's pacing and accounting",
 	"NewTicker": "runtime tickers bypass the shared wheel",
 	"AfterFunc": "time.AfterFunc spawns a goroutine per firing outside the wheel",
+	"Now":       "wall-clock reads desync from the injected clock (virtual time stands still)",
+	"Since":     "time.Since reads the wall clock; diff Clock.Now timestamps instead",
 }
 
 // Wheelclock enforces PR 4's runtime-layering rule: inside the engine,
@@ -42,16 +50,16 @@ var wheelclockBanned = map[string]string{
 // goroutine-per-lane cost the engine rewrite removed.
 var Wheelclock = &analysis.Analyzer{
 	Name: "wheelclock",
-	Doc: `forbid runtime timers (time.After/Sleep/NewTimer/...) in wheel territory
+	Doc: `forbid runtime timers and wall-clock reads (time.Now/After/Sleep/...) in wheel territory
 
-In ghm/internal/engine, ghm/internal/netlink, ghm/internal/supervise and
-ghm/internal/relay, retry and backoff pacing must arm the shared timer
-wheel
-(engine.Wheel.AfterFunc / Timer.Reset). time.After, time.Tick,
-time.Sleep, time.NewTimer, time.NewTicker and time.AfterFunc are
-reported. The wheel's own ticker and the impairment simulators (which
-model real links, not protocol pacing) carry //lint:allow wheelclock
-directives.`,
+In ghm/internal/engine, ghm/internal/netlink, ghm/internal/supervise,
+ghm/internal/session and ghm/internal/relay, retry and backoff pacing
+must arm the shared timer wheel (engine.Wheel.AfterFunc / Timer.Reset)
+and timestamps must come from the injected clock (clock.Clock.Now) so
+the whole layer runs unmodified under virtual time. time.After,
+time.Tick, time.Sleep, time.NewTimer, time.NewTicker, time.AfterFunc,
+time.Now and time.Since are reported. Code with a documented reason to
+touch the runtime clock carries a //lint:allow wheelclock directive.`,
 	Run: runWheelclock,
 }
 

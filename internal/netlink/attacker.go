@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ghm/internal/adversary"
+	"ghm/internal/clock"
 	"ghm/internal/metrics"
 	"ghm/internal/trace"
 )
@@ -23,6 +24,9 @@ type AttackerConfig struct {
 	// caller advances the attacker explicitly with Step, which is how
 	// deterministic tests and the fuzzer drive it.
 	Tick time.Duration
+	// Clock paces Tick (nil = wall clock); under a virtual clock the
+	// adversary steps in virtual time like everything it attacks.
+	Clock clock.Clock
 	// Capture bounds how many packets per direction stay replayable
 	// (default DefaultAttackerCapture). Older captures are evicted;
 	// replaying an evicted identifier counts as a suppressed attack.
@@ -136,6 +140,9 @@ func NewAttacker(cfg AttackerConfig) *Attacker {
 		conns: make(map[trace.Dir]*AttackerConn),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
+	}
+	if a.cfg.Clock == nil {
+		a.cfg.Clock = clock.System()
 	}
 	if cfg.Tick > 0 {
 		go a.run()
@@ -317,12 +324,11 @@ func (a *Attacker) Close() error {
 // monotone steps.
 func (a *Attacker) run() {
 	defer close(a.done)
-	//lint:allow wheelclock the attacker's step clock models the adversary's real-time cadence, not protocol pacing
-	t := time.NewTicker(a.cfg.Tick)
+	t := a.cfg.Clock.NewTicker(a.cfg.Tick)
 	defer t.Stop()
 	for {
 		select {
-		case <-t.C:
+		case <-t.C():
 			a.Step()
 		case <-a.stop:
 			return

@@ -1,6 +1,7 @@
 package netlink
 
 import (
+	"ghm/internal/clock"
 	"ghm/internal/engine"
 	"ghm/internal/metrics"
 )
@@ -39,6 +40,15 @@ func NewEngine(conn PacketConn, maxEndpoints int, reg *metrics.Registry) *engine
 	return engine.New(conn, engineConfig(reg, false, maxEndpoints))
 }
 
+// NewEngineOn is NewEngine with the engine's timer wheel (and therefore
+// its clock) injected; layers that own several engines — the relay mesh —
+// share one wheel so a single injected clock virtualizes them all.
+func NewEngineOn(conn PacketConn, maxEndpoints int, reg *metrics.Registry, wheel *engine.Wheel) *engine.Engine {
+	c := engineConfig(reg, false, maxEndpoints)
+	c.Wheel = wheel
+	return engine.New(conn, c)
+}
+
 // stationIO is a station's attachment to the runtime: the endpoint it
 // sends and receives through, and the close action matching the conn's
 // documented lifetime semantics (cascade for Split subs, detach for
@@ -48,6 +58,11 @@ type stationIO struct {
 	ep    *engine.Endpoint
 	close func() error
 }
+
+// clock returns the station's time source — the clock under its
+// endpoint's wheel — so injecting a clock at the engine/wheel layer
+// virtualizes every timestamp the station takes.
+func (io stationIO) clock() clock.Clock { return io.ep.Wheel().Clock() }
 
 // stationEndpoint resolves conn to its engine endpoint. Conns already
 // backed by an engine reuse its pump; a bare engine endpoint is used

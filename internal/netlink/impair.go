@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/metrics"
 )
 
@@ -53,8 +54,13 @@ type ImpairConfig struct {
 	// backlog plus in-flight latency); beyond it packets are dropped, as a
 	// full router queue would. 0 means DefaultImpairQueue.
 	Queue int
-	// Seed fixes the impairment schedule for reproducibility (0 = clock).
+	// Seed fixes the impairment schedule for reproducibility (0 draws
+	// from Clock.Seed; the resolved value is readable via Seed() so it
+	// always lands in repro output).
 	Seed int64
+	// Clock is the link's time source: blackout windows, latency flights
+	// and the serialization clock all derive from it (nil = wall clock).
+	Clock clock.Clock
 	// Metrics receives the link's fate counters; nil uses
 	// metrics.Default(). Injected faults become observable numbers here,
 	// so a chaos run can cross-check injected against observed loss.
@@ -89,6 +95,9 @@ type ImpairedConn struct {
 	conn PacketConn
 	cfg  ImpairConfig
 	m    linkMetrics
+	clk  clock.Clock
+	virt *clock.Virtual // non-nil when clk is virtual: Send holds the barrier
+	seed int64          // resolved schedule seed
 
 	in        chan []byte
 	stop      chan struct{}
@@ -113,22 +122,34 @@ func Impair(conn PacketConn, cfg ImpairConfig) *ImpairedConn {
 	if cfg.Queue <= 0 {
 		cfg.Queue = DefaultImpairQueue
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System()
+	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = clk.Seed()
 	}
 	c := &ImpairedConn{
 		conn: conn,
 		cfg:  cfg,
 		m:    newLinkMetrics(cfg.Metrics, cfg.MetricsPrefix),
+		clk:  clk,
+		seed: seed,
 		in:   make(chan []byte, cfg.Queue),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	c.virt, _ = clk.(*clock.Virtual)
 	c.loss.Store(math.Float64bits(cfg.Loss))
 	go c.run(rand.New(rand.NewSource(seed)))
 	return c
 }
+
+// Seed returns the resolved impairment schedule seed — the configured
+// one, or the clock-drawn default — so a default-seeded run can still
+// record a replayable seed in its repro output.
+func (c *ImpairedConn) Seed() int64 { return c.seed }
 
 // SetLoss replaces the i.i.d. loss probability at runtime (chaos "loss
 // ramp"). Burst, latency and bandwidth settings are unaffected.
@@ -147,7 +168,7 @@ func (c *ImpairedConn) SetBlackout(on bool) {
 // SetBlackout. Overlapping windows extend each other.
 func (c *ImpairedConn) Blackout(d time.Duration) {
 	c.bkMu.Lock()
-	if until := time.Now().Add(d); until.After(c.bkUntil) {
+	if until := c.clk.Now().Add(d); until.After(c.bkUntil) {
 		c.bkUntil = until
 	}
 	c.bkMu.Unlock()
@@ -185,6 +206,12 @@ func (c *ImpairedConn) Send(p []byte) error {
 	cp := append([]byte(nil), p...)
 	select {
 	case c.in <- cp:
+		if c.virt != nil {
+			// Virtual time must not advance past a packet sitting in the
+			// ingress channel; the run goroutine releases the hold once it
+			// has scheduled (or dropped) the packet.
+			c.virt.Hold()
+		}
 	default:
 		// Ingress burst beyond the queue cap: the router queue is full.
 		c.dropQueue.Add(1)
@@ -235,13 +262,27 @@ func (h *flightHeap) Pop() any {
 // from any number of goroutines.
 func (c *ImpairedConn) run(rng *rand.Rand) {
 	defer close(c.done)
+	defer func() {
+		// Packets stranded in the ingress channel at shutdown must not
+		// leave the virtual clock's barrier held.
+		if c.virt == nil {
+			return
+		}
+		for {
+			select {
+			case <-c.in:
+				c.virt.Release()
+			default:
+				return
+			}
+		}
+	}()
 	var (
 		h         flightHeap
 		bad       bool      // Gilbert–Elliott state
 		lastTxEnd time.Time // serialization clock for Bandwidth
 	)
-	//lint:allow wheelclock the impairment scheduler models a real link's wall-clock delays, not protocol pacing
-	timer := time.NewTimer(time.Hour)
+	timer := c.clk.NewTimer(time.Hour)
 	defer timer.Stop()
 
 	schedule := func(p []byte, now time.Time) {
@@ -285,16 +326,19 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 		if len(h) > 0 {
 			if !timer.Stop() {
 				select {
-				case <-timer.C:
+				case <-timer.C():
 				default:
 				}
 			}
-			timer.Reset(time.Until(h[0].at))
-			due = timer.C
+			timer.Reset(h[0].at.Sub(c.clk.Now()))
+			due = timer.C()
 		}
 		select {
 		case p := <-c.in:
-			now := time.Now()
+			if c.virt != nil {
+				c.virt.Release()
+			}
+			now := c.clk.Now()
 			if c.blackedOut(now) {
 				c.dropBlackout.Add(1)
 				c.m.dropBlackout.Inc()
@@ -331,9 +375,9 @@ func (c *ImpairedConn) run(rng *rand.Rand) {
 			}
 			// Zero-latency packets are due immediately; releasing them
 			// here keeps the queue from backing up under ingress bursts.
-			release(time.Now())
+			release(c.clk.Now())
 		case <-due:
-			release(time.Now())
+			release(c.clk.Now())
 		case <-c.stop:
 			return
 		}

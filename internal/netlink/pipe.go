@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"ghm/internal/clock"
 )
 
 // PipeConfig sets the fault behaviour of an in-process pipe. The zero
@@ -23,6 +25,11 @@ type PipeConfig struct {
 	// ReleaseEvery is how often held-back packets are released (default
 	// 200 microseconds).
 	ReleaseEvery time.Duration
+	// Clock is the pipe's time source: release pacing and any extended
+	// impairments derive from it (nil = wall clock). Under a virtual
+	// clock the pipe participates in the quiescence barrier: packets in
+	// flight between Send and Recv hold the clock still.
+	Clock clock.Clock
 
 	// Burst, when non-nil, layers Gilbert–Elliott two-state burst loss on
 	// each direction, on top of (not instead of) the i.i.d. Loss above.
@@ -54,13 +61,17 @@ func Pipe(cfg PipeConfig) (PacketConn, PacketConn) {
 	if cfg.ReleaseEvery <= 0 {
 		cfg.ReleaseEvery = 200 * time.Microsecond
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System()
+	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = clk.Seed()
 	}
 	p := &pipe{stop: make(chan struct{})}
-	ab := newPipeDir(cfg, rand.New(rand.NewSource(seed)), p.stop)
-	ba := newPipeDir(cfg, rand.New(rand.NewSource(seed+1)), p.stop)
+	ab := newPipeDir(cfg, clk, rand.New(rand.NewSource(seed)), p.stop)
+	ba := newPipeDir(cfg, clk, rand.New(rand.NewSource(seed+1)), p.stop)
 	p.dirs = []*pipeDir{ab, ba}
 	a := &pipeEnd{p: p, send: ab, recv: ba}
 	b := &pipeEnd{p: p, send: ba, recv: ab}
@@ -77,6 +88,7 @@ func Pipe(cfg PipeConfig) (PacketConn, PacketConn) {
 		Bandwidth: cfg.Bandwidth,
 		Queue:     cfg.Queue,
 	}
+	ic.Clock = cfg.Clock
 	ia, ib := ic, ic
 	ia.Seed, ib.Seed = seed+2, seed+3
 	return Impair(a, ia), Impair(b, ib)
@@ -94,6 +106,17 @@ func (p *pipe) close() {
 		close(p.stop)
 		for _, d := range p.dirs {
 			<-d.done
+			// Undelivered egress packets must not leave the virtual
+			// clock's barrier held.
+			for {
+				select {
+				case <-d.out:
+					d.release()
+					continue
+				default:
+				}
+				break
+			}
 		}
 	})
 }
@@ -104,9 +127,24 @@ type pipeDir struct {
 	in   chan []byte
 	out  chan []byte
 	done chan struct{}
+	virt *clock.Virtual // non-nil under a virtual clock (quiescence barrier)
 }
 
-func newPipeDir(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) *pipeDir {
+// hold/release tick the virtual clock's event-count barrier for packets
+// in flight through this direction; no-ops on the wall clock.
+func (d *pipeDir) hold() {
+	if d.virt != nil {
+		d.virt.Hold()
+	}
+}
+
+func (d *pipeDir) release() {
+	if d.virt != nil {
+		d.virt.Release()
+	}
+}
+
+func newPipeDir(cfg PipeConfig, clk clock.Clock, rng *rand.Rand, stop chan struct{}) *pipeDir {
 	d := &pipeDir{
 		// Buffers absorb bursts so a busy fault goroutine does not make
 		// Send block in the common case; size is a latency/memory
@@ -115,24 +153,41 @@ func newPipeDir(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) *pipeDir {
 		out:  make(chan []byte, 256),
 		done: make(chan struct{}),
 	}
-	go d.run(cfg, rng, stop)
+	d.virt, _ = clk.(*clock.Virtual)
+	go d.run(cfg, clk, rng, stop)
 	return d
 }
 
-func (d *pipeDir) run(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) {
+func (d *pipeDir) run(cfg PipeConfig, clk clock.Clock, rng *rand.Rand, stop chan struct{}) {
 	defer close(d.done)
+	defer func() {
+		// Drain ingress holds at shutdown so the barrier is not wedged.
+		for {
+			select {
+			case <-d.in:
+				d.release()
+			default:
+				return
+			}
+		}
+	}()
 	var held [][]byte
-	//lint:allow wheelclock the pipe's release pacing simulates link latency, not protocol pacing
-	ticker := time.NewTicker(cfg.ReleaseEvery)
+	ticker := clk.NewTicker(cfg.ReleaseEvery)
 	defer ticker.Stop()
 
 	deliver := func(p []byte) {
+		// The egress hold is taken before the ingress hold is released
+		// (see below), so the barrier never dips to zero while a packet
+		// is being moved across the direction.
+		d.hold()
 		select {
 		case d.out <- p:
 		case <-stop:
+			d.release()
 		default:
 			// Egress full: the link drops the packet, which the protocol
 			// is built to tolerate.
+			d.release()
 		}
 	}
 
@@ -140,6 +195,7 @@ func (d *pipeDir) run(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) {
 		select {
 		case p := <-d.in:
 			if rng.Float64() < cfg.Loss {
+				d.release()
 				continue
 			}
 			copies := 1
@@ -148,12 +204,15 @@ func (d *pipeDir) run(cfg PipeConfig, rng *rand.Rand, stop chan struct{}) {
 			}
 			for i := 0; i < copies; i++ {
 				if rng.Float64() < cfg.ReorderProb {
+					// Held packets are covered by the release ticker (a
+					// clock deadline), not the barrier.
 					held = append(held, p)
 				} else {
 					deliver(p)
 				}
 			}
-		case <-ticker.C:
+			d.release()
+		case <-ticker.C():
 			// Release half the held packets (at least one) in random
 			// order: the queue stays bounded even when retries arrive
 			// faster than the release tick, while late packets still
@@ -193,6 +252,7 @@ func (e *pipeEnd) Send(p []byte) error {
 	cp := append([]byte(nil), p...)
 	select {
 	case e.send.in <- cp:
+		e.send.hold()
 		return nil
 	default:
 		// Ingress full: drop, as a congested link would.
@@ -213,6 +273,7 @@ func (e *pipeEnd) SendBatch(pkts [][]byte) error {
 		cp := append([]byte(nil), p...)
 		select {
 		case e.send.in <- cp:
+			e.send.hold()
 		default:
 			// Ingress full: drop, as a congested link would.
 		}
@@ -224,11 +285,13 @@ func (e *pipeEnd) SendBatch(pkts [][]byte) error {
 func (e *pipeEnd) Recv() ([]byte, error) {
 	select {
 	case p := <-e.recv.out:
+		e.recv.release()
 		return p, nil
 	case <-e.p.stop:
 		// Drain anything already queued before reporting closure.
 		select {
 		case p := <-e.recv.out:
+			e.recv.release()
 			return p, nil
 		default:
 			return nil, ErrClosed

@@ -128,7 +128,9 @@ func (s *Sender) settle(w chan error) (error, bool) {
 // by settle after losing the race to a cancellation.
 func (s *Sender) finish(start time.Time, err error) error {
 	if err == nil {
-		s.m.okLatencyMS.ObserveSince(start)
+		// Elapsed on the station's own clock: ObserveSince would re-read
+		// the wall clock, which is wrong under virtual time.
+		s.m.okLatencyMS.Observe(float64(s.io.clock().Now().Sub(start)) / float64(time.Millisecond))
 		return nil
 	}
 	return err
@@ -157,7 +159,7 @@ func (s *Sender) Send(ctx context.Context, msg []byte) error {
 	s.waiter = w
 	s.mu.Unlock()
 
-	start := time.Now()
+	start := s.io.clock().Now()
 	s.transmit(out.Packets)
 
 	select {

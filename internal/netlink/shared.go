@@ -34,7 +34,19 @@ type SharedConn struct {
 // wire format is untouched). Close the SharedConn (not the views) to
 // release under.
 func NewSharedConn(under PacketConn) *SharedConn {
-	return &SharedConn{eng: engine.New(under, engineConfig(nil, true, 1))}
+	return NewSharedConnOn(under, nil)
+}
+
+// NewSharedConnOn is NewSharedConn with the engine's timer wheel (and so
+// its clock) injected; nil keeps the process-wide default wheel. Views
+// attached to the shared conn are engine-backed, so stations built over
+// them inherit the wheel instead of wrapping the view in another engine
+// — which makes this the standard way to put a station's I/O, retries
+// and timestamps onto a virtual clock.
+func NewSharedConnOn(under PacketConn, wheel *engine.Wheel) *SharedConn {
+	c := engineConfig(nil, true, 1)
+	c.Wheel = wheel
+	return &SharedConn{eng: engine.New(under, c)}
 }
 
 // Attach hands out a fresh view and routes all subsequent inbound traffic

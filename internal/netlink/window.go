@@ -109,7 +109,7 @@ type WindowedSender struct {
 	slotSeq []uint64     // per slot: admission seq of the in-flight payload
 	nextSeq uint64
 	wiped   map[string][]uint64 // payload bytes -> wiped seqs, for resubmission reuse
-	last    core.TxStats      // stats at the previous flush (delta baseline)
+	last    core.TxStats        // stats at the previous flush (delta baseline)
 
 	free chan int // slot tokens; admission waits here, bounding in-flight at k
 
@@ -226,7 +226,9 @@ func (s *WindowedSender) settle(slot int, w chan error) (error, bool) {
 // by settle after a lost cancellation race.
 func (s *WindowedSender) finish(start time.Time, err error) error {
 	if err == nil {
-		s.m.okLatencyMS.ObserveSince(start)
+		// Elapsed on the station's own clock: ObserveSince would re-read
+		// the wall clock, which is wrong under virtual time.
+		s.m.okLatencyMS.Observe(float64(s.io.clock().Now().Sub(start)) / float64(time.Millisecond))
 		return nil
 	}
 	return err
@@ -306,7 +308,7 @@ func (s *WindowedSender) Send(ctx context.Context, msg []byte) error {
 	s.flushStats()
 	s.mu.Unlock()
 
-	start := time.Now()
+	start := s.io.clock().Now()
 	s.transmit(out.Packets)
 
 	select {

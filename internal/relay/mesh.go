@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/core"
 	"ghm/internal/engine"
 	"ghm/internal/metrics"
@@ -117,6 +118,10 @@ type Config struct {
 
 	// Seed fixes hop-session jitter for reproducible tests (0 = clock).
 	Seed int64
+	// Clock is the mesh's time source: ack deadlines, hop supervisors
+	// and every engine's wheel ride it (nil = wall clock via the shared
+	// default wheel).
+	Clock clock.Clock
 	// Metrics receives the relay.* family plus every hop's session.*,
 	// tx.*, rx.* and link.* counters; nil uses metrics.Default().
 	Metrics *metrics.Registry
@@ -154,6 +159,16 @@ func (c Config) withDefaults() Config {
 		c.DeliveryBuffer = 256
 	}
 	return c
+}
+
+// meshWheel picks the mesh's timer wheel: the process-wide default on
+// the wall clock, or a wheel riding the injected clock (costless for a
+// virtual clock — virtual wheels have no goroutine).
+func meshWheel(clk clock.Clock) *engine.Wheel {
+	if clk == nil {
+		return engine.DefaultWheel()
+	}
+	return engine.NewWheelOn(clk, 0, 0)
 }
 
 // hopID names a directed hop.
@@ -272,7 +287,7 @@ func New(cfg Config) (*Mesh, error) {
 		mt:           newRelayMetrics(reg),
 		topo:         cfg.Topology,
 		routes:       routes,
-		wheel:        engine.DefaultWheel(),
+		wheel:        meshWheel(cfg.Clock),
 		hops:         make(map[hopID]*hop),
 		deliveredCh:  make(chan []byte, cfg.DeliveryBuffer),
 		inflight:     make(map[uint64]*entry),
@@ -294,8 +309,8 @@ func New(cfg Config) (*Mesh, error) {
 		nodes[i] = &node{m: m, id: i}
 	}
 	for li, l := range cfg.Topology.Links {
-		engA := netlink.NewEngine(cfg.Links[li].A, 2, reg)
-		engB := netlink.NewEngine(cfg.Links[li].B, 2, reg)
+		engA := netlink.NewEngineOn(cfg.Links[li].A, 2, reg, m.wheel)
+		engB := netlink.NewEngineOn(cfg.Links[li].B, 2, reg, m.wheel)
 		m.engines = append(m.engines, engA, engB)
 		nodes[l.A].ends = append(nodes[l.A].ends, nodeEnd{link: li, peer: l.B, eng: engA, sendID: 0, recvID: 1})
 		nodes[l.B].ends = append(nodes[l.B].ends, nodeEnd{link: li, peer: l.A, eng: engB, sendID: 1, recvID: 0})
@@ -410,7 +425,7 @@ func (m *Mesh) Submit(payload []byte) (uint64, error) {
 	e := &entry{id: id, payload: cp}
 	m.inflight[id] = e
 	m.st.submitted.Add(1)
-	m.dispatchLocked(e, time.Now())
+	m.dispatchLocked(e, m.wheel.Clock().Now())
 	m.signal() // re-arm the ack-timeout timer around the new entry
 	return id, nil
 }
@@ -591,7 +606,7 @@ func (m *Mesh) router() {
 
 // reconcile is one router pass; see router.
 func (m *Mesh) reconcile() {
-	now := time.Now()
+	now := m.wheel.Clock().Now()
 	m.mu.Lock()
 	m.mt.routesUsable.Set(float64(len(m.usableRoutesLocked())))
 	var earliest time.Time

@@ -118,6 +118,7 @@ func (n *node) start() error {
 			BreakerThreshold:  m.cfg.BreakerThreshold,
 			BreakerCooldown:   m.cfg.BreakerCooldown,
 			Seed:              m.hopSeed(n.id, i),
+			Clock:             m.wheel.Clock(),
 			Metrics:           m.reg,
 		})
 		if err != nil {

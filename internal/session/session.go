@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/core"
 	"ghm/internal/metrics"
 	"ghm/internal/netlink"
@@ -74,6 +75,12 @@ type Config struct {
 
 	// Seed fixes supervisor jitter for reproducible tests (0 = clock).
 	Seed int64
+	// Clock is the session's time source, handed to the supervisor
+	// (watchdog stamps, breaker windows, backoff pacing) — nil keeps the
+	// wall clock. The stations themselves take their clock from the
+	// conn's engine wheel, so virtualizing a session fully means dialing
+	// conns whose engines ride the same clock.
+	Clock clock.Clock
 	// Metrics receives the session.* family; nil uses metrics.Default().
 	Metrics *metrics.Registry
 }
@@ -155,6 +162,7 @@ func New(cfg Config) (*Session, error) {
 		BreakerCooldown:  cfg.BreakerCooldown,
 		PartitionAfter:   cfg.PartitionAfter,
 		Seed:             cfg.Seed,
+		Clock:            cfg.Clock,
 		Metrics:          cfg.Metrics,
 		OnTransition:     s.fanout,
 	})

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ghm/internal/clock"
 	"ghm/internal/engine"
 	"ghm/internal/metrics"
 )
@@ -126,13 +127,17 @@ type Config[S any] struct {
 	// health from Degraded to Partitioned (default 2).
 	PartitionAfter int
 
-	// Seed fixes the backoff jitter for reproducible tests (0 = clock).
+	// Seed fixes the backoff jitter for reproducible tests (0 draws from
+	// Clock.Seed; the resolved value is readable via Seed()).
 	Seed int64
 	// Wheel paces the watchdog poll, the backoff sleeps and the breaker
-	// cooldown (default engine.DefaultWheel()). Sharing the process-wide
-	// wheel keeps supervisors off runtime timers, like every other retry
-	// in the runtime.
+	// cooldown (default: a wheel for Clock — engine.DefaultWheel() when
+	// Clock is nil too). Sharing the process-wide wheel keeps supervisors
+	// off runtime timers, like every other retry in the runtime.
 	Wheel *engine.Wheel
+	// Clock stamps progress, transitions and breaker windows (default:
+	// the Wheel's clock, i.e. the wall clock unless one was injected).
+	Clock clock.Clock
 	// Metrics receives the session.* family; nil uses metrics.Default().
 	Metrics *metrics.Registry
 	// OnTransition, when non-nil, observes every health change. It is
@@ -175,7 +180,14 @@ func (c Config[S]) withDefaults() Config[S] {
 		c.PartitionAfter = 2
 	}
 	if c.Wheel == nil {
-		c.Wheel = engine.DefaultWheel()
+		if c.Clock != nil {
+			c.Wheel = engine.NewWheelOn(c.Clock, 0, 0)
+		} else {
+			c.Wheel = engine.DefaultWheel()
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = c.Wheel.Clock()
 	}
 	return c
 }
@@ -217,6 +229,8 @@ type Supervisor[S any] struct {
 		transitions                             atomic.Int64
 	}
 
+	seed int64 // resolved backoff-jitter seed
+
 	started   bool
 	stop      chan struct{}
 	done      chan struct{}
@@ -237,12 +251,13 @@ func New[S any](cfg Config[S]) (*Supervisor[S], error) {
 	cfg = cfg.withDefaults()
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = cfg.Clock.Seed()
 	}
 	s := &Supervisor[S]{
-		cfg: cfg,
-		m:   newSupMetrics(cfg.Metrics),
-		bo:  backoff{base: cfg.BackoffBase, max: cfg.BackoffMax, rng: rand.New(rand.NewSource(seed))},
+		cfg:  cfg,
+		seed: seed,
+		m:    newSupMetrics(cfg.Metrics),
+		bo:   backoff{base: cfg.BackoffBase, max: cfg.BackoffMax, rng: rand.New(rand.NewSource(seed))},
 		br: breaker{
 			threshold: cfg.BreakerThreshold,
 			window:    cfg.BreakerWindow,
@@ -278,8 +293,13 @@ func (s *Supervisor[S]) Progress() {
 }
 
 func (s *Supervisor[S]) markProgress() {
-	s.lastProgress.Store(time.Now().UnixNano())
+	s.lastProgress.Store(s.cfg.Clock.Now().UnixNano())
 }
+
+// Seed returns the resolved backoff-jitter seed — the configured one, or
+// the clock-drawn default — so a default-seeded run can still record a
+// replayable seed in its repro output.
+func (s *Supervisor[S]) Seed() int64 { return s.seed }
 
 // Current blocks until a live incarnation exists and returns it with its
 // generation number. It fails with ctx's error when ctx ends and with
@@ -380,7 +400,7 @@ func (s *Supervisor[S]) transition(to Health, cause string) {
 	s.m.transitions.Inc()
 	s.st.transitions.Add(1)
 	if s.cfg.OnTransition != nil {
-		s.cfg.OnTransition(Transition{From: from, To: to, Cause: cause, At: time.Now()})
+		s.cfg.OnTransition(Transition{From: from, To: to, Cause: cause, At: s.cfg.Clock.Now()})
 	}
 }
 
@@ -449,7 +469,7 @@ func (s *Supervisor[S]) sleep(d time.Duration) bool {
 // recordFailure accounts one fruitless restart (failed start or watchdog
 // teardown) against the breaker and the health machine.
 func (s *Supervisor[S]) recordFailure(consecutive int, cause string) {
-	if s.br.failure(time.Now()) {
+	if s.br.failure(s.cfg.Clock.Now()) {
 		s.m.breakerOpens.Inc()
 		s.st.breakerOpens.Add(1)
 		s.transition(Down, "breaker open: "+cause)
@@ -481,7 +501,7 @@ func (s *Supervisor[S]) run() {
 				return
 			default:
 			}
-			verdict, wait := s.br.allow(time.Now())
+			verdict, wait := s.br.allow(s.cfg.Clock.Now())
 			if verdict == admitProbe {
 				s.m.breakerProbes.Inc()
 				s.st.breakerProbes.Add(1)
@@ -508,7 +528,7 @@ func (s *Supervisor[S]) run() {
 		}
 		s.install(st)
 		s.markProgress() // grace: the window counts from the incarnation's birth
-		born := time.Now()
+		born := s.cfg.Clock.Now()
 		genProgress := s.progress.Load()
 		rewarded := false // breaker success granted for this incarnation
 
@@ -519,7 +539,7 @@ func (s *Supervisor[S]) run() {
 				s.cfg.Stop(st)
 				return
 			}
-			now := time.Now()
+			now := s.cfg.Clock.Now()
 			if p := s.progress.Load(); p != genProgress {
 				// Work is committing: the incarnation earned its keep.
 				genProgress = p

@@ -1,0 +1,90 @@
+package swarm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func testConfig(stations int, seed int64) Config {
+	return Config{
+		Stations:   stations,
+		Duration:   10 * time.Second,
+		Seed:       seed,
+		MsgEvery:   time.Second,
+		RetryEvery: 500 * time.Millisecond,
+		Link: LinkProfile{
+			Loss:    0.1,
+			DupProb: 0.05,
+			Latency: 5 * time.Millisecond,
+			Jitter:  5 * time.Millisecond,
+		},
+		Faults: FaultProfile{Every: 20 * time.Millisecond},
+		Sample: 16,
+	}
+}
+
+func TestSwarmSoakConformance(t *testing.T) {
+	res, err := Run(testConfig(200, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		for _, s := range res.Sampled {
+			if !s.Clean {
+				t.Errorf("pair %d: %s", s.Pair, s.Report)
+			}
+		}
+		t.Fatalf("sampled stations violated Section 2.6 conditions")
+	}
+	if res.Completed == 0 {
+		t.Fatalf("no message completed in a 10s soak: %+v", res)
+	}
+	if res.CrashT == 0 || res.CrashR == 0 || res.Blackouts == 0 {
+		t.Fatalf("fault schedule did not exercise all fault kinds: crashT=%d crashR=%d blackouts=%d",
+			res.CrashT, res.CrashR, res.Blackouts)
+	}
+	if res.PacketsDropped == 0 {
+		t.Fatalf("impaired links dropped nothing: %+v", res)
+	}
+	if len(res.Sampled) != 16 {
+		t.Fatalf("sampled %d pairs, want 16", len(res.Sampled))
+	}
+}
+
+func TestSwarmDeterministic(t *testing.T) {
+	run := func(seed int64) (*Result, []byte) {
+		var buf bytes.Buffer
+		cfg := testConfig(100, seed)
+		cfg.TraceWriter = &buf
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	r1, t1 := run(42)
+	r2, t2 := run(42)
+	if r1.TraceHash != r2.TraceHash {
+		t.Fatalf("same seed, different trace hashes: %s vs %s", r1.TraceHash, r2.TraceHash)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("same seed, different trace streams (%d vs %d bytes)", len(t1), len(t2))
+	}
+	if r1.Completed != r2.Completed || r1.PacketsSent != r2.PacketsSent || r1.Instants != r2.Instants {
+		t.Fatalf("same seed, different counters:\n%+v\n%+v", r1, r2)
+	}
+	if len(t1) == 0 {
+		t.Fatalf("empty trace stream")
+	}
+	r3, _ := run(43)
+	if r3.TraceHash == r1.TraceHash {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}
+
+func TestSwarmConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Stations: 1}); err == nil {
+		t.Fatalf("Stations=1 accepted")
+	}
+}
