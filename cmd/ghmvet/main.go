@@ -25,6 +25,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -75,16 +76,36 @@ func printVersion() {
 	fmt.Printf("ghmvet version devel ghm-analyzers buildID=%02x\n", h.Sum(nil))
 }
 
+// jsonDiag is one finding in `ghmvet -json` output: the machine-readable
+// dialect CI tooling and editors consume (the text lines on stderr are
+// what the GitHub problem matcher parses).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func standalone(args []string) int {
 	fs := flag.NewFlagSet("ghmvet", flag.ExitOnError)
 	only := fs.String("only", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "also emit findings as a JSON array on stdout")
+	lockdot := fs.String("lockdot", "", "write the module-wide lock-order graph as Graphviz DOT to this file (\"-\" for stdout)")
+	escapes := fs.Bool("escapes", false, "run the escape-diff harness instead of the analyzers: compiler heap decisions for the runtime packages vs the committed allowlist")
+	escapesUpdate := fs.Bool("escapes-update", false, "regenerate the escape allowlist from the current tree and exit")
+	escapesAllow := fs.String("escapes-allow", "internal/lint/escapes.allow", "path of the committed escape allowlist")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ghmvet [-only a,b] [-list] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: ghmvet [-only a,b] [-list] [-json] [-lockdot file] [-escapes|-escapes-update] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *escapes || *escapesUpdate {
+		return runEscapes(*escapesUpdate, *escapesAllow)
 	}
 
 	analyzers := lint.All()
@@ -114,19 +135,52 @@ func standalone(args []string) int {
 		return 2
 	}
 
-	found := false
+	var all []jsonDiag
+	store := analysis.NewFactStore()
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(analyzers, pkg.Fset, pkg.Syntax, pkg.Types, pkg.Info)
+		diags, err := analysis.Run(analyzers, analysis.Unit{
+			Fset:  pkg.Fset,
+			Files: pkg.Syntax,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			Facts: store,
+			Known: lint.KnownNames(),
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ghmvet: %s: %v\n", pkg.ImportPath, err)
 			return 2
 		}
 		for _, d := range diags {
-			found = true
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			posn := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", posn, d.Analyzer, d.Message)
+			all = append(all, jsonDiag{
+				File: posn.Filename, Line: posn.Line, Col: posn.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
 	}
-	if found {
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "ghmvet: encoding json: %v\n", err)
+			return 2
+		}
+	}
+	if *lockdot != "" {
+		dot := lint.LockOrderDOT(store)
+		if *lockdot == "-" {
+			fmt.Print(dot)
+		} else if err := os.WriteFile(*lockdot, []byte(dot), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ghmvet: writing %s: %v\n", *lockdot, err)
+			return 2
+		}
+	}
+	if len(all) > 0 {
 		return 1
 	}
 	return 0

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"ghm/internal/lint"
 	"ghm/internal/lint/analysis"
@@ -28,6 +29,7 @@ type vetConfig struct {
 	GoFiles     []string          // absolute paths
 	ImportMap   map[string]string // source import path -> canonical package path
 	PackageFile map[string]string // canonical package path -> export data file
+	PackageVetx map[string]string // canonical package path -> dependency vetx (facts) file
 	GoVersion   string            // e.g. "go1.22"
 	VetxOnly    bool              // dependency pass: compute facts only, report nothing
 	VetxOutput  string            // where to write facts (enables cmd/go caching)
@@ -38,6 +40,15 @@ type vetConfig struct {
 
 // unitcheck runs the suite on one build unit. Exit status follows vet:
 // 0 clean, 1 tool/typecheck error, 2 findings.
+//
+// Facts ride the vetx files exactly like compiler export data rides the
+// .a files: cmd/go hands this process the vetx outputs of the unit's
+// dependencies (PackageVetx), they are merged into one FactStore, the
+// unit's own facts are added by the analyzers, and the union is written
+// to VetxOutput — so each vetx file carries the transitive fact closure
+// and downstream units see the whole-program view. VetxOnly units (pure
+// dependencies) do the same work minus the reporting; standard-library
+// units are not type-checked, they contribute an empty fact set.
 func unitcheck(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -50,19 +61,41 @@ func unitcheck(cfgPath string) int {
 		return 1
 	}
 
-	// Write the vetx output first: cmd/go caches the unit on its
-	// presence, and the ghmvet analyzers are per-package (no
-	// cross-package facts), so the file carries a constant marker.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("ghmvet vetx v1\n"), 0o666); err != nil {
+	store := analysis.NewFactStore()
+	for _, vetxFile := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetxFile); err == nil {
+			// Tolerate unreadable/legacy vetx content: a missing fact
+			// degrades a whole-program analyzer to per-package precision,
+			// it does not break the run.
+			_ = store.MergeVetx(data)
+		}
+	}
+
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		out, err := store.EncodeVetx()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghmvet: encoding vetx: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, out, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "ghmvet: writing vetx: %v\n", err)
 			return 1
 		}
+		return 0
 	}
-	// Dependency passes exist only to produce facts; with no facts to
-	// produce there is nothing to do. This also skips type-checking the
-	// standard library, which go vet hands us as VetxOnly units.
-	if cfg.VetxOnly {
+
+	// Only module packages carry ghmvet facts; for the standard library
+	// (which go vet hands us as VetxOnly units) the vetx output is just
+	// the pass-through of its dependencies. This skips type-checking the
+	// entire stdlib on every vet run.
+	inModule := cfg.ImportPath == "ghm" || strings.HasPrefix(cfg.ImportPath, "ghm/")
+	if !inModule {
+		if rc := writeVetx(); rc != 0 {
+			return rc
+		}
 		return 0
 	}
 
@@ -72,6 +105,7 @@ func unitcheck(cfgPath string) int {
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
 				return 0
 			}
 			fmt.Fprintf(os.Stderr, "ghmvet: %v\n", err)
@@ -110,16 +144,30 @@ func unitcheck(cfgPath string) int {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "ghmvet: typecheck %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := analysis.Run(lint.All(), fset, files, pkg, info)
+	diags, err := analysis.Run(lint.All(), analysis.Unit{
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		Facts: store,
+		Known: lint.KnownNames(),
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ghmvet: %s: %v\n", cfg.ImportPath, err)
 		return 1
+	}
+	if rc := writeVetx(); rc != 0 {
+		return rc
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)

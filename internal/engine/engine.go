@@ -293,6 +293,8 @@ func (e *Engine) pump() {
 // dispatch routes one inbound packet: parse the id frame, find the
 // endpoint, push or hand to its handler. Every drop is counted — the
 // silent-loss paths of the pre-engine pumps are gone.
+//
+//ghm:hotpath
 func (e *Engine) dispatch(p []byte) {
 	id := 0
 	body := p
@@ -401,6 +403,8 @@ func (ep *Endpoint) Wedge(on bool) { ep.wedged.Store(on) }
 // Send frames p with the endpoint id (framed mode) and writes it to the
 // conn. The framing buffer is pooled; the conn contract (must not retain
 // p) makes reuse safe.
+//
+//ghm:hotpath
 func (ep *Endpoint) Send(p []byte) error {
 	if ep.isClosed() {
 		return ep.eng.cfg.ClosedErr
@@ -425,6 +429,8 @@ func (ep *Endpoint) Send(p []byte) error {
 // loop when it does not. Framing shares one pooled buffer across the
 // whole burst, so a k-deep window's flush costs one buffer round-trip
 // instead of k. A nil or empty burst is a no-op.
+//
+//ghm:hotpath
 func (ep *Endpoint) SendBatch(pkts [][]byte) error {
 	switch len(pkts) {
 	case 0:
@@ -456,6 +462,7 @@ func (ep *Endpoint) SendBatch(pkts [][]byte) error {
 	// subslices taken earlier.
 	bufp := framePool.Get().(*[]byte)
 	buf := (*bufp)[:0]
+	//lint:allow hotpathalloc per-flush (not per-packet): one offsets slice amortized over the whole burst; pinned by the escape allowlist
 	offs := make([]int, 0, len(pkts)+1)
 	for _, p := range pkts {
 		offs = append(offs, len(buf))
@@ -465,6 +472,7 @@ func (ep *Endpoint) SendBatch(pkts [][]byte) error {
 	offs = append(offs, len(buf))
 	var err error
 	if batched {
+		//lint:allow hotpathalloc per-flush frame headers for the batched conn call; amortized over the burst and pinned by the escape allowlist
 		frames := make([][]byte, len(pkts))
 		for i := range pkts {
 			frames[i] = buf[offs[i]:offs[i+1]]

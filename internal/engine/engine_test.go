@@ -471,4 +471,26 @@ func TestHotPathAllocs(t *testing.T) {
 	}); avg > 0 {
 		t.Errorf("Engine.dispatch allocs/op = %v, want 0", avg)
 	}
+
+	// SendBatch's budget is per-flush, not per-packet: the two allowed
+	// slices (offset table + frame headers for the batched conn call),
+	// amortized over however many packets the burst carries.
+	bconn := &nullBatchConn{nullConn{closed: make(chan struct{})}}
+	eb := New(bconn, Config{MaxEndpoints: 2, Metrics: metrics.New()})
+	defer eb.Close()
+	epb, _ := eb.Endpoint(0)
+	batch := [][]byte{msg, msg, msg, msg}
+	epb.SendBatch(batch) // warm the frame pool
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := epb.SendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 2 {
+		t.Errorf("Endpoint.SendBatch allocs/flush = %v, budget 2 (offsets + frame headers)", avg)
+	}
 }
+
+// nullBatchConn is a nullConn that also accepts batched sends.
+type nullBatchConn struct{ nullConn }
+
+func (c *nullBatchConn) SendBatch([][]byte) error { return nil }

@@ -155,3 +155,20 @@ func TestWheelTracksRealTimeUnderDroppedTicks(t *testing.T) {
 		t.Fatalf("20 x 1ms firings took %v", el)
 	}
 }
+
+// TestWheelResetAllocs pins the re-arm path (//ghm:hotpath): a periodic
+// timer re-arming itself with Reset allocates nothing per period — the
+// slot maps recycle their cells once warmed.
+func TestWheelResetAllocs(t *testing.T) {
+	w := NewWheel(time.Millisecond, 16)
+	defer w.Stop()
+
+	tm := w.AfterFunc(time.Hour, func() {})
+	defer tm.Stop()
+	tm.Reset(time.Hour) // warm the slot map cells
+	if avg := testing.AllocsPerRun(200, func() {
+		tm.Reset(time.Hour)
+	}); avg > 0 {
+		t.Errorf("Timer.Reset allocs/op = %v, want 0", avg)
+	}
+}

@@ -292,3 +292,29 @@ func TestWallClockFabric(t *testing.T) {
 	}
 	a.Close()
 }
+
+// TestPortSendAllocBudget pins the fabric send path (//ghm:hotpath).
+// Port.Send is not 0-alloc by design: a surviving flight owns exactly
+// one copy of the packet (the conn contract forbids retaining pkt) and
+// one scheduled-delivery closure — the two //lint:allow hotpathalloc
+// sites. This guard pins that per-send budget, clock event included, so
+// an accidental third allocation on the path fails loudly.
+func TestPortSendAllocBudget(t *testing.T) {
+	f, v := virtualFabric(t, 7)
+	a, b := f.Link(LinkConfig{Latency: time.Millisecond})
+	b.SetHandler(func(p []byte) {})
+
+	pkt := []byte("0123456789abcdef")
+	a.Send(pkt)
+	v.AdvanceBy(2 * time.Millisecond)
+	avg := testing.AllocsPerRun(100, func() {
+		if err := a.Send(pkt); err != nil {
+			t.Fatal(err)
+		}
+		v.AdvanceBy(2 * time.Millisecond) // drain the flight so the queue never caps
+	})
+	t.Logf("Port.Send+drain allocs/op = %v", avg)
+	if avg > 5 {
+		t.Errorf("Port.Send+drain allocs/op = %v, budget 5 (packet copy, delivery closure, clock event)", avg)
+	}
+}

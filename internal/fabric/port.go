@@ -138,6 +138,8 @@ func (p *Port) isClosed() bool {
 // Send implements netlink.PacketConn: the packet's fate is resolved
 // inline against this port's egress model and, if it survives, delivery
 // to the peer is scheduled as a clock event.
+//
+//ghm:hotpath
 func (p *Port) Send(pkt []byte) error {
 	if p.isClosed() {
 		return ErrClosed
@@ -206,9 +208,11 @@ func (p *Port) Send(pkt []byte) error {
 	if n == 0 {
 		return nil
 	}
+	//lint:allow hotpathalloc the copy IS the in-flight packet: the conn contract forbids retaining pkt, so a surviving send must own its bytes
 	cp := append([]byte(nil), pkt...)
 	for i := 0; i < n; i++ {
 		d := delays[i]
+		//lint:allow hotpathalloc one scheduled-delivery closure per surviving flight; the capture carries the owned copy to the peer
 		p.f.clk.AfterFunc(d, func() { p.land(cp) })
 	}
 	return nil

@@ -6,10 +6,13 @@
 // every driver (the standalone ghmvet binary, the go vet -vettool
 // unitchecker mode, and the linttest fixture harness).
 //
-// The deliberate omissions relative to x/tools are cross-package facts
-// and the Requires graph: every ghmvet analyzer is a single pure
-// per-package pass, which keeps the drivers trivial and the analyzers
-// honest about what they can see.
+// The deliberate omission relative to x/tools is the Requires graph:
+// every ghmvet analyzer is a single per-package pass. Cross-package
+// state flows through the FactStore (facts.go): an analyzer may export
+// one JSON fact per package and import the facts of the packages
+// analyzed before it, which is how the whole-program analyzers
+// (lockorder, goroutinelife, hotpathalloc) see across package
+// boundaries while the drivers stay unit-at-a-time.
 package analysis
 
 import (
@@ -43,7 +46,37 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	report func(Diagnostic)
+	// PkgPath is the canonical path facts are keyed under — always
+	// Pkg.Path(), stored separately so fact plumbing never depends on
+	// the path-scoping override the fixture harness plays with.
+	PkgPath string
+
+	facts      *FactStore
+	directives []*directive
+	report     func(Diagnostic)
+}
+
+// Allowed reports whether a //lint:allow directive for the running
+// analyzer covers pos (same line or the line above). Fact computation
+// must consult this: a site the author has deliberately allowed must
+// not poison the facts other packages import (e.g. an allowed
+// allocation must not mark the whole function allocating for its
+// hot-path callers). A matching directive is marked used — honoring a
+// directive during fact computation is as real a use as suppressing a
+// reported diagnostic, and must not trip the stale-directive check.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	posn := p.Fset.Position(pos)
+	allowed := false
+	for _, dir := range p.directives {
+		if dir.analyzer != p.Analyzer.Name || dir.file != posn.Filename {
+			continue
+		}
+		if dir.line == posn.Line || dir.line == posn.Line-1 {
+			dir.used = true
+			allowed = true
+		}
+	}
+	return allowed
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -132,26 +165,70 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, report func(Diagnos
 	return ds
 }
 
+// Unit is one type-checked package handed to Run, plus the run-wide
+// state that rides along with it.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Facts, when non-nil, lets analyzers import facts exported by
+	// previously analyzed packages and export their own. A nil store
+	// disables the cross-package layer (exports evaporate, imports come
+	// back empty) — the per-package analyzers are unaffected.
+	Facts *FactStore
+
+	// Known lists every analyzer name the suite recognizes, independent
+	// of the subset actually running. A //lint:allow directive naming an
+	// analyzer outside this set is reported as malformed: it suppresses
+	// nothing today and never will. Empty disables the check (fixture
+	// harness runs that use private analyzer sets).
+	Known []string
+}
+
 // Run applies every analyzer to one type-checked package and returns the
 // surviving diagnostics, sorted by position: //lint:allow directives have
-// been applied, and unused directives naming an analyzer that ran are
-// reported as findings in their own right.
-func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// been applied, unused directives naming an analyzer that ran are
+// reported as findings in their own right, and directives naming an
+// analyzer the suite has never heard of are malformed.
+func Run(analyzers []*Analyzer, u Unit) ([]Diagnostic, error) {
+	fset, files := u.Fset, u.Files
 	var raw []Diagnostic
 	collect := func(d Diagnostic) { raw = append(raw, d) }
 
 	directives := parseDirectives(fset, files, collect)
 
+	if len(u.Known) > 0 {
+		known := make(map[string]bool, len(u.Known))
+		for _, n := range u.Known {
+			known[n] = true
+		}
+		for _, dir := range directives {
+			if !known[dir.analyzer] {
+				dir.used = true // don't double-report as unused below
+				collect(Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "lintdirective",
+					Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q (see ghmvet -list)", dir.analyzer),
+				})
+			}
+		}
+	}
+
 	ran := make(map[string]bool)
 	for _, a := range analyzers {
 		ran[a.Name] = true
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			report:    collect,
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        u.Pkg,
+			TypesInfo:  u.Info,
+			PkgPath:    u.Pkg.Path(),
+			facts:      u.Facts,
+			directives: directives,
+			report:     collect,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)

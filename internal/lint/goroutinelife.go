@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"ghm/internal/lint/analysis"
+)
+
+// GoroutineLife enforces the runtime's goroutine-lifecycle discipline:
+// every `go` statement in the runtime packages must spawn a goroutine
+// that is provably tied to a lifecycle, so no goroutine can outlive its
+// station incarnation. PR 4 pinned the goroutine budget (one pump per
+// conn, one wheel) and PR 5's testutil.VerifyNoLeaks catches leaks the
+// schedules happen to expose; this check makes the tying structural — a
+// naked goroutine is an error before any test runs.
+//
+// A spawned body counts as lifecycle-tied when it (transitively through
+// same-package static calls, or cross-package via facts) shows any of:
+//
+//   - a receive or select case on a stop-shaped channel (name matching
+//     stop/done/quit/dead/die/close) or on a Done() channel;
+//   - any use of a context.Context (cancellation reaches it);
+//   - a range over a channel (it exits when the owner closes the
+//     channel — close-driven lifecycle).
+//
+// Goroutines whose termination is real but invisible to these
+// heuristics (e.g. bounded by a wheel-armed callback or covered only by
+// VerifyNoLeaks in the package's TestMain) carry a //lint:allow
+// goroutinelife directive naming the mechanism.
+var GoroutineLife = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc: `every runtime goroutine must be tied to a lifecycle
+
+In ghm/internal/{engine,netlink,session,supervise,relay,fabric}, a go
+statement must spawn a body that provably terminates with its owner: a
+receive/select on a stop/done channel, a context.Context use, or a
+close-driven range over a channel — checked transitively through static
+calls and across packages via facts. Naked goroutines outlive station
+incarnations and void the goroutine budget TestGoroutineBudget pins.`,
+	Run: runGoroutineLife,
+}
+
+// lifecycleChanRe matches channel expressions that are stop-shaped by
+// name: the module's uniform convention for shutdown signals.
+var lifecycleChanRe = regexp.MustCompile(`(?i)(stop|done|quit|dead|die|clos|ctx)`)
+
+// goroutineLifeFact marks which of a package's functions are
+// lifecycle-tied, so `go otherpkg.F()` can be judged from outside.
+type goroutineLifeFact struct {
+	Tied map[string]bool `json:"tied,omitempty"`
+}
+
+func runGoroutineLife(pass *analysis.Pass) error {
+	inScope := runtimeScope[passPath(pass)]
+	gl := &goroutineLifeState{
+		pass:  pass,
+		decls: collectDecls(pass),
+		memo:  make(map[*ast.BlockStmt]int),
+	}
+
+	// Export tying facts for every declared function, whether or not the
+	// package is audited: an audited package may spawn helpers that live
+	// in an unaudited one.
+	fact := goroutineLifeFact{Tied: make(map[string]bool)}
+	for fn, fd := range gl.decls {
+		if gl.tied(fd.Body) {
+			fact.Tied[funcKey(fn)] = true
+		}
+	}
+	if err := pass.ExportFact(fact); err != nil {
+		return err
+	}
+	if !inScope {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !gl.callTied(gs.Call) {
+				pass.Reportf(gs.Go,
+					"goroutine with no provable lifecycle in %s: the spawned body neither selects on a stop/done channel, nor uses a context, nor ranges over a channel — it can outlive its station incarnation; tie it to a stop channel (or //lint:allow goroutinelife naming the mechanism, e.g. VerifyNoLeaks coverage)",
+					passPath(pass))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type goroutineLifeState struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*ast.BlockStmt]int // 0 unknown/in-progress, 1 tied, -1 not
+}
+
+// callTied resolves the function a go statement invokes and asks
+// whether its body is lifecycle-tied.
+func (gl *goroutineLifeState) callTied(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return gl.tied(fun.Body)
+	default:
+		_ = fun
+	}
+	callee, local := calleeOf(gl.pass, call)
+	if callee == nil {
+		// Dynamic spawn (function value, interface method): nothing to
+		// inspect. Conservatively an error — name the lifecycle with an
+		// allow if the indirection is deliberate.
+		return false
+	}
+	if local {
+		if fd, ok := gl.decls[callee]; ok {
+			return gl.tied(fd.Body)
+		}
+		return false
+	}
+	var fact goroutineLifeFact
+	if gl.pass.ImportFact(callee.Pkg().Path(), &fact) {
+		return fact.Tied[funcKey(callee)]
+	}
+	return false
+}
+
+// tied reports whether body shows lifecycle evidence, transitively
+// through same-package static calls. The memo breaks recursion (an
+// in-progress body contributes no evidence, which is conservative).
+func (gl *goroutineLifeState) tied(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	if v, ok := gl.memo[body]; ok {
+		return v == 1
+	}
+	gl.memo[body] = 0
+
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && gl.stopShaped(x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := gl.pass.TypesInfo.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true // terminates when the owner closes the channel
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range x.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				for _, e := range commChans(cc.Comm) {
+					if gl.stopShaped(e) {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if tv, ok := gl.pass.TypesInfo.Uses[x]; ok && isContextType(tv.Type()) {
+				found = true // cancellation can reach this goroutine
+			}
+		case *ast.CallExpr:
+			if callee, local := calleeOf(gl.pass, x); callee != nil {
+				if local {
+					if fd, ok := gl.decls[callee]; ok && gl.tied(fd.Body) {
+						found = true
+					}
+				} else {
+					var fact goroutineLifeFact
+					if gl.pass.ImportFact(callee.Pkg().Path(), &fact) && fact.Tied[funcKey(callee)] {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+
+	if found {
+		gl.memo[body] = 1
+	} else {
+		gl.memo[body] = -1
+	}
+	return found
+}
+
+// stopShaped reports whether a channel expression looks like a shutdown
+// signal: its printed form matches the stop-name convention, or it is a
+// Done() call (context.Done, Endpoint.Closed, …).
+func (gl *goroutineLifeState) stopShaped(e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			if name == "Done" || name == "Closed" || name == "Dead" {
+				return true
+			}
+		}
+	}
+	return lifecycleChanRe.MatchString(exprKey(e))
+}
+
+// commChans extracts the channel expressions a select comm statement
+// touches (receive sources; sends are not lifecycle evidence).
+func commChans(s ast.Stmt) []ast.Expr {
+	var out []ast.Expr
+	collect := func(e ast.Expr) {
+		if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			out = append(out, u.X)
+		}
+	}
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		collect(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			collect(e)
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}

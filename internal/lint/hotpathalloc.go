@@ -1,0 +1,512 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ghm/internal/lint/analysis"
+)
+
+// HotPathMarker is the annotation that declares a function a hot root:
+// a function on the per-packet (or per-tick) steady-state path that
+// must stay allocation-free. It goes on the declaration's doc comment:
+//
+//	//ghm:hotpath
+//	func (e *Engine) dispatch(p []byte) { ... }
+//
+// The annotated roots are the engine's per-packet dispatch, the wheel's
+// re-arm path, fabric.Send and the windowed batch flush — the paths a
+// million-client ghmgate daemon would burn GC on if they allocated.
+const HotPathMarker = "//ghm:hotpath"
+
+// HotPathAlloc enforces allocation-freedom on the hot paths: inside an
+// annotated root — and everything it reaches through static calls,
+// across packages via facts — the allocating constructs are reported:
+//
+//   - composite literals, new, and make (fresh backing stores);
+//   - closures that capture variables (the capture forces a heap cell);
+//   - interface boxing of non-pointer-shaped values (pointers, chans,
+//     maps and funcs box for free; everything else allocates);
+//   - append that does not feed back into its own operand — the
+//     x = append(x, …) reuse idiom is the sanctioned amortized-zero
+//     pattern (pooled, capacity-recycling buffers), anything else is
+//     uncapped growth into a fresh array.
+//
+// Wheel callbacks (function literals handed to Wheel.AfterFunc in the
+// runtime packages) are hot roots implicitly: they run on the wheel
+// goroutine every tick they fire.
+//
+// The check is necessarily approximate in both directions — escape
+// analysis stack-allocates some flagged sites, and opaque dynamic calls
+// may allocate invisibly — so it is cross-checked by the escape-diff
+// harness (ghmvet -escapes), which pins the compiler's actual heap
+// decisions for the runtime packages against a committed allowlist, and
+// by the AllocsPerRun guards on the annotated roots. A site the
+// compiler provably keeps on the stack carries //lint:allow hotpathalloc
+// with that reason.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: `functions marked //ghm:hotpath (and everything they call) must not allocate
+
+Composite literals, new/make, capturing closures, boxing of non-pointer
+values into interfaces, and non-self append are reported inside hot
+roots and their transitive static callees, across packages via facts.
+Cross-checked by ghmvet -escapes (compiler escape decisions vs committed
+allowlist) and the AllocsPerRun guards.`,
+	Run: runHotPathAlloc,
+}
+
+// hotPathAllocFact summarizes, per function, how many allocation sites
+// the function reaches transitively (0 means provably-clean modulo the
+// analyzer's blind spots). Exported for every package so hot roots can
+// call across package boundaries and still be audited.
+type hotPathAllocFact struct {
+	Allocs map[string]int `json:"allocs,omitempty"`
+}
+
+func runHotPathAlloc(pass *analysis.Pass) error {
+	hp := &hotPathState{
+		pass:    pass,
+		decls:   collectDecls(pass),
+		sites:   make(map[*types.Func][]allocSite),
+		calls:   make(map[*types.Func][]*types.Func),
+		foreign: make(map[*types.Func]map[*types.Func]ast.Node),
+		counts:  make(map[*types.Func]int),
+	}
+
+	// Per-function direct alloc sites and call graph, then transitive
+	// counts (imported facts give cross-package callees their totals).
+	for fn, fd := range hp.decls {
+		hp.collect(fn, fd)
+	}
+	hp.closeCounts()
+
+	fact := hotPathAllocFact{Allocs: make(map[string]int)}
+	for fn, c := range hp.counts {
+		if c > 0 {
+			fact.Allocs[funcKey(fn)] = c
+		}
+	}
+	if err := pass.ExportFact(fact); err != nil {
+		return err
+	}
+
+	// Hot roots: annotated declarations anywhere, plus wheel callbacks
+	// in the runtime packages.
+	type hotRoot struct {
+		name string
+		fn   *types.Func    // nil for literals
+		body *ast.BlockStmt // literal body when fn is nil
+	}
+	var roots []hotRoot
+	for _, fn := range declOrder(hp.decls) {
+		if hasHotPathMarker(hp.decls[fn]) {
+			roots = append(roots, hotRoot{name: funcKey(fn), fn: fn})
+		}
+	}
+	if runtimeScope[passPath(pass)] {
+		for _, f := range pass.Files {
+			if pass.InTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObjOf(pass.TypesInfo, call)
+				if isMethodOf(fn, "ghm/internal/engine", "Wheel", "AfterFunc") && len(call.Args) == 2 {
+					switch a := ast.Unparen(call.Args[1]).(type) {
+					case *ast.FuncLit:
+						roots = append(roots, hotRoot{name: "wheel callback", body: a.Body})
+					case *ast.Ident:
+						if obj, ok := pass.TypesInfo.Uses[a].(*types.Func); ok {
+							roots = append(roots, hotRoot{name: "wheel callback " + funcKey(obj), fn: obj})
+						}
+					case *ast.SelectorExpr:
+						if obj, ok := pass.TypesInfo.Uses[a.Sel].(*types.Func); ok {
+							roots = append(roots, hotRoot{name: "wheel callback " + funcKey(obj), fn: obj})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Report every alloc site reachable from a hot root, once per site.
+	reported := make(map[*types.Func]bool)
+	var visit func(root string, fn *types.Func)
+	visit = func(root string, fn *types.Func) {
+		if fn == nil || reported[fn] {
+			return
+		}
+		reported[fn] = true
+		for _, s := range hp.sites[fn] {
+			pass.Reportf(s.pos,
+				"%s on the hot path (root %s, in %s): %s; hot roots stay 0-alloc — hoist, pool, or //lint:allow hotpathalloc with the escape-diff evidence",
+				s.what, root, funcKey(fn), s.detail)
+		}
+		for callee, callNode := range hp.foreign[fn] {
+			hp.reportForeign(root, funcKey(fn), callee, callNode)
+		}
+		for _, callee := range hp.calls[fn] {
+			visit(root, callee)
+		}
+	}
+	for _, r := range roots {
+		if r.fn != nil {
+			if _, ok := hp.decls[r.fn]; ok {
+				visit(r.name, r.fn)
+			}
+			continue
+		}
+		// Literal root: its sites were not collected per-function; scan
+		// the body directly.
+		hp.scanBody(r.name, r.body)
+	}
+	return nil
+}
+
+type allocSite struct {
+	pos    token.Pos
+	what   string
+	detail string
+}
+
+type hotPathState struct {
+	pass    *analysis.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	sites   map[*types.Func][]allocSite
+	calls   map[*types.Func][]*types.Func            // local static callees
+	foreign map[*types.Func]map[*types.Func]ast.Node // cross-package static callees
+	counts  map[*types.Func]int                      // transitive alloc counts
+}
+
+// hasHotPathMarker reports whether the declaration's doc carries the
+// //ghm:hotpath annotation.
+func hasHotPathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), HotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// collect scans one function for direct alloc sites and callees.
+func (hp *hotPathState) collect(fn *types.Func, fd *ast.FuncDecl) {
+	hp.scanAllocs(fd.Body, func(s allocSite) {
+		if !hp.pass.Allowed(s.pos) {
+			hp.sites[fn] = append(hp.sites[fn], s)
+		}
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// A closure's body runs on its own schedule, not the creator's
+		// hot path; the creation (the capture) is the flagged event.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, local := calleeOf(hp.pass, call)
+		if callee == nil {
+			return true
+		}
+		if local {
+			if _, hasBody := hp.decls[callee]; hasBody {
+				hp.calls[fn] = append(hp.calls[fn], callee)
+			}
+		} else if callee.Pkg().Path() != "sync/atomic" {
+			if hp.foreign[fn] == nil {
+				hp.foreign[fn] = make(map[*types.Func]ast.Node)
+			}
+			hp.foreign[fn][callee] = call
+		}
+		return true
+	})
+}
+
+// closeCounts computes transitive alloc counts by reachability over the
+// local call graph (recursion-safe: a cycle is one set of functions, not
+// a divergent sum), seeding cross-package callees from imported facts.
+func (hp *hotPathState) closeCounts() {
+	for fn := range hp.decls {
+		total := 0
+		seenLocal := map[*types.Func]bool{fn: true}
+		seenForeign := map[*types.Func]bool{}
+		work := []*types.Func{fn}
+		for len(work) > 0 {
+			g := work[len(work)-1]
+			work = work[:len(work)-1]
+			total += len(hp.sites[g])
+			for callee := range hp.foreign[g] {
+				if !seenForeign[callee] {
+					seenForeign[callee] = true
+					total += hp.foreignAllocs(callee)
+				}
+			}
+			for _, callee := range hp.calls[g] {
+				if !seenLocal[callee] {
+					seenLocal[callee] = true
+					work = append(work, callee)
+				}
+			}
+		}
+		hp.counts[fn] = total
+	}
+}
+
+// foreignAllocs returns a cross-package callee's transitive alloc count
+// from its package's fact (0 when no fact exists: stdlib and
+// out-of-module calls are the escape-diff harness's territory).
+func (hp *hotPathState) foreignAllocs(callee *types.Func) int {
+	var fact hotPathAllocFact
+	if hp.pass.ImportFact(callee.Pkg().Path(), &fact) {
+		return fact.Allocs[funcKey(callee)]
+	}
+	return 0
+}
+
+// reportForeign reports a hot-path call into another package whose fact
+// says it allocates.
+func (hp *hotPathState) reportForeign(root, in string, callee *types.Func, at ast.Node) {
+	n := hp.foreignAllocs(callee)
+	if n == 0 {
+		return
+	}
+	hp.pass.Reportf(at.Pos(),
+		"hot-path call to %s.%s, which allocates (%d site(s)) per its package fact (root %s, in %s); hot roots stay 0-alloc",
+		callee.Pkg().Path(), funcKey(callee), n, root, in)
+}
+
+// scanBody reports a literal root's body directly (sites, then local
+// and foreign callees), used for wheel-callback literals.
+func (hp *hotPathState) scanBody(root string, body *ast.BlockStmt) {
+	hp.scanAllocs(body, func(s allocSite) {
+		hp.pass.Reportf(s.pos,
+			"%s on the hot path (root %s): %s; hot roots stay 0-alloc — hoist, pool, or //lint:allow hotpathalloc with the escape-diff evidence",
+			s.what, root, s.detail)
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, local := calleeOf(hp.pass, call)
+		if callee == nil {
+			return true
+		}
+		if local {
+			if hp.counts[callee] > 0 {
+				hp.pass.Reportf(call.Pos(),
+					"hot-path call to %s, which allocates (%d site(s)) (root %s); hot roots stay 0-alloc",
+					funcKey(callee), hp.counts[callee], root)
+			}
+		} else {
+			hp.reportForeign(root, "wheel callback", callee, call)
+		}
+		return true
+	})
+}
+
+// scanAllocs finds the allocating constructs in one body. Function
+// literals are scanned as closures (their creation is the alloc) but
+// their bodies are not descended into here — if the literal is itself
+// registered as a callback it becomes its own root.
+func (hp *hotPathState) scanAllocs(body *ast.BlockStmt, emit func(allocSite)) {
+	info := hp.pass.TypesInfo
+	self := selfAppends(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok && isZeroSize(tv.Type) {
+				return true // struct{}{} and friends occupy no memory
+			}
+			emit(allocSite{pos: x.Pos(), what: "composite literal",
+				detail: "a fresh value is built per call"})
+		case *ast.FuncLit:
+			if capturesOutside(info, x) {
+				emit(allocSite{pos: x.Pos(), what: "capturing closure",
+					detail: "the captured variables force a heap cell per closure"})
+			}
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				switch info.Uses[id] {
+				case types.Universe.Lookup("make"):
+					emit(allocSite{pos: x.Pos(), what: "make",
+						detail: "a fresh backing store is allocated per call"})
+				case types.Universe.Lookup("new"):
+					emit(allocSite{pos: x.Pos(), what: "new",
+						detail: "a fresh object is allocated per call"})
+				case types.Universe.Lookup("append"):
+					if !self[x] {
+						emit(allocSite{pos: x.Pos(), what: "uncapped append",
+							detail: "growth into a fresh array; the sanctioned idiom is x = append(x, …) on a pooled, capacity-recycling buffer"})
+					}
+				}
+			}
+			hp.scanCallBoxing(x, emit)
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i < len(x.Lhs) {
+					hp.checkBoxing(x.Lhs[i], rhs, emit)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selfAppends collects the x = append(x, …) reuse-idiom calls in body:
+// appends whose first operand is syntactically the assignment target.
+// These grow a pooled, capacity-recycling buffer at amortized zero cost
+// and are the sanctioned hot-path idiom; any other append is uncapped
+// growth into a fresh array.
+func selfAppends(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	self := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || info.Uses[id] != types.Universe.Lookup("append") {
+				continue
+			}
+			if exprKey(call.Args[0]) == exprKey(as.Lhs[i]) {
+				self[call] = true
+			}
+		}
+		return true
+	})
+	return self
+}
+
+// scanCallBoxing flags non-pointer-shaped values passed to interface
+// parameters.
+func (hp *hotPathState) scanCallBoxing(call *ast.CallExpr, emit func(allocSite)) {
+	info := hp.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == 0:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		hp.checkBoxingTo(pt, arg, emit)
+	}
+}
+
+func (hp *hotPathState) checkBoxing(lhs, rhs ast.Expr, emit func(allocSite)) {
+	if tv, ok := hp.pass.TypesInfo.Types[lhs]; ok {
+		hp.checkBoxingTo(tv.Type, rhs, emit)
+	}
+}
+
+func (hp *hotPathState) checkBoxingTo(dst types.Type, src ast.Expr, emit func(allocSite)) {
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := hp.pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if _, isIface := st.Underlying().(*types.Interface); isIface {
+		return // interface-to-interface: no new box
+	}
+	if st == types.Typ[types.UntypedNil] || isPointerShaped(st) {
+		return // pointers, chans, maps, funcs box without allocating
+	}
+	if tv.Value != nil {
+		return // constants: the compiler interns small ones; noise
+	}
+	emit(allocSite{pos: src.Pos(), what: "interface boxing",
+		detail: "a non-pointer value stored in an interface allocates its box"})
+}
+
+// isZeroSize reports whether values of t occupy no memory (empty
+// structs, zero-length arrays): constructing one never allocates.
+func isZeroSize(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !isZeroSize(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || isZeroSize(u.Elem())
+	}
+	return false
+}
+
+// isPointerShaped reports whether values of t fit an interface's data
+// word without an allocation.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// capturesOutside reports whether lit references variables declared
+// outside it (true closure captures; package-level objects don't count).
+func capturesOutside(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture cell
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

@@ -5,13 +5,22 @@
 // handful of disciplines that no general-purpose tool knows about;
 // these analyzers make them machine-checkable instead of folklore.
 //
-// The five analyzers, and what each protects:
+// The nine analyzers, and what each protects:
 //
 //   - cryptorand: protocol randomness is crypto-quality (Theorems 3/7/8)
 //   - wheelclock: retries ride the shared timer wheel, not runtime timers
 //   - nonblockinghandler: engine push handlers shed, they never block
 //   - metricname: metric names are declared constants in the family grammar
 //   - atomicfield: a field accessed atomically anywhere is atomic everywhere
+//   - lockorder: the module-wide lock-order graph is acyclic (no deadlocks)
+//   - goroutinelife: every runtime goroutine is tied to a lifecycle
+//   - hotpathalloc: annotated hot roots stay allocation-free
+//   - boundedqueue: runtime queues are capacity-bounded and shed with accounting
+//
+// The last four are whole-program: they export per-package facts
+// through the analysis.FactStore and read the facts of the packages
+// they depend on, so a lock edge taken in internal/relay and its
+// inverse taken in internal/supervise still meet in one graph.
 //
 // All analyzers exempt _test.go files and honor the //lint:allow
 // directive (see the analysis package).
@@ -24,7 +33,9 @@ import (
 	"ghm/internal/lint/analysis"
 )
 
-// All returns the full ghmvet suite in reporting order.
+// All returns the full ghmvet suite in reporting order: the five
+// per-package analyzers of PR 5, then the whole-program quartet that
+// rides the cross-package fact store.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Cryptorand,
@@ -32,7 +43,22 @@ func All() []*analysis.Analyzer {
 		NonblockingHandler,
 		MetricName,
 		AtomicField,
+		LockOrder,
+		GoroutineLife,
+		HotPathAlloc,
+		BoundedQueue,
 	}
+}
+
+// KnownNames returns every analyzer name the suite recognizes, for the
+// unknown-directive check: a //lint:allow naming anything outside this
+// list is malformed.
+func KnownNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // ByName resolves analyzer names to analyzers; unknown names are

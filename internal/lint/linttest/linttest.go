@@ -61,7 +61,7 @@ var (
 func loadExports() (map[string]string, error) {
 	exportsOnce.Do(func() {
 		args := []string{"list", "-export", "-json", "-deps",
-			"ghm/...", "time", "sync", "sync/atomic", "math/rand", "fmt", "strings"}
+			"ghm/...", "time", "sync", "sync/atomic", "math/rand", "fmt", "strings", "context"}
 		cmd := exec.Command("go", args...)
 		var stdout, stderr bytes.Buffer
 		cmd.Stdout = &stdout
@@ -103,6 +103,13 @@ type expectation struct {
 // the caller's package, i.e. internal/lint), runs the analyzers on it
 // under pkgPath (what the path-scoped analyzers see), and asserts the
 // diagnostics equal the fixture's want comments.
+//
+// Sub-directories of the fixture are dependency packages: each is
+// type-checked and analyzed first (in sorted order, under its natural
+// path "fixture/<dir>/<sub>") with the same fact store, so a fixture can
+// import "fixture/<dir>/<sub>" and exercise the whole-program analyzers
+// across a real package boundary. Want comments in dependency files are
+// honored too.
 func Run(t *testing.T, analyzers []*analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
 
@@ -116,57 +123,104 @@ func Run(t *testing.T, analyzers []*analysis.Analyzer, dir, pkgPath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var subdirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			subdirs = append(subdirs, e.Name())
+		}
+	}
+	sort.Strings(subdirs)
 
 	fset := token.NewFileSet()
-	var files []*ast.File
 	var wants []*expectation
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(root, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	parseDir := func(dirPath string) []*ast.File {
+		entries, err := os.ReadDir(dirPath)
 		if err != nil {
-			t.Fatalf("parse %s: %v", path, err)
+			t.Fatal(err)
 		}
-		files = append(files, f)
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), m[1], err)
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dirPath, e.Name())
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			files = append(files, f)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), m[1], err)
+						}
+						posn := fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
 					}
-					posn := fset.Position(c.Pos())
-					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
 				}
 			}
 		}
-	}
-	if len(files) == 0 {
-		t.Fatalf("no Go files in %s", root)
+		return files
 	}
 
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	// The importer chain: fixture dependency packages (type-checked from
+	// source below) first, then gc export data for real packages.
+	local := make(map[string]*types.Package)
+	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exp[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q (extend linttest.loadExports)", path)
 		}
 		return os.Open(f)
 	})
-	info := analysis.NewInfo()
-	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
-	pkg, err := conf.Check("fixture/"+dir, fset, files, info)
-	if err != nil {
-		t.Fatalf("typecheck %s: %v", dir, err)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := local[path]; ok {
+			return p, nil
+		}
+		return gcImp.Import(path)
+	})
+
+	store := analysis.NewFactStore()
+	var diags []analysis.Diagnostic
+	check := func(files []*ast.File, importPath, override string) {
+		t.Helper()
+		if len(files) == 0 {
+			t.Fatalf("no Go files for %s", importPath)
+		}
+		info := analysis.NewInfo()
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		pkg, err := conf.Check(importPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", importPath, err)
+		}
+		local[importPath] = pkg
+
+		lint.SetPkgPathOverrideForTest(override)
+		defer lint.SetPkgPathOverrideForTest("")
+		ds, err := analysis.Run(analyzers, analysis.Unit{
+			Fset:  fset,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+			Facts: store,
+			// The full suite's names, not the subset under test: fixtures
+			// see the same unknown-analyzer directive check production does.
+			Known: lint.KnownNames(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, ds...)
 	}
 
-	lint.SetPkgPathOverrideForTest(pkgPath)
-	defer lint.SetPkgPathOverrideForTest("")
-	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
-	if err != nil {
-		t.Fatal(err)
+	// Dependencies first (facts flow dep -> fixture), then the fixture
+	// package itself under the caller's pkgPath override.
+	for _, sub := range subdirs {
+		check(parseDir(filepath.Join(root, sub)), "fixture/"+dir+"/"+sub, "")
 	}
+	check(parseDir(root), "fixture/"+dir, pkgPath)
 
 	for _, d := range diags {
 		posn := fset.Position(d.Pos)
@@ -195,3 +249,8 @@ func Run(t *testing.T, analyzers []*analysis.Analyzer, dir, pkgPath string) {
 		}
 	}
 }
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

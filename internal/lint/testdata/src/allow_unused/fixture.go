@@ -12,3 +12,6 @@ func clockMath(a, b time.Time) bool {
 
 /* want "malformed directive" */ //lint:allow wheelclock
 func alsoFine()                  {}
+
+//lint:allow sleeplint no analyzer by this name exists // want "names unknown analyzer"
+func mystery(t time.Time) time.Time { return t }

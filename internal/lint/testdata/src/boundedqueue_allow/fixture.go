@@ -1,0 +1,14 @@
+// Fixture: a queue whose bound is enforced elsewhere carries a
+// //lint:allow boundedqueue naming where; a directive with nothing to
+// suppress is itself a finding.
+package fixture
+
+func dyn() int { return 8 }
+
+func mk() chan int {
+	//lint:allow boundedqueue occupancy is bounded by the sender window (k frames in flight); this cap only sizes the burst
+	return make(chan int, dyn())
+}
+
+//lint:allow boundedqueue nothing on the next line makes a channel // want "unused //lint:allow boundedqueue directive"
+func calm() {}

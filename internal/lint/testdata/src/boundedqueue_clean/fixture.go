@@ -1,0 +1,44 @@
+// Fixture: the sanctioned bounded-queue shapes under a runtime package
+// path — constant and config-arithmetic channel capacities, and a
+// handler that checks occupancy and accounts for what it drops. A field
+// that grows off every handler path is out of the rule's scope. Zero
+// findings.
+package fixture
+
+import "ghm/internal/engine"
+
+type cfg struct{ Queue int }
+
+type sink struct {
+	buf     [][]byte
+	max     int
+	dropped int
+}
+
+const depth = 64
+
+func mk(c cfg, extra int) (chan int, chan []byte, chan int) {
+	a := make(chan int, depth)
+	b := make(chan []byte, c.Queue)
+	d := make(chan int, extra*2+1)
+	return a, b, d
+}
+
+func wire(ep *engine.Endpoint, s *sink) {
+	ep.SetHandler(s.push)
+}
+
+// The sanctioned shape: if full — drop, count, return.
+func (s *sink) push(p []byte) {
+	if len(s.buf) >= s.max {
+		s.dropped++
+		return
+	}
+	s.buf = append(s.buf, p)
+}
+
+// offPath grows without the shape but is reachable from no handler
+// root; the rule audits handler paths, not every append in the package.
+func (s *sink) offPath(p []byte) {
+	s.buf = append(s.buf, p)
+}

@@ -1,0 +1,12 @@
+// Dependency package: Spool.Stash grows a field without the bound+shed
+// shape. This package is not in the runtime scope, so nothing is
+// reported here — but the fact records the growth, and a handler path
+// in the importing fixture is flagged at its call site.
+package dep
+
+type Spool struct{ Items [][]byte }
+
+// Stash grows without checking occupancy or accounting for sheds.
+func (sp *Spool) Stash(p []byte) {
+	sp.Items = append(sp.Items, p)
+}

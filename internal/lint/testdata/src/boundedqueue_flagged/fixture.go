@@ -1,0 +1,51 @@
+// Fixture: bounded-queue violations in a runtime package (the harness
+// runs this under ghm/internal/relay) — a dynamically computed channel
+// capacity, handler-path field growth missing the bound+shed shape
+// (entirely, and missing only the accounting), and a handler path that
+// grows a buffer in another package, caught via its fact.
+package fixture
+
+import (
+	"fixture/boundedqueue_flagged/dep"
+
+	"ghm/internal/engine"
+)
+
+type sink struct {
+	buf  [][]byte
+	more [][]byte
+}
+
+func queueCap() int { return 8 }
+
+func mk() chan int {
+	return make(chan int, queueCap()) // want "channel capacity is not statically bounded"
+}
+
+func wire(ep *engine.Endpoint, s *sink) {
+	ep.SetHandler(s.push)
+	ep.SetHandler(s.pushChecked)
+}
+
+// Neither an occupancy check nor drop accounting.
+func (s *sink) push(p []byte) {
+	s.buf = append(s.buf, p) // want "grows on a handler path"
+}
+
+// Occupancy is checked but nothing accounts for what the bound sheds.
+func (s *sink) pushChecked(p []byte) {
+	if len(s.more) < 64 {
+		s.more = append(s.more, p) // want "grows on a handler path"
+	}
+}
+
+type relay struct{ sp *dep.Spool }
+
+func wireDep(ep *engine.Endpoint, r *relay) {
+	ep.SetHandler(r.forward)
+}
+
+// The growth lives in dep; only its fact makes this reportable.
+func (r *relay) forward(p []byte) {
+	r.sp.Stash(p) // want "handler-path call to"
+}

@@ -1,0 +1,19 @@
+// Fixture: a goroutine whose termination is real but invisible to the
+// heuristics carries a //lint:allow goroutinelife naming the mechanism;
+// a directive with nothing to suppress is itself a finding.
+package fixture
+
+func churn() {
+	for {
+		step()
+	}
+}
+
+func step() {}
+
+func launch() {
+	go churn() //lint:allow goroutinelife lifetime bounded by the harness: VerifyNoLeaks in TestMain fails the package if this survives
+}
+
+//lint:allow goroutinelife nothing spawns on the next line // want "unused //lint:allow goroutinelife directive"
+func calm() {}

@@ -1,0 +1,9 @@
+// Dependency package: Loyal blocks on its stop channel, and its fact
+// says tied — the importing fixture's `go dep.Loyal(stop)` passes on
+// that evidence alone.
+package dep
+
+// Loyal terminates when its owner closes stop.
+func Loyal(stop chan struct{}) {
+	<-stop
+}

@@ -1,0 +1,60 @@
+// Fixture: every lifecycle-tying shape the analyzer accepts, under a
+// runtime package path — receive on a stop channel, select with a stop
+// case, close-driven range, context use, evidence through a local call,
+// and evidence through an imported fact. Zero findings.
+package fixture
+
+import (
+	"context"
+
+	"fixture/goroutinelife_clean/dep"
+)
+
+func run(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+func pump(ch chan int, quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				consume(v)
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+func drain(ch chan int) {
+	go func() {
+		for v := range ch { // exits when the owner closes ch
+			consume(v)
+		}
+	}()
+}
+
+func withCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// helper carries the evidence; the go statement spawns it via a call.
+func helper(stop chan struct{}) {
+	<-stop
+}
+
+func runHelper(stop chan struct{}) {
+	go helper(stop)
+}
+
+// The imported fact says dep.Loyal is tied.
+func runDep(stop chan struct{}) {
+	go dep.Loyal(stop)
+}
+
+func consume(int) {}

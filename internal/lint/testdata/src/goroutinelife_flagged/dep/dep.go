@@ -1,0 +1,13 @@
+// Dependency package: Forever spins with no lifecycle evidence, and its
+// fact says so — the importing fixture's `go dep.Forever()` is judged
+// entirely from that fact.
+package dep
+
+// Forever never observes a stop signal.
+func Forever() {
+	for {
+		step()
+	}
+}
+
+func step() {}

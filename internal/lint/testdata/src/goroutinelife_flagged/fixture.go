@@ -1,0 +1,37 @@
+// Fixture: naked goroutines in a runtime package (the harness runs this
+// under ghm/internal/relay). None of the spawned bodies selects on a
+// stop channel, uses a context, or ranges over a channel — directly,
+// through a local call, or per an imported fact.
+package fixture
+
+import "fixture/goroutinelife_flagged/dep"
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func work() {}
+
+func launch() {
+	go spin() // want "goroutine with no provable lifecycle"
+}
+
+func launchLit() {
+	go func() { // want "goroutine with no provable lifecycle"
+		for {
+			work()
+		}
+	}()
+}
+
+// A dynamic spawn is opaque: nothing to inspect, conservatively an error.
+func launchDyn(f func()) {
+	go f() // want "goroutine with no provable lifecycle"
+}
+
+// The imported fact says dep.Forever is not lifecycle-tied.
+func launchDep() {
+	go dep.Forever() // want "goroutine with no provable lifecycle"
+}

@@ -1,0 +1,15 @@
+// Fixture: an allowed allocation inside a hot root is consumed at fact
+// time — the site never poisons the function's fact and nothing is
+// reported — while a directive with nothing to suppress is itself a
+// finding.
+package fixture
+
+//ghm:hotpath
+func flush(n int) []byte {
+	//lint:allow hotpathalloc one header per flush, amortized over the whole burst; pinned by the escape allowlist
+	hdr := make([]byte, 0, n)
+	return hdr
+}
+
+//lint:allow hotpathalloc nothing on the next line allocates // want "unused //lint:allow hotpathalloc directive"
+func calm() {}

@@ -1,0 +1,33 @@
+// Fixture: the sanctioned zero-alloc idioms inside an annotated root —
+// self-append on a pooled buffer, zero-size values, pointer-shaped and
+// constant interface operands, and calls to clean local helpers. Zero
+// findings.
+package fixture
+
+type header struct{ seq int }
+
+type pipe struct {
+	buf  []byte
+	hdr  header
+	wake chan struct{}
+}
+
+//ghm:hotpath
+func (p *pipe) pump(data []byte) {
+	p.buf = p.buf[:0]
+	p.buf = append(p.buf, data...) // self-append: capacity-recycling reuse
+	select {
+	case p.wake <- struct{}{}: // zero-size value: no allocation
+	default:
+	}
+	p.sink(&p.hdr) // pointer-shaped operand boxes for free
+	p.sink(7)      // constant operand: interned, not boxed per call
+	p.tick()
+}
+
+func (p *pipe) sink(v any) { _ = v }
+
+// tick is on the hot path transitively and is clean.
+func (p *pipe) tick() {
+	p.hdr.seq++
+}

@@ -1,0 +1,9 @@
+// Dependency package: Alloc allocates, and its fact carries the count —
+// the importing fixture's hot root is flagged at the call site on that
+// fact alone.
+package dep
+
+// Alloc builds a fresh buffer per call.
+func Alloc() []byte {
+	return make([]byte, 64)
+}

@@ -1,0 +1,47 @@
+// Fixture: every allocating construct hotpathalloc reports, inside an
+// annotated root, inside its transitive local callee, across a package
+// boundary via facts, and inside a wheel callback (the harness runs
+// this under ghm/internal/relay, so Wheel.AfterFunc literals are
+// implicit roots).
+package fixture
+
+import (
+	"time"
+
+	"fixture/hotpathalloc_flagged/dep"
+
+	"ghm/internal/engine"
+)
+
+type state struct{ seq int }
+
+type pipe struct{}
+
+//ghm:hotpath
+func (p *pipe) emit(n int, base, extra []byte) {
+	s := state{seq: n}            // want "composite literal on the hot path"
+	buf := make([]byte, 64)       // want "make on the hot path"
+	out := append(base, extra...) // want "uncapped append"
+	cb := func() int { return n } // want "capturing closure"
+	box(n)                        // want "interface boxing"
+	grow()
+	dep.Alloc() // want "which allocates"
+	_, _, _, _ = s, buf, out, cb
+}
+
+func box(v any) { _ = v }
+
+// grow is reached from the root through the local call graph; its site
+// is reported where it stands.
+func grow() {
+	q := make([]int, 0, 8) // want "make on the hot path"
+	_ = q
+}
+
+// arm registers a wheel callback: the literal is an implicit hot root.
+func arm(w *engine.Wheel, d time.Duration) {
+	w.AfterFunc(d, func() {
+		b := make([]byte, 8) // want "make on the hot path"
+		_ = b
+	})
+}

@@ -1,0 +1,30 @@
+// Fixture: a lock-order cycle whose completing acquisition carries a
+// //lint:allow lockorder directive is suppressed (the directive is
+// used); a directive with nothing to suppress is itself a finding.
+package fixture
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	//lint:allow lockorder instance-safe: ab and ba are never called on the same (a, b) pair — see the pairing invariant
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+//lint:allow lockorder nothing below acquires two locks // want "unused //lint:allow lockorder directive"
+func solo(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}

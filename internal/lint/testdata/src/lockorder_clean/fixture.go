@@ -1,0 +1,36 @@
+// Fixture: the same mutex pair acquired in a consistent order
+// everywhere — plus call-through acquisition and branch-local holds —
+// builds an acyclic graph and stays silent.
+package fixture
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func lockB(b *B) {
+	b.mu.Lock()
+}
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func abThroughCall(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b) // A→B again: consistent with ab, no cycle
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func branchy(a *A, b *B, cond bool) {
+	a.mu.Lock()
+	if cond {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	a.mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — the lock-order graph gains A→B and B→A, a cycle. The report
+// is anchored at the first edge (in source order) that closes it.
+package fixture
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

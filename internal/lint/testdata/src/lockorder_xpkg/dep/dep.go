@@ -1,0 +1,28 @@
+// Dependency package of the cross-package lockorder fixture. Its
+// sanctioned order is P before Q (Both); that edge — and LockP's acquire
+// set — travel to the importing fixture only as facts. Nothing here is
+// a cycle, so this package reports nothing.
+package dep
+
+import "sync"
+
+type P struct{ Mu sync.Mutex }
+type Q struct{ Mu sync.Mutex }
+
+// Both acquires P then Q: the P→Q edge this package exports.
+func Both(p *P, q *Q) {
+	p.Mu.Lock()
+	q.Mu.Lock()
+	q.Mu.Unlock()
+	p.Mu.Unlock()
+}
+
+// LockP acquires only P; importers learn that from the fact.
+func LockP(p *P) {
+	p.Mu.Lock()
+}
+
+// UnlockP releases P.
+func UnlockP(p *P) {
+	p.Mu.Unlock()
+}

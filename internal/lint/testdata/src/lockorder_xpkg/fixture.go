@@ -1,0 +1,16 @@
+// Fixture: the cycle only exists across the package boundary. The dep
+// package orders P before Q; this package acquires P (through
+// dep.LockP, whose acquire set arrives as a fact) while holding Q. No
+// single package sees a cycle in its own edges — the Q→P edge recorded
+// here plus the imported P→Q edge close it, so the finding can only
+// come from the fact layer.
+package fixture
+
+import "fixture/lockorder_xpkg/dep"
+
+func cross(p *dep.P, q *dep.Q) {
+	q.Mu.Lock()
+	dep.LockP(p) // want "lock-order cycle"
+	dep.UnlockP(p)
+	q.Mu.Unlock()
+}

@@ -306,6 +306,7 @@ func (r *Receiver) retryTick() {
 	}
 	r.m.retries.Inc()
 	r.m.retryIntervalMS.Set(float64(r.interval) / float64(time.Millisecond))
+	//lint:allow hotpathalloc retransmit CTL packets are fresh values crossing the conn, built per retry tick (loss-paced), not per packet
 	out := r.rx.Retry()
 	r.flushStats()
 	r.retry.Reset(r.interval)

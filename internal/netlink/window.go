@@ -399,6 +399,8 @@ func (s *WindowedSender) handlePacket(p []byte) {
 
 // transmit flushes protocol packets in one batched conn call, treating
 // transient errors as the loss the protocol tolerates.
+//
+//ghm:hotpath
 func (s *WindowedSender) transmit(pkts [][]byte) {
 	if len(pkts) == 0 {
 		return
@@ -751,6 +753,7 @@ func (r *WindowedReceiver) retryTick() {
 	}
 	r.m.retries.Inc()
 	r.m.retryIntervalMS.Set(float64(r.interval) / float64(time.Millisecond))
+	//lint:allow hotpathalloc windowed retransmit CTLs are fresh values crossing the conn, built per retry tick (loss-paced), not per packet
 	out := r.wr.Retry()
 	r.flushStats()
 	r.retry.Reset(r.interval)
